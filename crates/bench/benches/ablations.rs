@@ -1,0 +1,23 @@
+//! Regenerates the design-constant ablations and times one point.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::ablations;
+
+fn bench(c: &mut Criterion) {
+    let rows = ablations::run(gaas_bench::table_scale());
+    println!("{}", ablations::table(&rows));
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("page_colors_point", |b| {
+        b.iter(|| ablations::page_colors(gaas_bench::kernel_scale()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

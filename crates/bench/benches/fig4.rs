@@ -1,0 +1,21 @@
+//! Regenerates Fig. 4 (base-architecture CPI stack) and times the stack run.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::fig4;
+
+fn bench(c: &mut Criterion) {
+    let result = fig4::run(gaas_bench::table_scale());
+    println!("{}", fig4::table(&result));
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("base_cpi_stack", |b| b.iter(|| fig4::run(gaas_bench::kernel_scale())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 5 (write policy x effective L2 access time) and times
+//! the write-only policy kernel.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::fig5;
+use gaas_experiments::runner::run_standard;
+use gaas_sim::{config::SimConfig, WritePolicy};
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5::run(gaas_bench::table_scale());
+    println!("{}", fig5::table(&rows));
+    println!("{}", fig5::component_table(&rows));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("write_only_kernel", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::builder();
+            cfg.policy(WritePolicy::WriteOnly).l2_drain_access(6);
+            run_standard(cfg.build().expect("valid"), gaas_bench::kernel_scale())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 6 and Table 2 (L2 size x organization) and times the
+//! split 2-way kernel.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::fig6;
+use gaas_experiments::runner::run_standard;
+use gaas_sim::config::SimConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6::run(gaas_bench::table_scale());
+    println!("{}", fig6::table(&rows));
+    println!("{}", fig6::table2(&rows));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("split_2way_kernel", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::builder();
+            cfg.l2(fig6::Org::Split2.l2(262_144));
+            run_standard(cfg.build().expect("valid"), gaas_bench::kernel_scale())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

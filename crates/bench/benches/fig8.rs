@@ -1,0 +1,29 @@
+//! Regenerates Fig. 8 (speed-size surface) on a sparse grid and times one
+//! surface point.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::fig78::{self, Side};
+
+fn bench(c: &mut Criterion) {
+    // Sparse grid at bench scale; the repro binary produces the full 7x9.
+    let sizes = [8_192u64, 32_768, 131_072, 524_288];
+    let times = [1u32, 3, 6, 9];
+    let rows = fig78::run_with_axes(Side::Data, gaas_bench::table_scale(), &sizes, &times);
+    println!("{}", fig78::table(Side::Data, &rows));
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("surface_point", |b| {
+        b.iter(|| {
+            fig78::run_with_axes(Side::Data, gaas_bench::kernel_scale(), &[32_768], &[2])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates sec5 of the paper and times a representative point.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::sec5;
+use gaas_experiments::runner::run_standard;
+use gaas_sim::config::SimConfig;
+
+fn bench(c: &mut Criterion) {
+    let rows = sec5::run(gaas_bench::table_scale());
+    println!("{}", sec5::table(&rows));
+
+    let mut g = c.benchmark_group("sec5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("baseline_kernel", |b| {
+        b.iter(|| run_standard(SimConfig::baseline(), gaas_bench::kernel_scale()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

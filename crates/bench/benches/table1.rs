@@ -1,0 +1,24 @@
+//! Regenerates Table 1 (workload characterization) and times the trace
+//! generator + characterization kernel.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1::run(gaas_bench::table_scale().min(2e-3));
+    println!("{}", table1::table(&rows));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("characterize_suite", |b| {
+        b.iter(|| table1::run(gaas_bench::kernel_scale().min(5e-4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

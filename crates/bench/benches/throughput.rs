@@ -1,0 +1,124 @@
+//! Substrate and simulator throughput benches: events/second through the
+//! full simulator, plus microbenches of the hot structures (cache array,
+//! TLB, write buffer, page mapper, trace generator).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use gaas_cache::{CacheArray, CacheGeometry, PageMapper, Tlb, WriteBuffer};
+use gaas_sim::{config::SimConfig, sim, workload};
+use gaas_trace::bench_model::suite;
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::{PhysAddr, Pid, VirtAddr};
+
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let scale = 5e-4;
+    let events: u64 = suite()
+        .iter()
+        .map(|b| {
+            let n = b.scaled_instructions(scale) as f64;
+            (n * b.refs_per_instruction()) as u64
+        })
+        .sum();
+    g.throughput(Throughput::Elements(events));
+    for (name, cfg) in [("baseline", SimConfig::baseline()), ("optimized", SimConfig::optimized())]
+    {
+        g.bench_with_input(BenchmarkId::new("events", name), &cfg, |b, cfg| {
+            b.iter(|| sim::run(cfg.clone(), workload::standard(scale)).expect("valid"))
+        });
+    }
+    g.finish();
+}
+
+fn substrate_microbenches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(3));
+
+    // Cache array: mixed touch/fill over a 2x working set.
+    let geom = CacheGeometry::new(4096, 4, 1).expect("valid");
+    let addrs: Vec<PhysAddr> = {
+        let mut rng = SmallRng::seed_from_u64(1);
+        (0..8192).map(|_| PhysAddr::new(rng.gen_range(0..8192))).collect()
+    };
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("cache_array_touch_fill", |b| {
+        b.iter(|| {
+            let mut arr = CacheArray::new(geom);
+            let mut hits = 0u64;
+            for &a in &addrs {
+                if arr.touch(a).is_some() {
+                    hits += 1;
+                } else {
+                    arr.fill(a);
+                }
+            }
+            hits
+        })
+    });
+
+    // TLB accesses.
+    let vaddrs: Vec<VirtAddr> = {
+        let mut rng = SmallRng::seed_from_u64(2);
+        (0..8192)
+            .map(|_| VirtAddr::new(Pid::new(rng.gen_range(0..8)), rng.gen_range(0..1 << 22)))
+            .collect()
+    };
+    g.bench_function("tlb_access", |b| {
+        b.iter(|| {
+            let mut tlb = Tlb::data();
+            let mut hits = 0u64;
+            for &a in &vaddrs {
+                if tlb.access(a) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+
+    // Page mapper translations.
+    g.bench_function("page_mapper_translate", |b| {
+        b.iter(|| {
+            let mut m = PageMapper::new(256);
+            let mut acc = 0u64;
+            for &a in &vaddrs {
+                acc = acc.wrapping_add(m.translate(a).word());
+            }
+            acc
+        })
+    });
+
+    // Write-buffer enqueue/drain cycle.
+    g.bench_function("write_buffer_cycle", |b| {
+        b.iter(|| {
+            let mut wb = WriteBuffer::new(8);
+            let mut now = 0u64;
+            for i in 0..8192u64 {
+                now += 2;
+                let t = wb.slot_free_at(now).max(now);
+                wb.enqueue(t, PhysAddr::new(i), 6, 4, 0);
+            }
+            wb.empty_at(now)
+        })
+    });
+
+    // Trace generation.
+    let spec = suite().remove(2); // gcc: branchiest model
+    g.bench_function("trace_generator_gcc", |b| {
+        b.iter(|| TraceGenerator::new(&spec, Pid::new(0), 2.5e-4).count())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, simulator_throughput, substrate_microbenches);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shared plumbing for the per-figure Criterion benches.
+//!
+//! Each bench target regenerates its table/figure at [`table_scale`] —
+//! printing the same rows/series the paper reports — and then times a
+//! representative simulation kernel at [`kernel_scale`] so `cargo bench`
+//! tracks simulator performance over time.
+
+/// Workload scale used when a bench regenerates its table (overridable via
+/// `GAAS_BENCH_SCALE`).
+pub fn table_scale() -> f64 {
+    std::env::var("GAAS_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2e-3)
+}
+
+/// Smaller scale used inside the timed kernel.
+pub fn kernel_scale() -> f64 {
+    table_scale() / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scales_are_sane() {
+        assert!(super::table_scale() > 0.0);
+        assert!(super::kernel_scale() < super::table_scale());
+    }
+}

@@ -1,0 +1,449 @@
+//! Generic set-associative cache array.
+//!
+//! [`CacheArray`] is the structural core shared by every cache in the study:
+//! the 4 KW direct-mapped primary caches, the 16 KW–1024 KW unified/split
+//! secondary caches, and the 2-way associative variants. It tracks tags,
+//! validity, dirtiness, the write-only mark of the paper's new write policy,
+//! and per-word subblock valid bits; replacement is LRU (trivial for
+//! direct-mapped). Timing is deliberately *not* modelled here — the
+//! simulator charges cycles; the array answers pure hit/miss/eviction
+//! questions.
+
+use std::fmt;
+
+use gaas_trace::PhysAddr;
+
+/// Validated geometry of a cache: total size, line length, associativity
+/// (all in words, all powers of two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_words: u64,
+    line_words: u32,
+    assoc: u32,
+}
+
+/// Error returned for inconsistent cache geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometryError(String);
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cache geometry: {}", self.0)
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Builds a geometry, validating that sizes are powers of two and that
+    /// the cache holds at least one set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when `size_words`, `line_words` or `assoc`
+    /// is zero or not a power of two, or when
+    /// `size_words < line_words * assoc`.
+    pub fn new(size_words: u64, line_words: u32, assoc: u32) -> Result<Self, GeometryError> {
+        if size_words == 0 || !size_words.is_power_of_two() {
+            return Err(GeometryError(format!("size {size_words} not a power of two")));
+        }
+        if line_words == 0 || !line_words.is_power_of_two() {
+            return Err(GeometryError(format!("line {line_words} not a power of two")));
+        }
+        if line_words > 32 {
+            return Err(GeometryError(format!(
+                "line {line_words} exceeds the 32-word subblock mask"
+            )));
+        }
+        if assoc == 0 || !assoc.is_power_of_two() {
+            return Err(GeometryError(format!("associativity {assoc} not a power of two")));
+        }
+        if size_words < line_words as u64 * assoc as u64 {
+            return Err(GeometryError(format!(
+                "size {size_words} smaller than one set ({line_words} x {assoc})"
+            )));
+        }
+        Ok(CacheGeometry { size_words, line_words, assoc })
+    }
+
+    /// Total capacity in words.
+    pub fn size_words(&self) -> u64 {
+        self.size_words
+    }
+
+    /// Line length in words.
+    pub fn line_words(&self) -> u32 {
+        self.line_words
+    }
+
+    /// Degree of associativity (1 = direct-mapped).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> u64 {
+        self.size_words / (self.line_words as u64 * self.assoc as u64)
+    }
+
+    /// Set index for a physical word address.
+    pub fn set_of(&self, addr: PhysAddr) -> u64 {
+        (addr.word() / self.line_words as u64) & (self.n_sets() - 1)
+    }
+
+    /// Line-aligned base address of the line containing `addr`.
+    pub fn line_base(&self, addr: PhysAddr) -> PhysAddr {
+        addr.block_base(self.line_words as u64)
+    }
+
+    /// Word index of `addr` within its line (for subblock valid bits).
+    pub fn word_in_line(&self, addr: PhysAddr) -> u32 {
+        (addr.word() & (self.line_words as u64 - 1)) as u32
+    }
+}
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Line-aligned base word address of the cached line.
+    pub base: PhysAddr,
+    /// Tag/data valid.
+    pub valid: bool,
+    /// Line modified relative to the next level (write-back), or — for
+    /// write-through policies with the dirty-bit bypass scheme (§9) — "this
+    /// line has been written since allocation".
+    pub dirty: bool,
+    /// The paper's write-only mark: the line was allocated by a write miss
+    /// under the write-only policy and must not service reads.
+    pub write_only: bool,
+    /// Per-word valid bits for subblock placement (bit *i* = word *i*).
+    pub subblock_valid: u32,
+    /// LRU timestamp (larger = more recently used).
+    lru: u64,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line {
+            base: PhysAddr::new(0),
+            valid: false,
+            dirty: false,
+            write_only: false,
+            subblock_valid: 0,
+            lru: 0,
+        }
+    }
+}
+
+/// Description of a line displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Base address of the displaced line.
+    pub base: PhysAddr,
+    /// It was dirty/written (see [`Line::dirty`]).
+    pub dirty: bool,
+    /// It carried the write-only mark.
+    pub write_only: bool,
+}
+
+/// A set-associative cache array with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_cache::{CacheArray, CacheGeometry};
+/// use gaas_trace::PhysAddr;
+///
+/// # fn main() -> Result<(), gaas_cache::GeometryError> {
+/// // The paper's 4 KW direct-mapped L1 with 4 W lines.
+/// let mut l1 = CacheArray::new(CacheGeometry::new(4096, 4, 1)?);
+/// assert!(l1.touch(PhysAddr::new(0x40)).is_none(), "cold miss");
+/// l1.fill(PhysAddr::new(0x40));
+/// assert!(l1.touch(PhysAddr::new(0x42)).is_some(), "same line hits");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl CacheArray {
+    /// Creates an empty (all-invalid) array with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let n = (geom.n_sets() * geom.assoc() as u64) as usize;
+        CacheArray { geom, lines: vec![Line::invalid(); n], clock: 0 }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let a = self.geom.assoc() as usize;
+        let start = set as usize * a;
+        start..start + a
+    }
+
+    /// Looks up `addr` without updating LRU state. Returns the index of the
+    /// matching line in the internal array.
+    fn probe_idx(&self, addr: PhysAddr) -> Option<usize> {
+        let base = self.geom.line_base(addr);
+        let set = self.geom.set_of(addr);
+        self.set_range(set).find(|&i| self.lines[i].valid && self.lines[i].base == base)
+    }
+
+    /// True when `addr`'s line is resident (tag match, valid), regardless of
+    /// write-only or subblock state. Does not update LRU.
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        self.probe_idx(addr).is_some()
+    }
+
+    /// Returns a copy of the resident line for `addr`, if any. Does not
+    /// update LRU.
+    pub fn peek(&self, addr: PhysAddr) -> Option<Line> {
+        self.probe_idx(addr).map(|i| self.lines[i])
+    }
+
+    /// Looks up `addr`; on a tag match, marks the line most-recently-used
+    /// and returns a mutable reference to it.
+    pub fn touch(&mut self, addr: PhysAddr) -> Option<&mut Line> {
+        let idx = self.probe_idx(addr)?;
+        self.clock += 1;
+        self.lines[idx].lru = self.clock;
+        Some(&mut self.lines[idx])
+    }
+
+    /// Allocates a line for `addr` (replacing the LRU way if the set is
+    /// full) and returns the displaced line, if any. The new line is valid,
+    /// clean, not write-only, with all subblock bits set, and is marked
+    /// most-recently-used.
+    ///
+    /// If `addr`'s line is already resident, the resident line is reset to
+    /// that same state and no eviction occurs.
+    pub fn fill(&mut self, addr: PhysAddr) -> Option<Evicted> {
+        let base = self.geom.line_base(addr);
+        let full_mask = if self.geom.line_words() == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.geom.line_words()) - 1
+        };
+        self.clock += 1;
+        let clock = self.clock;
+
+        if let Some(idx) = self.probe_idx(addr) {
+            let line = &mut self.lines[idx];
+            line.dirty = false;
+            line.write_only = false;
+            line.subblock_valid = full_mask;
+            line.lru = clock;
+            return None;
+        }
+
+        let set = self.geom.set_of(addr);
+        let range = self.set_range(set);
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let victim = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].lru)
+                    .expect("set has at least one way")
+            });
+
+        let old = self.lines[victim];
+        let evicted = old.valid.then_some(Evicted {
+            base: old.base,
+            dirty: old.dirty,
+            write_only: old.write_only,
+        });
+        self.lines[victim] = Line {
+            base,
+            valid: true,
+            dirty: false,
+            write_only: false,
+            subblock_valid: full_mask,
+            lru: clock,
+        };
+        evicted
+    }
+
+    /// Invalidates `addr`'s line if resident; returns the line that was
+    /// invalidated.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> Option<Line> {
+        let idx = self.probe_idx(addr)?;
+        let old = self.lines[idx];
+        self.lines[idx] = Line::invalid();
+        Some(old)
+    }
+
+    /// Invalidates every line (not used by the architecture — PID tags make
+    /// flushes unnecessary — but provided for experiments and tests).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::invalid();
+        }
+    }
+
+    /// Iterates over the valid lines of the set that `addr` indexes
+    /// (at most `assoc` lines).
+    pub fn peek_set(&self, addr: PhysAddr) -> impl Iterator<Item = &Line> {
+        let set = self.geom.set_of(addr);
+        self.lines[self.set_range(set)].iter().filter(|l| l.valid)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over all valid lines (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Line> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pa(w: u64) -> PhysAddr {
+        PhysAddr::new(w)
+    }
+
+    fn dm_16w_4l() -> CacheArray {
+        // 16-word direct-mapped cache, 4-word lines, 4 sets.
+        CacheArray::new(CacheGeometry::new(16, 4, 1).expect("valid"))
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheGeometry::new(4096, 4, 1).is_ok());
+        assert!(CacheGeometry::new(0, 4, 1).is_err());
+        assert!(CacheGeometry::new(4095, 4, 1).is_err());
+        assert!(CacheGeometry::new(4096, 3, 1).is_err());
+        assert!(CacheGeometry::new(4096, 64, 1).is_err(), "line > 32 words");
+        assert!(CacheGeometry::new(4096, 4, 3).is_err());
+        assert!(CacheGeometry::new(4, 4, 2).is_err(), "smaller than one set");
+    }
+
+    #[test]
+    fn geometry_derived_values() {
+        let g = CacheGeometry::new(4096, 4, 1).expect("valid");
+        assert_eq!(g.n_sets(), 1024);
+        assert_eq!(g.set_of(pa(0)), 0);
+        assert_eq!(g.set_of(pa(4)), 1);
+        assert_eq!(g.set_of(pa(4096)), 0, "wraps at cache size");
+        assert_eq!(g.line_base(pa(7)).word(), 4);
+        assert_eq!(g.word_in_line(pa(7)), 3);
+    }
+
+    #[test]
+    fn fill_then_contains() {
+        let mut c = dm_16w_4l();
+        assert!(!c.contains(pa(8)));
+        assert_eq!(c.fill(pa(8)), None);
+        assert!(c.contains(pa(8)));
+        assert!(c.contains(pa(11)), "same line");
+        assert!(!c.contains(pa(12)), "next line");
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = dm_16w_4l();
+        c.fill(pa(0));
+        let ev = c.fill(pa(16)); // maps to the same set 0
+        assert_eq!(
+            ev,
+            Some(Evicted { base: pa(0), dirty: false, write_only: false })
+        );
+        assert!(!c.contains(pa(0)));
+        assert!(c.contains(pa(16)));
+    }
+
+    #[test]
+    fn two_way_lru_replacement() {
+        // 2-way, 4W lines, 2 sets (16 words total).
+        let mut c = CacheArray::new(CacheGeometry::new(16, 4, 2).expect("valid"));
+        c.fill(pa(0)); // set 0
+        c.fill(pa(8)); // set 0 (stride = 8 with 2 sets)
+        assert!(c.contains(pa(0)) && c.contains(pa(8)));
+        c.touch(pa(0)); // make line 0 MRU
+        let ev = c.fill(pa(16)); // set 0 again: evicts LRU = line 8
+        assert_eq!(ev.expect("eviction").base, pa(8));
+        assert!(c.contains(pa(0)));
+        assert!(c.contains(pa(16)));
+    }
+
+    #[test]
+    fn fill_resident_line_resets_state_without_eviction() {
+        let mut c = dm_16w_4l();
+        c.fill(pa(0));
+        c.touch(pa(0)).expect("resident").dirty = true;
+        assert_eq!(c.fill(pa(2)), None, "same line refill");
+        assert!(!c.peek(pa(0)).expect("resident").dirty);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_and_write_only() {
+        let mut c = dm_16w_4l();
+        c.fill(pa(0));
+        {
+            let l = c.touch(pa(0)).expect("resident");
+            l.dirty = true;
+            l.write_only = true;
+        }
+        let ev = c.fill(pa(16)).expect("eviction");
+        assert!(ev.dirty && ev.write_only);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = dm_16w_4l();
+        c.fill(pa(4));
+        let old = c.invalidate(pa(5)).expect("was resident");
+        assert_eq!(old.base, pa(4));
+        assert!(!c.contains(pa(4)));
+        assert_eq!(c.invalidate(pa(4)), None);
+    }
+
+    #[test]
+    fn occupancy_and_iter() {
+        let mut c = dm_16w_4l();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(pa(0));
+        c.fill(pa(4));
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.iter().count(), 2);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn subblock_mask_full_on_fill() {
+        let mut c = CacheArray::new(CacheGeometry::new(64, 32, 1).expect("valid"));
+        c.fill(pa(0));
+        assert_eq!(c.peek(pa(0)).expect("resident").subblock_valid, u32::MAX);
+        let mut c4 = dm_16w_4l();
+        c4.fill(pa(0));
+        assert_eq!(c4.peek(pa(0)).expect("resident").subblock_valid, 0b1111);
+    }
+
+    #[test]
+    fn touch_updates_mru_only_on_hit() {
+        let mut c = dm_16w_4l();
+        assert!(c.touch(pa(0)).is_none());
+        c.fill(pa(0));
+        assert!(c.touch(pa(0)).is_some());
+    }
+
+    #[test]
+    fn geometry_error_display() {
+        let e = CacheGeometry::new(0, 4, 1).unwrap_err();
+        assert!(e.to_string().contains("invalid cache geometry"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Translation-lookaside buffers (§2 of the paper).
+//!
+//! The MMU chip holds a 2-way set-associative, 32-entry instruction TLB and
+//! a 2-way set-associative, 64-entry data TLB. Entries are tagged with the
+//! 8-bit PID, so — like the caches — the TLBs are never flushed on a
+//! context switch (§3, \[Aga88\]).
+//!
+//! The paper does not charge cycles for TLB misses (tag lookup proceeds in
+//! parallel with translation thanks to the page-size-bounded L1 index), so
+//! the simulator defaults the TLB miss penalty to zero; the structure is
+//! still simulated faithfully and its miss counts are reported.
+
+use gaas_trace::{Pid, VirtAddr};
+
+/// A PID-tagged, set-associative TLB with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_cache::Tlb;
+/// use gaas_trace::{Pid, VirtAddr, PAGE_WORDS};
+///
+/// let mut dtlb = Tlb::data(); // 2-way, 64 entries
+/// let page = VirtAddr::new(Pid::new(3), 7 * PAGE_WORDS);
+/// assert!(!dtlb.access(page), "first touch misses and installs");
+/// assert!(dtlb.access(page), "re-translation hits");
+/// assert_eq!(dtlb.misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    n_sets: u64,
+    assoc: u32,
+    /// `(pid, vpn, lru)` per way; `None` = invalid.
+    entries: Vec<Option<(u8, u64, u64)>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `assoc` with a
+    /// power-of-two set count, or `assoc` is zero.
+    pub fn new(entries: u32, assoc: u32) -> Self {
+        assert!(assoc > 0, "associativity must be positive");
+        assert!(entries > 0 && entries % assoc == 0, "entries must divide by ways");
+        let n_sets = (entries / assoc) as u64;
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Tlb {
+            n_sets,
+            assoc,
+            entries: vec![None; entries as usize],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The instruction TLB of the paper: 2-way, 32 entries.
+    pub fn instruction() -> Self {
+        Tlb::new(32, 2)
+    }
+
+    /// The data TLB of the paper: 2-way, 64 entries.
+    pub fn data() -> Self {
+        Tlb::new(64, 2)
+    }
+
+    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
+        let set = (vpn & (self.n_sets - 1)) as usize;
+        let a = self.assoc as usize;
+        set * a..set * a + a
+    }
+
+    /// Translates `(pid, vpn)`; returns `true` on a hit. On a miss the
+    /// mapping is installed, evicting the set's LRU entry.
+    pub fn access(&mut self, addr: VirtAddr) -> bool {
+        let (pid, vpn) = (addr.pid().raw(), addr.vpn());
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(vpn);
+
+        for i in range.clone() {
+            if let Some((p, v, ref mut lru)) = self.entries[i] {
+                if p == pid && v == vpn {
+                    *lru = clock;
+                    self.hits += 1;
+                    return true;
+                }
+            }
+        }
+        self.misses += 1;
+        let victim = range
+            .clone()
+            .find(|&i| self.entries[i].is_none())
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.entries[i].map_or(0, |(_, _, lru)| lru))
+                    .expect("set has at least one way")
+            });
+        self.entries[victim] = Some((pid, vpn, clock));
+        false
+    }
+
+    /// True when `(pid, vpn)` is currently mapped (no state change).
+    pub fn contains(&self, pid: Pid, vpn: u64) -> bool {
+        self.set_range(vpn)
+            .any(|i| matches!(self.entries[i], Some((p, v, _)) if p == pid.raw() && v == vpn))
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio over all accesses (0 when unused).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaas_trace::PAGE_WORDS;
+
+    fn va(pid: u8, vpn: u64) -> VirtAddr {
+        VirtAddr::new(Pid::new(pid), vpn * PAGE_WORDS)
+    }
+
+    #[test]
+    fn paper_configurations() {
+        let i = Tlb::instruction();
+        assert_eq!(i.n_sets, 16);
+        let d = Tlb::data();
+        assert_eq!(d.n_sets, 32);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut t = Tlb::instruction();
+        assert!(!t.access(va(0, 5)));
+        assert!(t.access(va(0, 5)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+        assert!((t.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pid_distinguishes_identical_vpns() {
+        let mut t = Tlb::instruction();
+        t.access(va(1, 5));
+        assert!(!t.access(va(2, 5)), "same vpn, different PID misses");
+        assert!(t.access(va(1, 5)), "both coexist (2-way set)");
+        assert!(t.access(va(2, 5)));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut t = Tlb::new(4, 2); // 2 sets x 2 ways
+        // Three vpns mapping to set 0 (vpn % 2 == 0): 0, 2, 4.
+        t.access(va(0, 0));
+        t.access(va(0, 2));
+        t.access(va(0, 0)); // make vpn 0 MRU
+        t.access(va(0, 4)); // evicts vpn 2
+        assert!(t.contains(Pid::new(0), 0));
+        assert!(!t.contains(Pid::new(0), 2));
+        assert!(t.contains(Pid::new(0), 4));
+    }
+
+    #[test]
+    fn no_flush_across_pids_preserves_entries() {
+        let mut t = Tlb::data();
+        t.access(va(1, 7));
+        // A burst from another process in other sets leaves pid1's entry.
+        for vpn in 0..8 {
+            t.access(va(2, vpn * 2 + 1)); // odd vpns -> different sets mostly
+        }
+        assert!(t.contains(Pid::new(1), 7));
+    }
+
+    #[test]
+    fn miss_ratio_zero_when_unused() {
+        assert_eq!(Tlb::instruction().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must divide")]
+    fn bad_geometry_rejected() {
+        let _ = Tlb::new(33, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = Tlb::new(24, 2); // 12 sets
+    }
+}

@@ -1,0 +1,150 @@
+//! Human-readable reports: the CPI stack of Fig. 4 and run summaries.
+
+use std::fmt::Write as _;
+
+use gaas_mcm::CPU_CYCLE_NS;
+
+use crate::sim::SimResult;
+
+/// Renders the Fig. 4-style CPI stack for a run: one row per component,
+/// bottom of the stack first.
+pub fn cpi_stack(result: &SimResult) -> String {
+    let b = result.breakdown();
+    let mut out = String::new();
+    let _ = writeln!(out, "CPI stack ({} instructions):", result.counters.instructions);
+    for (label, value) in b.components() {
+        if value > 0.0 {
+            let _ = writeln!(out, "  {label:<12} {value:>7.4}");
+        }
+    }
+    let _ = writeln!(out, "  {:<12} {:>7.4}", "TOTAL", b.total());
+    let _ = writeln!(out, "  {:<12} {:>7.4}", "memory CPI", b.memory_cpi());
+    out
+}
+
+/// Renders a one-paragraph run summary: CPI, miss ratios, switches, and
+/// wall-clock-equivalent time at the 250 MHz target.
+pub fn summary(result: &SimResult) -> String {
+    let c = &result.counters;
+    let cycles = result.cycles();
+    let ms = cycles as f64 * CPU_CYCLE_NS / 1e6;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} instructions, {} cycles ({ms:.2} ms at 250 MHz), CPI {:.4}",
+        c.instructions,
+        cycles,
+        result.cpi()
+    );
+    let _ = writeln!(
+        out,
+        "  L1-I miss {:.4}  L1-D miss {:.4}  L2 miss {:.4} (I {:.4} / D {:.4})",
+        c.l1i_miss_ratio(),
+        c.l1d_miss_ratio(),
+        c.l2_miss_ratio(),
+        c.l2i_miss_ratio(),
+        c.l2d_miss_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "  switches: {} syscall + {} slice; drains: {} ({} L2 misses, {:.1}% L2-D port occupancy)",
+        c.syscall_switches,
+        c.slice_switches,
+        c.l2_drain_writes,
+        c.l2_drain_misses,
+        100.0 * c.l2_drain_utilization()
+    );
+    out
+}
+
+/// Renders a side-by-side comparison of two runs (e.g. before/after an
+/// optimization step): per-component CPI with deltas.
+pub fn compare(label_a: &str, a: &SimResult, label_b: &str, b: &SimResult) -> String {
+    let (ba, bb) = (a.breakdown(), b.breakdown());
+    let mut out = String::new();
+    let _ = writeln!(out, "CPI comparison: {label_a} vs {label_b}");
+    let _ = writeln!(out, "  {:<12} {:>9} {:>9} {:>9}", "component", label_a, label_b, "delta");
+    for ((label, va), (_, vb)) in ba.components().into_iter().zip(bb.components()) {
+        if va > 0.0 || vb > 0.0 {
+            let _ = writeln!(out, "  {label:<12} {va:>9.4} {vb:>9.4} {:>+9.4}", vb - va);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>9.4} {:>9.4} {:>+9.4}",
+        "TOTAL",
+        ba.total(),
+        bb.total(),
+        bb.total() - ba.total()
+    );
+    out
+}
+
+/// Renders the per-process (per-benchmark) statistics of a run.
+pub fn per_process(result: &SimResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "per-process statistics:");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:>12} {:>7} {:>9} {:>9}",
+        "pid", "instructions", "CPI", "L1-I miss", "L1-D miss"
+    );
+    for (pid, p) in &result.per_process {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:>12} {:>7.3} {:>9.4} {:>9.4}",
+            pid.to_string(),
+            p.instructions,
+            p.cpi(),
+            p.l1i_miss_ratio(),
+            p.l1d_miss_ratio()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::sim::run;
+    use gaas_trace::{Pid, TraceEvent, VecTrace, VirtAddr};
+
+    fn result() -> SimResult {
+        let evs = (0..100)
+            .map(|i| TraceEvent::ifetch(VirtAddr::new(Pid::new(0), i % 32), 1))
+            .collect();
+        run(SimConfig::baseline(), vec![Box::new(VecTrace::new("t", evs))]).expect("valid")
+    }
+
+    #[test]
+    fn stack_lists_total_and_components() {
+        let s = cpi_stack(&result());
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("base+stalls"));
+        assert!(s.contains("memory CPI"));
+    }
+
+    #[test]
+    fn summary_mentions_cpi_and_misses() {
+        let s = summary(&result());
+        assert!(s.contains("CPI"));
+        assert!(s.contains("L1-I miss"));
+        assert!(s.contains("switches"));
+    }
+
+    #[test]
+    fn compare_shows_deltas() {
+        let r = result();
+        let s = compare("a", &r, "b", &r);
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("+0.0000"), "identical runs have zero deltas");
+    }
+
+    #[test]
+    fn per_process_lists_pids() {
+        let s = per_process(&result());
+        assert!(s.contains("pid0"));
+        assert!(s.contains("instructions"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Multiprogramming scheduler (§3).
+//!
+//! Replicates the paper's simulation discipline: up to `level` processes are
+//! resident at once (the file-descriptor multiplexor of §3), scheduled
+//! round-robin. A context switch is taken whenever the running process
+//! executes a voluntary system call, or when its time slice expires. When a
+//! benchmark terminates, the next benchmark in order is started; simulation
+//! continues until all benchmarks have terminated.
+//!
+//! The scheduler hands the simulator one *instruction* at a time: the
+//! instruction-fetch event plus the data event it carries (generators emit
+//! the data reference immediately after its instruction), so context
+//! switches never split an instruction from its data access.
+
+use std::collections::VecDeque;
+use std::iter::Peekable;
+
+use gaas_trace::{AccessKind, Trace, TraceEvent};
+
+struct Process {
+    name: String,
+    events: Peekable<Box<dyn Trace>>,
+}
+
+/// One instruction as delivered to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// The instruction-fetch event.
+    pub ifetch: TraceEvent,
+    /// The accompanying data reference, when the instruction is a
+    /// load/store.
+    pub data: Option<TraceEvent>,
+}
+
+/// Round-robin multiprogramming scheduler over a set of traces.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_sim::sched::Scheduler;
+/// use gaas_trace::{Pid, Trace, TraceEvent, VecTrace, VirtAddr};
+///
+/// let t = VecTrace::new("demo", vec![
+///     TraceEvent::ifetch(VirtAddr::new(Pid::new(0), 0), 0),
+/// ]);
+/// let mut sched = Scheduler::new(vec![Box::new(t) as Box<dyn Trace>], 8, 500_000);
+/// let instr = sched.next_instruction(0).expect("one instruction");
+/// assert!(instr.data.is_none());
+/// sched.post_instruction(1, false);
+/// assert!(sched.next_instruction(1).is_none(), "workload exhausted");
+/// ```
+pub struct Scheduler {
+    procs: Vec<Option<Process>>,
+    run_queue: VecDeque<usize>,
+    waiting: VecDeque<usize>,
+    current: Option<usize>,
+    slice_cycles: u64,
+    slice_end: u64,
+    syscall_switches: u64,
+    slice_switches: u64,
+    completed: Vec<String>,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `traces` with at most `level` resident
+    /// processes and the given time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    pub fn new(traces: Vec<Box<dyn Trace>>, level: usize, slice_cycles: u64) -> Self {
+        assert!(level > 0, "multiprogramming level must be positive");
+        let procs: Vec<Option<Process>> = traces
+            .into_iter()
+            .map(|t| Some(Process { name: t.name().to_string(), events: t.peekable() }))
+            .collect();
+        let mut run_queue = VecDeque::new();
+        let mut waiting = VecDeque::new();
+        for i in 0..procs.len() {
+            if i < level {
+                run_queue.push_back(i);
+            } else {
+                waiting.push_back(i);
+            }
+        }
+        Scheduler {
+            procs,
+            run_queue,
+            waiting,
+            current: None,
+            slice_cycles,
+            slice_end: 0,
+            syscall_switches: 0,
+            slice_switches: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Name of the process that would run next (for reports/tests).
+    pub fn current_name(&self) -> Option<&str> {
+        self.current
+            .and_then(|i| self.procs[i].as_ref())
+            .map(|p| p.name.as_str())
+    }
+
+    /// Voluntary-syscall context switches taken so far.
+    pub fn syscall_switches(&self) -> u64 {
+        self.syscall_switches
+    }
+
+    /// Time-slice context switches taken so far.
+    pub fn slice_switches(&self) -> u64 {
+        self.slice_switches
+    }
+
+    /// Names of benchmarks that have terminated, in completion order.
+    pub fn completed(&self) -> &[String] {
+        &self.completed
+    }
+
+    /// Delivers the next instruction at cycle `now`, or `None` when every
+    /// benchmark has terminated.
+    pub fn next_instruction(&mut self, now: u64) -> Option<Instruction> {
+        loop {
+            // Ensure a current process.
+            let idx = match self.current {
+                Some(i) => i,
+                None => {
+                    let i = self.run_queue.pop_front()?;
+                    self.current = Some(i);
+                    self.slice_end = now + self.slice_cycles;
+                    i
+                }
+            };
+
+            let proc = self.procs[idx].as_mut().expect("scheduled process exists");
+            match proc.events.next() {
+                Some(ifetch) => {
+                    debug_assert_eq!(ifetch.kind, AccessKind::IFetch, "traces start instructions with a fetch");
+                    let data = match proc.events.peek() {
+                        Some(ev) if ev.kind.is_data() => proc.events.next(),
+                        _ => None,
+                    };
+                    return Some(Instruction { ifetch, data });
+                }
+                None => {
+                    // Benchmark terminated: retire it and admit the next
+                    // waiting benchmark in order.
+                    let name = self.procs[idx].take().expect("process exists").name;
+                    self.completed.push(name);
+                    self.current = None;
+                    if let Some(next) = self.waiting.pop_front() {
+                        self.run_queue.push_back(next);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reports the completion of the current instruction at cycle `now`;
+    /// rotates the run queue on a voluntary syscall or slice expiry.
+    pub fn post_instruction(&mut self, now: u64, was_syscall: bool) {
+        let Some(idx) = self.current else { return };
+        if was_syscall {
+            self.syscall_switches += 1;
+        } else if now >= self.slice_end {
+            self.slice_switches += 1;
+        } else {
+            return;
+        }
+        self.run_queue.push_back(idx);
+        self.current = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaas_trace::{Pid, VecTrace, VirtAddr};
+
+    fn ev_i(pid: u8, w: u64) -> TraceEvent {
+        TraceEvent::ifetch(VirtAddr::new(Pid::new(pid), w), 0)
+    }
+
+    fn ev_l(pid: u8, w: u64) -> TraceEvent {
+        TraceEvent::load(VirtAddr::new(Pid::new(pid), w))
+    }
+
+    fn trace(name: &str, events: Vec<TraceEvent>) -> Box<dyn Trace> {
+        Box::new(VecTrace::new(name, events))
+    }
+
+    #[test]
+    fn delivers_instruction_with_its_data() {
+        let t = trace("a", vec![ev_i(0, 0), ev_l(0, 100), ev_i(0, 1)]);
+        let mut s = Scheduler::new(vec![t], 1, 1000);
+        let i1 = s.next_instruction(0).expect("first");
+        assert_eq!(i1.ifetch, ev_i(0, 0));
+        assert_eq!(i1.data, Some(ev_l(0, 100)));
+        let i2 = s.next_instruction(1).expect("second");
+        assert_eq!(i2.ifetch, ev_i(0, 1));
+        assert_eq!(i2.data, None);
+        assert!(s.next_instruction(2).is_none());
+        assert_eq!(s.completed(), ["a"]);
+    }
+
+    #[test]
+    fn round_robin_on_slice_expiry() {
+        let a = trace("a", vec![ev_i(0, 0), ev_i(0, 1)]);
+        let b = trace("b", vec![ev_i(1, 0), ev_i(1, 1)]);
+        let mut s = Scheduler::new(vec![a, b], 2, 10);
+        let i1 = s.next_instruction(0).expect("a first");
+        assert_eq!(i1.ifetch.addr.pid(), Pid::new(0));
+        s.post_instruction(10, false); // slice expired
+        assert_eq!(s.slice_switches(), 1);
+        let i2 = s.next_instruction(10).expect("b next");
+        assert_eq!(i2.ifetch.addr.pid(), Pid::new(1));
+    }
+
+    #[test]
+    fn syscall_forces_switch() {
+        let a = trace("a", vec![ev_i(0, 0).with_syscall(), ev_i(0, 1)]);
+        let b = trace("b", vec![ev_i(1, 0)]);
+        let mut s = Scheduler::new(vec![a, b], 2, 1_000_000);
+        let i1 = s.next_instruction(0).expect("a");
+        assert!(i1.ifetch.syscall);
+        s.post_instruction(1, true);
+        assert_eq!(s.syscall_switches(), 1);
+        let i2 = s.next_instruction(1).expect("b");
+        assert_eq!(i2.ifetch.addr.pid(), Pid::new(1));
+    }
+
+    #[test]
+    fn no_switch_within_slice() {
+        let a = trace("a", vec![ev_i(0, 0), ev_i(0, 1)]);
+        let b = trace("b", vec![ev_i(1, 0)]);
+        let mut s = Scheduler::new(vec![a, b], 2, 100);
+        s.next_instruction(0);
+        s.post_instruction(1, false);
+        let i = s.next_instruction(1).expect("still a");
+        assert_eq!(i.ifetch.addr.pid(), Pid::new(0));
+        assert_eq!(s.slice_switches(), 0);
+    }
+
+    #[test]
+    fn mp_level_admits_waiting_benchmarks_in_order() {
+        let a = trace("a", vec![ev_i(0, 0)]);
+        let b = trace("b", vec![ev_i(1, 0)]);
+        let c = trace("c", vec![ev_i(2, 0)]);
+        let mut s = Scheduler::new(vec![a, b, c], 2, 1000);
+        // Level 2: a and b resident; c waits.
+        let mut pids = Vec::new();
+        while let Some(i) = s.next_instruction(0) {
+            pids.push(i.ifetch.addr.pid().raw());
+            s.post_instruction(0, true); // force rotation each instruction
+        }
+        assert_eq!(pids, vec![0, 1, 2], "c admitted after a terminates");
+        assert_eq!(s.completed(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn all_instructions_delivered_exactly_once() {
+        let mk = |pid: u8, n: u64| {
+            trace(
+                &format!("p{pid}"),
+                (0..n).map(|w| ev_i(pid, w)).collect(),
+            )
+        };
+        let mut s = Scheduler::new(vec![mk(0, 7), mk(1, 5), mk(2, 3)], 2, 2);
+        let mut count = 0;
+        let mut now = 0;
+        while let Some(i) = s.next_instruction(now) {
+            count += 1;
+            now += 1;
+            s.post_instruction(now, i.ifetch.syscall);
+        }
+        assert_eq!(count, 15);
+        assert_eq!(s.completed().len(), 3);
+    }
+
+    #[test]
+    fn empty_workload_yields_nothing() {
+        let mut s = Scheduler::new(vec![], 4, 100);
+        assert!(s.next_instruction(0).is_none());
+    }
+
+    #[test]
+    fn empty_trace_terminates_immediately() {
+        let a = trace("empty", vec![]);
+        let b = trace("b", vec![ev_i(1, 0)]);
+        let mut s = Scheduler::new(vec![a, b], 1, 100);
+        let i = s.next_instruction(0).expect("b runs");
+        assert_eq!(i.ifetch.addr.pid(), Pid::new(1));
+        assert_eq!(s.completed(), ["empty"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be positive")]
+    fn zero_level_rejected() {
+        let _ = Scheduler::new(vec![], 0, 100);
+    }
+}

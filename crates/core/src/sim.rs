@@ -1,0 +1,864 @@
+//! The trace-driven two-level cache simulator (§3).
+//!
+//! [`Simulator`] consumes a multiprogramming workload one instruction at a
+//! time and charges cycles exactly as the paper's cycle-counting simulator
+//! does:
+//!
+//! * one issue cycle per instruction, plus the trace's annotated processor
+//!   stalls (the 1.238 base CPI);
+//! * L1 misses serviced from L2 at `access + (fetch/4 − 1)` cycles (the
+//!   4 W-wide refill path moves one 4 W beat per cycle);
+//! * L2 misses serviced from main memory at the R6020 penalties, dirty
+//!   buffer permitting;
+//! * write-policy cycle rules (§6) and write-buffer waits, with the
+//!   streaming drain model;
+//! * the §9 concurrency mechanisms (concurrent I-refill, read bypass by
+//!   associative match or dirty bit, L2-D dirty buffer).
+//!
+//! The accounting invariant `total cycles = instructions + Σ stall
+//! components` holds exactly (checked with `debug_assert!` and tests).
+
+use gaas_cache::{CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer};
+use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
+
+use crate::config::{ConfigError, L2Config, SimConfig, WbBypass};
+use crate::cpi::{Counters, ProcCounters};
+use crate::sched::Scheduler;
+
+/// Result of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The configuration that was simulated.
+    pub config: SimConfig,
+    /// Every counter the run accumulated.
+    pub counters: Counters,
+    /// Benchmarks in completion order.
+    pub completed: Vec<String>,
+    /// Per-process statistics, one entry per PID that issued events
+    /// (includes warm-up; sorted by PID).
+    pub per_process: Vec<(gaas_trace::Pid, ProcCounters)>,
+}
+
+impl SimResult {
+    /// Total cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.counters.total_cycles()
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.cycles() as f64 / self.counters.instructions as f64
+    }
+
+    /// Per-component CPI breakdown (Fig. 4).
+    pub fn breakdown(&self) -> crate::cpi::CpiBreakdown {
+        self.counters.breakdown()
+    }
+}
+
+enum L2Arrays {
+    Unified(CacheArray),
+    Split { i: CacheArray, d: CacheArray },
+}
+
+/// Size of the simulator's internal translation-lookup cache (a software
+/// accelerator, not an architectural structure).
+const TCACHE_WAYS: usize = 256;
+
+/// The trace-driven simulator for one architecture configuration.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_sim::{config::SimConfig, workload, Simulator};
+///
+/// # fn main() -> Result<(), gaas_sim::ConfigError> {
+/// let sim = Simulator::new(SimConfig::optimized())?;
+/// let result = sim.run(workload::subset(3, 1e-4));
+/// assert!(result.cpi() > 1.0);
+/// assert_eq!(result.completed.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    now: u64,
+    counters: Counters,
+
+    l1i: CacheArray,
+    l1d: L1DataCache,
+    l2: L2Arrays,
+    wb: WriteBuffer,
+    /// Memory behind L2-D (or the unified L2); carries the dirty buffer.
+    mem_d: MemorySystem,
+    /// Memory behind a split L2-I (no dirty buffer).
+    mem_i: MemorySystem,
+    itlb: Tlb,
+    dtlb: Tlb,
+    mapper: PageMapper,
+    tcache: Vec<(u64, u64)>,
+    /// Per-PID statistics (lazily grown).
+    per_proc: Vec<ProcCounters>,
+
+    /// Precomputed L1 miss service costs for an L2 hit.
+    i_hit_cost: u32,
+    d_hit_cost: u32,
+    /// L2 write access/stream occupancy for write-buffer drains.
+    d_write_access: u32,
+    d_write_stream: u32,
+}
+
+impl Simulator {
+    /// Builds a simulator for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let l1i = CacheArray::new(cfg.l1i.geometry()?);
+        let l1d = L1DataCache::new(cfg.l1d.geometry()?, cfg.policy);
+        let l2 = match cfg.l2 {
+            L2Config::Unified(s) => L2Arrays::Unified(CacheArray::new(s.geometry()?)),
+            L2Config::Split { i, d } => L2Arrays::Split {
+                i: CacheArray::new(i.geometry()?),
+                d: CacheArray::new(d.geometry()?),
+            },
+        };
+        let wb = WriteBuffer::new(cfg.write_buffer.depth);
+        let mem_d = MemorySystem::new(cfg.memory, cfg.concurrency.l2d_dirty_buffer);
+        let mem_i = MemorySystem::new(cfg.memory, false);
+
+        // Miss service from L2: the access time covers the first 4W beat;
+        // each further 4W beat of the fetch adds a cycle.
+        let beats = |line_words: u32| line_words.div_ceil(4);
+        let i_side = cfg.l2.i_side();
+        let d_side = cfg.l2.d_side();
+        let i_hit_cost = i_side.access_cycles + beats(cfg.l1i.line_words) - 1;
+        let d_hit_cost = d_side.access_cycles + beats(cfg.l1d.line_words) - 1;
+        // Drains write at the data side's access time (or the Fig. 5
+        // override); streams overlap the 2-cycle latency.
+        let d_write_access = cfg.l2_drain_access_override.unwrap_or(d_side.access_cycles);
+        let d_write_stream = d_write_access.saturating_sub(2).max(1);
+
+        let page_colors = cfg.page_colors;
+        Ok(Simulator {
+            cfg,
+            now: 0,
+            counters: Counters::new(),
+            l1i,
+            l1d,
+            l2,
+            wb,
+            mem_d,
+            mem_i,
+            itlb: Tlb::instruction(),
+            dtlb: Tlb::data(),
+            mapper: PageMapper::new(page_colors),
+            tcache: vec![(u64::MAX, 0); TCACHE_WAYS],
+            per_proc: Vec::new(),
+            i_hit_cost,
+            d_hit_cost,
+            d_write_access,
+            d_write_stream,
+        })
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Instruction-TLB state (for reports).
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// Data-TLB state (for reports).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Runs a multiprogramming workload to completion and returns the
+    /// accumulated result.
+    pub fn run(self, traces: Vec<Box<dyn Trace>>) -> SimResult {
+        self.run_warmed(traces, 0)
+    }
+
+    /// Runs a workload, discarding the statistics of the first
+    /// `warmup_instructions` instructions (the caches stay warm; only the
+    /// counters reset). Long-trace hygiene per \[BKW90\]: without warm-up,
+    /// compulsory misses dominate L2 statistics on scaled-down traces.
+    pub fn run_warmed(self, traces: Vec<Box<dyn Trace>>, warmup_instructions: u64) -> SimResult {
+        self.run_sampled(traces, warmup_instructions, 0).0
+    }
+
+    /// Like [`Simulator::run_warmed`], additionally returning windowed
+    /// counter snapshots every `window_instructions` instructions
+    /// (0 disables sampling). Each returned element is the counter *delta*
+    /// over one window — a time-series view of the run (warm-up
+    /// transients, context-switch beats).
+    pub fn run_sampled(
+        mut self,
+        traces: Vec<Box<dyn Trace>>,
+        warmup_instructions: u64,
+        window_instructions: u64,
+    ) -> (SimResult, Vec<Counters>) {
+        let mut sched = Scheduler::new(traces, self.cfg.mp.level, self.cfg.mp.time_slice_cycles);
+        let mut warm_snapshot: Option<Counters> = None;
+        let mut windows = Vec::new();
+        let mut window_start = Counters::new();
+        let mut next_window = window_instructions;
+        while let Some(instr) = sched.next_instruction(self.now) {
+            self.step_ifetch(&instr.ifetch);
+            if let Some(data) = instr.data {
+                self.step_data(&data);
+            }
+            sched.post_instruction(self.now, instr.ifetch.syscall);
+            if warmup_instructions > 0
+                && warm_snapshot.is_none()
+                && self.counters.instructions >= warmup_instructions
+            {
+                warm_snapshot = Some(self.counters);
+            }
+            if window_instructions > 0 && self.counters.instructions >= next_window {
+                windows.push(self.counters.since(&window_start));
+                window_start = self.counters;
+                next_window += window_instructions;
+            }
+        }
+        self.counters.syscall_switches = sched.syscall_switches();
+        self.counters.slice_switches = sched.slice_switches();
+        debug_assert_eq!(
+            self.now,
+            self.counters.total_cycles(),
+            "cycle accounting must balance"
+        );
+        // The warm-up snapshot predates the end-of-run switch counts (they
+        // are zero mid-run), so the delta keeps the full-run switch totals.
+        let counters = match warm_snapshot {
+            Some(snap) => self.counters.since(&snap),
+            None => self.counters,
+        };
+        let per_process = self
+            .per_proc
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.instructions > 0 || p.loads > 0 || p.stores > 0)
+            .map(|(i, p)| (gaas_trace::Pid::new(i as u8), *p))
+            .collect();
+        let result = SimResult {
+            config: self.cfg.clone(),
+            counters,
+            completed: sched.completed().to_vec(),
+            per_process,
+        };
+        (result, windows)
+    }
+
+    /// Processes a single event outside a scheduled workload (single-process
+    /// unit testing and calibration).
+    pub fn step(&mut self, ev: &TraceEvent) {
+        match ev.kind {
+            AccessKind::IFetch => self.step_ifetch(ev),
+            AccessKind::Load | AccessKind::Store => self.step_data(ev),
+        }
+    }
+
+    fn proc_entry(&mut self, pid: gaas_trace::Pid) -> &mut ProcCounters {
+        let idx = pid.raw() as usize;
+        if self.per_proc.len() <= idx {
+            self.per_proc.resize(idx + 1, ProcCounters::default());
+        }
+        &mut self.per_proc[idx]
+    }
+
+    fn translate(&mut self, addr: VirtAddr) -> PhysAddr {
+        let key = addr.raw() >> PAGE_SHIFT;
+        let idx = (key as usize) & (TCACHE_WAYS - 1);
+        let (k, ppn) = self.tcache[idx];
+        if k == key {
+            return PhysAddr::new((ppn << PAGE_SHIFT) | addr.page_offset());
+        }
+        let p = self.mapper.translate(addr);
+        self.tcache[idx] = (key, p.ppn());
+        p
+    }
+
+    // ---- L2 helpers ----
+
+    fn l2_touch_i(&mut self, addr: PhysAddr) -> bool {
+        match &mut self.l2 {
+            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => a.touch(addr).is_some(),
+        }
+    }
+
+    fn l2_touch_d(&mut self, addr: PhysAddr) -> bool {
+        match &mut self.l2 {
+            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => a.touch(addr).is_some(),
+        }
+    }
+
+    /// Fills the instruction side of L2; returns whether the victim was
+    /// dirty.
+    fn l2_fill_i(&mut self, addr: PhysAddr) -> bool {
+        match &mut self.l2 {
+            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => {
+                a.fill(addr).is_some_and(|e| e.dirty)
+            }
+        }
+    }
+
+    fn l2_fill_d(&mut self, addr: PhysAddr) -> bool {
+        match &mut self.l2 {
+            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => {
+                a.fill(addr).is_some_and(|e| e.dirty)
+            }
+        }
+    }
+
+    /// Marks the data-side line for `addr` dirty (after a drain write).
+    fn l2_dirty_d(&mut self, addr: PhysAddr) {
+        let (L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. }) = &mut self.l2;
+        if let Some(line) = a.touch(addr) {
+            line.dirty = true;
+        }
+    }
+
+    /// Services an instruction-side L1 miss starting at `start`; returns
+    /// total stall cycles, with components attributed.
+    fn service_i_miss(&mut self, start: u64, paddr: PhysAddr) -> u64 {
+        self.counters.l2i_accesses += 1;
+        let hit_cost = self.i_hit_cost as u64;
+        if self.l2_touch_i(paddr) {
+            self.counters.l1i_miss_cycles += hit_cost;
+            self.l1i.fill(paddr);
+            return hit_cost;
+        }
+        self.counters.l2i_misses += 1;
+        let dirty_victim = self.l2_fill_i(paddr);
+        let svc = if self.cfg.l2.is_split() {
+            self.mem_i.service_miss(start, dirty_victim)
+        } else {
+            self.mem_d.service_miss(start, dirty_victim)
+        };
+        // Attribute up to the L2-hit-equivalent cost to the L1 component and
+        // the excess to the L2 component. An exotic configuration can make
+        // the memory penalty smaller than the hit cost; clamp so the
+        // components still sum to the charged stall.
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters.l1i_miss_cycles += l1_share;
+        self.counters.l2i_miss_cycles += service - l1_share;
+        self.counters.dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        self.l1i.fill(paddr);
+        svc.stall_cycles
+    }
+
+    /// Services a data-side L1 miss (read or write-allocate) starting at
+    /// `start`; returns total stall cycles.
+    fn service_d_miss(&mut self, start: u64, line_base: PhysAddr) -> u64 {
+        self.counters.l2d_accesses += 1;
+        let hit_cost = self.d_hit_cost as u64;
+        if self.l2_touch_d(line_base) {
+            self.counters.l1d_miss_cycles += hit_cost;
+            return hit_cost;
+        }
+        self.counters.l2d_misses += 1;
+        let dirty_victim = self.l2_fill_d(line_base);
+        let svc = self.mem_d.service_miss(start, dirty_victim);
+        // Same clamped attribution as the instruction side.
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters.l1d_miss_cycles += l1_share;
+        self.counters.l2d_miss_cycles += service - l1_share;
+        self.counters.dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        svc.stall_cycles
+    }
+
+    /// Write-buffer wait (in cycles, attributed) that an L1-D miss must
+    /// take before its L2 fetch, per the configured bypass scheme.
+    fn wb_wait_for_d_miss(&mut self, start: u64, line_base: PhysAddr, replaced_written: bool) -> u64 {
+        let line_words = self.cfg.l1d.line_words;
+        let until = match self.cfg.concurrency.d_read_bypass {
+            WbBypass::Wait => self.wb.empty_at(start),
+            WbBypass::DirtyBit => {
+                if replaced_written {
+                    self.wb.empty_at(start)
+                } else {
+                    start
+                }
+            }
+            WbBypass::Associative => self
+                .wb
+                .match_line(start, line_base, line_words)
+                .map_or(start, |t| t.max(start)),
+        };
+        let wait = until - start;
+        self.counters.wb_wait_cycles += wait;
+        wait
+    }
+
+    /// Enqueues a write into the write buffer at `start`, stalling for a
+    /// slot if the buffer is full. Returns the stall (attributed to WB).
+    fn enqueue_write(&mut self, start: u64, addr: PhysAddr) -> u64 {
+        let free_at = self.wb.slot_free_at(start);
+        let stall = free_at - start;
+        self.counters.wb_wait_cycles += stall;
+        let enq_time = free_at;
+        // The drain's cost depends on whether it hits in L2-D.
+        let extra = self.drain_l2_penalty(addr);
+        let busy_from = enq_time.max(self.wb.last_completion());
+        let completes =
+            self.wb.enqueue(enq_time, addr, self.d_write_access, self.d_write_stream, extra);
+        self.counters.l2_drain_busy_cycles += completes - busy_from;
+        stall
+    }
+
+    /// Models the L2 side of one drained write; returns the extra drain
+    /// occupancy when the write misses L2 (write-allocate from memory).
+    fn drain_l2_penalty(&mut self, addr: PhysAddr) -> u32 {
+        self.counters.l2_drain_writes += 1;
+        if self.l2_touch_d(addr) {
+            self.l2_dirty_d(addr);
+            return 0;
+        }
+        self.counters.l2_drain_misses += 1;
+        let dirty_victim = self.l2_fill_d(addr);
+        self.l2_dirty_d(addr);
+        // The drain stalls the buffer, not the CPU, and does not compete
+        // for the dirty buffer: fold the raw penalty into the entry's
+        // occupancy.
+        self.mem_d.service_miss_raw(dirty_victim).stall_cycles as u32
+    }
+
+    fn step_ifetch(&mut self, ev: &TraceEvent) {
+        let mut cycles = 1 + ev.stall_cycles as u64;
+        let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
+        let mut missed = false;
+        self.counters.instructions += 1;
+        self.counters.cpu_stall_cycles += ev.stall_cycles as u64;
+
+        if !self.itlb.access(ev.addr) {
+            self.counters.itlb_misses += 1;
+            let p = self.cfg.tlb_miss_penalty as u64;
+            self.counters.tlb_miss_cycles += p;
+            cycles += p;
+        }
+        let paddr = self.translate(ev.addr);
+
+        if self.l1i.touch(paddr).is_none() {
+            self.counters.l1i_misses += 1;
+            missed = true;
+            let mut t = self.now + cycles;
+            // Base rule: instruction misses wait for the write buffer to
+            // empty (keeps the unified L2 consistent). The §9 concurrent
+            // refill drops this when L2 is split.
+            if !self.cfg.concurrency.concurrent_i_refill {
+                let empty = self.wb.empty_at(t);
+                let wait = empty - t;
+                self.counters.wb_wait_cycles += wait;
+                cycles += wait;
+                t = empty;
+            }
+            cycles += self.service_i_miss(t, paddr);
+        }
+        self.now += cycles;
+
+        let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
+        let p = self.proc_entry(ev.addr.pid());
+        p.instructions += 1;
+        p.cycles += cycles;
+        if missed {
+            p.l1i_misses += 1;
+        }
+        p.l2_misses += l2_after - l2_before;
+    }
+
+    fn step_data(&mut self, ev: &TraceEvent) {
+        match ev.kind {
+            AccessKind::Load => self.step_load(ev),
+            AccessKind::Store => self.step_store(ev),
+            AccessKind::IFetch => unreachable!("data step on a fetch"),
+        }
+    }
+
+    fn step_load(&mut self, ev: &TraceEvent) {
+        let mut cycles = 0u64;
+        let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
+        self.counters.loads += 1;
+        if !self.dtlb.access(ev.addr) {
+            self.counters.dtlb_misses += 1;
+            let p = self.cfg.tlb_miss_penalty as u64;
+            self.counters.tlb_miss_cycles += p;
+            cycles += p;
+        }
+        let paddr = self.translate(ev.addr);
+
+        let outcome = self.l1d.load(paddr);
+        if !outcome.hit {
+            self.counters.l1d_read_misses += 1;
+            let line_base = outcome.fetch.expect("miss implies fetch");
+            let mut t = self.now + cycles;
+            // Wait on *previously pending* writes per the bypass rule; the
+            // victim this very miss displaces drains in the background
+            // while the refill proceeds (that is what the buffer is for).
+            let wait = self.wb_wait_for_d_miss(t, line_base, outcome.replaced_written_line);
+            cycles += wait;
+            t += wait;
+            if let Some(victim) = outcome.writeback_victim {
+                let stall = self.enqueue_write(t, victim);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d_miss(t, line_base);
+        }
+        self.now += cycles;
+
+        let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
+        let hit = outcome.hit;
+        let p = self.proc_entry(ev.addr.pid());
+        p.loads += 1;
+        p.cycles += cycles;
+        if !hit {
+            p.l1d_misses += 1;
+        }
+        p.l2_misses += l2_after - l2_before;
+    }
+
+    fn step_store(&mut self, ev: &TraceEvent) {
+        let mut cycles = 0u64;
+        let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
+        self.counters.stores += 1;
+        if !self.dtlb.access(ev.addr) {
+            self.counters.dtlb_misses += 1;
+            let p = self.cfg.tlb_miss_penalty as u64;
+            self.counters.tlb_miss_cycles += p;
+            cycles += p;
+        }
+        let paddr = self.translate(ev.addr);
+
+        let outcome = self.l1d.store(paddr, ev.partial_word);
+        if !outcome.hit {
+            self.counters.l1d_write_misses += 1;
+        }
+        if outcome.extra_cycle {
+            self.counters.l1_write_cycles += 1;
+            cycles += 1;
+        }
+        let mut t = self.now + cycles;
+
+        // Write-through: the word enters the write buffer.
+        if let Some(word) = outcome.wb_word {
+            let stall = self.enqueue_write(t, word);
+            cycles += stall;
+            t += stall;
+        }
+        // Write-back allocate: the fetch behaves like a read miss — it
+        // waits on previously pending writes, while the victim this miss
+        // displaces drains in the background during the refill.
+        if let Some(line_base) = outcome.fetch {
+            let wait = self.wb_wait_for_d_miss(t, line_base, outcome.replaced_written_line);
+            cycles += wait;
+            t += wait;
+            if let Some(victim) = outcome.writeback_victim {
+                let stall = self.enqueue_write(t, victim);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d_miss(t, line_base);
+        } else if let Some(victim) = outcome.writeback_victim {
+            let stall = self.enqueue_write(t, victim);
+            cycles += stall;
+        }
+        self.now += cycles;
+
+        let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
+        let hit = outcome.hit;
+        let p = self.proc_entry(ev.addr.pid());
+        p.stores += 1;
+        p.cycles += cycles;
+        if !hit {
+            p.l1d_misses += 1;
+        }
+        p.l2_misses += l2_after - l2_before;
+    }
+}
+
+/// Convenience: builds a simulator for `cfg` and runs `traces`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the configuration is invalid.
+pub fn run(cfg: SimConfig, traces: Vec<Box<dyn Trace>>) -> Result<SimResult, ConfigError> {
+    Ok(Simulator::new(cfg)?.run(traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaas_cache::WritePolicy;
+    use gaas_trace::{Pid, VecTrace};
+
+    fn va(w: u64) -> VirtAddr {
+        VirtAddr::new(Pid::new(0), w)
+    }
+
+    fn run_events(cfg: SimConfig, events: Vec<TraceEvent>) -> SimResult {
+        run(cfg, vec![Box::new(VecTrace::new("t", events))]).expect("valid config")
+    }
+
+    fn fetch_heavy(n: u64) -> Vec<TraceEvent> {
+        (0..n).map(|i| TraceEvent::ifetch(va(i % 64), 0)).collect()
+    }
+
+    #[test]
+    fn single_hit_instruction_costs_one_cycle() {
+        // Two fetches of the same line: first misses, second hits.
+        let r = run_events(
+            SimConfig::baseline(),
+            vec![TraceEvent::ifetch(va(0), 0), TraceEvent::ifetch(va(1), 0)],
+        );
+        assert_eq!(r.counters.instructions, 2);
+        assert_eq!(r.counters.l1i_misses, 1);
+        // Cold L1 miss -> cold L2 miss: 143 cycles total, split 6 + 137.
+        assert_eq!(r.counters.l1i_miss_cycles, 6);
+        assert_eq!(r.counters.l2i_miss_cycles, 137);
+        assert_eq!(r.cycles(), 2 + 143);
+    }
+
+    #[test]
+    fn l2_hit_costs_access_time() {
+        // Touch line 0, evict it from L1 via conflicting fetches, re-touch:
+        // second access to line 0 hits L2 (6 cycles), not memory.
+        let l1_words = 4096;
+        let evs = vec![
+            TraceEvent::ifetch(va(0), 0),            // cold: 143
+            TraceEvent::ifetch(va(l1_words), 0),     // conflicts in L1, cold L2: 143
+            TraceEvent::ifetch(va(0), 0),            // L1 miss, L2 hit: 6
+        ];
+        let r = run_events(SimConfig::baseline(), evs);
+        assert_eq!(r.counters.l1i_misses, 3);
+        assert_eq!(r.counters.l2i_misses, 2);
+        assert_eq!(r.cycles(), 3 + 143 + 143 + 6);
+    }
+
+    #[test]
+    fn cpu_stalls_accumulate() {
+        let evs = vec![TraceEvent::ifetch(va(0), 3), TraceEvent::ifetch(va(1), 2)];
+        let r = run_events(SimConfig::baseline(), evs);
+        assert_eq!(r.counters.cpu_stall_cycles, 5);
+        assert_eq!(r.cycles(), 2 + 5 + 143);
+    }
+
+    #[test]
+    fn write_back_store_hit_costs_extra_cycle() {
+        let mut evs = fetch_heavy(1);
+        evs.push(TraceEvent::load(va(0x10000))); // allocate the line (cold miss)
+        evs.push(TraceEvent::ifetch(va(1), 0));
+        evs.push(TraceEvent::store(va(0x10000))); // write hit: 2 cycles
+        let r = run_events(SimConfig::baseline(), evs);
+        assert_eq!(r.counters.l1_write_cycles, 1);
+        assert_eq!(r.counters.l1d_write_misses, 0);
+    }
+
+    #[test]
+    fn write_through_store_miss_costs_extra_cycle_and_streams() {
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::WriteOnly);
+        let cfg = b.build().expect("valid");
+        let evs = vec![
+            TraceEvent::ifetch(va(0), 0),
+            TraceEvent::store(va(0x10000)), // write miss: tag update, 2 cycles
+            TraceEvent::ifetch(va(1), 0),
+            TraceEvent::store(va(0x10001)), // write-only hit: 1 cycle
+        ];
+        let r = run_events(cfg, evs);
+        assert_eq!(r.counters.l1d_write_misses, 1);
+        assert_eq!(r.counters.l1_write_cycles, 1, "only the miss pays the extra cycle");
+        assert_eq!(r.counters.l2_drain_writes, 2, "both words stream to L2");
+    }
+
+    #[test]
+    fn i_miss_waits_for_write_buffer_in_base() {
+        // Pending write-buffer words make the next instruction miss wait
+        // (base rule: both primary caches wait for WB-empty).
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::WriteOnly);
+        let cfg = b.build().expect("valid");
+        // Warm one line, then issue store hits back-to-back (1 cycle each,
+        // drains take 6), then take an I-miss while words are in flight.
+        let mut evs = vec![
+            TraceEvent::ifetch(va(0), 0),
+            TraceEvent::store(va(0x10000)), // miss: adopts the line
+        ];
+        for i in 0..4 {
+            evs.push(TraceEvent::ifetch(va(1), 0));
+            evs.push(TraceEvent::store(va(0x10000 + 1 + i)));
+        }
+        let mut no_stores = vec![TraceEvent::ifetch(va(0), 0)];
+        no_stores.push(TraceEvent::ifetch(va(0x20000), 0)); // I miss
+        evs.push(TraceEvent::ifetch(va(0x20000), 0)); // I miss behind drains
+        let r_with = run_events(cfg.clone(), evs);
+        let r_without = run_events(cfg.clone(), no_stores);
+        assert!(
+            r_with.counters.wb_wait_cycles > r_without.counters.wb_wait_cycles,
+            "pending drains must stall the I-miss: {} vs {}",
+            r_with.counters.wb_wait_cycles,
+            r_without.counters.wb_wait_cycles
+        );
+    }
+
+    #[test]
+    fn accounting_balances_for_random_workload() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut evs = Vec::new();
+        for _ in 0..20_000 {
+            evs.push(TraceEvent::ifetch(va(rng.gen_range(0..8192)), rng.gen_range(0..3)));
+            match rng.gen_range(0..4) {
+                0 => evs.push(TraceEvent::load(va(0x100000 + rng.gen_range(0..65536)))),
+                1 => evs.push(TraceEvent::store(va(0x100000 + rng.gen_range(0..65536)))),
+                _ => {}
+            }
+        }
+        for policy in WritePolicy::all() {
+            let mut b = SimConfig::builder();
+            b.policy(policy);
+            let r = run_events(b.build().expect("valid"), evs.clone());
+            // run() debug-asserts now == total_cycles; double-check the
+            // breakdown sums too.
+            let b = r.breakdown();
+            assert!(
+                (b.total() - r.cpi()).abs() < 1e-9,
+                "{policy:?}: breakdown {} vs cpi {}",
+                b.total(),
+                r.cpi()
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_config_runs_and_balances() {
+        let evs = fetch_heavy(5_000)
+            .into_iter()
+            .flat_map(|f| {
+                vec![f, TraceEvent::store(va(0x100000 + (f.addr.word() * 7) % 4096))]
+            })
+            .collect::<Vec<_>>();
+        let r = run_events(SimConfig::optimized(), evs);
+        assert!(r.cpi() >= 1.0);
+        let b = r.breakdown();
+        assert!((b.total() - r.cpi()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_buffer_reduces_dirty_miss_cost() {
+        // Construct a workload with heavy dirty L2 traffic: write-back
+        // policy, stores marching over a large footprint with conflicting
+        // re-reads.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut evs = Vec::new();
+        for _ in 0..30_000 {
+            evs.push(TraceEvent::ifetch(va(rng.gen_range(0..256)), 0));
+            // Large stride to generate L2 misses with dirty victims.
+            evs.push(TraceEvent::store(va(0x100000 + rng.gen_range(0..2_000_000))));
+        }
+        let base = run_events(SimConfig::baseline(), evs.clone());
+        let mut b = SimConfig::builder();
+        b.concurrency(crate::config::ConcurrencyConfig {
+            l2d_dirty_buffer: true,
+            ..Default::default()
+        });
+        let with_db = run_events(b.build().expect("valid"), evs);
+        assert!(
+            with_db.cycles() < base.cycles(),
+            "dirty buffer should help: {} vs {}",
+            with_db.cycles(),
+            base.cycles()
+        );
+    }
+
+    #[test]
+    fn tlb_penalty_charged_when_configured() {
+        let mut b = SimConfig::builder();
+        b.tlb_miss_penalty(20);
+        let r = run_events(
+            b.build().expect("valid"),
+            vec![TraceEvent::ifetch(va(0), 0), TraceEvent::load(va(0x100000))],
+        );
+        assert_eq!(r.counters.itlb_misses, 1);
+        assert_eq!(r.counters.dtlb_misses, 1);
+        assert_eq!(r.counters.tlb_miss_cycles, 40);
+    }
+
+    #[test]
+    fn split_l2_separates_i_and_d() {
+        // With a split L2, instruction lines can never be evicted by data
+        // traffic.
+        let mut b = SimConfig::builder();
+        b.l2(L2Config::split_even(262_144, 1, 6));
+        let cfg = b.build().expect("valid");
+        let mut evs = vec![TraceEvent::ifetch(va(0), 0)];
+        // Data sweep that would alias instruction lines in a unified L2.
+        for i in 0..16_384u64 {
+            evs.push(TraceEvent::ifetch(va(1), 0));
+            evs.push(TraceEvent::load(va(0x100000 + i * 32)));
+        }
+        // Evict line 0 from L1-I (conflict), then re-fetch: L2-I must hit.
+        evs.push(TraceEvent::ifetch(va(4096), 0));
+        evs.push(TraceEvent::ifetch(va(0), 0));
+        let r = run_events(cfg, evs);
+        // Misses: va(0) cold, va(4096) cold; the final re-fetch of va(0)
+        // hits L2-I (it was never evicted by the data sweep).
+        assert_eq!(r.counters.l2i_misses, 2);
+        assert_eq!(r.counters.l1i_misses, 3);
+    }
+
+    #[test]
+    fn result_cpi_matches_cycles_over_instructions() {
+        let r = run_events(SimConfig::baseline(), fetch_heavy(100));
+        assert!((r.cpi() - r.cycles() as f64 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_process_attribution_partitions_the_run() {
+        // Two interleaved processes: per-process counters must partition
+        // instructions and cycles exactly.
+        let mk = |pid: u8, n: u64| {
+            let evs: Vec<TraceEvent> = (0..n)
+                .flat_map(|i| {
+                    vec![
+                        TraceEvent::ifetch(VirtAddr::new(Pid::new(pid), i % 512), 0),
+                        TraceEvent::load(VirtAddr::new(Pid::new(pid), 0x100000 + (i * 3) % 2048)),
+                    ]
+                })
+                .collect();
+            Box::new(VecTrace::new(format!("p{pid}"), evs)) as Box<dyn Trace>
+        };
+        let mut b = SimConfig::builder();
+        b.mp_level(2).time_slice(500);
+        let r = run(b.build().expect("valid"), vec![mk(1, 3000), mk(2, 2000)]).expect("valid");
+
+        assert_eq!(r.per_process.len(), 2);
+        let total_instr: u64 = r.per_process.iter().map(|(_, p)| p.instructions).sum();
+        let total_cycles: u64 = r.per_process.iter().map(|(_, p)| p.cycles).sum();
+        assert_eq!(total_instr, r.counters.instructions);
+        assert_eq!(total_cycles, r.cycles(), "cycles partition exactly");
+        let p1 = r.per_process.iter().find(|(pid, _)| pid.raw() == 1).expect("pid 1").1;
+        assert_eq!(p1.instructions, 3000);
+        assert_eq!(p1.loads, 3000);
+        assert!(p1.cpi() >= 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ready-made multiprogramming workloads.
+//!
+//! The paper's experiments all run the ten-benchmark suite of Table 1 at
+//! multiprogramming level 8. [`standard`] builds that workload from the
+//! synthetic benchmark models at a chosen scale; [`subset`] builds smaller
+//! workloads for quick runs and tests.
+
+use gaas_trace::bench_model::{suite, BenchmarkSpec};
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::{Pid, Trace};
+
+/// Builds the full ten-benchmark workload, PIDs 0–9, with every
+/// benchmark's instruction budget scaled by `scale` (1.0 reproduces the
+/// paper's ≈2.4 G-reference suite).
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_sim::workload;
+///
+/// let traces = workload::standard(1e-4);
+/// assert_eq!(traces.len(), 10);
+/// ```
+pub fn standard(scale: f64) -> Vec<Box<dyn Trace>> {
+    from_specs(&suite(), scale)
+}
+
+/// Builds a workload from the first `n` benchmarks of the suite.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive, or `n` is zero or exceeds
+/// the suite size.
+pub fn subset(n: usize, scale: f64) -> Vec<Box<dyn Trace>> {
+    let all = suite();
+    assert!(n > 0 && n <= all.len(), "subset size out of range");
+    from_specs(&all[..n], scale)
+}
+
+/// Builds a workload from explicit specs, assigning PIDs in order.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive, or more than 256 specs are
+/// given (the PID space is 8 bits).
+pub fn from_specs(specs: &[BenchmarkSpec], scale: f64) -> Vec<Box<dyn Trace>> {
+    assert!(specs.len() <= 256, "at most 256 processes (8-bit PID)");
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            Box::new(TraceGenerator::new(spec, Pid::new(i as u8), scale)) as Box<dyn Trace>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_has_ten_named_processes() {
+        let w = standard(1e-5);
+        assert_eq!(w.len(), 10);
+        let names: Vec<_> = w.iter().map(|t| t.name().to_string()).collect();
+        assert!(names.contains(&"gcc".to_string()));
+        assert!(names.contains(&"tomcatv".to_string()));
+    }
+
+    #[test]
+    fn subset_takes_prefix() {
+        let w = subset(3, 1e-5);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].name(), "doduc");
+    }
+
+    #[test]
+    fn pids_are_distinct() {
+        let mut w = standard(1e-5);
+        let mut pids = std::collections::HashSet::new();
+        for t in &mut w {
+            let ev = t.next().expect("nonempty");
+            pids.insert(ev.addr.pid().raw());
+        }
+        assert_eq!(pids.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset size out of range")]
+    fn oversized_subset_panics() {
+        let _ = subset(11, 1e-5);
+    }
+}

@@ -1,0 +1,117 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--scale S] [--quick]
+//!
+//! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!             sec5 sec8 perbench ablations budget threec warmup
+//!             | all (default) | check (PASS/FAIL shape verification)
+//! --scale S   workload scale (default 0.01 = 1% of the 2.4G-ref suite)
+//! --quick     shorthand for --scale 0.002
+//! ```
+
+use std::time::Instant;
+
+use gaas_experiments::{
+    ablations, budget, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, sec5, sec8, table1, threec, verify, warmup,
+};
+
+const ALL: [&str; 17] = [
+    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "sec5",
+    "sec8", "perbench", "ablations", "budget", "threec", "warmup",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = gaas_experiments::DEFAULT_SCALE;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage("missing value for --scale"));
+                scale = v.parse().unwrap_or_else(|_| usage("bad --scale value"));
+                if !(scale.is_finite() && scale > 0.0 && scale <= 1.0) {
+                    usage("--scale must be in (0, 1]");
+                }
+            }
+            "--quick" => scale = 0.002,
+            "--help" | "-h" => usage(""),
+            "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
+            "check" => selected.push("check".to_string()),
+            name if ALL.contains(&name) => selected.push(name.to_string()),
+            other => usage(&format!("unknown experiment '{other}'")),
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ALL.iter().map(|s| s.to_string()));
+    }
+    selected.dedup();
+
+    println!("# GaAs two-level cache design study — reproduction run");
+    println!("# workload scale {scale} (1.0 = the paper's ~2.4G references)\n");
+
+    for name in &selected {
+        let t0 = Instant::now();
+        match name.as_str() {
+            "table1" => println!("{}", table1::table(&table1::run(scale.min(0.002)))),
+            "fig2" => println!("{}", fig2::table(&fig2::run(scale))),
+            "fig3" => println!("{}", fig3::table(&fig3::run(scale))),
+            "fig4" => println!("{}", fig4::table(&fig4::run(scale))),
+            "fig5" => {
+                let rows = fig5::run(scale);
+                println!("{}", fig5::table(&rows));
+                println!("{}", fig5::component_table(&rows));
+            }
+            "fig6" => {
+                let rows = fig6::run(scale);
+                println!("{}", fig6::table(&rows));
+                println!("{}", fig6::table2(&rows));
+            }
+            "fig7" => {
+                println!("{}", fig78::table(fig78::Side::Instruction, &fig78::run(fig78::Side::Instruction, scale)));
+            }
+            "fig8" => {
+                println!("{}", fig78::table(fig78::Side::Data, &fig78::run(fig78::Side::Data, scale)));
+            }
+            "fig9" => println!("{}", fig9::table(&fig9::run(scale))),
+            "fig10" => println!("{}", fig10::table(&fig10::run(scale))),
+            "sec5" => println!("{}", sec5::table(&sec5::run(scale))),
+            "sec8" => println!("{}", sec8::table(&sec8::run(scale))),
+            "perbench" => println!("{}", perbench::table(&perbench::run(scale))),
+            "ablations" => println!("{}", ablations::table(&ablations::run(scale))),
+            "threec" => println!("{}", threec::table(&threec::run(scale))),
+            "warmup" => println!("{}", warmup::table(&warmup::run(scale, 20))),
+            "check" => {
+                let checks = verify::run(scale);
+                println!("{}", verify::table(&checks));
+                let pass = checks.iter().filter(|c| c.passed).count();
+                println!("{pass}/{} claims reproduced", checks.len());
+                if !verify::all_passed(&checks) {
+                    std::process::exit(1);
+                }
+            }
+            "budget" => {
+                let budgets = budget::run();
+                println!("{}", budget::table(&budgets));
+                for b in &budgets {
+                    println!("{}", budget::detail_table(b));
+                }
+            }
+            _ => unreachable!("validated above"),
+        }
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENT ...] [--scale S] [--quick]\n\
+         experiments: {} | all | check",
+        ALL.join(" ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,94 @@
+//! Fig. 3 — the effect of the context-switch interval on cache performance.
+//!
+//! The paper sweeps the round-robin time slice (its x-axis spans roughly
+//! 10 k to 10 M cycles) at multiprogramming level 8. Expected shape:
+//! performance improves markedly with longer slices (more opportunity to
+//! reuse lines before they are evicted by other processes); very short
+//! slices are disastrous. The paper compromises on 500 k cycles, yielding
+//! ≈ 310 k cycles between switches once voluntary syscalls are counted.
+
+use gaas_sim::config::SimConfig;
+
+use crate::runner::run_standard;
+use crate::tablefmt::{f3, f4, Table};
+
+/// Time slices swept (cycles).
+pub const SLICES: [u64; 7] =
+    [10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Time slice in cycles.
+    pub slice: u64,
+    /// L1 instruction-cache miss ratio.
+    pub l1i: f64,
+    /// L1 data-cache miss ratio.
+    pub l1d: f64,
+    /// L2 miss ratio.
+    pub l2: f64,
+    /// Total CPI.
+    pub cpi: f64,
+    /// Mean cycles between context switches (slice + syscall driven).
+    pub mean_switch_interval: f64,
+}
+
+/// Runs the sweep on the base architecture at level 8.
+pub fn run(scale: f64) -> Vec<Row> {
+    SLICES
+        .iter()
+        .map(|&slice| {
+            let mut b = SimConfig::builder();
+            b.time_slice(slice);
+            let r = run_standard(b.build().expect("valid"), scale);
+            let c = &r.counters;
+            let switches = (c.syscall_switches + c.slice_switches).max(1);
+            Row {
+                slice,
+                l1i: c.l1i_miss_ratio(),
+                l1d: c.l1d_miss_ratio(),
+                l2: c.l2_miss_ratio(),
+                cpi: r.cpi(),
+                mean_switch_interval: c.total_cycles() as f64 / switches as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 3 series.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Fig. 3 — miss ratios vs. context-switch interval (MP level 8)",
+        &["slice (cyc)", "L1-I miss", "L1-D miss", "L2 miss", "CPI", "cyc/switch"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.slice.to_string(),
+            f4(r.l1i),
+            f4(r.l1d),
+            f4(r.l2),
+            f3(r.cpi),
+            format!("{:.0}", r.mean_switch_interval),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_slices() {
+        let rows: Vec<Row> = run(3e-4);
+        assert_eq!(rows.len(), SLICES.len());
+        let shortest = &rows[0];
+        let longest = &rows[rows.len() - 1];
+        assert!(
+            shortest.cpi >= longest.cpi,
+            "short slices must not beat long ones: {} vs {}",
+            shortest.cpi,
+            longest.cpi
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Figs. 7 and 8 — the L2-I and L2-D speed–size tradeoffs.
+//!
+//! With a split L2, the instruction and data sides are varied
+//! independently from the base architecture (the other side held at the
+//! base 256 KW, 6 cycles): sizes 8 KW–512 KW by access times 1–9 cycles.
+//! The y-axis is that side's contribution to CPI (for the data side the
+//! effect of writes is ignored, as in the paper, by reporting only the
+//! read-path components). Expected shapes: both surfaces improve with size
+//! and degrade with access time; the L2-I curves flatten beyond ≈ 64 KW
+//! while L2-D keeps improving to 512 KW — the optimum data cache is roughly
+//! 8× the optimum instruction cache, motivating the paper's asymmetric
+//! physically split L2.
+
+use gaas_sim::config::{L2Config, L2Side, SimConfig};
+
+use crate::runner::run_standard;
+use crate::tablefmt::{f4, Table};
+
+/// Side sizes swept (words).
+pub const SIZES: [u64; 7] = [8_192, 16_384, 32_768, 65_536, 131_072, 262_144, 524_288];
+
+/// Access times swept (cycles).
+pub const ACCESS_TIMES: [u32; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+/// Which side of the split L2 is being swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Fig. 7: the instruction side.
+    Instruction,
+    /// Fig. 8: the data side.
+    Data,
+}
+
+/// One (size, access) cell of a speed–size surface.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Side size in words.
+    pub size_words: u64,
+    /// Side access time in cycles.
+    pub access: u32,
+    /// The swept side's CPI contribution.
+    pub side_cpi: f64,
+    /// Total CPI (context).
+    pub cpi: f64,
+}
+
+fn base_side() -> L2Side {
+    L2Side { size_words: 262_144, assoc: 1, line_words: 32, access_cycles: 6 }
+}
+
+fn config_for(side: Side, size_words: u64, access: u32) -> SimConfig {
+    let varied = L2Side { size_words, assoc: 1, line_words: 32, access_cycles: access };
+    let l2 = match side {
+        Side::Instruction => L2Config::Split { i: varied, d: base_side() },
+        Side::Data => L2Config::Split { i: base_side(), d: varied },
+    };
+    let mut b = SimConfig::builder();
+    b.l2(l2);
+    b.build().expect("valid")
+}
+
+/// Runs one speed–size surface (63 simulations at full resolution).
+pub fn run(side: Side, scale: f64) -> Vec<Row> {
+    run_with_axes(side, scale, &SIZES, &ACCESS_TIMES)
+}
+
+/// Runs a surface over explicit axes (benches use sparser grids).
+pub fn run_with_axes(side: Side, scale: f64, sizes: &[u64], times: &[u32]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        for &access in times {
+            let r = run_standard(config_for(side, size, access), scale);
+            let bd = r.breakdown();
+            let side_cpi = match side {
+                Side::Instruction => bd.instruction_side_cpi(),
+                Side::Data => bd.data_read_side_cpi(),
+            };
+            rows.push(Row { size_words: size, access, side_cpi, cpi: r.cpi() });
+        }
+    }
+    rows
+}
+
+/// Renders a surface: one row per size, one column per access time.
+pub fn table(side: Side, rows: &[Row]) -> Table {
+    let title = match side {
+        Side::Instruction => "Fig. 7 — L2-I speed–size tradeoff (CPI contribution)",
+        Side::Data => "Fig. 8 — L2-D speed–size tradeoff, writes ignored (CPI contribution)",
+    };
+    let times: Vec<u32> = {
+        let mut v: Vec<u32> = rows.iter().map(|r| r.access).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let sizes: Vec<u64> = {
+        let mut v: Vec<u64> = rows.iter().map(|r| r.size_words).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut headers: Vec<String> = vec!["size (KW)".to_string()];
+    headers.extend(times.iter().map(|t| format!("T={t}")));
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(title, &headers_ref);
+    for &size in &sizes {
+        let mut cells = vec![(size / 1024).to_string()];
+        for &access in &times {
+            let row = rows
+                .iter()
+                .find(|r| r.size_words == size && r.access == access)
+                .expect("full grid");
+            cells.push(f4(row.side_cpi));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_grid_runs_and_renders() {
+        let rows = run_with_axes(Side::Instruction, 3e-4, &[16_384, 262_144], &[2, 6]);
+        assert_eq!(rows.len(), 4);
+        let t = table(Side::Instruction, &rows);
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    fn config_for_places_varied_side() {
+        let c = config_for(Side::Data, 65_536, 3);
+        assert_eq!(c.l2.d_side().size_words, 65_536);
+        assert_eq!(c.l2.d_side().access_cycles, 3);
+        assert_eq!(c.l2.i_side().size_words, 262_144);
+        let c = config_for(Side::Instruction, 8_192, 1);
+        assert_eq!(c.l2.i_side().access_cycles, 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # gaas-experiments
+//!
+//! Experiment harness for the reproduction of *"Implementing a Cache for a
+//! High-Performance GaAs Microprocessor"* (Olukotun, Mudge, Brown — ISCA
+//! 1991). One module per table/figure of the paper's evaluation; each
+//! exposes a `run(scale)` returning structured rows and a `table(...)`
+//! rendering the same rows/series the paper reports:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — benchmark workload characterization |
+//! | [`fig2`] | Fig. 2 — multiprogramming level sweep |
+//! | [`fig3`] | Fig. 3 — context-switch interval sweep |
+//! | [`fig4`] | Fig. 4 — base-architecture CPI stack |
+//! | [`fig5`] | Fig. 5 — write policy × effective L2 access time |
+//! | [`fig6`] | Fig. 6 + Table 2 — L2 size × organization |
+//! | [`fig78`] | Figs. 7/8 — L2-I and L2-D speed–size surfaces |
+//! | [`fig9`] | Fig. 9 — fast on-MCM L2-I and 8 W fetch |
+//! | [`fig10`] | Fig. 10 — concurrency mechanisms |
+//! | [`sec5`] | §5 — L1 size/associativity vs. cycle stretch |
+//! | [`sec8`] | §8 — L1 fetch-size grid |
+//! | [`perbench`] | per-benchmark behaviour inside the MP mix |
+//! | [`ablations`] | design-constant ablations (WB depth, L2 line, page colors, TLB penalty) |
+//! | [`budget`] | MCM substrate budgets for the Fig. 1 / Fig. 11 populations |
+//! | [`threec`] | 3C decomposition of L2 misses (why splitting works) |
+//! | [`warmup`] | warm-up transient (windowed miss ratios), the \[BKW90\] point |
+//! | [`verify`] | PASS/FAIL shape verification of every headline claim |
+//!
+//! The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p gaas-experiments --bin repro -- all
+//! cargo run --release -p gaas-experiments --bin repro -- fig5 fig6 --scale 0.02
+//! ```
+
+pub mod ablations;
+pub mod budget;
+pub mod fig10;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig78;
+pub mod fig9;
+pub mod perbench;
+pub mod runner;
+pub mod sec5;
+pub mod sec8;
+pub mod table1;
+pub mod threec;
+pub mod verify;
+pub mod warmup;
+pub mod tablefmt;
+
+pub use runner::{run_standard, DEFAULT_SCALE};
+pub use tablefmt::Table;

@@ -1,0 +1,50 @@
+//! Shared experiment plumbing: scaled workloads, warm-up, timing.
+
+use gaas_sim::{config::SimConfig, workload, SimResult, Simulator};
+use gaas_trace::bench_model::suite;
+
+/// Default workload scale for experiment runs: 1 % of the full-length
+/// suite, ≈ 17 M instructions (≈ 24 M references) per configuration.
+pub const DEFAULT_SCALE: f64 = 0.01;
+
+/// Fraction of instructions treated as cache warm-up and excluded from the
+/// reported statistics (\[BKW90\] long-trace hygiene).
+pub const WARMUP_FRAC: f64 = 0.4;
+
+/// Total scaled instruction count of the standard suite.
+pub fn suite_instructions(scale: f64) -> u64 {
+    suite().iter().map(|b| b.scaled_instructions(scale)).sum()
+}
+
+/// Runs `cfg` over the standard ten-benchmark workload at `scale`,
+/// discarding warm-up.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (experiment configurations are constructed
+/// programmatically and validated in tests) or `scale` is not positive.
+pub fn run_standard(cfg: SimConfig, scale: f64) -> SimResult {
+    let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
+    Simulator::new(cfg)
+        .expect("experiment configuration is valid")
+        .run_warmed(workload::standard(scale), warmup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_instructions_scale() {
+        let a = suite_instructions(0.001);
+        let b = suite_instructions(0.002);
+        assert!(b > a && b < 3 * a);
+    }
+
+    #[test]
+    fn run_standard_smoke() {
+        let r = run_standard(SimConfig::baseline(), 2e-4);
+        assert!(r.cpi() > 1.0 && r.cpi() < 10.0);
+        assert!(r.counters.instructions > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! §5 — primary cache size and associativity under MCM constraints.
+//!
+//! The paper argues (without a figure) that 4 KW direct-mapped primary
+//! caches are the best *implementable* choice: larger or associative
+//! caches lower the miss ratio but stretch the system cycle (more SRAM
+//! chips, more interconnect and loading, virtual tags or off-MMU tags in
+//! series). This experiment makes the argument quantitative: it combines
+//! the simulator's miss-ratio side (CPI at constant cycle) with the
+//! `gaas-mcm` access-time model (cycle stretch), reporting *effective*
+//! relative time per instruction `CPI × cycle-stretch`.
+
+use gaas_mcm::{cycle_stretch, l1_access, TagPlacement};
+use gaas_sim::config::{L1Config, SimConfig};
+
+use crate::runner::run_standard;
+use crate::tablefmt::{f3, Table};
+
+/// L1 sizes swept (words, both caches).
+pub const SIZES: [u64; 4] = [2_048, 4_096, 8_192, 16_384];
+
+/// One design point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// L1 size in words (each cache).
+    pub size_words: u64,
+    /// Associativity.
+    pub assoc: u32,
+    /// Tag placement implied by the design rules.
+    pub tags: TagPlacement,
+    /// CPI at the unchanged 4 ns cycle.
+    pub cpi: f64,
+    /// L1 access time (ns) from the technology model.
+    pub access_ns: f64,
+    /// System cycle stretch factor (≥ 1).
+    pub stretch: f64,
+    /// Effective relative time per instruction: CPI × stretch.
+    pub effective: f64,
+}
+
+/// Tag placement the §2/§5 design rules force for a given L1 organization:
+/// physical tags fit on the MMU only for a direct-mapped cache no larger
+/// than the 4 KW page; a bigger I-cache needs virtual tags on the MCM; an
+/// associative cache pushes tags off the MMU in series.
+pub fn implied_tags(size_words: u64, assoc: u32) -> TagPlacement {
+    if assoc > 1 {
+        TagPlacement::SerializedOffMmu
+    } else if size_words > 4_096 {
+        TagPlacement::VirtualOnMcm
+    } else {
+        TagPlacement::OnMmu
+    }
+}
+
+/// Runs the size × associativity sweep.
+pub fn run(scale: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &size in &SIZES {
+        for assoc in [1u32, 2] {
+            let mut b = SimConfig::builder();
+            b.l1i(L1Config { size_words: size, line_words: 4, assoc });
+            b.l1d(L1Config { size_words: size, line_words: 4, assoc });
+            let r = run_standard(b.build().expect("valid"), scale);
+            let tags = implied_tags(size, assoc);
+            let access = l1_access(size, tags);
+            let stretch = cycle_stretch(&access);
+            rows.push(Row {
+                size_words: size,
+                assoc,
+                tags,
+                cpi: r.cpi(),
+                access_ns: access.total_ns(),
+                stretch,
+                effective: r.cpi() * stretch,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the §5 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Sec. 5 — L1 size/associativity vs. implementable cycle time",
+        &["size (KW)", "assoc", "tags", "CPI", "access (ns)", "stretch", "CPI x stretch"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            (r.size_words / 1024).to_string(),
+            r.assoc.to_string(),
+            format!("{:?}", r.tags),
+            f3(r.cpi),
+            format!("{:.2}", r.access_ns),
+            format!("{:.3}", r.stretch),
+            f3(r.effective),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_rules_match_paper() {
+        assert_eq!(implied_tags(4_096, 1), TagPlacement::OnMmu);
+        assert_eq!(implied_tags(8_192, 1), TagPlacement::VirtualOnMcm);
+        assert_eq!(implied_tags(4_096, 2), TagPlacement::SerializedOffMmu);
+    }
+
+    #[test]
+    fn four_kw_direct_mapped_has_no_stretch() {
+        let access = l1_access(4_096, implied_tags(4_096, 1));
+        assert_eq!(cycle_stretch(&access), 1.0);
+    }
+}

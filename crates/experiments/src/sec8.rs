@@ -1,0 +1,95 @@
+//! §8 — primary cache fetch/line size.
+//!
+//! With the latency and transfer rates between L2 and L1 fixed by the
+//! split-L2 design (§7), the L1 fetch size (= line size) is swept for both
+//! caches. The paper finds 8 words optimal for both L1-I and L1-D: larger
+//! lines exploit spatial locality per miss, but 16 W fetches hold the
+//! refill path too long and displace too much. A side benefit at 8 W: the
+//! L1 tag store on the MMU shrinks from 40 Kb to 20 Kb.
+
+use gaas_cache::WritePolicy;
+use gaas_sim::config::{L1Config, L2Config, SimConfig};
+
+use crate::runner::run_standard;
+use crate::tablefmt::{f3, Table};
+
+/// Fetch/line sizes swept (words).
+pub const FETCH_SIZES: [u32; 3] = [4, 8, 16];
+
+/// One grid point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// L1-I fetch/line size (words).
+    pub i_fetch: u32,
+    /// L1-D fetch/line size (words).
+    pub d_fetch: u32,
+    /// Total CPI.
+    pub cpi: f64,
+    /// L1 tag storage on the MMU (Kb) for both caches.
+    pub tag_kbits: u32,
+}
+
+/// Approximate MMU tag storage for the two 4 KW L1 caches at a given line
+/// size (the paper: 40 Kb total at 4 W lines, halved to 20 Kb at 8 W).
+pub fn tag_kbits(i_fetch: u32, d_fetch: u32) -> u32 {
+    let per = |line: u32| 20 * 4 / line.max(1);
+    per(i_fetch) + per(d_fetch)
+}
+
+/// Runs the 3 × 3 fetch-size grid on the §7 design point (write-only,
+/// split fast L2-I).
+pub fn run(scale: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &i_fetch in &FETCH_SIZES {
+        for &d_fetch in &FETCH_SIZES {
+            let mut b = SimConfig::builder();
+            b.policy(WritePolicy::WriteOnly)
+                .l2(L2Config::split_fast_i())
+                .l1i(L1Config { size_words: 4096, line_words: i_fetch, assoc: 1 })
+                .l1d(L1Config { size_words: 4096, line_words: d_fetch, assoc: 1 });
+            let r = run_standard(b.build().expect("valid"), scale);
+            rows.push(Row { i_fetch, d_fetch, cpi: r.cpi(), tag_kbits: tag_kbits(i_fetch, d_fetch) });
+        }
+    }
+    rows
+}
+
+/// Renders the fetch-size grid (rows: L1-I fetch; columns: L1-D fetch).
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "Sec. 8 — CPI vs. L1 fetch/line size (split fast L2-I, write-only)",
+        &["I fetch \\ D fetch", "4W", "8W", "16W"],
+    );
+    for &i_fetch in &FETCH_SIZES {
+        let mut cells = vec![format!("{i_fetch}W")];
+        for &d_fetch in &FETCH_SIZES {
+            let row = rows
+                .iter()
+                .find(|r| r.i_fetch == i_fetch && r.d_fetch == d_fetch)
+                .expect("full grid");
+            cells.push(f3(row.cpi));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_storage_halves_with_line_doubling() {
+        // Paper: 40 Kb of L1 tags at 4 W lines, 20 Kb at 8 W.
+        assert_eq!(tag_kbits(4, 4), 40);
+        assert_eq!(tag_kbits(8, 8), 20);
+        assert!(tag_kbits(8, 8) < tag_kbits(4, 4));
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let rows = run(3e-4);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(table(&rows).n_rows(), 3);
+    }
+}

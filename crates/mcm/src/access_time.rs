@@ -1,0 +1,167 @@
+//! L1 access time as a function of cache size and organization (§2, §5).
+//!
+//! "Increasing primary cache size increases its area on the MCM and,
+//! consequently, inter-chip propagation delays. Furthermore, larger caches
+//! result in more loading for driver circuits. Both of these facts cause
+//! primary caches to have an access time that grows markedly with size."
+//!
+//! The model composes an address-distribution net (CPU → SRAM bank, fanout
+//! = chip count), the (constant, per-chip) SRAM access, and a data-return
+//! net, plus the tag-compare path. It reproduces the §5 conclusions:
+//!
+//! * a 4 KW cache (four 1 K × 32 chips) fits the just-under-4 ns cycle;
+//! * an 8 KW virtually-tagged L1-I (4 more data chips + 2 tag chips, plus
+//!   address translation in series) exceeds the cycle and nullifies its
+//!   miss-ratio advantage;
+//! * a set-associative L1-D forces the tags off the MMU chip, and the
+//!   serialized tag access + compare "almost doubles system cycle time";
+//! * interconnect contributes up to ~50 % of access time for large caches.
+
+use crate::interconnect::Net;
+use crate::sram::SramFamily;
+
+/// Fixed tag-comparison time inside the MMU (ns).
+pub const COMPARE_NS: f64 = 0.30;
+
+/// Extra serial delay when tags are *virtual* and translation must complete
+/// before the physical tag compare (the 8 KW L1-I case, §5).
+pub const VIRTUAL_TAG_NS: f64 = 0.50;
+
+/// Where the cache tags live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagPlacement {
+    /// Physical tags inside the MMU chip, checked in parallel with the
+    /// SRAM data access (the base architecture).
+    OnMmu,
+    /// Virtual tags in dedicated SRAM chips on the MCM (needed when the
+    /// cache exceeds the page size): adds tag chips and a translation step.
+    VirtualOnMcm,
+    /// Off-MMU physical tags accessed *before* the data (the
+    /// set-associative L1-D case): tag SRAM access serializes with compare.
+    SerializedOffMmu,
+}
+
+/// Breakdown of a primary-cache access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct L1Access {
+    /// SRAM-array component (ns).
+    pub sram_ns: f64,
+    /// Interconnect (flight + drive, both directions) component (ns).
+    pub interconnect_ns: f64,
+    /// Tag path (compare, translation, serialized tag SRAM) component (ns).
+    pub tag_ns: f64,
+    /// Number of 1 K × 32 SRAM chips on the MCM for this cache.
+    pub chips: u64,
+}
+
+impl L1Access {
+    /// Total access time (ns).
+    pub fn total_ns(&self) -> f64 {
+        self.sram_ns + self.interconnect_ns + self.tag_ns
+    }
+
+    /// Fraction of the access spent in interconnect.
+    pub fn interconnect_fraction(&self) -> f64 {
+        self.interconnect_ns / self.total_ns()
+    }
+}
+
+/// Models the access time of a primary cache of `size_words` with the given
+/// tag placement.
+///
+/// # Panics
+///
+/// Panics if `size_words` is zero.
+pub fn l1_access(size_words: u64, tags: TagPlacement) -> L1Access {
+    assert!(size_words > 0, "cache size must be positive");
+    let fast = SramFamily::fast_32kb();
+    let data_chips = fast.chips_for(size_words);
+    let tag_chips = match tags {
+        TagPlacement::OnMmu => 0,
+        // Two 1Kx32 chips of virtual tags (the paper's 8 KW I-cache: "4
+        // more for memory and 2 more for virtual tags").
+        TagPlacement::VirtualOnMcm => (data_chips / 4).max(2),
+        TagPlacement::SerializedOffMmu => (data_chips / 4).max(1),
+    };
+    let chips = data_chips + tag_chips;
+
+    // Bank span grows with the square root of the occupied MCM area.
+    let length_mm = 10.0 + 3.0 * (chips as f64).sqrt();
+    let addr_net = Net::mcm(length_mm, chips as u32);
+    let data_net = Net::mcm(length_mm, 2);
+    let interconnect_ns = addr_net.delay_ns() + data_net.delay_ns();
+
+    let sram_ns = fast.access_ns(fast.anchor_bits);
+    let tag_ns = match tags {
+        TagPlacement::OnMmu => COMPARE_NS, // checked in parallel with data
+        TagPlacement::VirtualOnMcm => COMPARE_NS + VIRTUAL_TAG_NS,
+        // Tag SRAM read completes before the compare can begin.
+        TagPlacement::SerializedOffMmu => sram_ns + COMPARE_NS,
+    };
+
+    L1Access { sram_ns, interconnect_ns, tag_ns, chips }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_time::CPU_CYCLE_NS;
+
+    #[test]
+    fn base_4kw_fits_the_cycle() {
+        let a = l1_access(4096, TagPlacement::OnMmu);
+        assert_eq!(a.chips, 4);
+        assert!(a.total_ns() <= CPU_CYCLE_NS, "4 KW access {:.2} ns", a.total_ns());
+    }
+
+    #[test]
+    fn virtually_tagged_8kw_exceeds_the_cycle() {
+        // §5: the larger I-cache's access time "nullifies the positive
+        // effects of a lower miss ratio".
+        let a = l1_access(8192, TagPlacement::VirtualOnMcm);
+        assert!(a.chips >= 10, "8 data chips + ≥2 tag chips, got {}", a.chips);
+        assert!(a.total_ns() > CPU_CYCLE_NS, "8 KW access {:.2} ns", a.total_ns());
+    }
+
+    #[test]
+    fn serialized_tags_almost_double_cycle_time() {
+        // §5: a set-associative L1-D forces tags off the MMU; the serial
+        // tag access + compare "almost doubles system cycle time".
+        let a = l1_access(4096, TagPlacement::SerializedOffMmu);
+        assert!(
+            a.total_ns() > 1.6 * CPU_CYCLE_NS,
+            "serialized access {:.2} ns vs cycle {CPU_CYCLE_NS}",
+            a.total_ns()
+        );
+    }
+
+    #[test]
+    fn interconnect_reaches_half_for_large_caches() {
+        // §2: interconnect "can contribute as much as 50% to the overall
+        // access time".
+        let a = l1_access(65536, TagPlacement::OnMmu);
+        assert!(a.interconnect_fraction() > 0.45, "fraction {:.2}", a.interconnect_fraction());
+    }
+
+    #[test]
+    fn access_time_monotone_in_size() {
+        let mut prev = 0.0;
+        for size in [1024u64, 2048, 4096, 8192, 16384, 32768] {
+            let t = l1_access(size, TagPlacement::OnMmu).total_ns();
+            assert!(t >= prev, "size {size}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let a = l1_access(4096, TagPlacement::OnMmu);
+        assert!((a.total_ns() - (a.sram_ns + a.interconnect_ns + a.tag_ns)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache size must be positive")]
+    fn zero_size_rejected() {
+        let _ = l1_access(0, TagPlacement::OnMmu);
+    }
+}

@@ -1,0 +1,168 @@
+//! MCM area and pin budget (§2).
+//!
+//! "In systems using MCM packaging, partitioning must address not only
+//! which functions go on each chip, but also, which chips go on the MCM."
+//! This module accounts for that partitioning decision: die area, substrate
+//! area at a realistic packing density, and signal-pin demand, for the
+//! paper's base (Fig. 1) and optimized (Fig. 11) MCM populations. It also
+//! encodes the two §6 packaging facts: the 4 W refill path is a connector
+//! bandwidth limit, and moving to a 1 W-wide write buffer cuts its I/O from
+//! 256 to 64 pins — small enough to fold the buffer into the MMU chip.
+
+/// One kind of die mounted on the MCM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Number of identical dies.
+    pub count: u32,
+    /// Die edge lengths in millimetres.
+    pub die_mm: (f64, f64),
+    /// Signal pins per die (power/ground excluded).
+    pub signal_pins: u32,
+}
+
+impl Component {
+    /// Total die area of all instances (mm²).
+    pub fn area_mm2(&self) -> f64 {
+        self.count as f64 * self.die_mm.0 * self.die_mm.1
+    }
+
+    /// Total signal pins of all instances.
+    pub fn pins(&self) -> u32 {
+        self.count * self.signal_pins
+    }
+}
+
+/// Fraction of the substrate usable for dies (routing channels, bond
+/// shelves and decoupling take the rest).
+pub const PACKING_DENSITY: f64 = 0.35;
+
+/// Largest substrate edge the process can build (mm).
+pub const MAX_SUBSTRATE_MM: f64 = 100.0;
+
+/// Signal pins of the 4-deep × 4 W write-buffer *chip* of the base
+/// architecture (128-bit data in + 128-bit out).
+pub const WB_CHIP_PINS_4W: u32 = 256;
+
+/// Signal pins the 8-deep × 1 W write-buffer path needs (32-bit in + out) —
+/// the §6 "factor of four reduction ... from 256 pins to 64 pins".
+pub const WB_PATH_PINS_1W: u32 = 64;
+
+/// An MCM population and its budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McmBudget {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Dies on the substrate.
+    pub components: Vec<Component>,
+}
+
+impl McmBudget {
+    /// The base architecture's MCM population (Fig. 1): CPU, MMU, the two
+    /// 4 KW L1 caches (four 1 K × 32 SRAMs each), the L2 tag SRAMs, and
+    /// the discrete 4 W write-buffer chip.
+    pub fn base() -> Self {
+        McmBudget {
+            name: "base (Fig. 1)",
+            components: vec![
+                Component { name: "CPU+FPA", count: 1, die_mm: (12.0, 12.0), signal_pins: 280 },
+                Component { name: "MMU", count: 1, die_mm: (10.0, 10.0), signal_pins: 220 },
+                Component { name: "L1-I SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "L1-D SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "L2 tag SRAM 1Kx32", count: 2, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "WB chip 4x4W", count: 1, die_mm: (8.0, 8.0), signal_pins: WB_CHIP_PINS_4W },
+            ],
+        }
+    }
+
+    /// The optimized architecture's MCM population (Fig. 11): the 1 W
+    /// write buffer is inside the MMU (no discrete WB chip) and the 32 KW
+    /// L2-I joins the substrate as 32 fast SRAMs.
+    pub fn optimized() -> Self {
+        McmBudget {
+            name: "optimized (Fig. 11)",
+            components: vec![
+                Component { name: "CPU+FPA", count: 1, die_mm: (12.0, 12.0), signal_pins: 280 },
+                Component { name: "MMU (+WB 8x1W)", count: 1, die_mm: (10.5, 10.5), signal_pins: 220 + WB_PATH_PINS_1W },
+                Component { name: "L1-I SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "L1-D SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "L2 tag SRAM 1Kx32", count: 2, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component { name: "L2-I SRAM 1Kx32", count: 32, die_mm: (6.0, 6.0), signal_pins: 60 },
+            ],
+        }
+    }
+
+    /// Total die area (mm²).
+    pub fn die_area_mm2(&self) -> f64 {
+        self.components.iter().map(Component::area_mm2).sum()
+    }
+
+    /// Required substrate area at [`PACKING_DENSITY`] (mm²).
+    pub fn substrate_area_mm2(&self) -> f64 {
+        self.die_area_mm2() / PACKING_DENSITY
+    }
+
+    /// Edge of the (square) substrate (mm).
+    pub fn substrate_edge_mm(&self) -> f64 {
+        self.substrate_area_mm2().sqrt()
+    }
+
+    /// Total signal pins bonded on the substrate.
+    pub fn total_pins(&self) -> u32 {
+        self.components.iter().map(Component::pins).sum()
+    }
+
+    /// Whether the population fits the largest buildable substrate.
+    pub fn fits(&self) -> bool {
+        self.substrate_edge_mm() <= MAX_SUBSTRATE_MM
+    }
+
+    /// Number of dies on the substrate.
+    pub fn die_count(&self) -> u32 {
+        self.components.iter().map(|c| c.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_population_matches_fig1() {
+        let b = McmBudget::base();
+        assert_eq!(b.die_count(), 13);
+        assert!(b.components.iter().any(|c| c.name.contains("WB chip")));
+        assert!(b.fits(), "base substrate {:.0} mm edge", b.substrate_edge_mm());
+    }
+
+    #[test]
+    fn optimized_population_matches_fig11() {
+        let o = McmBudget::optimized();
+        // The discrete WB chip is gone; 32 L2-I SRAMs are added.
+        assert!(!o.components.iter().any(|c| c.name.contains("WB chip")));
+        let l2i = o.components.iter().find(|c| c.name.contains("L2-I")).expect("L2-I present");
+        assert_eq!(l2i.count, 32, "32 KW from 1Kx32 chips");
+        assert!(o.fits(), "optimized substrate {:.0} mm edge", o.substrate_edge_mm());
+    }
+
+    #[test]
+    fn write_buffer_pin_reduction_is_4x() {
+        // §6: "from 256 pins to 64 pins".
+        assert_eq!(WB_CHIP_PINS_4W / WB_PATH_PINS_1W, 4);
+    }
+
+    #[test]
+    fn optimized_is_bigger_but_buildable() {
+        let (b, o) = (McmBudget::base(), McmBudget::optimized());
+        assert!(o.die_area_mm2() > b.die_area_mm2());
+        assert!(o.substrate_edge_mm() < MAX_SUBSTRATE_MM);
+    }
+
+    #[test]
+    fn component_arithmetic() {
+        let c = Component { name: "x", count: 3, die_mm: (2.0, 5.0), signal_pins: 10 };
+        assert!((c.area_mm2() - 30.0).abs() < 1e-12);
+        assert_eq!(c.pins(), 30);
+    }
+}

@@ -1,0 +1,85 @@
+//! System cycle-time derivation (§2).
+//!
+//! "The CPU has a critical path that limits the cycle time to just under
+//! 4 nanoseconds" — the 250 MHz target. The memory access paths to the L1
+//! caches can stretch this cycle if their access time exceeds it; the
+//! design study's premise is to *hold the 4 ns cycle* and take cache
+//! reorganizations only when they do not lengthen it.
+
+use crate::access_time::L1Access;
+
+/// The CPU-core critical path (ns): just under 4 ns.
+pub const CPU_CYCLE_NS: f64 = 3.95;
+
+/// The resulting clock frequency target in MHz.
+pub const CPU_MHZ: f64 = 1000.0 / CPU_CYCLE_NS;
+
+/// System cycle time when the L1 access path must fit in a single cycle:
+/// the maximum of the core critical path and the cache access.
+pub fn system_cycle_ns(l1: &L1Access) -> f64 {
+    CPU_CYCLE_NS.max(l1.total_ns())
+}
+
+/// Converts a latency in nanoseconds to whole CPU cycles (rounded up) at a
+/// given cycle time.
+///
+/// # Panics
+///
+/// Panics if `cycle_ns` is not positive.
+pub fn cycles(latency_ns: f64, cycle_ns: f64) -> u32 {
+    assert!(cycle_ns > 0.0, "cycle time must be positive");
+    (latency_ns / cycle_ns).ceil().max(1.0) as u32
+}
+
+/// Relative slowdown of every instruction when the system cycle stretches
+/// beyond the CPU critical path (≥ 1.0).
+pub fn cycle_stretch(l1: &L1Access) -> f64 {
+    system_cycle_ns(l1) / CPU_CYCLE_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access_time::{l1_access, TagPlacement};
+
+    #[test]
+    fn target_frequency_is_about_250mhz() {
+        assert!((CPU_MHZ - 253.2).abs() < 1.0, "{CPU_MHZ}");
+    }
+
+    #[test]
+    fn base_cache_does_not_stretch_cycle() {
+        let a = l1_access(4096, TagPlacement::OnMmu);
+        assert_eq!(system_cycle_ns(&a), CPU_CYCLE_NS);
+        assert_eq!(cycle_stretch(&a), 1.0);
+    }
+
+    #[test]
+    fn oversized_cache_stretches_cycle() {
+        let a = l1_access(16384, TagPlacement::VirtualOnMcm);
+        assert!(system_cycle_ns(&a) > CPU_CYCLE_NS);
+        assert!(cycle_stretch(&a) > 1.0);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        assert_eq!(cycles(3.0, 3.95), 1);
+        assert_eq!(cycles(10.0, 3.95), 3);
+        assert_eq!(cycles(0.1, 3.95), 1, "minimum one cycle");
+    }
+
+    #[test]
+    fn l2_srams_cost_the_paper_cycle_counts() {
+        // The 10 ns BiCMOS L2 data SRAM plus ~2 cycles of latency gives the
+        // 6-cycle L2 access of the base architecture.
+        let sram_cycles = cycles(10.0, CPU_CYCLE_NS);
+        assert_eq!(sram_cycles, 3);
+        assert!(sram_cycles + 2 <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle time must be positive")]
+    fn bad_cycle_rejected() {
+        let _ = cycles(1.0, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! First-order MCM interconnect timing (§2 of the paper, \[Mud+91\]).
+//!
+//! The paper's circuit-level work (Vitesse HGaAs III SPICE decks) is
+//! proprietary; this module reproduces its *conclusions* from first-order
+//! physics: time-of-flight over the MCM substrate plus an RC driver model
+//! whose load grows with line length and fanout. The constants below are
+//! chosen to land on the paper's headline facts — a just-under-4 ns CPU
+//! critical path, and inter-chip propagation plus loading contributing "as
+//! much as 50%" of the L1 access time.
+
+/// Propagation velocity over MCM interconnect, in picoseconds per
+/// millimetre. Signal speed is `c / sqrt(εr)`; polyimide MCM dielectrics
+/// (εr ≈ 3.5) give ≈ 6.2 ps/mm.
+pub const MCM_PROP_PS_PER_MM: f64 = 6.2;
+
+/// Propagation velocity over conventional PCB (εr ≈ 4.7, longer routed
+/// paths folded in), for the PCB-vs-MCM comparison of §2.
+pub const PCB_PROP_PS_PER_MM: f64 = 7.2;
+
+/// MCM line capacitance per millimetre (pF). 10–20 µm lines over a thin
+/// dielectric: ≈ 0.10 pF/mm.
+pub const MCM_LINE_PF_PER_MM: f64 = 0.10;
+
+/// PCB trace capacitance per millimetre (pF): wider traces, thicker
+/// dielectric — roughly 1 pF/cm.
+pub const PCB_LINE_PF_PER_MM: f64 = 0.12;
+
+/// Input capacitance of one receiving die pad (pF). Bare-die bonding on an
+/// MCM avoids package parasitics.
+pub const MCM_LOAD_PF: f64 = 1.0;
+
+/// Input capacitance of a packaged receiver on PCB (pF), including package
+/// lead parasitics.
+pub const PCB_LOAD_PF: f64 = 5.0;
+
+/// Effective output resistance of a small GaAs off-chip driver (Ω). MCMs
+/// permit "smaller, lower-power off-chip drivers" (§2).
+pub const MCM_DRIVER_OHMS: f64 = 60.0;
+
+/// Effective output resistance of a PCB-class driver (Ω); bigger drivers
+/// for bigger loads, but slower predrivers — net effective R is similar.
+pub const PCB_DRIVER_OHMS: f64 = 55.0;
+
+/// The packaging substrate a signal crosses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Substrate {
+    /// Multichip module: bare dies, fine-pitch interconnect.
+    Mcm,
+    /// Conventional printed-circuit board with packaged parts.
+    Pcb,
+}
+
+impl Substrate {
+    fn params(self) -> (f64, f64, f64, f64) {
+        match self {
+            Substrate::Mcm => (MCM_PROP_PS_PER_MM, MCM_LINE_PF_PER_MM, MCM_LOAD_PF, MCM_DRIVER_OHMS),
+            Substrate::Pcb => (PCB_PROP_PS_PER_MM, PCB_LINE_PF_PER_MM, PCB_LOAD_PF, PCB_DRIVER_OHMS),
+        }
+    }
+}
+
+/// One point-to-multipoint chip-crossing net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Net {
+    /// Substrate the net is routed on.
+    pub substrate: Substrate,
+    /// Electrical length in millimetres.
+    pub length_mm: f64,
+    /// Number of receiving chips on the net.
+    pub fanout: u32,
+}
+
+impl Net {
+    /// A point-to-point MCM net of `length_mm`.
+    pub fn mcm(length_mm: f64, fanout: u32) -> Self {
+        Net { substrate: Substrate::Mcm, length_mm, fanout }
+    }
+
+    /// A point-to-point PCB net of `length_mm`.
+    pub fn pcb(length_mm: f64, fanout: u32) -> Self {
+        Net { substrate: Substrate::Pcb, length_mm, fanout }
+    }
+
+    /// Time-of-flight component in nanoseconds.
+    pub fn flight_ns(&self) -> f64 {
+        let (prop, ..) = self.substrate.params();
+        prop * self.length_mm / 1000.0
+    }
+
+    /// RC driver/loading component in nanoseconds (0.69·R·C to 50%).
+    pub fn drive_ns(&self) -> f64 {
+        let (_, line_pf, load_pf, r) = self.substrate.params();
+        let c_total = line_pf * self.length_mm + load_pf * self.fanout as f64;
+        0.69 * r * c_total / 1000.0
+    }
+
+    /// Total one-way crossing delay in nanoseconds.
+    pub fn delay_ns(&self) -> f64 {
+        self.flight_ns() + self.drive_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mcm_beats_pcb_for_same_topology() {
+        let mcm = Net::mcm(30.0, 2);
+        let pcb = Net::pcb(30.0, 2);
+        assert!(mcm.delay_ns() < pcb.delay_ns());
+    }
+
+    #[test]
+    fn pcb_crossing_dominates_a_4ns_cycle() {
+        // §2: on a PCB, two chip crossings dominate the cycle time.
+        let crossing = Net::pcb(80.0, 4);
+        assert!(
+            2.0 * crossing.delay_ns() > 3.0,
+            "two crossings = {:.2} ns",
+            2.0 * crossing.delay_ns()
+        );
+    }
+
+    #[test]
+    fn short_mcm_crossing_is_sub_nanosecond() {
+        let n = Net::mcm(15.0, 1);
+        assert!(n.delay_ns() < 1.0, "delay {:.2}", n.delay_ns());
+    }
+
+    #[test]
+    fn delay_grows_with_length_and_fanout() {
+        let base = Net::mcm(10.0, 1).delay_ns();
+        assert!(Net::mcm(20.0, 1).delay_ns() > base);
+        assert!(Net::mcm(10.0, 4).delay_ns() > base);
+    }
+
+    #[test]
+    fn delay_decomposes_into_flight_and_drive() {
+        let n = Net::mcm(25.0, 3);
+        assert!((n.delay_ns() - (n.flight_ns() + n.drive_ns())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_has_only_load_delay() {
+        let n = Net::mcm(0.0, 1);
+        assert_eq!(n.flight_ns(), 0.0);
+        assert!(n.drive_ns() > 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # gaas-mcm
+//!
+//! First-order MCM / GaAs technology timing model for the reproduction of
+//! *"Implementing a Cache for a High-Performance GaAs Microprocessor"*
+//! (Olukotun, Mudge, Brown — ISCA 1991).
+//!
+//! The paper's architecture study leans on circuit-level facts established
+//! with proprietary Vitesse HGaAs III models: a just-under-4 ns CPU cycle,
+//! L1 access time that grows markedly with cache size (interconnect and
+//! loading contributing up to ~50 %), and the infeasibility of L1 caches
+//! beyond 4 KW. This crate reproduces those *conclusions* from first-order
+//! physics so the architecture experiments (notably the §5 primary-cache
+//! size study) can cite a model instead of magic constants:
+//!
+//! * [`interconnect`] — time-of-flight + RC driver/loading delays for MCM
+//!   and PCB nets;
+//! * [`sram`] — access time vs. capacity anchored on the paper's 3 ns
+//!   1 K × 32 and 10 ns 8 K × 8 parts;
+//! * [`access_time`] — the L1 access-time-vs-size/organization curve;
+//! * [`cycle_time`] — system cycle derivation and ns→cycle conversion;
+//! * [`budget`] — MCM die-area/pin budgets for the Fig. 1 and Fig. 11
+//!   substrate populations.
+//!
+//! ## Example
+//!
+//! ```
+//! use gaas_mcm::access_time::{l1_access, TagPlacement};
+//! use gaas_mcm::cycle_time::{cycle_stretch, CPU_CYCLE_NS};
+//!
+//! // The base 4 KW L1 fits the 4 ns cycle...
+//! let base = l1_access(4096, TagPlacement::OnMmu);
+//! assert!(base.total_ns() <= CPU_CYCLE_NS);
+//!
+//! // ...but a virtually-tagged 8 KW L1-I would stretch every cycle.
+//! let big = l1_access(8192, TagPlacement::VirtualOnMcm);
+//! assert!(cycle_stretch(&big) > 1.0);
+//! ```
+
+pub mod access_time;
+pub mod budget;
+pub mod cycle_time;
+pub mod interconnect;
+pub mod sram;
+
+pub use access_time::{l1_access, L1Access, TagPlacement};
+pub use budget::{Component, McmBudget};
+pub use cycle_time::{cycle_stretch, cycles, system_cycle_ns, CPU_CYCLE_NS, CPU_MHZ};
+pub use interconnect::{Net, Substrate};
+pub use sram::SramFamily;

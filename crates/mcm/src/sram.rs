@@ -1,0 +1,96 @@
+//! SRAM access-time model anchored on the paper's parts (§2).
+//!
+//! Two anchor devices appear in the paper:
+//!
+//! * the L1 / L2-tag SRAM: **1 K × 32-bit, 3 ns** access;
+//! * the L2 data SRAM: **8 K × 8-bit BiCMOS, 10 ns** access.
+//!
+//! Access time grows roughly logarithmically with capacity (decoder depth,
+//! word/bit-line RC); we fit `t = t0 + k·log2(bits / bits0)` through each
+//! family's anchor with slopes typical of the era.
+
+/// An SRAM family characterized by an anchor point and a log-capacity slope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramFamily {
+    /// Anchor capacity in bits.
+    pub anchor_bits: u64,
+    /// Access time at the anchor capacity (ns).
+    pub anchor_ns: f64,
+    /// Added access time per doubling of capacity (ns).
+    pub ns_per_doubling: f64,
+}
+
+impl SramFamily {
+    /// The GaAs-compatible 1 K × 32 (32 Kb) 3 ns SRAM used for L1 and the
+    /// L2 tags.
+    pub fn fast_32kb() -> Self {
+        SramFamily { anchor_bits: 32 * 1024, anchor_ns: 3.0, ns_per_doubling: 0.55 }
+    }
+
+    /// The 8 K × 8 (64 Kb) 10 ns BiCMOS SRAM used for the L2 data array.
+    pub fn bicmos_64kb() -> Self {
+        SramFamily { anchor_bits: 64 * 1024, anchor_ns: 10.0, ns_per_doubling: 1.2 }
+    }
+
+    /// Access time for a device of `bits` capacity in this family (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn access_ns(&self, bits: u64) -> f64 {
+        assert!(bits > 0, "capacity must be positive");
+        let doublings = (bits as f64 / self.anchor_bits as f64).log2();
+        (self.anchor_ns + self.ns_per_doubling * doublings).max(0.5)
+    }
+
+    /// Number of anchor-sized chips needed to hold `words` 32-bit words.
+    pub fn chips_for(&self, words: u64) -> u64 {
+        let bits = words * 32;
+        bits.div_ceil(self.anchor_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper_parts() {
+        assert!((SramFamily::fast_32kb().access_ns(32 * 1024) - 3.0).abs() < 1e-12);
+        assert!((SramFamily::bicmos_64kb().access_ns(64 * 1024) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_grows_with_capacity() {
+        let f = SramFamily::fast_32kb();
+        assert!(f.access_ns(64 * 1024) > f.access_ns(32 * 1024));
+        assert!(f.access_ns(16 * 1024) < f.access_ns(32 * 1024));
+    }
+
+    #[test]
+    fn access_never_below_floor() {
+        let f = SramFamily::fast_32kb();
+        assert!(f.access_ns(1) >= 0.5);
+    }
+
+    #[test]
+    fn chips_for_l1_cache() {
+        // A 4 KW (16 KB = 128 Kb) L1 needs four 1Kx32 chips.
+        assert_eq!(SramFamily::fast_32kb().chips_for(4096), 4);
+        // 8 KW needs eight (the paper: "4 more for memory" over the 4 KW
+        // cache's four, plus tag chips).
+        assert_eq!(SramFamily::fast_32kb().chips_for(8192), 8);
+    }
+
+    #[test]
+    fn chips_round_up() {
+        assert_eq!(SramFamily::fast_32kb().chips_for(1), 1);
+        assert_eq!(SramFamily::fast_32kb().chips_for(1025), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_bits_rejected() {
+        let _ = SramFamily::fast_32kb().access_ns(0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Address arithmetic for the simulated machine.
+//!
+//! The target machine is a 32-bit MIPS-architecture processor with 4-byte
+//! words and a 4 KW (16 KB) page size. All addresses in this crate are
+//! **word addresses** (the caches of the paper are word-organized: sizes,
+//! line sizes and fetch sizes are all quoted in words, "W").
+//!
+//! The architecture prefixes an 8-bit process identifier (PID) to every
+//! virtual address so that each process has a distinct address space and the
+//! caches and TLB never need to be flushed on a context switch (§3 of the
+//! paper). [`VirtAddr`] carries the PID in the high bits of a `u64`.
+
+use std::fmt;
+
+/// Bytes per machine word.
+pub const WORD_BYTES: u64 = 4;
+
+/// Words per page: the target machine's page size is 4 KW (16 KB).
+pub const PAGE_WORDS: u64 = 4096;
+
+/// log2 of [`PAGE_WORDS`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Number of bits of a PID prefix (§2: "8 bits in our case").
+pub const PID_BITS: u32 = 8;
+
+/// Bit position where the PID is placed inside a [`VirtAddr`] raw value.
+///
+/// The virtual word-address space of the 32-bit machine spans 30 bits
+/// (2^30 words = 4 GB); the PID sits above it.
+pub const PID_SHIFT: u32 = 32;
+
+/// A process identifier, prefixed to virtual addresses (max 8 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(u8);
+
+impl Pid {
+    /// Creates a new PID.
+    pub const fn new(id: u8) -> Self {
+        Pid(id)
+    }
+
+    /// The raw 8-bit identifier.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl From<u8> for Pid {
+    fn from(v: u8) -> Self {
+        Pid(v)
+    }
+}
+
+/// A PID-prefixed virtual **word** address.
+///
+/// Layout of the raw `u64`: `[ pid : 8 | word address : 32 ]` (the word
+/// address itself only occupies the low 30 bits on the 32-bit target, but we
+/// reserve 32 for headroom in synthetic workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Builds a virtual address from a PID and a word offset within that
+    /// process' address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `word` overflows the 32-bit word-address
+    /// space reserved below the PID prefix.
+    pub fn new(pid: Pid, word: u64) -> Self {
+        debug_assert!(word < (1u64 << PID_SHIFT), "word address overflow");
+        VirtAddr(((pid.0 as u64) << PID_SHIFT) | word)
+    }
+
+    /// The PID prefix.
+    pub fn pid(self) -> Pid {
+        Pid((self.0 >> PID_SHIFT) as u8)
+    }
+
+    /// The word address within the owning process' address space.
+    pub fn word(self) -> u64 {
+        self.0 & ((1u64 << PID_SHIFT) - 1)
+    }
+
+    /// The raw PID-prefixed value. Useful as a flat key: distinct processes
+    /// never collide.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number (within the process), i.e. `word / 4096`.
+    pub fn vpn(self) -> u64 {
+        self.word() >> PAGE_SHIFT
+    }
+
+    /// The word offset within the page.
+    pub fn page_offset(self) -> u64 {
+        self.word() & (PAGE_WORDS - 1)
+    }
+
+    /// Returns the address advanced by `delta` words (same process).
+    pub fn wrapping_add(self, delta: u64) -> Self {
+        VirtAddr::new(self.pid(), (self.word() + delta) & ((1u64 << PID_SHIFT) - 1))
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#010x}", self.pid(), self.word())
+    }
+}
+
+/// A physical **word** address, produced by the page-coloring mapper.
+///
+/// Physical addresses are flat: the PID has been consumed by translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Builds a physical word address.
+    pub const fn new(word: u64) -> Self {
+        PhysAddr(word)
+    }
+
+    /// The raw word address.
+    pub const fn word(self) -> u64 {
+        self.0
+    }
+
+    /// The physical page number.
+    pub const fn ppn(self) -> u64 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// The word offset within the page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_WORDS - 1)
+    }
+
+    /// The address of the enclosing aligned block of `block_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `block_words` is not a power of two.
+    pub fn block_base(self, block_words: u64) -> PhysAddr {
+        debug_assert!(block_words.is_power_of_two());
+        PhysAddr(self.0 & !(block_words - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P:{:#010x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_packs_pid_and_word() {
+        let a = VirtAddr::new(Pid::new(7), 0x1234_5678);
+        assert_eq!(a.pid(), Pid::new(7));
+        assert_eq!(a.word(), 0x1234_5678);
+    }
+
+    #[test]
+    fn distinct_pids_never_collide() {
+        let a = VirtAddr::new(Pid::new(1), 42);
+        let b = VirtAddr::new(Pid::new(2), 42);
+        assert_ne!(a.raw(), b.raw());
+        assert_eq!(a.word(), b.word());
+    }
+
+    #[test]
+    fn vpn_and_offset_split_at_page_boundary() {
+        let a = VirtAddr::new(Pid::new(0), 3 * PAGE_WORDS + 17);
+        assert_eq!(a.vpn(), 3);
+        assert_eq!(a.page_offset(), 17);
+    }
+
+    #[test]
+    fn page_words_matches_shift() {
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_WORDS);
+    }
+
+    #[test]
+    fn phys_block_base_aligns() {
+        let p = PhysAddr::new(0x1237);
+        assert_eq!(p.block_base(4).word(), 0x1234);
+        assert_eq!(p.block_base(32).word(), 0x1220);
+    }
+
+    #[test]
+    fn wrapping_add_stays_in_process() {
+        let a = VirtAddr::new(Pid::new(3), (1u64 << PID_SHIFT) - 2);
+        let b = a.wrapping_add(5);
+        assert_eq!(b.pid(), Pid::new(3));
+        assert_eq!(b.word(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(Pid::new(1), 0)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", Pid::new(9)).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! `trace-tool` — generate, capture and inspect GTRC address traces.
+//!
+//! ```text
+//! trace-tool list
+//! trace-tool gen <benchmark> [--scale S] [--pid N] [-o FILE]
+//! trace-tool info <FILE>
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use gaas_trace::bench_model::suite;
+use gaas_trace::file::{write_trace, TraceReader};
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::stats::TraceStats;
+use gaas_trace::Pid;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<11} {:>12} {:>7} {:>7} {:>9}", "benchmark", "instructions", "loads", "stores", "syscalls");
+            for b in suite() {
+                println!(
+                    "{:<11} {:>12} {:>6.1}% {:>6.1}% {:>9}",
+                    b.name,
+                    b.instructions,
+                    100.0 * b.load_frac,
+                    100.0 * b.store_frac,
+                    b.syscalls
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: trace-tool list\n       trace-tool gen <benchmark> [--scale S] [--pid N] [-o FILE]\n       trace-tool info <FILE>"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("gen: missing benchmark name (see `trace-tool list`)");
+        return ExitCode::from(2);
+    };
+    let mut scale = 1e-3f64;
+    let mut pid = 0u8;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 && v <= 1.0 => scale = v,
+                _ => {
+                    eprintln!("gen: --scale must be in (0, 1]");
+                    return ExitCode::from(2);
+                }
+            },
+            "--pid" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => pid = v,
+                None => {
+                    eprintln!("gen: bad --pid");
+                    return ExitCode::from(2);
+                }
+            },
+            "-o" | "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("gen: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(spec) = suite().into_iter().find(|b| b.name == name.as_str()) else {
+        eprintln!("gen: unknown benchmark '{name}' (see `trace-tool list`)");
+        return ExitCode::from(2);
+    };
+    let events: Vec<_> = TraceGenerator::new(&spec, Pid::new(pid), scale).collect();
+    let stats = TraceStats::from_events(events.iter().copied());
+    eprintln!(
+        "{}: {} events ({} instr, {:.1}% loads, {:.1}% stores, {} syscalls)",
+        spec.name,
+        events.len(),
+        stats.instructions,
+        stats.load_pct(),
+        stats.store_pct(),
+        stats.syscalls
+    );
+    let path = out.unwrap_or_else(|| format!("{name}.gtrc"));
+    match File::create(&path).map(BufWriter::new).and_then(|w| write_trace(w, &events)) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gen: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("info: missing file");
+        return ExitCode::from(2);
+    };
+    let file = match File::open(path) {
+        Ok(f) => BufReader::new(f),
+        Err(e) => {
+            eprintln!("info: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reader = match TraceReader::new(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("info: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let declared = reader.remaining();
+    let mut stats = TraceStats::new();
+    for ev in reader.by_ref() {
+        stats.record(&ev);
+    }
+    if let Some(e) = reader.error() {
+        eprintln!("info: trace damaged after {} events: {e}", stats.references());
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {declared} events");
+    println!(
+        "  {} instructions, {} loads ({:.1}%), {} stores ({:.1}%), {} partial",
+        stats.instructions,
+        stats.loads,
+        stats.load_pct(),
+        stats.stores,
+        stats.store_pct(),
+        stats.partial_stores
+    );
+    println!(
+        "  {} syscalls, stall CPI {:.3}, {} code pages, {} data pages",
+        stats.syscalls,
+        stats.stall_cpi(),
+        stats.code_page_footprint(),
+        stats.data_page_footprint()
+    );
+    ExitCode::SUCCESS
+}

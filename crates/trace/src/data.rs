@@ -1,0 +1,394 @@
+//! Synthetic data-reference model.
+//!
+//! Produces load/store word addresses with three locality mechanisms that
+//! together span the behaviours the paper's workload exhibits:
+//!
+//! * **stack** references — frame-local, very high temporal locality, the
+//!   depth random-walks slowly so the footprint is tiny;
+//! * **nested working-set levels** — uniform references within levels of
+//!   increasing size, with short sequential runs for line-level spatial
+//!   locality; the level sizes and weights shape the miss-ratio-vs-size
+//!   curve of each benchmark;
+//! * **streams** — sequential sweeps over large arrays (FORTRAN kernels
+//!   such as matrix300/tomcatv), which is what keeps the L2-D speed–size
+//!   curve of Fig. 8 improving out to 512 KW.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::addr::PAGE_WORDS;
+use crate::bench_model::DataModel;
+
+/// Word address where the static/heap data segment begins (MIPS convention:
+/// byte 0x1000_0000).
+pub const DATA_BASE_WORD: u64 = 0x0400_0000;
+
+/// Word address of the top of the stack region.
+pub const STACK_TOP_WORD: u64 = 0x1FFF_F000;
+
+/// Words per stack frame in the model.
+const FRAME_WORDS: u64 = 64;
+
+/// Maximum modelled stack depth (frames).
+const MAX_STACK_FRAMES: u64 = 48;
+
+/// Mean length of a sequential run after a jump within a working-set level.
+const MEAN_RUN_WORDS: u32 = 6;
+
+/// Width of a hot-set granule in words. Eight-word granules give the hot
+/// set the spatial locality real programs exhibit at record/struct
+/// granularity (and what makes the paper's 8 W fetch size win, §8).
+pub const GRANULE_WORDS: u64 = 8;
+
+/// Active-window size within a level: cold references land in a window of
+/// at most this many words, which *drifts* across the level, so the
+/// instantaneous working set is small (L2-resident) while the long-run
+/// footprint is the whole level.
+const WINDOW_WORDS: u64 = 1024;
+
+/// The window origin advances [`DRIFT_STEP_WORDS`] every
+/// [`DRIFT_PERIOD`] cold accesses to the level.
+const DRIFT_PERIOD: u32 = 128;
+
+/// Words the window origin advances per drift step.
+const DRIFT_STEP_WORDS: u64 = 8;
+
+#[derive(Debug, Clone, Copy)]
+enum Region {
+    Stack,
+    Level(u32),
+    Stream(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LevelState {
+    base: u64,
+    words: u64,
+    /// Next address of the current sequential run.
+    run_addr: u64,
+    /// Remaining words in the current sequential run.
+    run_left: u32,
+    /// Origin (offset within the level) of the drifting active window.
+    origin: u64,
+    /// Active-window length in words.
+    window: u64,
+    /// Cold accesses since the last drift step.
+    cold_count: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    base: u64,
+    len: u64,
+    pos: u64,
+    repeat: u32,
+    touched: u32,
+}
+
+/// Stateful generator of data-reference word addresses for one process.
+#[derive(Debug, Clone)]
+pub struct DataStream {
+    regions: Vec<(f64, Region)>,
+    levels: Vec<LevelState>,
+    streams: Vec<StreamState>,
+    stack_depth: u64,
+    footprint_words: u64,
+    hot_frac: f64,
+    /// Ring of recently used 4-word granule addresses (the hot set).
+    hot: Vec<u64>,
+    hot_cap: usize,
+    hot_pos: usize,
+}
+
+impl DataStream {
+    /// Lays out the data segment for a model (levels then streams, each
+    /// page-aligned) and initializes region-selection weights.
+    pub fn new(model: &DataModel) -> Self {
+        let mut next_base = DATA_BASE_WORD;
+        let mut page_align = |words: u64| {
+            let base = next_base;
+            next_base += words.div_ceil(PAGE_WORDS) * PAGE_WORDS;
+            base
+        };
+
+        let levels: Vec<LevelState> = model
+            .levels
+            .iter()
+            .map(|l| LevelState {
+                base: page_align(l.words),
+                words: l.words,
+                run_addr: 0,
+                run_left: 0,
+                origin: 0,
+                window: l.words.min(WINDOW_WORDS),
+                cold_count: 0,
+            })
+            .collect();
+        let streams: Vec<StreamState> = model
+            .streams
+            .iter()
+            .map(|s| StreamState {
+                base: page_align(s.len_words),
+                len: s.len_words,
+                pos: 0,
+                repeat: s.repeat.max(1),
+                touched: 0,
+            })
+            .collect();
+
+        let mut regions = Vec::new();
+        let mut acc = 0.0;
+        if model.stack_weight > 0.0 {
+            acc += model.stack_weight;
+            regions.push((acc, Region::Stack));
+        }
+        for (i, l) in model.levels.iter().enumerate() {
+            acc += l.weight;
+            regions.push((acc, Region::Level(i as u32)));
+        }
+        for (i, s) in model.streams.iter().enumerate() {
+            acc += s.weight;
+            regions.push((acc, Region::Stream(i as u32)));
+        }
+        assert!(acc > 0.0, "data model must have at least one weighted region");
+        for (w, _) in &mut regions {
+            *w /= acc;
+        }
+
+        DataStream {
+            regions,
+            levels,
+            streams,
+            stack_depth: 4,
+            footprint_words: next_base - DATA_BASE_WORD,
+            hot_frac: model.hot_frac,
+            hot: Vec::with_capacity(model.hot_lines),
+            hot_cap: model.hot_lines.max(1),
+            hot_pos: 0,
+        }
+    }
+
+    /// Total static/heap footprint in words (excludes the stack region).
+    pub fn footprint_words(&self) -> u64 {
+        self.footprint_words
+    }
+
+    /// Produces the next data word address for a load.
+    pub fn next_addr(&mut self, rng: &mut SmallRng) -> u64 {
+        self.next_addr_kind(rng, false)
+    }
+
+    /// Produces the next data word address for a store. Stores are biased
+    /// further toward the hot set: programs overwhelmingly write locations
+    /// they recently read (the paper's base architecture sees a 98 % write
+    /// hit rate in a 4 KW cache).
+    pub fn next_store_addr(&mut self, rng: &mut SmallRng) -> u64 {
+        self.next_addr_kind(rng, true)
+    }
+
+    fn next_addr_kind(&mut self, rng: &mut SmallRng, store: bool) -> u64 {
+        // Short-reuse-distance mass: re-touch a recent granule. Stores
+        // redirect 90 % of their cold mass to the hot set.
+        let hot_frac = if store {
+            1.0 - (1.0 - self.hot_frac) * 0.10
+        } else {
+            self.hot_frac
+        };
+        if !self.hot.is_empty() && self.hot_frac > 0.0 && rng.gen::<f64>() < hot_frac {
+            let g = self.hot[rng.gen_range(0..self.hot.len())];
+            return g * GRANULE_WORDS + rng.gen_range(0..GRANULE_WORDS);
+        }
+
+        let x: f64 = rng.gen();
+        let region = self
+            .regions
+            .iter()
+            .find(|(w, _)| x < *w)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.regions.last().expect("nonempty regions").1);
+
+        let addr = match region {
+            Region::Stack => {
+                // Slow random walk of the frame depth; accesses land in the
+                // current frame.
+                match rng.gen_range(0u32..64) {
+                    0 => self.stack_depth = (self.stack_depth + 1).min(MAX_STACK_FRAMES),
+                    1 => self.stack_depth = self.stack_depth.saturating_sub(1).max(1),
+                    _ => {}
+                }
+                let frame_base = STACK_TOP_WORD - self.stack_depth * FRAME_WORDS;
+                frame_base + rng.gen_range(0..FRAME_WORDS)
+            }
+            Region::Level(i) => {
+                let l = &mut self.levels[i as usize];
+                if l.run_left == 0 || l.run_addr >= l.base + l.words {
+                    // Jump uniformly within the drifting active window.
+                    let off = (l.origin + rng.gen_range(0..l.window)) % l.words;
+                    l.run_addr = l.base + off;
+                    l.run_left = 1 + rng.gen_range(0..2 * MEAN_RUN_WORDS);
+                    l.cold_count += 1;
+                    if l.cold_count >= DRIFT_PERIOD {
+                        l.cold_count = 0;
+                        l.origin = (l.origin + DRIFT_STEP_WORDS) % l.words;
+                    }
+                }
+                let a = l.run_addr;
+                l.run_addr += 1;
+                l.run_left -= 1;
+                a
+            }
+            Region::Stream(i) => {
+                let s = &mut self.streams[i as usize];
+                let a = s.base + s.pos;
+                s.touched += 1;
+                if s.touched >= s.repeat {
+                    s.touched = 0;
+                    s.pos += 1;
+                    if s.pos >= s.len {
+                        s.pos = 0;
+                    }
+                }
+                a
+            }
+        };
+
+        // Cold references refill the hot set.
+        let granule = addr / GRANULE_WORDS;
+        if self.hot.len() < self.hot_cap {
+            self.hot.push(granule);
+        } else {
+            self.hot[self.hot_pos] = granule;
+            self.hot_pos = (self.hot_pos + 1) % self.hot_cap;
+        }
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_model::{StreamSpec, WorkingSetLevel};
+    use rand::SeedableRng;
+
+    fn model() -> DataModel {
+        DataModel {
+            hot_frac: 0.0,
+            hot_lines: 64,
+            stack_weight: 0.3,
+            levels: vec![
+                WorkingSetLevel { words: 1024, weight: 0.3 },
+                WorkingSetLevel { words: 32768, weight: 0.2 },
+            ],
+            streams: vec![StreamSpec { len_words: 8192, weight: 0.2, repeat: 1 }],
+            partial_store_frac: 0.1,
+        }
+    }
+
+    #[test]
+    fn addresses_fall_in_known_regions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut d = DataStream::new(&model());
+        let fp = d.footprint_words();
+        for _ in 0..100_000 {
+            let a = d.next_addr(&mut rng);
+            let in_data = (DATA_BASE_WORD..DATA_BASE_WORD + fp).contains(&a);
+            let in_stack =
+                (STACK_TOP_WORD - MAX_STACK_FRAMES * FRAME_WORDS..STACK_TOP_WORD).contains(&a);
+            assert!(in_data || in_stack, "stray address {a:#x}");
+        }
+    }
+
+    #[test]
+    fn regions_are_page_aligned_and_disjoint() {
+        let d = DataStream::new(&model());
+        let mut prev_end = DATA_BASE_WORD;
+        for l in &d.levels {
+            assert_eq!(l.base % PAGE_WORDS, 0);
+            assert!(l.base >= prev_end);
+            prev_end = l.base + l.words;
+        }
+        for s in &d.streams {
+            assert_eq!(s.base % PAGE_WORDS, 0);
+            assert!(s.base >= prev_end);
+            prev_end = s.base + s.len;
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let run = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut d = DataStream::new(&model());
+            (0..5_000).map(|_| d.next_addr(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn streams_sweep_sequentially() {
+        let m = DataModel {
+            hot_frac: 0.0,
+            hot_lines: 64,
+            stack_weight: 0.0,
+            levels: vec![],
+            streams: vec![StreamSpec { len_words: 100, weight: 1.0, repeat: 1 }],
+            partial_store_frac: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut d = DataStream::new(&m);
+        let first = d.next_addr(&mut rng);
+        for i in 1..250 {
+            let a = d.next_addr(&mut rng);
+            assert_eq!(a, first + (i % 100), "wraps at stream length");
+        }
+    }
+
+    #[test]
+    fn stack_only_model_has_tiny_footprint() {
+        let m = DataModel {
+            hot_frac: 0.0,
+            hot_lines: 64,
+            stack_weight: 1.0,
+            levels: vec![],
+            streams: vec![],
+            partial_store_frac: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut d = DataStream::new(&m);
+        use std::collections::HashSet;
+        let uniq: HashSet<u64> = (0..50_000).map(|_| d.next_addr(&mut rng)).collect();
+        assert!(uniq.len() as u64 <= MAX_STACK_FRAMES * FRAME_WORDS + FRAME_WORDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weighted region")]
+    fn empty_model_panics() {
+        let m = DataModel {
+            hot_frac: 0.0,
+            hot_lines: 64,
+            stack_weight: 0.0,
+            levels: vec![],
+            streams: vec![],
+            partial_store_frac: 0.0,
+        };
+        let _ = DataStream::new(&m);
+    }
+
+    #[test]
+    fn level_runs_stay_inside_level() {
+        let m = DataModel {
+            hot_frac: 0.0,
+            hot_lines: 64,
+            stack_weight: 0.0,
+            levels: vec![WorkingSetLevel { words: 64, weight: 1.0 }],
+            streams: vec![],
+            partial_store_frac: 0.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut d = DataStream::new(&m);
+        for _ in 0..10_000 {
+            let a = d.next_addr(&mut rng);
+            assert!((DATA_BASE_WORD..DATA_BASE_WORD + 64).contains(&a));
+        }
+    }
+}

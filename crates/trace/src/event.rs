@@ -1,0 +1,152 @@
+//! Trace events — the unit of communication between workload and simulator.
+//!
+//! Mirrors what the paper's `pixie`-instrumented binaries produce: a stream
+//! of instruction-fetch and data-reference addresses, augmented with the
+//! information the multiprogramming simulator needs (voluntary system-call
+//! markers, §3) and the information the CPI model needs (per-instruction
+//! processor stall cycles, which the paper folds into the 1.238 base CPI).
+
+use crate::addr::VirtAddr;
+
+/// The kind of memory reference an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An instruction fetch (exactly one per executed instruction).
+    IFetch,
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Load`] and [`AccessKind::Store`].
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::IFetch)
+    }
+}
+
+/// One reference in an address trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What kind of reference this is.
+    pub kind: AccessKind,
+    /// The PID-prefixed virtual word address referenced.
+    pub addr: VirtAddr,
+    /// Processor stall cycles charged to this instruction over and above the
+    /// single issue cycle (load delays, branch delays, multicycle FP — the
+    /// paper's `CPU_stall_cycles`). Only meaningful on [`AccessKind::IFetch`]
+    /// events.
+    pub stall_cycles: u8,
+    /// For stores: true when the store writes less than a full word.
+    /// Partial-word writes do not set valid bits under subblock placement
+    /// (§6).
+    pub partial_word: bool,
+    /// True when this instruction is a voluntary system call; the simulator
+    /// pessimistically context-switches at every such instruction (§3). Only
+    /// meaningful on [`AccessKind::IFetch`] events.
+    pub syscall: bool,
+}
+
+impl TraceEvent {
+    /// Convenience constructor for an instruction fetch.
+    pub fn ifetch(addr: VirtAddr, stall_cycles: u8) -> Self {
+        TraceEvent { kind: AccessKind::IFetch, addr, stall_cycles, partial_word: false, syscall: false }
+    }
+
+    /// Convenience constructor for a load.
+    pub fn load(addr: VirtAddr) -> Self {
+        TraceEvent { kind: AccessKind::Load, addr, stall_cycles: 0, partial_word: false, syscall: false }
+    }
+
+    /// Convenience constructor for a full-word store.
+    pub fn store(addr: VirtAddr) -> Self {
+        TraceEvent { kind: AccessKind::Store, addr, stall_cycles: 0, partial_word: false, syscall: false }
+    }
+
+    /// Convenience constructor for a partial-word store.
+    pub fn partial_store(addr: VirtAddr) -> Self {
+        TraceEvent { kind: AccessKind::Store, addr, stall_cycles: 0, partial_word: true, syscall: false }
+    }
+
+    /// Marks this event as a voluntary system-call instruction.
+    pub fn with_syscall(mut self) -> Self {
+        self.syscall = true;
+        self
+    }
+}
+
+/// A source of trace events.
+///
+/// A `Trace` is an [`Iterator`] of [`TraceEvent`]s with a human-readable
+/// name; the simulator treats each trace as one process of the
+/// multiprogramming workload. The trait is object-safe so heterogeneous
+/// workloads (synthetic generators, file-backed traces, test fixtures) can
+/// be mixed.
+pub trait Trace: Iterator<Item = TraceEvent> {
+    /// Human-readable benchmark name (used in reports).
+    fn name(&self) -> &str;
+}
+
+/// A trivial [`Trace`] over an in-memory event vector, mainly for tests.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    name: String,
+    events: std::vec::IntoIter<TraceEvent>,
+}
+
+impl VecTrace {
+    /// Wraps a vector of events as a named trace.
+    pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
+        VecTrace { name: name.into(), events: events.into_iter() }
+    }
+}
+
+impl Iterator for VecTrace {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.events.next()
+    }
+}
+
+impl Trace for VecTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pid;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = VirtAddr::new(Pid::new(0), 100);
+        assert_eq!(TraceEvent::ifetch(a, 2).kind, AccessKind::IFetch);
+        assert_eq!(TraceEvent::load(a).kind, AccessKind::Load);
+        assert_eq!(TraceEvent::store(a).kind, AccessKind::Store);
+        assert!(TraceEvent::partial_store(a).partial_word);
+        assert!(!TraceEvent::store(a).partial_word);
+        assert!(TraceEvent::ifetch(a, 0).with_syscall().syscall);
+    }
+
+    #[test]
+    fn is_data_distinguishes_fetches() {
+        assert!(!AccessKind::IFetch.is_data());
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn vec_trace_yields_in_order() {
+        let a = VirtAddr::new(Pid::new(1), 0);
+        let evs = vec![TraceEvent::ifetch(a, 0), TraceEvent::load(a.wrapping_add(1))];
+        let mut t = VecTrace::new("t", evs.clone());
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.next(), Some(evs[0]));
+        assert_eq!(t.next(), Some(evs[1]));
+        assert_eq!(t.next(), None);
+    }
+}

@@ -1,0 +1,373 @@
+//! Compact binary trace file format.
+//!
+//! Lets workloads be captured once and replayed (the paper pipes `pixie`
+//! output through file descriptors; we offer files as the moral
+//! equivalent for fixtures and debugging). The format is versioned and
+//! self-describing:
+//!
+//! ```text
+//! magic "GTRC" | version u32 LE | event count u64 LE | events...
+//! event: tag u8 | stall u8 | addr u64 LE
+//! tag bits: [1:0] kind (0=IFetch, 1=Load, 2=Store), [2] partial, [3] syscall
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::addr::VirtAddr;
+use crate::event::{AccessKind, Trace, TraceEvent};
+
+const MAGIC: [u8; 4] = *b"GTRC";
+const VERSION: u32 = 1;
+
+/// Error raised when reading a malformed trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// An event record carried an invalid kind tag.
+    BadKind(u8),
+    /// The stream ended before the declared event count was read.
+    Truncated,
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => write!(f, "not a GTRC trace file"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::BadKind(k) => write!(f, "invalid event kind tag {k}"),
+            ReadTraceError::Truncated => write!(f, "trace file truncated"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn encode_tag(ev: &TraceEvent) -> u8 {
+    let kind = match ev.kind {
+        AccessKind::IFetch => 0u8,
+        AccessKind::Load => 1,
+        AccessKind::Store => 2,
+    };
+    kind | ((ev.partial_word as u8) << 2) | ((ev.syscall as u8) << 3)
+}
+
+fn decode_tag(tag: u8) -> Result<(AccessKind, bool, bool), ReadTraceError> {
+    let kind = match tag & 0b11 {
+        0 => AccessKind::IFetch,
+        1 => AccessKind::Load,
+        2 => AccessKind::Store,
+        k => return Err(ReadTraceError::BadKind(k)),
+    };
+    Ok((kind, tag & 0b100 != 0, tag & 0b1000 != 0))
+}
+
+/// Writes `events` to `writer` in GTRC format.
+///
+/// A `&mut` reference to a writer can be passed where a writer is expected.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// # use gaas_trace::{file, TraceEvent, VirtAddr, Pid};
+/// # fn main() -> std::io::Result<()> {
+/// let events = vec![TraceEvent::ifetch(VirtAddr::new(Pid::new(0), 64), 0)];
+/// let mut buf = Vec::new();
+/// file::write_trace(&mut buf, &events)?;
+/// let back = file::read_trace(buf.as_slice()).expect("well-formed");
+/// assert_eq!(back, events);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, events: &[TraceEvent]) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(events.len() as u64).to_le_bytes())?;
+    for ev in events {
+        writer.write_all(&[encode_tag(ev), ev.stall_cycles])?;
+        writer.write_all(&ev.addr.raw().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a complete GTRC trace from `reader`.
+///
+/// A `&mut` reference to a reader can be passed where a reader is expected.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<TraceEvent>, ReadTraceError> {
+    let mut r = TraceReader::new(reader)?;
+    let mut events = Vec::with_capacity(r.remaining().min(1 << 24) as usize);
+    events.extend(r.by_ref());
+    match r.error.take() {
+        Some(e) => Err(e),
+        None => Ok(events),
+    }
+}
+
+fn raw_to_addr(raw: u64) -> VirtAddr {
+    use crate::addr::{Pid, PID_SHIFT};
+    VirtAddr::new(Pid::new((raw >> PID_SHIFT) as u8), raw & ((1u64 << PID_SHIFT) - 1))
+}
+
+/// A streaming GTRC reader: yields events incrementally without
+/// materializing the whole trace (full-scale traces run to billions of
+/// events). Malformed records end the stream; check
+/// [`TraceReader::error`] after exhaustion to distinguish clean EOF from
+/// corruption.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    remaining: u64,
+    error: Option<ReadTraceError>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a GTRC stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] when the header is malformed.
+    pub fn new(mut reader: R) -> Result<Self, ReadTraceError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(ReadTraceError::BadMagic);
+        }
+        let mut v = [0u8; 4];
+        reader.read_exact(&mut v)?;
+        let version = u32::from_le_bytes(v);
+        if version != VERSION {
+            return Err(ReadTraceError::BadVersion(version));
+        }
+        let mut c = [0u8; 8];
+        reader.read_exact(&mut c)?;
+        Ok(TraceReader { reader, remaining: u64::from_le_bytes(c), error: None })
+    }
+
+    /// Events left to read.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The error that terminated the stream early, if any.
+    pub fn error(&self) -> Option<&ReadTraceError> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.remaining == 0 || self.error.is_some() {
+            return None;
+        }
+        let mut rec = [0u8; 10];
+        if let Err(e) = self.reader.read_exact(&mut rec) {
+            self.error = Some(if e.kind() == io::ErrorKind::UnexpectedEof {
+                ReadTraceError::Truncated
+            } else {
+                ReadTraceError::Io(e)
+            });
+            return None;
+        }
+        let (kind, partial_word, syscall) = match decode_tag(rec[0]) {
+            Ok(t) => t,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+        };
+        self.remaining -= 1;
+        let raw = u64::from_le_bytes(rec[2..10].try_into().expect("slice is 8 bytes"));
+        Some(TraceEvent {
+            kind,
+            addr: raw_to_addr(raw),
+            stall_cycles: rec[1],
+            partial_word,
+            syscall,
+        })
+    }
+}
+
+/// A file-backed [`Trace`]: replays an in-memory vector read with
+/// [`read_trace`] under a benchmark name.
+#[derive(Debug, Clone)]
+pub struct FileTrace {
+    name: String,
+    iter: std::vec::IntoIter<TraceEvent>,
+}
+
+impl FileTrace {
+    /// Reads a complete trace from `reader` and wraps it as a named trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] on I/O failure or malformed input.
+    pub fn from_reader<R: Read>(name: impl Into<String>, reader: R) -> Result<Self, ReadTraceError> {
+        Ok(FileTrace { name: name.into(), iter: read_trace(reader)?.into_iter() })
+    }
+}
+
+impl Iterator for FileTrace {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.iter.next()
+    }
+}
+
+impl Trace for FileTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pid;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let a = VirtAddr::new(Pid::new(3), 0x1000);
+        vec![
+            TraceEvent::ifetch(a, 2).with_syscall(),
+            TraceEvent::load(a.wrapping_add(4)),
+            TraceEvent::partial_store(a.wrapping_add(8)),
+            TraceEvent::store(a.wrapping_add(12)),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GTRC");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        buf.truncate(buf.len() - 5);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GTRC");
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(0b11); // kind tag 3 is invalid
+        buf.push(0);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadKind(3)));
+    }
+
+    #[test]
+    fn file_trace_replays_with_name() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let t = FileTrace::from_reader("fixture", buf.as_slice()).expect("read");
+        assert_eq!(t.name(), "fixture");
+        assert_eq!(t.collect::<Vec<_>>(), events);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).expect("write");
+        assert!(read_trace(buf.as_slice()).expect("read").is_empty());
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_reader() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        assert_eq!(r.remaining(), events.len() as u64);
+        let streamed: Vec<_> = r.by_ref().collect();
+        assert_eq!(streamed, events);
+        assert!(r.error().is_none(), "clean EOF");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn streaming_reader_reports_truncation() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        buf.truncate(buf.len() - 5);
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        let streamed: Vec<_> = r.by_ref().collect();
+        assert_eq!(streamed.len(), events.len() - 1);
+        assert!(matches!(r.error(), Some(ReadTraceError::Truncated)));
+    }
+
+    #[test]
+    fn streaming_reader_rejects_bad_header() {
+        assert!(matches!(TraceReader::new(&b"XXXX"[..]).unwrap_err(), ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ReadTraceError::BadMagic,
+            ReadTraceError::BadVersion(2),
+            ReadTraceError::BadKind(3),
+            ReadTraceError::Truncated,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

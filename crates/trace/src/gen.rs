@@ -1,0 +1,297 @@
+//! The synthetic trace generator: one [`TraceGenerator`] per process.
+//!
+//! Combines the instruction-stream model ([`crate::instr`]) and the
+//! data-reference model ([`crate::data`]) under the per-benchmark parameters
+//! of [`crate::bench_model`], producing the same event stream shape the
+//! paper obtains from `pixie`: an instruction fetch per instruction,
+//! followed by a data reference for load/store instructions, with voluntary
+//! system-call markers and per-instruction processor-stall annotations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::{Pid, VirtAddr, PAGE_WORDS};
+use crate::bench_model::BenchmarkSpec;
+use crate::data::DataStream;
+use crate::event::{Trace, TraceEvent};
+use crate::instr::InstrStream;
+
+/// Streaming, deterministic generator of [`TraceEvent`]s for one benchmark.
+///
+/// Implements [`Iterator`] and [`Trace`]; the stream ends after the scaled
+/// instruction budget is exhausted (the benchmark "terminates", §3). All
+/// randomness derives from the spec's seed, so a `(spec, pid, scale)` triple
+/// always yields the identical trace.
+///
+/// # Examples
+///
+/// ```
+/// use gaas_trace::{bench_model, gen::TraceGenerator, Pid};
+///
+/// let spec = &bench_model::suite()[0];
+/// let events: Vec<_> = TraceGenerator::new(spec, Pid::new(0), 1e-5).collect();
+/// assert!(!events.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    name: &'static str,
+    pid: Pid,
+    /// Per-process layout stagger in words (whole pages). Real programs
+    /// have distinct virtual layouts; without a stagger every process'
+    /// segments would share page colors and collide in the same L2 set
+    /// groups under page coloring.
+    stagger_words: u64,
+    rng: SmallRng,
+    instr: InstrStream,
+    data: DataStream,
+    /// Remaining instructions to emit.
+    budget: u64,
+    /// Instructions until the next voluntary system call.
+    until_syscall: u64,
+    syscall_interval: u64,
+    /// Data event to emit after the current instruction fetch.
+    pending: Option<TraceEvent>,
+    load_frac: f64,
+    store_frac: f64,
+    partial_store_frac: f64,
+    branch_stall_p: f64,
+    load_use_prob: f64,
+    fp_frac: f64,
+    fp_stall_cycles: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `spec`, tagging every address with `pid`,
+    /// with the instruction budget scaled by `scale` (see
+    /// [`BenchmarkSpec::scaled_instructions`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn new(spec: &BenchmarkSpec, pid: Pid, scale: f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ ((pid.raw() as u64) << 56));
+        let instr = InstrStream::new(&spec.code, &mut rng);
+        let data = DataStream::new(&spec.data);
+        let syscall_interval = spec.syscall_interval();
+        TraceGenerator {
+            name: spec.name,
+            pid,
+            stagger_words: ((pid.raw() as u64 * 41 + 13) % 199) * PAGE_WORDS,
+            rng,
+            instr,
+            data,
+            budget: spec.scaled_instructions(scale),
+            until_syscall: syscall_interval,
+            syscall_interval,
+            pending: None,
+            load_frac: spec.load_frac,
+            store_frac: spec.store_frac,
+            partial_store_frac: spec.data.partial_store_frac,
+            branch_stall_p: spec.stalls.branch_frac * spec.stalls.branch_stall_prob,
+            load_use_prob: spec.stalls.load_use_prob,
+            fp_frac: spec.stalls.fp_frac,
+            fp_stall_cycles: spec.stalls.fp_stall_cycles,
+        }
+    }
+
+    /// Remaining instruction budget.
+    pub fn remaining_instructions(&self) -> u64 {
+        self.budget
+    }
+
+    /// The PID this generator stamps on addresses.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Samples an integer stall with mean `mean` (floor + Bernoulli on the
+    /// fractional part), keeping the expected value exact.
+    fn sample_stall(&mut self, mean: f64) -> u8 {
+        let floor = mean.floor();
+        let frac = mean - floor;
+        let extra = if self.rng.gen::<f64>() < frac { 1.0 } else { 0.0 };
+        (floor + extra) as u8
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        if let Some(ev) = self.pending.take() {
+            return Some(ev);
+        }
+        if self.budget == 0 {
+            return None;
+        }
+        self.budget -= 1;
+
+        let iaddr =
+            VirtAddr::new(self.pid, self.instr.next_addr(&mut self.rng) + self.stagger_words);
+
+        // Classify the instruction.
+        let class: f64 = self.rng.gen();
+        let is_load = class < self.load_frac;
+        let is_store = !is_load && class < self.load_frac + self.store_frac;
+
+        // Processor stalls (the paper's CPU_stall_cycles).
+        let mut stall = 0u8;
+        if self.rng.gen::<f64>() < self.branch_stall_p {
+            stall += 1;
+        }
+        if is_load && self.rng.gen::<f64>() < self.load_use_prob {
+            stall += 1;
+        }
+        if self.rng.gen::<f64>() < self.fp_frac {
+            stall += self.sample_stall(self.fp_stall_cycles);
+        }
+
+        // Voluntary syscall marker.
+        let mut syscall = false;
+        self.until_syscall = self.until_syscall.saturating_sub(1);
+        if self.until_syscall == 0 {
+            syscall = true;
+            self.until_syscall = self.syscall_interval;
+        }
+
+        if is_load || is_store {
+            let word = if is_store {
+                self.data.next_store_addr(&mut self.rng)
+            } else {
+                self.data.next_addr(&mut self.rng)
+            };
+            let daddr = VirtAddr::new(self.pid, word + self.stagger_words);
+            self.pending = Some(if is_load {
+                TraceEvent::load(daddr)
+            } else if self.rng.gen::<f64>() < self.partial_store_frac {
+                TraceEvent::partial_store(daddr)
+            } else {
+                TraceEvent::store(daddr)
+            });
+        }
+
+        let mut ev = TraceEvent::ifetch(iaddr, stall);
+        ev.syscall = syscall;
+        Some(ev)
+    }
+}
+
+impl Trace for TraceGenerator {
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_model::suite;
+    use crate::event::AccessKind;
+
+    fn small(name_idx: usize) -> TraceGenerator {
+        TraceGenerator::new(&suite()[name_idx], Pid::new(1), 2e-3)
+    }
+
+    #[test]
+    fn event_stream_shape_ifetch_then_data() {
+        let mut expecting_data = false;
+        for ev in small(0).take(50_000) {
+            match ev.kind {
+                AccessKind::IFetch => {
+                    assert!(!expecting_data, "data event skipped");
+                    expecting_data = false;
+                }
+                AccessKind::Load | AccessKind::Store => expecting_data = false,
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_pid() {
+        let a: Vec<_> = small(1).take(20_000).collect();
+        let b: Vec<_> = small(1).take(20_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = TraceGenerator::new(&suite()[1], Pid::new(2), 2e-3).take(20_000).collect();
+        assert_ne!(a, c, "different PID gives different stream");
+    }
+
+    #[test]
+    fn mix_matches_spec_within_tolerance() {
+        let spec = &suite()[3]; // li
+        let gen = TraceGenerator::new(spec, Pid::new(0), 5e-3);
+        let (mut ifetch, mut loads, mut stores) = (0u64, 0u64, 0u64);
+        for ev in gen {
+            match ev.kind {
+                AccessKind::IFetch => ifetch += 1,
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            }
+        }
+        let lf = loads as f64 / ifetch as f64;
+        let sf = stores as f64 / ifetch as f64;
+        assert!((lf - spec.load_frac).abs() < 0.01, "load frac {lf}");
+        assert!((sf - spec.store_frac).abs() < 0.01, "store frac {sf}");
+    }
+
+    #[test]
+    fn stall_cpi_matches_expected_within_tolerance() {
+        let spec = &suite()[0]; // doduc
+        let gen = TraceGenerator::new(spec, Pid::new(0), 5e-3);
+        let (mut ifetch, mut stalls) = (0u64, 0u64);
+        for ev in gen {
+            if ev.kind == AccessKind::IFetch {
+                ifetch += 1;
+                stalls += ev.stall_cycles as u64;
+            }
+        }
+        let mean = stalls as f64 / ifetch as f64;
+        let expect = spec.expected_stall_cpi();
+        assert!((mean - expect).abs() < 0.02, "stall {mean} vs expected {expect}");
+    }
+
+    #[test]
+    fn syscalls_fire_at_spec_interval() {
+        let spec = &suite()[2]; // gcc: syscall every ~21.9k instructions
+        let gen = TraceGenerator::new(spec, Pid::new(0), 5e-3);
+        let mut ifetch = 0u64;
+        let mut syscalls = 0u64;
+        for ev in gen {
+            if ev.kind == AccessKind::IFetch {
+                ifetch += 1;
+                if ev.syscall {
+                    syscalls += 1;
+                }
+            }
+        }
+        let expected = ifetch / spec.syscall_interval();
+        assert!(
+            syscalls >= expected.saturating_sub(1) && syscalls <= expected + 1,
+            "syscalls {syscalls}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn terminates_at_scaled_budget() {
+        let spec = &suite()[0];
+        let gen = TraceGenerator::new(spec, Pid::new(0), 1e-4);
+        let want = spec.scaled_instructions(1e-4);
+        let ifetches = gen.filter(|e| e.kind == AccessKind::IFetch).count() as u64;
+        assert_eq!(ifetches, want);
+    }
+
+    #[test]
+    fn all_addresses_carry_generator_pid() {
+        for ev in small(4).take(30_000) {
+            assert_eq!(ev.addr.pid(), Pid::new(1));
+        }
+    }
+
+    #[test]
+    fn partial_stores_only_on_stores() {
+        for ev in small(2).take(50_000) {
+            if ev.partial_word {
+                assert_eq!(ev.kind, AccessKind::Store);
+            }
+        }
+    }
+}

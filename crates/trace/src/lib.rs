@@ -1,0 +1,47 @@
+//! # gaas-trace
+//!
+//! Address-trace model and synthetic multiprogramming workload for the
+//! reproduction of *"Implementing a Cache for a High-Performance GaAs
+//! Microprocessor"* (Olukotun, Mudge, Brown — ISCA 1991).
+//!
+//! The paper drives its two-level cache simulator with `pixie`-generated
+//! address traces of ten MIPS benchmarks (~2.5 billion references). This
+//! crate supplies the equivalent substrate:
+//!
+//! * [`addr`] — word-granular, PID-prefixed virtual addresses and physical
+//!   addresses for the 4 KW-page target machine;
+//! * [`event`] — the [`TraceEvent`] stream contract between workloads and
+//!   the simulator, including syscall markers and CPU-stall annotations;
+//! * [`bench_model`] — parametric models of the ten benchmarks (Table 1
+//!   analog);
+//! * [`instr`] / [`data`] — the instruction-fetch and data-reference
+//!   locality models;
+//! * [`gen`] — the deterministic streaming [`gen::TraceGenerator`];
+//! * [`file`](mod@crate::file) — a compact binary trace format for capture/replay;
+//! * [`stats`] — trace characterization (regenerates Table 1 columns);
+//! * [`synthetic`] — diagnostic access patterns with known cache behaviour.
+//!
+//! ## Example
+//!
+//! ```
+//! use gaas_trace::{bench_model, gen::TraceGenerator, stats::TraceStats, Pid};
+//!
+//! let spec = &bench_model::suite()[0]; // doduc analog
+//! let trace = TraceGenerator::new(spec, Pid::new(0), 1e-4);
+//! let stats = TraceStats::from_events(trace);
+//! assert!(stats.instructions > 0);
+//! assert!(stats.load_pct() > 10.0);
+//! ```
+
+pub mod addr;
+pub mod bench_model;
+pub mod data;
+pub mod event;
+pub mod file;
+pub mod gen;
+pub mod instr;
+pub mod stats;
+pub mod synthetic;
+
+pub use addr::{PhysAddr, Pid, VirtAddr, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
+pub use event::{AccessKind, Trace, TraceEvent, VecTrace};

@@ -1,0 +1,212 @@
+//! Trace characterization — regenerates the columns of Table 1.
+//!
+//! [`TraceStats`] consumes an event stream and accumulates the quantities
+//! the paper reports for its workload: instruction count, loads and stores
+//! as a fraction of instructions, and the number of voluntary system calls.
+//! It additionally tracks the touched-page footprint, which the paper uses
+//! implicitly (page coloring, working-set arguments).
+
+use std::collections::HashSet;
+
+use crate::event::{AccessKind, TraceEvent};
+
+/// Accumulated characteristics of a trace (one row of Table 1).
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Executed instructions (IFetch events).
+    pub instructions: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Stores that wrote less than a full word.
+    pub partial_stores: u64,
+    /// Voluntary system calls observed.
+    pub syscalls: u64,
+    /// Total processor stall cycles annotated on instructions.
+    pub stall_cycles: u64,
+    /// Distinct virtual pages touched by instruction fetches.
+    code_pages: HashSet<u64>,
+    /// Distinct virtual pages touched by data references.
+    data_pages: HashSet<u64>,
+}
+
+impl TraceStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TraceStats::default()
+    }
+
+    /// Folds one event into the statistics.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        match ev.kind {
+            AccessKind::IFetch => {
+                self.instructions += 1;
+                self.stall_cycles += ev.stall_cycles as u64;
+                if ev.syscall {
+                    self.syscalls += 1;
+                }
+                self.code_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+            }
+            AccessKind::Load => {
+                self.loads += 1;
+                self.data_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+            }
+            AccessKind::Store => {
+                self.stores += 1;
+                if ev.partial_word {
+                    self.partial_stores += 1;
+                }
+                self.data_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+            }
+        }
+    }
+
+    /// Characterizes an entire event stream.
+    pub fn from_events<I: IntoIterator<Item = TraceEvent>>(events: I) -> Self {
+        let mut s = TraceStats::new();
+        for ev in events {
+            s.record(&ev);
+        }
+        s
+    }
+
+    /// Total memory references (fetches + loads + stores).
+    pub fn references(&self) -> u64 {
+        self.instructions + self.loads + self.stores
+    }
+
+    /// Loads as a percentage of instructions (Table 1 column).
+    pub fn load_pct(&self) -> f64 {
+        percent(self.loads, self.instructions)
+    }
+
+    /// Stores as a percentage of instructions (Table 1 column).
+    pub fn store_pct(&self) -> f64 {
+        percent(self.stores, self.instructions)
+    }
+
+    /// Mean processor stall cycles per instruction.
+    pub fn stall_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Distinct instruction pages touched.
+    pub fn code_page_footprint(&self) -> usize {
+        self.code_pages.len()
+    }
+
+    /// Distinct data pages touched.
+    pub fn data_page_footprint(&self) -> usize {
+        self.data_pages.len()
+    }
+
+    /// Merges another accumulator into this one (suite totals).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.partial_stores += other.partial_stores;
+        self.syscalls += other.syscalls;
+        self.stall_cycles += other.stall_cycles;
+        self.code_pages.extend(other.code_pages.iter().copied());
+        self.data_pages.extend(other.data_pages.iter().copied());
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Pid, VirtAddr, PAGE_WORDS};
+
+    fn addr(w: u64) -> VirtAddr {
+        VirtAddr::new(Pid::new(0), w)
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let s = TraceStats::from_events(vec![
+            TraceEvent::ifetch(addr(0), 1),
+            TraceEvent::load(addr(10)),
+            TraceEvent::ifetch(addr(1), 0).with_syscall(),
+            TraceEvent::partial_store(addr(20)),
+        ]);
+        assert_eq!(s.instructions, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.partial_stores, 1);
+        assert_eq!(s.syscalls, 1);
+        assert_eq!(s.stall_cycles, 1);
+        assert_eq!(s.references(), 4);
+    }
+
+    #[test]
+    fn percentages_and_cpi() {
+        let mut evs = vec![];
+        for i in 0..100 {
+            evs.push(TraceEvent::ifetch(addr(i), if i % 2 == 0 { 1 } else { 0 }));
+        }
+        for i in 0..25 {
+            evs.push(TraceEvent::load(addr(1000 + i)));
+        }
+        for i in 0..10 {
+            evs.push(TraceEvent::store(addr(2000 + i)));
+        }
+        let s = TraceStats::from_events(evs);
+        assert!((s.load_pct() - 25.0).abs() < 1e-9);
+        assert!((s.store_pct() - 10.0).abs() < 1e-9);
+        assert!((s.stall_cpi() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_footprints_count_distinct_pages() {
+        let s = TraceStats::from_events(vec![
+            TraceEvent::ifetch(addr(0), 0),
+            TraceEvent::ifetch(addr(1), 0),
+            TraceEvent::ifetch(addr(PAGE_WORDS), 0),
+            TraceEvent::load(addr(5 * PAGE_WORDS)),
+            TraceEvent::load(addr(5 * PAGE_WORDS + 7)),
+        ]);
+        assert_eq!(s.code_page_footprint(), 2);
+        assert_eq!(s.data_page_footprint(), 1);
+    }
+
+    #[test]
+    fn different_pids_have_distinct_pages() {
+        let a = VirtAddr::new(Pid::new(1), 0);
+        let b = VirtAddr::new(Pid::new(2), 0);
+        let s = TraceStats::from_events(vec![TraceEvent::load(a), TraceEvent::load(b)]);
+        assert_eq!(s.data_page_footprint(), 2);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let a = TraceStats::from_events(vec![TraceEvent::ifetch(addr(0), 2)]);
+        let b = TraceStats::from_events(vec![TraceEvent::load(addr(9))]);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.instructions, 1);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.stall_cycles, 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.references(), 0);
+        assert_eq!(s.load_pct(), 0.0);
+        assert_eq!(s.stall_cpi(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Small synthetic access patterns with known cache behaviour.
+//!
+//! These are *diagnostic* workloads — not the Table 1 suite — whose miss
+//! behaviour can be predicted exactly: sequential sweeps (pure spatial
+//! locality), uniform random (tunable footprint), direct-mapped ping-pong
+//! (pure conflicts), and strided sweeps (pathological for a given line
+//! size). They are used by tests and benches across the workspace and are
+//! handy when validating a new configuration against first principles.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::{Pid, VirtAddr};
+use crate::event::{Trace, TraceEvent};
+
+/// A named synthetic trace backed by a closure-generated event vector.
+#[derive(Debug, Clone)]
+pub struct SyntheticTrace {
+    name: String,
+    events: std::vec::IntoIter<TraceEvent>,
+}
+
+impl SyntheticTrace {
+    fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
+        SyntheticTrace { name: name.into(), events: events.into_iter() }
+    }
+}
+
+impl Iterator for SyntheticTrace {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.events.next()
+    }
+}
+
+impl Trace for SyntheticTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Interleaves each generated data address with an instruction fetch from a
+/// tiny loop (so the stream satisfies the one-fetch-per-instruction
+/// contract the scheduler expects).
+fn with_ifetches(pid: Pid, name: &str, data: Vec<(u64, bool)>) -> SyntheticTrace {
+    let mut events = Vec::with_capacity(data.len() * 2);
+    for (i, (addr, is_store)) in data.into_iter().enumerate() {
+        events.push(TraceEvent::ifetch(VirtAddr::new(pid, (i % 16) as u64), 0));
+        let va = VirtAddr::new(pid, addr);
+        events.push(if is_store { TraceEvent::store(va) } else { TraceEvent::load(va) });
+    }
+    SyntheticTrace::new(name, events)
+}
+
+/// A sequential read sweep over `len_words` starting at `base`, repeated
+/// `passes` times: one L1 miss per line per pass once the footprint
+/// exceeds the cache.
+pub fn sequential(pid: Pid, base: u64, len_words: u64, passes: u32) -> SyntheticTrace {
+    let mut data = Vec::new();
+    for _ in 0..passes {
+        for w in 0..len_words {
+            data.push((base + w, false));
+        }
+    }
+    with_ifetches(pid, "sequential", data)
+}
+
+/// `n` uniform random reads over a `footprint_words` region: the miss
+/// ratio approaches `1 − cache/footprint` for large footprints.
+pub fn random(pid: Pid, base: u64, footprint_words: u64, n: usize, seed: u64) -> SyntheticTrace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let data = (0..n).map(|_| (base + rng.gen_range(0..footprint_words), false)).collect();
+    with_ifetches(pid, "random", data)
+}
+
+/// Alternating reads of two addresses exactly one direct-mapped cache
+/// apart: every access conflicts in a direct-mapped cache, every access
+/// hits in a 2-way cache.
+pub fn pingpong(pid: Pid, base: u64, cache_words: u64, n: usize) -> SyntheticTrace {
+    let data = (0..n).map(|i| (base + (i as u64 % 2) * cache_words, false)).collect();
+    with_ifetches(pid, "pingpong", data)
+}
+
+/// A strided read sweep: touching every `stride`-th word. With
+/// `stride >= line_words` every access is a fresh line (no spatial reuse).
+pub fn strided(pid: Pid, base: u64, stride: u64, n: usize) -> SyntheticTrace {
+    let data = (0..n).map(|i| (base + i as u64 * stride, false)).collect();
+    with_ifetches(pid, "strided", data)
+}
+
+/// A write burst: `n` stores over a window of `window_words`, followed by
+/// reads of the same window (exercises write-policy allocate behaviour).
+pub fn write_then_read(pid: Pid, base: u64, window_words: u64, n: usize) -> SyntheticTrace {
+    let mut data: Vec<(u64, bool)> =
+        (0..n).map(|i| (base + i as u64 % window_words, true)).collect();
+    data.extend((0..n).map(|i| (base + i as u64 % window_words, false)));
+    with_ifetches(pid, "write_then_read", data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessKind;
+
+    #[test]
+    fn traces_alternate_fetch_and_data() {
+        let t = sequential(Pid::new(0), 0x1000, 64, 1);
+        let evs: Vec<_> = t.collect();
+        assert_eq!(evs.len(), 128);
+        for pair in evs.chunks(2) {
+            assert_eq!(pair[0].kind, AccessKind::IFetch);
+            assert!(pair[1].kind.is_data());
+        }
+    }
+
+    #[test]
+    fn pingpong_alternates_two_lines() {
+        let t = pingpong(Pid::new(1), 0, 4096, 4);
+        let data: Vec<u64> =
+            t.filter(|e| e.kind.is_data()).map(|e| e.addr.word()).collect();
+        assert_eq!(data, vec![0, 4096, 0, 4096]);
+    }
+
+    #[test]
+    fn random_stays_in_footprint() {
+        let t = random(Pid::new(2), 0x8000, 1024, 500, 7);
+        for e in t.filter(|e| e.kind.is_data()) {
+            let w = e.addr.word();
+            assert!((0x8000..0x8000 + 1024).contains(&w));
+        }
+    }
+
+    #[test]
+    fn write_then_read_halves() {
+        let t = write_then_read(Pid::new(3), 0, 64, 100);
+        let stores = t.clone().filter(|e| e.kind == AccessKind::Store).count();
+        assert_eq!(stores, 100);
+        let loads = t.filter(|e| e.kind == AccessKind::Load).count();
+        assert_eq!(loads, 100);
+    }
+
+    #[test]
+    fn names_are_meaningful() {
+        assert_eq!(sequential(Pid::new(0), 0, 4, 1).name(), "sequential");
+        assert_eq!(strided(Pid::new(0), 0, 8, 4).name(), "strided");
+    }
+}

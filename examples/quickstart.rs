@@ -1,0 +1,36 @@
+//! Quickstart: simulate the paper's base architecture on the standard
+//! ten-benchmark multiprogramming workload and print the Fig. 4-style CPI
+//! stack.
+//!
+//! ```text
+//! cargo run --release -p gaas-experiments --example quickstart
+//! ```
+
+use gaas_sim::{config::SimConfig, report, sim, workload};
+
+fn main() {
+    // 0.2% of the full 2.4G-reference suite keeps this example fast.
+    let scale = 2e-3;
+
+    let config = SimConfig::baseline();
+    println!("Simulating the ISCA'91 base architecture (Fig. 1):");
+    println!(
+        "  L1: 2 x {}KW direct-mapped, {}W lines, {} policy",
+        config.l1i.size_words / 1024,
+        config.l1i.line_words,
+        config.policy.label()
+    );
+    println!(
+        "  L2: unified {}KW, {} cycles; memory {}({}) cycles clean(dirty)\n",
+        config.l2.d_side().size_words / 1024,
+        config.l2.d_side().access_cycles,
+        config.memory.clean_miss_cycles,
+        config.memory.dirty_miss_cycles
+    );
+
+    let result = sim::run(config, workload::standard(scale)).expect("baseline config is valid");
+
+    println!("{}", report::summary(&result));
+    println!("{}", report::cpi_stack(&result));
+    println!("completed benchmarks: {}", result.completed.join(", "));
+}

@@ -1,0 +1,53 @@
+//! Classify cache misses (compulsory / capacity / conflict) for access
+//! patterns with known behaviour — a demonstration of the `gaas-cache`
+//! three-C classifier on the `gaas-trace` diagnostic workloads, the same
+//! machinery behind `repro threec`.
+//!
+//! ```text
+//! cargo run --release -p gaas-experiments --example three_c_analysis
+//! ```
+
+use gaas_cache::{CacheGeometry, ThreeCClassifier};
+use gaas_sim::Pid;
+use gaas_trace::synthetic;
+use gaas_trace::Trace;
+
+fn classify(name: &str, geom: CacheGeometry, trace: impl Trace) {
+    let mut c = ThreeCClassifier::new(geom);
+    for ev in trace.filter(|e| e.kind.is_data()) {
+        // Treat virtual addresses as physical for this single-process demo.
+        c.access(gaas_trace::PhysAddr::new(ev.addr.word()));
+    }
+    let t = c.counts();
+    println!(
+        "{name:<16} miss {:>6.3}  compulsory {:>6} capacity {:>6} conflict {:>6}  (conflict share {:.2})",
+        t.miss_ratio(),
+        t.compulsory,
+        t.capacity,
+        t.conflict,
+        t.conflict_share()
+    );
+}
+
+fn main() {
+    // The paper's 4 KW direct-mapped L1 geometry.
+    let dm = CacheGeometry::new(4096, 4, 1).expect("valid");
+    let two_way = CacheGeometry::new(4096, 4, 2).expect("valid");
+    let pid = Pid::new(0);
+
+    println!("4 KW direct-mapped, 4W lines:");
+    classify("sequential-8KW", dm, synthetic::sequential(pid, 0, 8192, 4));
+    classify("random-2KW", dm, synthetic::random(pid, 0, 2048, 40_000, 1));
+    classify("random-64KW", dm, synthetic::random(pid, 0, 65_536, 40_000, 2));
+    classify("pingpong", dm, synthetic::pingpong(pid, 0, 4096, 10_000));
+    classify("strided", dm, synthetic::strided(pid, 0, 4, 10_000));
+
+    println!("\nSame patterns, 2-way set-associative (conflicts should vanish):");
+    classify("pingpong", two_way, synthetic::pingpong(pid, 0, 4096, 10_000));
+    classify("random-64KW", two_way, synthetic::random(pid, 0, 65_536, 40_000, 2));
+
+    println!();
+    println!("This is the paper's Sec. 7 argument in miniature: direct-mapped");
+    println!("caches suffer conflict misses that associativity — or, for the L2,");
+    println!("splitting the interfering streams — removes.");
+}

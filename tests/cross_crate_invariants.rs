@@ -1,0 +1,107 @@
+//! Invariants that span crate boundaries: trace → paging → caches → sim.
+
+use gaas_cache::{CacheArray, CacheGeometry, PageMapper};
+use gaas_sim::config::{L2Config, SimConfig};
+use gaas_sim::{sim, workload, WritePolicy};
+use gaas_trace::bench_model::suite;
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::{AccessKind, Pid, Trace};
+
+#[test]
+fn generators_are_deterministic_through_the_simulator() {
+    // Same (spec, pid, scale) triple → identical cycle counts.
+    let run = || {
+        let spec = suite().remove(2); // gcc
+        let t = TraceGenerator::new(&spec, Pid::new(3), 3e-4);
+        sim::run(SimConfig::baseline(), vec![Box::new(t) as Box<dyn Trace>]).expect("valid")
+    };
+    assert_eq!(run().cycles(), run().cycles());
+}
+
+#[test]
+fn page_coloring_preserves_l1_index_bits() {
+    // For a 4 KW virtually-indexed L1, the physical index must equal the
+    // virtual index (the architecture relies on it, §2).
+    let geom = CacheGeometry::new(4096, 4, 1).expect("valid");
+    let mut mapper = PageMapper::new(256);
+    for spec in suite().iter().take(3) {
+        for ev in TraceGenerator::new(spec, Pid::new(9), 1e-4).take(50_000) {
+            let p = mapper.translate(ev.addr);
+            let virt_index = (ev.addr.word() / 4) & (geom.n_sets() - 1);
+            assert_eq!(geom.set_of(p), virt_index, "synonym-unsafe translation");
+        }
+    }
+}
+
+#[test]
+fn all_policies_complete_the_same_workload() {
+    let mut instr_counts = Vec::new();
+    for policy in WritePolicy::all() {
+        let mut b = SimConfig::builder();
+        b.policy(policy);
+        let r = sim::run(b.build().expect("valid"), workload::standard(2e-4)).expect("valid");
+        instr_counts.push(r.counters.instructions);
+        assert_eq!(r.completed.len(), 10, "{policy:?}");
+    }
+    // The workload is identical regardless of policy.
+    assert!(instr_counts.windows(2).all(|w| w[0] == w[1]), "{instr_counts:?}");
+}
+
+#[test]
+fn split_l2_isolates_instruction_lines_from_data_traffic() {
+    // Drive the same workload through unified and split L2s of equal total
+    // size: the split cache must never do worse on instruction-side misses
+    // (I lines cannot be evicted by D traffic), modulo halved capacity.
+    let mut ub = SimConfig::builder();
+    ub.l2(L2Config::split_even(524_288, 1, 6));
+    let split = sim::run(ub.build().expect("valid"), workload::standard(3e-4)).expect("valid");
+    // The I half is 256KW — far larger than all code footprints, so the
+    // only L2-I misses left are compulsory/drift.
+    assert!(
+        split.counters.l2i_miss_ratio() < 0.25,
+        "split L2-I ratio {}",
+        split.counters.l2i_miss_ratio()
+    );
+}
+
+#[test]
+fn trace_event_stream_matches_sim_counts() {
+    let spec = suite().remove(0);
+    let events: Vec<_> = TraceGenerator::new(&spec, Pid::new(0), 2e-4).collect();
+    let n_instr = events.iter().filter(|e| e.kind == AccessKind::IFetch).count() as u64;
+    let n_loads = events.iter().filter(|e| e.kind == AccessKind::Load).count() as u64;
+    let n_stores = events.iter().filter(|e| e.kind == AccessKind::Store).count() as u64;
+
+    let t = gaas_trace::VecTrace::new("doduc", events);
+    let r = sim::run(SimConfig::baseline(), vec![Box::new(t) as Box<dyn Trace>]).expect("valid");
+    assert_eq!(r.counters.instructions, n_instr);
+    assert_eq!(r.counters.loads, n_loads);
+    assert_eq!(r.counters.stores, n_stores);
+}
+
+#[test]
+fn l1_geometry_from_config_matches_cache_behaviour() {
+    // A config-built geometry drives a CacheArray exactly like the sim's.
+    let cfg = SimConfig::baseline();
+    let geom = cfg.l1i.geometry().expect("valid");
+    let mut arr = CacheArray::new(geom);
+    use gaas_trace::PhysAddr;
+    assert!(arr.fill(PhysAddr::new(0)).is_none());
+    assert!(arr.contains(PhysAddr::new(3)), "same 4W line");
+    assert!(!arr.contains(PhysAddr::new(4)));
+    // 4 KW direct-mapped: address + 4096 conflicts.
+    arr.fill(PhysAddr::new(4096));
+    assert!(!arr.contains(PhysAddr::new(0)));
+}
+
+#[test]
+fn mcm_model_agrees_with_sim_constants() {
+    // The 4 KW L1 fits the cycle the simulator's 1-cycle L1 hit assumes;
+    // the 10ns L2 SRAM + latency fits the 6-cycle access the baseline uses.
+    use gaas_mcm::{cycles, l1_access, TagPlacement, CPU_CYCLE_NS};
+    let l1 = l1_access(4096, TagPlacement::OnMmu);
+    assert!(l1.total_ns() <= CPU_CYCLE_NS);
+    let l2_sram = gaas_mcm::SramFamily::bicmos_64kb().access_ns(64 * 1024);
+    let l2_cycles = cycles(l2_sram, CPU_CYCLE_NS) + 2; // +2 latency (tag + hop)
+    assert!(l2_cycles <= 6, "modelled L2 access {l2_cycles} cycles");
+}

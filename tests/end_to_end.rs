@@ -1,0 +1,103 @@
+//! End-to-end integration: full workload → scheduler → simulator → report,
+//! across architecture presets.
+
+use gaas_sim::config::SimConfig;
+use gaas_sim::{report, sim, workload, Simulator};
+
+const SCALE: f64 = 4e-4;
+
+#[test]
+fn baseline_runs_the_full_suite_to_completion() {
+    // 1.5e-3 is the smallest scale at which gcc (one syscall per ~22k
+    // instructions) executes long enough to take a voluntary switch.
+    let r = sim::run(SimConfig::baseline(), workload::standard(1.5e-3)).expect("valid");
+    assert_eq!(r.completed.len(), 10, "all benchmarks terminate");
+    let c = &r.counters;
+    assert!(c.instructions > 500_000);
+    assert!(c.loads > 0 && c.stores > 0);
+    assert!(c.syscall_switches > 0, "gcc's syscall rate guarantees switches");
+    assert!(c.slice_switches > 0);
+}
+
+#[test]
+fn baseline_metrics_are_in_plausible_ranges() {
+    let r = sim::run(SimConfig::baseline(), workload::standard(SCALE)).expect("valid");
+    let c = &r.counters;
+    // Wide brackets: these guard against catastrophic regressions, not
+    // exact values (EXPERIMENTS.md records the calibrated numbers).
+    assert!((1.3..2.6).contains(&r.cpi()), "CPI {}", r.cpi());
+    assert!((0.001..0.08).contains(&c.l1i_miss_ratio()), "L1I {}", c.l1i_miss_ratio());
+    assert!((0.01..0.15).contains(&c.l1d_miss_ratio()), "L1D {}", c.l1d_miss_ratio());
+    assert!(c.l2_miss_ratio() < 0.4, "L2 {}", c.l2_miss_ratio());
+    let b = r.breakdown();
+    assert!((b.cpu_stall - 0.238).abs() < 0.08, "stall CPI {}", b.cpu_stall);
+    // Paper: write hits cost ~0.071 CPI under write-back.
+    assert!((0.03..0.12).contains(&b.l1_writes), "write CPI {}", b.l1_writes);
+}
+
+#[test]
+fn optimized_beats_baseline() {
+    let base = sim::run(SimConfig::baseline(), workload::standard(SCALE)).expect("valid");
+    let opt = sim::run(SimConfig::optimized(), workload::standard(SCALE)).expect("valid");
+    assert!(
+        opt.cpi() < base.cpi(),
+        "optimized {} must beat base {}",
+        opt.cpi(),
+        base.cpi()
+    );
+    assert!(
+        opt.breakdown().memory_cpi() < base.breakdown().memory_cpi(),
+        "memory CPI must improve"
+    );
+}
+
+#[test]
+fn accounting_balances_across_presets() {
+    for cfg in [SimConfig::baseline(), SimConfig::optimized()] {
+        let r = sim::run(cfg, workload::standard(2e-4)).expect("valid");
+        let b = r.breakdown();
+        assert!(
+            (b.total() - r.cpi()).abs() < 1e-9,
+            "breakdown {} vs cpi {}",
+            b.total(),
+            r.cpi()
+        );
+        assert_eq!(r.cycles(), r.counters.total_cycles());
+    }
+}
+
+#[test]
+fn warmup_discard_reduces_compulsory_pollution() {
+    let full = Simulator::new(SimConfig::baseline())
+        .expect("valid")
+        .run_warmed(workload::standard(SCALE), 0);
+    let total = full.counters.instructions;
+    let warmed = Simulator::new(SimConfig::baseline())
+        .expect("valid")
+        .run_warmed(workload::standard(SCALE), total / 2);
+    assert!(warmed.counters.instructions < total);
+    assert!(
+        warmed.counters.l2_miss_ratio() < full.counters.l2_miss_ratio(),
+        "warm-up discard must lower the L2 ratio: {} vs {}",
+        warmed.counters.l2_miss_ratio(),
+        full.counters.l2_miss_ratio()
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = sim::run(SimConfig::baseline(), workload::standard(2e-4)).expect("valid");
+    let b = sim::run(SimConfig::baseline(), workload::standard(2e-4)).expect("valid");
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn reports_render_for_real_runs() {
+    let r = sim::run(SimConfig::baseline(), workload::standard(2e-4)).expect("valid");
+    let stack = report::cpi_stack(&r);
+    assert!(stack.contains("TOTAL"));
+    let summary = report::summary(&r);
+    assert!(summary.contains("CPI"));
+    assert!(summary.contains("switches"));
+}

@@ -1,0 +1,138 @@
+//! End-to-end validation against access patterns whose cache behaviour is
+//! predictable from first principles.
+
+use gaas_sim::config::{L1Config, SimConfig};
+use gaas_sim::{sim, Pid, Trace, WritePolicy};
+use gaas_trace::synthetic;
+
+fn run_one(cfg: SimConfig, trace: impl Trace + 'static) -> gaas_sim::SimResult {
+    sim::run(cfg, vec![Box::new(trace) as Box<dyn Trace>]).expect("valid config")
+}
+
+#[test]
+fn pingpong_thrashes_direct_mapped_but_not_two_way() {
+    // Two data addresses exactly one L1-D apart.
+    let n = 2_000;
+    let dm = run_one(
+        SimConfig::baseline(),
+        synthetic::pingpong(Pid::new(0), 0x100000, 4096, n),
+    );
+    // Every access after the first two conflicts.
+    assert!(
+        dm.counters.l1d_read_misses as usize >= n - 2,
+        "DM misses {}",
+        dm.counters.l1d_read_misses
+    );
+
+    let mut b = SimConfig::builder();
+    b.l1d(L1Config { size_words: 4096, line_words: 4, assoc: 2 });
+    let two_way = run_one(
+        b.build().expect("valid"),
+        synthetic::pingpong(Pid::new(0), 0x100000, 4096, n),
+    );
+    assert!(
+        two_way.counters.l1d_read_misses <= 2,
+        "2-way misses {}",
+        two_way.counters.l1d_read_misses
+    );
+}
+
+#[test]
+fn sequential_sweep_misses_once_per_line() {
+    // A 32 KW sweep through a 4 KW L1 with 4W lines: exactly one miss per
+    // 4W line per pass (the footprint never fits).
+    let len = 32_768u64;
+    let r = run_one(
+        SimConfig::baseline(),
+        synthetic::sequential(Pid::new(0), 0x100000, len, 2),
+    );
+    let expected = 2 * len / 4;
+    let got = r.counters.l1d_read_misses;
+    assert!(
+        (got as i64 - expected as i64).unsigned_abs() <= expected / 100,
+        "misses {got}, expected ~{expected}"
+    );
+}
+
+#[test]
+fn strided_access_defeats_spatial_locality() {
+    // Stride = line size: every access is a fresh line.
+    let n = 3_000;
+    let r = run_one(
+        SimConfig::baseline(),
+        synthetic::strided(Pid::new(0), 0x100000, 4, n),
+    );
+    assert_eq!(r.counters.l1d_read_misses as usize, n);
+}
+
+#[test]
+fn random_within_cache_capacity_warms_up() {
+    // A random footprint half the L1-D size: after warmup nearly all hits.
+    let r = run_one(
+        SimConfig::baseline(),
+        synthetic::random(Pid::new(0), 0x100000, 2048, 50_000, 11),
+    );
+    let ratio = r.counters.l1d_read_misses as f64 / r.counters.loads as f64;
+    assert!(ratio < 0.03, "resident footprint still missing: {ratio}");
+}
+
+#[test]
+fn write_policies_differ_on_write_then_read_exactly_as_specified() {
+    let mk = || synthetic::write_then_read(Pid::new(0), 0x100000, 64, 5_000);
+    // Write-back allocates: the read phase hits.
+    let mut wb = SimConfig::builder();
+    wb.policy(WritePolicy::WriteBack);
+    let r_wb = run_one(wb.build().expect("valid"), mk());
+    assert!(r_wb.counters.l1d_read_misses <= 64 / 4 + 2, "WB read misses {}", r_wb.counters.l1d_read_misses);
+
+    // Write-miss-invalidate never allocates: the first reads of each line miss.
+    let mut wmi = SimConfig::builder();
+    wmi.policy(WritePolicy::WriteMissInvalidate);
+    let r_wmi = run_one(wmi.build().expect("valid"), mk());
+    assert!(
+        r_wmi.counters.l1d_read_misses >= 64 / 4,
+        "WMI read misses {}",
+        r_wmi.counters.l1d_read_misses
+    );
+
+    // Write-only allocates write-only lines: the first read of each line
+    // must miss (reallocation), subsequent reads hit.
+    let mut wo = SimConfig::builder();
+    wo.policy(WritePolicy::WriteOnly);
+    let r_wo = run_one(wo.build().expect("valid"), mk());
+    let lines = 64 / 4;
+    assert!(
+        r_wo.counters.l1d_read_misses >= lines
+            && r_wo.counters.l1d_read_misses <= lines + 2,
+        "write-only read misses {} (want ~{lines})",
+        r_wo.counters.l1d_read_misses
+    );
+
+    // Subblock keeps written words readable: almost no read misses.
+    let mut sb = SimConfig::builder();
+    sb.policy(WritePolicy::Subblock);
+    let r_sb = run_one(sb.build().expect("valid"), mk());
+    assert!(
+        r_sb.counters.l1d_read_misses <= 2,
+        "subblock read misses {}",
+        r_sb.counters.l1d_read_misses
+    );
+}
+
+#[test]
+fn all_synthetic_runs_balance_their_accounting() {
+    for policy in WritePolicy::all() {
+        let mut b = SimConfig::builder();
+        b.policy(policy);
+        let cfg = b.build().expect("valid");
+        for trace in [
+            synthetic::sequential(Pid::new(0), 0, 8192, 1),
+            synthetic::random(Pid::new(0), 0, 100_000, 10_000, 3),
+            synthetic::pingpong(Pid::new(0), 0, 4096, 1_000),
+            synthetic::write_then_read(Pid::new(0), 0, 4096, 10_000),
+        ] {
+            let r = run_one(cfg.clone(), trace);
+            assert!((r.breakdown().total() - r.cpi()).abs() < 1e-9, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests over the memory-hierarchy substrates, cross-checked
+//! against simple reference models.
+
+use proptest::prelude::*;
+
+use gaas_cache::{CacheArray, CacheGeometry, PageMapper, Tlb, WriteBuffer};
+use gaas_trace::{PhysAddr, Pid, VirtAddr};
+
+/// An O(n) fully-associative-per-set reference model of a cache.
+#[derive(Debug)]
+struct RefCache {
+    geom: CacheGeometry,
+    /// Per set: line bases in LRU order (front = LRU).
+    sets: Vec<Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(geom: CacheGeometry) -> Self {
+        RefCache { geom, sets: vec![Vec::new(); geom.n_sets() as usize] }
+    }
+
+    fn touch(&mut self, addr: PhysAddr) -> bool {
+        let base = self.geom.line_base(addr).word();
+        let set = &mut self.sets[self.geom.set_of(addr) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == base) {
+            let b = set.remove(pos);
+            set.push(b);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fill(&mut self, addr: PhysAddr) -> Option<u64> {
+        let base = self.geom.line_base(addr).word();
+        let assoc = self.geom.assoc() as usize;
+        let set = &mut self.sets[self.geom.set_of(addr) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == base) {
+            let b = set.remove(pos);
+            set.push(b);
+            return None;
+        }
+        let evicted = if set.len() == assoc { Some(set.remove(0)) } else { None };
+        set.push(base);
+        evicted
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_array_matches_reference_model(
+        size_log in 4u32..10,
+        line_log in 0u32..3,
+        assoc_log in 0u32..2,
+        addrs in prop::collection::vec(0u64..4096, 1..400),
+    ) {
+        let size = 1u64 << size_log;
+        let line = 1u32 << line_log;
+        let assoc = 1u32 << assoc_log;
+        prop_assume!(size >= (line as u64) * (assoc as u64));
+        let geom = CacheGeometry::new(size, line, assoc).expect("valid");
+        let mut dut = CacheArray::new(geom);
+        let mut reference = RefCache::new(geom);
+
+        for &a in &addrs {
+            let addr = PhysAddr::new(a);
+            // Hit/miss agreement (touch updates LRU in both).
+            let dut_hit = dut.touch(addr).is_some();
+            let ref_hit = reference.touch(addr);
+            prop_assert_eq!(dut_hit, ref_hit, "hit mismatch at {:#x}", a);
+            if !dut_hit {
+                let dut_ev = dut.fill(addr).map(|e| e.base.word());
+                let ref_ev = reference.fill(addr);
+                prop_assert_eq!(dut_ev, ref_ev, "eviction mismatch at {:#x}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..100_000, 1..600),
+    ) {
+        let geom = CacheGeometry::new(256, 4, 2).expect("valid");
+        let mut c = CacheArray::new(geom);
+        for &a in &addrs {
+            c.fill(PhysAddr::new(a));
+            prop_assert!(c.occupancy() as u64 <= geom.size_words() / geom.line_words() as u64);
+        }
+    }
+
+    #[test]
+    fn write_buffer_completions_are_fifo_and_monotone(
+        writes in prop::collection::vec((0u64..1000, 2u32..12), 1..64),
+    ) {
+        let mut wb = WriteBuffer::new(8);
+        let mut now = 0u64;
+        let mut last_completion = 0u64;
+        for (gap, access) in writes {
+            now += gap;
+            let enq = wb.slot_free_at(now).max(now);
+            let done = wb.enqueue(enq, PhysAddr::new(now), access, access.saturating_sub(2).max(1), 0);
+            prop_assert!(done >= enq, "completion precedes enqueue");
+            prop_assert!(done >= last_completion, "FIFO order violated");
+            last_completion = done;
+        }
+        // Eventually drains completely.
+        prop_assert!(wb.is_empty(last_completion));
+    }
+
+    #[test]
+    fn page_mapper_is_stable_and_color_preserving(
+        refs in prop::collection::vec((0u8..8, 0u64..1u64 << 24), 1..300),
+        colors_log in 4u32..9,
+    ) {
+        let colors = 1u64 << colors_log;
+        let mut m = PageMapper::new(colors);
+        let mut seen: std::collections::HashMap<(u8, u64), u64> = Default::default();
+        for (pid, word) in refs {
+            let va = VirtAddr::new(Pid::new(pid), word);
+            let pa = m.translate(va);
+            // Offset passes through; color preserved.
+            prop_assert_eq!(pa.page_offset(), va.page_offset());
+            prop_assert_eq!(pa.ppn() % colors, va.vpn() % colors);
+            // Stable mapping.
+            let prev = seen.insert((pid, va.vpn()), pa.ppn());
+            if let Some(p) = prev {
+                prop_assert_eq!(p, pa.ppn(), "mapping changed");
+            }
+        }
+        // Injective: distinct (pid, vpn) never share a frame.
+        let mut frames: Vec<u64> = seen.values().copied().collect();
+        frames.sort_unstable();
+        let n = frames.len();
+        frames.dedup();
+        prop_assert_eq!(frames.len(), n, "frame reused");
+    }
+
+    #[test]
+    fn tlb_behaves_like_lru_set_per_pid(
+        refs in prop::collection::vec((0u8..4, 0u64..64), 1..300),
+    ) {
+        let mut tlb = Tlb::new(16, 2);
+        // Reference: per set, LRU list of (pid, vpn).
+        let mut sets: Vec<Vec<(u8, u64)>> = vec![Vec::new(); 8];
+        for (pid, vpn) in refs {
+            let va = VirtAddr::new(Pid::new(pid), vpn * gaas_trace::PAGE_WORDS);
+            let hit = tlb.access(va);
+            let set = &mut sets[(vpn % 8) as usize];
+            let ref_hit = if let Some(pos) = set.iter().position(|&e| e == (pid, vpn)) {
+                let e = set.remove(pos);
+                set.push(e);
+                true
+            } else {
+                if set.len() == 2 {
+                    set.remove(0);
+                }
+                set.push((pid, vpn));
+                false
+            };
+            prop_assert_eq!(hit, ref_hit, "TLB mismatch for pid {} vpn {}", pid, vpn);
+        }
+    }
+
+    #[test]
+    fn three_c_classification_is_consistent(
+        addrs in prop::collection::vec(0u64..2048, 1..500),
+    ) {
+        use gaas_cache::ThreeCClassifier;
+        let geom = CacheGeometry::new(64, 4, 1).expect("valid");
+        let mut dut = ThreeCClassifier::new(geom);
+        // A fully-associative cache of the same capacity can never have
+        // conflict misses: classify against itself via an assoc == n_lines
+        // geometry (16 lines -> 16-way, one set).
+        let fa_geom = CacheGeometry::new(64, 4, 16).expect("valid");
+        let mut fa = ThreeCClassifier::new(fa_geom);
+        for &a in &addrs {
+            dut.access(PhysAddr::new(a));
+            fa.access(PhysAddr::new(a));
+        }
+        let (d, f) = (dut.counts(), fa.counts());
+        // Totals account for every access.
+        prop_assert_eq!(d.accesses(), addrs.len() as u64);
+        // Compulsory misses are mapping-independent.
+        prop_assert_eq!(d.compulsory, f.compulsory);
+        // The fully-associative cache has no conflict misses. (Note: a
+        // direct-mapped cache CAN have fewer total misses than FA-LRU on
+        // cyclic patterns — the classic LRU anomaly — so no ordering on
+        // total misses is asserted.)
+        prop_assert_eq!(f.conflict, 0, "FA cache cannot conflict");
+    }
+
+    #[test]
+    fn simulator_accounting_balances_for_arbitrary_traces(
+        events in prop::collection::vec(
+            (0u8..3, 0u64..1u64 << 20, 0u8..4, any::<bool>()),
+            1..400,
+        ),
+        policy_idx in 0usize..4,
+        split in any::<bool>(),
+    ) {
+        use gaas_sim::config::{L2Config, SimConfig};
+        use gaas_sim::{sim, Trace, WritePolicy};
+        use gaas_trace::{TraceEvent, VecTrace};
+
+        // Build a legal instruction stream: every data event follows a
+        // fetch.
+        let mut evs = Vec::new();
+        for (kind, addr, stall, partial) in events {
+            let va = VirtAddr::new(Pid::new(0), addr);
+            match kind {
+                0 => evs.push(TraceEvent::ifetch(va, stall)),
+                1 => {
+                    evs.push(TraceEvent::ifetch(va, stall));
+                    evs.push(TraceEvent::load(VirtAddr::new(Pid::new(0), addr ^ 0x55555)));
+                }
+                _ => {
+                    evs.push(TraceEvent::ifetch(va, stall));
+                    let mut st = TraceEvent::store(VirtAddr::new(Pid::new(0), addr ^ 0x2AAAA));
+                    st.partial_word = partial;
+                    evs.push(st);
+                }
+            }
+        }
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::all()[policy_idx]);
+        if split {
+            b.l2(L2Config::split_even(262_144, 1, 6));
+        }
+        let cfg = b.build().expect("valid");
+        let run = |evs: Vec<TraceEvent>| {
+            sim::run(cfg.clone(), vec![Box::new(VecTrace::new("fuzz", evs)) as Box<dyn Trace>])
+                .expect("valid")
+        };
+        let r1 = run(evs.clone());
+        // Accounting balances and the run is deterministic.
+        prop_assert!((r1.breakdown().total() - r1.cpi()).abs() < 1e-9);
+        let r2 = run(evs);
+        prop_assert_eq!(r1.cycles(), r2.cycles());
+        prop_assert_eq!(r1.counters, r2.counters);
+    }
+
+    #[test]
+    fn counters_since_is_inverse_of_accumulation(
+        a in 0u64..1000, b in 0u64..1000, c in 0u64..1000,
+    ) {
+        use gaas_sim::Counters;
+        let mut early = Counters::new();
+        early.instructions = a;
+        early.l1i_miss_cycles = b;
+        let mut late = early;
+        late.instructions += c;
+        late.cpu_stall_cycles += b;
+        let d = late.since(&early);
+        prop_assert_eq!(d.instructions, c);
+        prop_assert_eq!(d.cpu_stall_cycles, b);
+        prop_assert_eq!(d.l1i_miss_cycles, 0);
+    }
+}
