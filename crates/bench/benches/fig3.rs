@@ -2,7 +2,7 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::fig3;
 use gaas_experiments::runner::run_standard;
 use gaas_sim::config::SimConfig;

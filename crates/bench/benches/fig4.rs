@@ -2,7 +2,7 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::fig4;
 
 fn bench(c: &mut Criterion) {
@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_secs(1));
     g.measurement_time(std::time::Duration::from_secs(3));
-    g.bench_function("base_cpi_stack", |b| b.iter(|| fig4::run(gaas_bench::kernel_scale())));
+    g.bench_function("base_cpi_stack", |b| {
+        b.iter(|| fig4::run(gaas_bench::kernel_scale()))
+    });
     g.finish();
 }
 

@@ -3,7 +3,7 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::fig78::{self, Side};
 
 fn bench(c: &mut Criterion) {
@@ -19,7 +19,12 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(3));
     g.bench_function("surface_point", |b| {
         b.iter(|| {
-            fig78::run_with_axes(Side::Instruction, gaas_bench::kernel_scale(), &[32_768], &[2])
+            fig78::run_with_axes(
+                Side::Instruction,
+                gaas_bench::kernel_scale(),
+                &[32_768],
+                &[2],
+            )
         })
     });
     g.finish();

@@ -3,7 +3,7 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::fig78::{self, Side};
 
 fn bench(c: &mut Criterion) {
@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_secs(1));
     g.measurement_time(std::time::Duration::from_secs(3));
     g.bench_function("surface_point", |b| {
-        b.iter(|| {
-            fig78::run_with_axes(Side::Data, gaas_bench::kernel_scale(), &[32_768], &[2])
-        })
+        b.iter(|| fig78::run_with_axes(Side::Data, gaas_bench::kernel_scale(), &[32_768], &[2]))
     });
     g.finish();
 }

@@ -2,9 +2,9 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use gaas_experiments::sec5;
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::runner::run_standard;
+use gaas_experiments::sec5;
 use gaas_sim::config::SimConfig;
 
 fn bench(c: &mut Criterion) {

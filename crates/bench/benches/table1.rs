@@ -3,7 +3,7 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gaas_bench::{criterion_group, criterion_main, Criterion};
 use gaas_experiments::table1;
 
 fn bench(c: &mut Criterion) {

@@ -4,9 +4,8 @@
 
 #![allow(missing_docs)] // criterion macros generate undocumented items
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gaas_bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gaas_trace::rng::SmallRng;
 
 use gaas_cache::{CacheArray, CacheGeometry, PageMapper, Tlb, WriteBuffer};
 use gaas_sim::{config::SimConfig, sim, workload};
@@ -28,8 +27,10 @@ fn simulator_throughput(c: &mut Criterion) {
         })
         .sum();
     g.throughput(Throughput::Elements(events));
-    for (name, cfg) in [("baseline", SimConfig::baseline()), ("optimized", SimConfig::optimized())]
-    {
+    for (name, cfg) in [
+        ("baseline", SimConfig::baseline()),
+        ("optimized", SimConfig::optimized()),
+    ] {
         g.bench_with_input(BenchmarkId::new("events", name), &cfg, |b, cfg| {
             b.iter(|| sim::run(cfg.clone(), workload::standard(scale)).expect("valid"))
         });
@@ -47,7 +48,9 @@ fn substrate_microbenches(c: &mut Criterion) {
     let geom = CacheGeometry::new(4096, 4, 1).expect("valid");
     let addrs: Vec<PhysAddr> = {
         let mut rng = SmallRng::seed_from_u64(1);
-        (0..8192).map(|_| PhysAddr::new(rng.gen_range(0..8192))).collect()
+        (0..8192)
+            .map(|_| PhysAddr::new(rng.gen_range(0..8192)))
+            .collect()
     };
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("cache_array_touch_fill", |b| {

@@ -1,9 +1,19 @@
-//! Shared plumbing for the per-figure Criterion benches.
+//! Shared plumbing for the per-figure benches.
 //!
 //! Each bench target regenerates its table/figure at [`table_scale`] —
 //! printing the same rows/series the paper reports — and then times a
 //! representative simulation kernel at [`kernel_scale`] so `cargo bench`
 //! tracks simulator performance over time.
+//!
+//! The crate also ships a minimal, self-contained Criterion-compatible
+//! harness ([`Criterion`], [`criterion_group!`], [`criterion_main!`]). The
+//! workspace builds hermetically — no network, no registry — so the
+//! external `criterion` crate is unavailable; this harness covers the
+//! subset of its API the benches use (benchmark groups, per-group sample
+//! and timing knobs, element throughput) with wall-clock mean/min/max
+//! reporting.
+
+use std::time::{Duration, Instant};
 
 /// Workload scale used when a bench regenerates its table (overridable via
 /// `GAAS_BENCH_SCALE`).
@@ -19,11 +29,277 @@ pub fn kernel_scale() -> f64 {
     table_scale() / 4.0
 }
 
+/// Entry point handed to each benchmark function; hands out
+/// [`BenchmarkGroup`]s.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: reported as elements/second alongside the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier `group.bench_with_input` labels a benchmark with.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id of the form `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and timing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget (sampling stops early once spent).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut b);
+        b.report(&self.name, &id.label, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut b, input);
+        b.report(&self.name, &id.label, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+/// Timing driver passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`: warms up for the configured duration, then records
+    /// up to `sample_size` timed iterations (stopping early if the
+    /// measurement budget runs out).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        self.samples.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{label}: no samples (closure never called iter)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = *self.samples.iter().min().expect("nonempty");
+        let max = *self.samples.iter().max().expect("nonempty");
+        let mut line = format!(
+            "{group}/{label}: time [{} {} {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            self.samples.len(),
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!(" thrpt {}/s", fmt_count(n as f64 / secs)));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2} Gelem", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2} Melem", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2} Kelem", x / 1e3)
+    } else {
+        format!("{x:.1} elem")
+    }
+}
+
+/// Declares a benchmark group function (Criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn scales_are_sane() {
-        assert!(super::table_scale() > 0.0);
-        assert!(super::kernel_scale() < super::table_scale());
+        assert!(table_scale() > 0.0);
+        assert!(kernel_scale() < table_scale());
+    }
+
+    #[test]
+    fn bencher_collects_samples_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50))
+            .throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(calls >= 3, "warm-up plus samples ran the closure");
+    }
+
+    #[test]
+    fn formatting_covers_ranges() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+        assert!(fmt_count(2.5e9).contains("Gelem"));
+        assert!(fmt_count(2.5e6).contains("Melem"));
+        assert!(fmt_count(2.5e3).contains("Kelem"));
+        assert!(fmt_count(12.0).contains("elem"));
     }
 }

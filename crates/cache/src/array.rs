@@ -45,10 +45,14 @@ impl CacheGeometry {
     /// `size_words < line_words * assoc`.
     pub fn new(size_words: u64, line_words: u32, assoc: u32) -> Result<Self, GeometryError> {
         if size_words == 0 || !size_words.is_power_of_two() {
-            return Err(GeometryError(format!("size {size_words} not a power of two")));
+            return Err(GeometryError(format!(
+                "size {size_words} not a power of two"
+            )));
         }
         if line_words == 0 || !line_words.is_power_of_two() {
-            return Err(GeometryError(format!("line {line_words} not a power of two")));
+            return Err(GeometryError(format!(
+                "line {line_words} not a power of two"
+            )));
         }
         if line_words > 32 {
             return Err(GeometryError(format!(
@@ -56,14 +60,20 @@ impl CacheGeometry {
             )));
         }
         if assoc == 0 || !assoc.is_power_of_two() {
-            return Err(GeometryError(format!("associativity {assoc} not a power of two")));
+            return Err(GeometryError(format!(
+                "associativity {assoc} not a power of two"
+            )));
         }
         if size_words < line_words as u64 * assoc as u64 {
             return Err(GeometryError(format!(
                 "size {size_words} smaller than one set ({line_words} x {assoc})"
             )));
         }
-        Ok(CacheGeometry { size_words, line_words, assoc })
+        Ok(CacheGeometry {
+            size_words,
+            line_words,
+            assoc,
+        })
     }
 
     /// Total capacity in words.
@@ -174,7 +184,11 @@ impl CacheArray {
     /// Creates an empty (all-invalid) array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
         let n = (geom.n_sets() * geom.assoc() as u64) as usize;
-        CacheArray { geom, lines: vec![Line::invalid(); n], clock: 0 }
+        CacheArray {
+            geom,
+            lines: vec![Line::invalid(); n],
+            clock: 0,
+        }
     }
 
     /// The array's geometry.
@@ -193,7 +207,8 @@ impl CacheArray {
     fn probe_idx(&self, addr: PhysAddr) -> Option<usize> {
         let base = self.geom.line_base(addr);
         let set = self.geom.set_of(addr);
-        self.set_range(set).find(|&i| self.lines[i].valid && self.lines[i].base == base)
+        self.set_range(set)
+            .find(|&i| self.lines[i].valid && self.lines[i].base == base)
     }
 
     /// True when `addr`'s line is resident (tag match, valid), regardless of
@@ -359,7 +374,11 @@ mod tests {
         let ev = c.fill(pa(16)); // maps to the same set 0
         assert_eq!(
             ev,
-            Some(Evicted { base: pa(0), dirty: false, write_only: false })
+            Some(Evicted {
+                base: pa(0),
+                dirty: false,
+                write_only: false
+            })
         );
         assert!(!c.contains(pa(0)));
         assert!(c.contains(pa(16)));

@@ -84,7 +84,11 @@ struct FullyAssocShadow {
 
 impl FullyAssocShadow {
     fn new(capacity: usize) -> Self {
-        FullyAssocShadow { capacity, lines: HashMap::with_capacity(capacity + 1), clock: 0 }
+        FullyAssocShadow {
+            capacity,
+            lines: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+        }
     }
 
     /// Returns hit/miss and installs the line.
@@ -217,8 +221,8 @@ mod tests {
         let mut c = classifier();
         c.access(pa(0)); // compulsory
         c.access(pa(16)); // same set, compulsory
-        // Ping-pong: both fit in a 4-line fully-associative cache, so these
-        // are pure conflicts.
+                          // Ping-pong: both fit in a 4-line fully-associative cache, so these
+                          // are pure conflicts.
         assert_eq!(c.access(pa(0)), Some(MissClass::Conflict));
         assert_eq!(c.access(pa(16)), Some(MissClass::Conflict));
         assert_eq!(c.counts().conflict, 2);
@@ -259,6 +263,10 @@ mod tests {
         let t = c.counts();
         assert_eq!(t.accesses(), 1000);
         assert_eq!(t.hits + t.misses(), 1000);
-        assert!(t.miss_ratio() > 0.0 && t.miss_ratio() < 1.0, "ratio {}", t.miss_ratio());
+        assert!(
+            t.miss_ratio() > 0.0 && t.miss_ratio() < 1.0,
+            "ratio {}",
+            t.miss_ratio()
+        );
     }
 }

@@ -15,7 +15,10 @@
 //! * [`paging`] — the page-coloring virtual-to-physical mapper;
 //! * [`memory`] — main-memory penalties and the §9 L2 dirty buffer;
 //! * [`classify`] — three-C (compulsory/capacity/conflict) miss
-//!   classification, measuring the §7 conflict argument.
+//!   classification, measuring the §7 conflict argument;
+//! * [`fault`] — deterministic soft-error injection
+//!   ([`fault::FaultInjector`]) and parity/ECC protection policies with
+//!   their recovery-action table ([`fault::resolve`]).
 //!
 //! All structures are *functional* models: they answer hit/miss/eviction
 //! questions and keep occupancy state; cycle charging lives in the
@@ -44,6 +47,7 @@
 
 pub mod array;
 pub mod classify;
+pub mod fault;
 pub mod memory;
 pub mod paging;
 pub mod policy;
@@ -52,6 +56,10 @@ pub mod write_buffer;
 
 pub use array::{CacheArray, CacheGeometry, Evicted, GeometryError, Line};
 pub use classify::{MissClass, ThreeCClassifier, ThreeCCounts};
+pub use fault::{
+    resolve, FaultEffect, FaultEvent, FaultInjector, FaultRates, Protection, ProtectionMap,
+    Structure, TargetedFault,
+};
 pub use memory::{MainMemory, MemorySystem, MissService};
 pub use paging::PageMapper;
 pub use policy::{L1DataCache, LoadOutcome, StoreOutcome, WritePolicy};

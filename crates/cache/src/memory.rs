@@ -22,7 +22,10 @@ pub struct MainMemory {
 impl MainMemory {
     /// The base-architecture penalties (143 / 237 cycles).
     pub fn base() -> Self {
-        MainMemory { clean_miss_cycles: 143, dirty_miss_cycles: 237 }
+        MainMemory {
+            clean_miss_cycles: 143,
+            dirty_miss_cycles: 237,
+        }
     }
 
     /// Cycles the victim write-back adds on a dirty miss.

@@ -47,8 +47,15 @@ impl PageMapper {
     ///
     /// Panics if `colors` is zero or not a power of two.
     pub fn new(colors: u64) -> Self {
-        assert!(colors > 0 && colors.is_power_of_two(), "colors must be a power of two");
-        PageMapper { colors, next_seq: vec![0; colors as usize], map: HashMap::new() }
+        assert!(
+            colors > 0 && colors.is_power_of_two(),
+            "colors must be a power of two"
+        );
+        PageMapper {
+            colors,
+            next_seq: vec![0; colors as usize],
+            map: HashMap::new(),
+        }
     }
 
     /// Number of page colors.

@@ -107,7 +107,10 @@ pub struct L1DataCache {
 impl L1DataCache {
     /// Creates an empty L1-D cache with the given geometry and policy.
     pub fn new(geom: CacheGeometry, policy: WritePolicy) -> Self {
-        L1DataCache { array: CacheArray::new(geom), policy }
+        L1DataCache {
+            array: CacheArray::new(geom),
+            policy,
+        }
     }
 
     /// The configured write policy.
@@ -139,7 +142,12 @@ impl L1DataCache {
             None => false,
         };
         if hit {
-            return LoadOutcome { hit: true, fetch: None, writeback_victim: None, replaced_written_line: false };
+            return LoadOutcome {
+                hit: true,
+                fetch: None,
+                writeback_victim: None,
+                replaced_written_line: false,
+            };
         }
 
         // Miss: fetch and fill. A read miss may displace either the very
@@ -332,7 +340,11 @@ mod tests {
     #[test]
     fn policy_labels_and_classes() {
         assert!(!WritePolicy::WriteBack.is_write_through());
-        for p in [WritePolicy::WriteMissInvalidate, WritePolicy::WriteOnly, WritePolicy::Subblock] {
+        for p in [
+            WritePolicy::WriteMissInvalidate,
+            WritePolicy::WriteOnly,
+            WritePolicy::Subblock,
+        ] {
             assert!(p.is_write_through());
         }
         assert_eq!(WritePolicy::all().len(), 4);
@@ -485,7 +497,10 @@ mod tests {
         let s = c.store(pa(9), true); // partial write to word 1
         assert!(s.hit && !s.extra_cycle);
         let line = c.array().peek(pa(8)).expect("resident");
-        assert_eq!(line.subblock_valid, 0b0001, "bit unchanged by partial write");
+        assert_eq!(
+            line.subblock_valid, 0b0001,
+            "bit unchanged by partial write"
+        );
     }
 
     #[test]
@@ -496,7 +511,10 @@ mod tests {
         assert!(!l.hit);
         assert_eq!(l.fetch, Some(pa(8)));
         assert!(l.replaced_written_line, "refetch replaces a written line");
-        assert_eq!(c.array().peek(pa(8)).expect("resident").subblock_valid, 0b1111);
+        assert_eq!(
+            c.array().peek(pa(8)).expect("resident").subblock_valid,
+            0b1111
+        );
     }
 
     #[test]
@@ -528,17 +546,30 @@ mod tests {
 
     #[test]
     fn write_through_policies_always_stream_the_word() {
-        for p in [WritePolicy::WriteMissInvalidate, WritePolicy::WriteOnly, WritePolicy::Subblock] {
+        for p in [
+            WritePolicy::WriteMissInvalidate,
+            WritePolicy::WriteOnly,
+            WritePolicy::Subblock,
+        ] {
             let mut c = cache(p);
-            assert!(c.store(pa(40), false).wb_word.is_some(), "{p:?} miss streams");
-            assert!(c.store(pa(40), false).wb_word.is_some() || p == WritePolicy::WriteMissInvalidate,
-                "{p:?} hit streams");
+            assert!(
+                c.store(pa(40), false).wb_word.is_some(),
+                "{p:?} miss streams"
+            );
+            assert!(
+                c.store(pa(40), false).wb_word.is_some() || p == WritePolicy::WriteMissInvalidate,
+                "{p:?} hit streams"
+            );
         }
     }
 
     #[test]
     fn write_through_policies_never_fetch_on_store() {
-        for p in [WritePolicy::WriteMissInvalidate, WritePolicy::WriteOnly, WritePolicy::Subblock] {
+        for p in [
+            WritePolicy::WriteMissInvalidate,
+            WritePolicy::WriteOnly,
+            WritePolicy::Subblock,
+        ] {
             let mut c = cache(p);
             assert!(c.store(pa(44), false).fetch.is_none(), "{p:?}");
         }
@@ -547,8 +578,11 @@ mod tests {
 
 #[cfg(test)]
 mod prop_tests {
+    //! Randomized-history properties, driven by the vendored deterministic
+    //! PRNG: each test replays many independent seeded op sequences, so
+    //! failures reproduce exactly by seed.
     use super::*;
-    use proptest::prelude::*;
+    use gaas_trace::rng::SmallRng;
 
     #[derive(Debug, Clone, Copy)]
     enum Op {
@@ -556,95 +590,139 @@ mod prop_tests {
         Store(u64, bool),
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u64..512).prop_map(Op::Load),
-            ((0u64..512), any::<bool>()).prop_map(|(a, p)| Op::Store(a, p)),
-        ]
+    fn random_ops(rng: &mut SmallRng, max_len: usize) -> Vec<Op> {
+        let len = rng.gen_range(0..=max_len);
+        (0..len)
+            .map(|_| {
+                if rng.gen::<bool>() {
+                    Op::Load(rng.gen_range(0u64..512))
+                } else {
+                    Op::Store(rng.gen_range(0u64..512), rng.gen::<bool>())
+                }
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Write-only invariant: a load immediately after a load to the
-        /// same word always hits (the reallocation made the line
-        /// readable), under any history.
-        #[test]
-        fn wo_reload_after_load_hits(ops in prop::collection::vec(op_strategy(), 0..200), probe in 0u64..512) {
-            let mut c = L1DataCache::new(CacheGeometry::new(64, 4, 1).expect("valid"), WritePolicy::WriteOnly);
-            for op in ops {
-                match op {
-                    Op::Load(a) => { c.load(PhysAddr::new(a)); }
-                    Op::Store(a, p) => { c.store(PhysAddr::new(a), p); }
+    fn apply(c: &mut L1DataCache, ops: &[Op]) {
+        for op in ops {
+            match *op {
+                Op::Load(a) => {
+                    c.load(PhysAddr::new(a));
+                }
+                Op::Store(a, p) => {
+                    c.store(PhysAddr::new(a), p);
                 }
             }
-            c.load(PhysAddr::new(probe));
-            prop_assert!(c.load(PhysAddr::new(probe)).hit);
         }
+    }
 
-        /// Write-miss-invalidate never allocates on stores: a store-miss
-        /// followed immediately by a load of the same address must miss.
-        #[test]
-        fn wmi_store_never_allocates(ops in prop::collection::vec(op_strategy(), 0..200), probe in 0u64..512) {
-            let mut c = L1DataCache::new(CacheGeometry::new(64, 4, 1).expect("valid"), WritePolicy::WriteMissInvalidate);
-            for op in ops {
-                match op {
-                    Op::Load(a) => { c.load(PhysAddr::new(a)); }
-                    Op::Store(a, p) => { c.store(PhysAddr::new(a), p); }
-                }
-            }
+    /// Write-only invariant: a load immediately after a load to the same
+    /// word always hits (the reallocation made the line readable), under
+    /// any history.
+    #[test]
+    fn wo_reload_after_load_hits() {
+        let mut rng = SmallRng::seed_from_u64(0xA0);
+        for _ in 0..48 {
+            let ops = random_ops(&mut rng, 200);
+            let probe = rng.gen_range(0u64..512);
+            let mut c = L1DataCache::new(
+                CacheGeometry::new(64, 4, 1).expect("valid"),
+                WritePolicy::WriteOnly,
+            );
+            apply(&mut c, &ops);
+            c.load(PhysAddr::new(probe));
+            assert!(c.load(PhysAddr::new(probe)).hit);
+        }
+    }
+
+    /// Write-miss-invalidate never allocates on stores: a store-miss
+    /// followed immediately by a load of the same address must miss.
+    #[test]
+    fn wmi_store_never_allocates() {
+        let mut rng = SmallRng::seed_from_u64(0xA1);
+        for _ in 0..48 {
+            let ops = random_ops(&mut rng, 200);
+            let probe = rng.gen_range(0u64..512);
+            let mut c = L1DataCache::new(
+                CacheGeometry::new(64, 4, 1).expect("valid"),
+                WritePolicy::WriteMissInvalidate,
+            );
+            apply(&mut c, &ops);
             let s = c.store(PhysAddr::new(probe), false);
             if !s.hit {
-                prop_assert!(!c.array().contains(PhysAddr::new(probe)));
+                assert!(!c.array().contains(PhysAddr::new(probe)));
             }
         }
+    }
 
-        /// Under every policy, a full-word store followed by a load of the
-        /// same word hits (write-back/subblock/write-only all make the
-        /// word readable... except write-only and WMI, whose semantics
-        /// forbid it). This pins down exactly which policies serve reads
-        /// from written lines.
-        #[test]
-        fn store_then_load_semantics(addr in 0u64..512) {
+    /// Under every policy, a full-word store followed by a load of the
+    /// same word hits (write-back/subblock/write-only all make the
+    /// word readable... except write-only and WMI, whose semantics
+    /// forbid it). This pins down exactly which policies serve reads
+    /// from written lines.
+    #[test]
+    fn store_then_load_semantics() {
+        let mut rng = SmallRng::seed_from_u64(0xA2);
+        for _ in 0..48 {
+            let addr = rng.gen_range(0u64..512);
             for (policy, expect_hit) in [
-                (WritePolicy::WriteBack, true),      // allocated + readable
+                (WritePolicy::WriteBack, true),            // allocated + readable
                 (WritePolicy::WriteMissInvalidate, false), // never allocated
-                (WritePolicy::WriteOnly, false),     // allocated write-only
-                (WritePolicy::Subblock, true),       // own word valid
+                (WritePolicy::WriteOnly, false),           // allocated write-only
+                (WritePolicy::Subblock, true),             // own word valid
             ] {
                 let mut c = L1DataCache::new(CacheGeometry::new(64, 4, 1).expect("valid"), policy);
                 c.store(PhysAddr::new(addr), false);
-                prop_assert_eq!(c.load(PhysAddr::new(addr)).hit, expect_hit, "{:?}", policy);
+                assert_eq!(c.load(PhysAddr::new(addr)).hit, expect_hit, "{policy:?}");
             }
         }
+    }
 
-        /// Subblock valid bits are always a subset of the line mask, and a
-        /// valid bit implies the tag matches.
-        #[test]
-        fn subblock_valid_bits_bounded(ops in prop::collection::vec(op_strategy(), 0..300)) {
+    /// Subblock valid bits are always a subset of the line mask, and a
+    /// valid bit implies the tag matches.
+    #[test]
+    fn subblock_valid_bits_bounded() {
+        let mut rng = SmallRng::seed_from_u64(0xA3);
+        for _ in 0..48 {
+            let ops = random_ops(&mut rng, 300);
             let geom = CacheGeometry::new(64, 4, 1).expect("valid");
             let mut c = L1DataCache::new(geom, WritePolicy::Subblock);
-            for op in ops {
-                match op {
-                    Op::Load(a) => { c.load(PhysAddr::new(a)); }
-                    Op::Store(a, p) => { c.store(PhysAddr::new(a), p); }
+            for op in &ops {
+                match *op {
+                    Op::Load(a) => {
+                        c.load(PhysAddr::new(a));
+                    }
+                    Op::Store(a, p) => {
+                        c.store(PhysAddr::new(a), p);
+                    }
                 }
                 for line in c.array().iter() {
-                    prop_assert_eq!(line.subblock_valid & !0b1111, 0, "stray valid bits");
+                    assert_eq!(line.subblock_valid & !0b1111, 0, "stray valid bits");
                 }
             }
         }
+    }
 
-        /// The write-through policies report every store to the write
-        /// buffer, exactly once, hit or miss.
-        #[test]
-        fn write_through_streams_every_store(ops in prop::collection::vec((0u64..512, any::<bool>()), 1..100)) {
-            for policy in [WritePolicy::WriteMissInvalidate, WritePolicy::WriteOnly, WritePolicy::Subblock] {
+    /// The write-through policies report every store to the write
+    /// buffer, exactly once, hit or miss.
+    #[test]
+    fn write_through_streams_every_store() {
+        let mut rng = SmallRng::seed_from_u64(0xA4);
+        for _ in 0..48 {
+            let len = rng.gen_range(1usize..100);
+            let ops: Vec<(u64, bool)> = (0..len)
+                .map(|_| (rng.gen_range(0u64..512), rng.gen::<bool>()))
+                .collect();
+            for policy in [
+                WritePolicy::WriteMissInvalidate,
+                WritePolicy::WriteOnly,
+                WritePolicy::Subblock,
+            ] {
                 let mut c = L1DataCache::new(CacheGeometry::new(64, 4, 1).expect("valid"), policy);
                 for &(a, p) in &ops {
                     let out = c.store(PhysAddr::new(a), p);
-                    prop_assert_eq!(out.wb_word, Some(PhysAddr::new(a)), "{:?}", policy);
-                    prop_assert!(out.fetch.is_none(), "{:?} fetched on store", policy);
+                    assert_eq!(out.wb_word, Some(PhysAddr::new(a)), "{policy:?}");
+                    assert!(out.fetch.is_none(), "{policy:?} fetched on store");
                 }
             }
         }

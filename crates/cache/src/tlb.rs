@@ -46,7 +46,10 @@ impl Tlb {
     /// power-of-two set count, or `assoc` is zero.
     pub fn new(entries: u32, assoc: u32) -> Self {
         assert!(assoc > 0, "associativity must be positive");
-        assert!(entries > 0 && entries % assoc == 0, "entries must divide by ways");
+        assert!(
+            entries > 0 && entries % assoc == 0,
+            "entries must divide by ways"
+        );
         let n_sets = (entries / assoc) as u64;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         Tlb {
@@ -171,7 +174,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut t = Tlb::new(4, 2); // 2 sets x 2 ways
-        // Three vpns mapping to set 0 (vpn % 2 == 0): 0, 2, 4.
+                                    // Three vpns mapping to set 0 (vpn % 2 == 0): 0, 2, 4.
         t.access(va(0, 0));
         t.access(va(0, 2));
         t.access(va(0, 0)); // make vpn 0 MRU

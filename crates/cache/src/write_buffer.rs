@@ -67,7 +67,12 @@ impl WriteBuffer {
     /// Panics if `depth` is zero.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "write buffer needs at least one slot");
-        WriteBuffer { depth, entries: VecDeque::with_capacity(depth), last_completion: 0, enqueued: 0 }
+        WriteBuffer {
+            depth,
+            entries: VecDeque::with_capacity(depth),
+            last_completion: 0,
+            enqueued: 0,
+        }
     }
 
     /// Buffer capacity in entries.
@@ -133,7 +138,10 @@ impl WriteBuffer {
         extra_penalty: u32,
     ) -> u64 {
         self.advance(enq_time);
-        debug_assert!(self.entries.len() < self.depth, "enqueue into full write buffer");
+        debug_assert!(
+            self.entries.len() < self.depth,
+            "enqueue into full write buffer"
+        );
         let isolated = enq_time + access_time as u64;
         let streamed = self.last_completion + stream_occupancy as u64;
         let completes_at = isolated.max(streamed) + extra_penalty as u64;

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use gaas_cache::fault::{FaultRates, ProtectionMap, TargetedFault};
 use gaas_cache::{CacheGeometry, GeometryError, MainMemory, WritePolicy};
 
 /// Geometry of a primary cache.
@@ -25,7 +26,11 @@ pub struct L1Config {
 impl L1Config {
     /// The base architecture's 4 KW direct-mapped cache with 4 W lines.
     pub fn base() -> Self {
-        L1Config { size_words: 4096, line_words: 4, assoc: 1 }
+        L1Config {
+            size_words: 4096,
+            line_words: 4,
+            assoc: 1,
+        }
     }
 
     /// Converts to a validated [`CacheGeometry`].
@@ -80,14 +85,24 @@ pub enum L2Config {
 impl L2Config {
     /// The base architecture's unified, direct-mapped 256 KW, 6-cycle L2.
     pub fn base() -> Self {
-        L2Config::Unified(L2Side { size_words: 262_144, assoc: 1, line_words: 32, access_cycles: 6 })
+        L2Config::Unified(L2Side {
+            size_words: 262_144,
+            assoc: 1,
+            line_words: 32,
+            access_cycles: 6,
+        })
     }
 
     /// A logically split cache of `total_words`: the high-order index bit
     /// interleaves instruction and data halves, so each half has half the
     /// capacity and the same access time (§7).
     pub fn split_even(total_words: u64, assoc: u32, access_cycles: u32) -> Self {
-        let half = L2Side { size_words: total_words / 2, assoc, line_words: 32, access_cycles };
+        let half = L2Side {
+            size_words: total_words / 2,
+            assoc,
+            line_words: 32,
+            access_cycles,
+        };
         L2Config::Split { i: half, d: half }
     }
 
@@ -96,8 +111,18 @@ impl L2Config {
     /// L2-D off the MCM.
     pub fn split_fast_i() -> Self {
         L2Config::Split {
-            i: L2Side { size_words: 32_768, assoc: 1, line_words: 32, access_cycles: 2 },
-            d: L2Side { size_words: 262_144, assoc: 1, line_words: 32, access_cycles: 6 },
+            i: L2Side {
+                size_words: 32_768,
+                assoc: 1,
+                line_words: 32,
+                access_cycles: 2,
+            },
+            d: L2Side {
+                size_words: 262_144,
+                assoc: 1,
+                line_words: 32,
+                access_cycles: 6,
+            },
         }
     }
 
@@ -169,9 +194,15 @@ impl WriteBufferConfig {
     /// 8-deep × 1 W for the write-through policies (§6).
     pub fn for_policy(policy: WritePolicy) -> Self {
         if policy.is_write_through() {
-            WriteBufferConfig { depth: 8, width_words: 1 }
+            WriteBufferConfig {
+                depth: 8,
+                width_words: 1,
+            }
         } else {
-            WriteBufferConfig { depth: 4, width_words: 4 }
+            WriteBufferConfig {
+                depth: 4,
+                width_words: 4,
+            }
         }
     }
 }
@@ -188,7 +219,69 @@ pub struct MpConfig {
 impl MpConfig {
     /// The paper's chosen operating point: level 8, 500 k-cycle slice.
     pub fn base() -> Self {
-        MpConfig { level: 8, time_slice_cycles: 500_000 }
+        MpConfig {
+            level: 8,
+            time_slice_cycles: 500_000,
+        }
+    }
+}
+
+/// What the simulated machine does when a fault is detected but cannot be
+/// repaired in place (dirty data under parity, double-bit flip under ECC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineCheckPolicy {
+    /// Stop the simulation: `run` returns a machine-check error carrying
+    /// the fault site and the partial result.
+    #[default]
+    Halt,
+    /// Model checkpoint/restart recovery: roll back to the last
+    /// checkpoint, charge the lost cycles as recovery stall, and continue.
+    Restart,
+}
+
+/// Soft-error injection and recovery configuration.
+///
+/// The default is *off* — zero rates, no targeted faults — and the
+/// simulator takes the exact non-fault code path, producing bit-identical
+/// results to a build without fault support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for the injector's PRNG; same seed + same config ⇒ identical
+    /// fault sites and results.
+    pub seed: u64,
+    /// Per-access fault probability for each structure.
+    pub rates: FaultRates,
+    /// Protection scheme per structure.
+    pub protection: ProtectionMap,
+    /// Probability that a random upset flips two bits (escaping parity,
+    /// defeating SEC correction).
+    pub multi_bit_frac: f64,
+    /// Cycles charged for an in-place ECC single-bit correction.
+    pub ecc_correction_cycles: u32,
+    /// Response to unrecoverable faults.
+    pub machine_check: MachineCheckPolicy,
+    /// Directed faults ("flip bit N of set S at access K").
+    pub targeted: Vec<TargetedFault>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            rates: FaultRates::default(),
+            protection: ProtectionMap::default(),
+            multi_bit_frac: 0.0,
+            ecc_correction_cycles: 1,
+            machine_check: MachineCheckPolicy::default(),
+            targeted: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True when this configuration can ever inject a fault.
+    pub fn enabled(&self) -> bool {
+        self.rates.any_nonzero() || !self.targeted.is_empty()
     }
 }
 
@@ -211,6 +304,10 @@ pub enum ConfigError {
     ZeroMultiprogramming,
     /// An L2 access time below the 2-cycle latency floor.
     L2AccessBelowLatency(u32),
+    /// A fault probability outside `[0, 1]` (or not finite).
+    InvalidFaultRate(f64),
+    /// An instruction budget of zero (use `None` to disable the watchdog).
+    ZeroInstructionBudget,
 }
 
 impl fmt::Display for ConfigError {
@@ -235,6 +332,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::L2AccessBelowLatency(t) => {
                 write!(f, "L2 access time {t} is below the 2-cycle tag/communication latency")
+            }
+            ConfigError::InvalidFaultRate(r) => {
+                write!(f, "fault probability {r} is not in [0, 1]")
+            }
+            ConfigError::ZeroInstructionBudget => {
+                write!(f, "instruction budget must be positive (use None to disable)")
             }
         }
     }
@@ -293,6 +396,16 @@ pub struct SimConfig {
     /// related to changes in effective L2 cache access time"). `None` uses
     /// the data side's access time.
     pub l2_drain_access_override: Option<u32>,
+    /// Soft-error injection and recovery (default: off).
+    pub fault: FaultConfig,
+    /// Watchdog: abort the run (returning a partial result) once this many
+    /// instructions have retired. `None` disables the watchdog.
+    pub instruction_budget: Option<u64>,
+    /// Checkpoint every this many instructions (counters + scheduler
+    /// snapshot), enabling progress reporting and machine-check restart.
+    /// `0` disables checkpointing (restart then rolls back to the start of
+    /// the current sampling window).
+    pub checkpoint_interval: u64,
 }
 
 impl SimConfig {
@@ -310,6 +423,9 @@ impl SimConfig {
             tlb_miss_penalty: 0,
             page_colors: 256,
             l2_drain_access_override: None,
+            fault: FaultConfig::default(),
+            instruction_budget: None,
+            checkpoint_interval: 0,
         }
     }
 
@@ -318,8 +434,16 @@ impl SimConfig {
     /// read bypass, and the L2-D dirty buffer.
     pub fn optimized() -> Self {
         SimConfig {
-            l1i: L1Config { size_words: 4096, line_words: 8, assoc: 1 },
-            l1d: L1Config { size_words: 4096, line_words: 8, assoc: 1 },
+            l1i: L1Config {
+                size_words: 4096,
+                line_words: 8,
+                assoc: 1,
+            },
+            l1d: L1Config {
+                size_words: 4096,
+                line_words: 8,
+                assoc: 1,
+            },
             policy: WritePolicy::WriteOnly,
             l2: L2Config::split_fast_i(),
             write_buffer: WriteBufferConfig::for_policy(WritePolicy::WriteOnly),
@@ -333,6 +457,9 @@ impl SimConfig {
             tlb_miss_penalty: 0,
             page_colors: 256,
             l2_drain_access_override: None,
+            fault: FaultConfig::default(),
+            instruction_budget: None,
+            checkpoint_interval: 0,
         }
     }
 
@@ -381,6 +508,21 @@ impl SimConfig {
         }
         if self.mp.level == 0 {
             return Err(ConfigError::ZeroMultiprogramming);
+        }
+        if !self.fault.rates.is_valid() {
+            let bad = gaas_cache::fault::Structure::ALL
+                .iter()
+                .map(|&s| self.fault.rates.get(s))
+                .find(|r| !r.is_finite() || !(0.0..=1.0).contains(r))
+                .unwrap_or(f64::NAN);
+            return Err(ConfigError::InvalidFaultRate(bad));
+        }
+        let frac = self.fault.multi_bit_frac;
+        if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+            return Err(ConfigError::InvalidFaultRate(frac));
+        }
+        if self.instruction_budget == Some(0) {
+            return Err(ConfigError::ZeroInstructionBudget);
         }
         Ok(())
     }
@@ -558,6 +700,25 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the soft-error injection and recovery configuration.
+    pub fn fault(&mut self, fault: FaultConfig) -> &mut Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// Sets the instruction-budget watchdog (aborts runaway simulations
+    /// with a partial result).
+    pub fn instruction_budget(&mut self, instructions: u64) -> &mut Self {
+        self.cfg.instruction_budget = Some(instructions);
+        self
+    }
+
+    /// Sets the checkpoint interval in instructions (0 disables).
+    pub fn checkpoint_interval(&mut self, instructions: u64) -> &mut Self {
+        self.cfg.checkpoint_interval = instructions;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -582,9 +743,21 @@ mod tests {
         assert_eq!(c.policy, WritePolicy::WriteBack);
         assert_eq!(c.l2, L2Config::base());
         assert_eq!(c.l2.d_side().access_cycles, 6);
-        assert_eq!(c.write_buffer, WriteBufferConfig { depth: 4, width_words: 4 });
+        assert_eq!(
+            c.write_buffer,
+            WriteBufferConfig {
+                depth: 4,
+                width_words: 4
+            }
+        );
         assert_eq!(c.memory.clean_miss_cycles, 143);
-        assert_eq!(c.mp, MpConfig { level: 8, time_slice_cycles: 500_000 });
+        assert_eq!(
+            c.mp,
+            MpConfig {
+                level: 8,
+                time_slice_cycles: 500_000
+            }
+        );
         assert!(c.validate().is_ok());
         assert_eq!(SimConfig::default(), c);
     }
@@ -597,7 +770,13 @@ mod tests {
         assert_eq!(c.l2.i_side().size_words, 32_768);
         assert_eq!(c.l2.i_side().access_cycles, 2);
         assert_eq!(c.l2.d_side().size_words, 262_144);
-        assert_eq!(c.write_buffer, WriteBufferConfig { depth: 8, width_words: 1 });
+        assert_eq!(
+            c.write_buffer,
+            WriteBufferConfig {
+                depth: 8,
+                width_words: 1
+            }
+        );
         assert!(c.concurrency.concurrent_i_refill);
         assert_eq!(c.concurrency.d_read_bypass, WbBypass::DirtyBit);
         assert!(c.concurrency.l2d_dirty_buffer);
@@ -615,19 +794,25 @@ mod tests {
     #[test]
     fn builder_round_trip() {
         let mut b = SimConfig::builder();
-        b.l1_line(8).policy(WritePolicy::WriteOnly).l2(L2Config::split_fast_i());
+        b.l1_line(8)
+            .policy(WritePolicy::WriteOnly)
+            .l2(L2Config::split_fast_i());
         let c = b.build().expect("valid");
         assert_eq!(c.l1d.line_words, 8);
-        assert_eq!(c.write_buffer.width_words, 1, "policy re-derives write buffer");
+        assert_eq!(
+            c.write_buffer.width_words, 1,
+            "policy re-derives write buffer"
+        );
     }
 
     #[test]
     fn dirty_bit_requires_write_allocate_policy() {
         let mut b = SimConfig::builder();
-        b.l2(L2Config::split_fast_i()).concurrency(ConcurrencyConfig {
-            d_read_bypass: WbBypass::DirtyBit,
-            ..Default::default()
-        });
+        b.l2(L2Config::split_fast_i())
+            .concurrency(ConcurrencyConfig {
+                d_read_bypass: WbBypass::DirtyBit,
+                ..Default::default()
+            });
         // Baseline policy is write-back: invalid.
         let err = b.build().unwrap_err();
         assert!(matches!(err, ConfigError::DirtyBitNeedsWriteAllocate(_)));
@@ -638,8 +823,14 @@ mod tests {
     #[test]
     fn concurrent_refill_requires_split() {
         let mut b = SimConfig::builder();
-        b.concurrency(ConcurrencyConfig { concurrent_i_refill: true, ..Default::default() });
-        assert!(matches!(b.build().unwrap_err(), ConfigError::ConcurrentRefillNeedsSplitL2));
+        b.concurrency(ConcurrencyConfig {
+            concurrent_i_refill: true,
+            ..Default::default()
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::ConcurrentRefillNeedsSplitL2
+        ));
         b.l2(L2Config::split_even(262_144, 1, 6));
         assert!(b.build().is_ok());
     }
@@ -648,7 +839,10 @@ mod tests {
     fn l2_access_floor_enforced() {
         let mut b = SimConfig::builder();
         b.l2_access(0);
-        assert!(matches!(b.build().unwrap_err(), ConfigError::L2AccessBelowLatency(0)));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::L2AccessBelowLatency(0)
+        ));
         // 1-cycle access is admitted for the Fig. 7/8 what-if sweeps.
         let mut b1 = SimConfig::builder();
         b1.l2_access(1);
@@ -656,14 +850,20 @@ mod tests {
         // The drain override keeps the 2-cycle latency floor.
         let mut b2 = SimConfig::builder();
         b2.l2_drain_access(1);
-        assert!(matches!(b2.build().unwrap_err(), ConfigError::L2AccessBelowLatency(1)));
+        assert!(matches!(
+            b2.build().unwrap_err(),
+            ConfigError::L2AccessBelowLatency(1)
+        ));
     }
 
     #[test]
     fn zero_mp_rejected() {
         let mut b = SimConfig::builder();
         b.mp_level(0);
-        assert!(matches!(b.build().unwrap_err(), ConfigError::ZeroMultiprogramming));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::ZeroMultiprogramming
+        ));
     }
 
     #[test]
@@ -698,15 +898,90 @@ mod tests {
     }
 
     #[test]
+    fn fault_config_defaults_off() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        assert_eq!(f.machine_check, MachineCheckPolicy::Halt);
+        let mut on = f.clone();
+        on.rates.l1d = 1e-6;
+        assert!(on.enabled());
+        let mut targeted = f;
+        targeted.targeted.push(TargetedFault {
+            structure: gaas_cache::fault::Structure::L1I,
+            access: 0,
+            set: 0,
+            bit: 0,
+        });
+        assert!(targeted.enabled());
+    }
+
+    #[test]
+    fn invalid_fault_rates_rejected() {
+        let mut b = SimConfig::builder();
+        let mut f = FaultConfig::default();
+        f.rates.l2 = 1.5;
+        b.fault(f);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::InvalidFaultRate(_)
+        ));
+
+        let mut b2 = SimConfig::builder();
+        let f2 = FaultConfig {
+            multi_bit_frac: f64::NAN,
+            ..FaultConfig::default()
+        };
+        b2.fault(f2);
+        assert!(matches!(
+            b2.build().unwrap_err(),
+            ConfigError::InvalidFaultRate(_)
+        ));
+
+        let mut b3 = SimConfig::builder();
+        let f3 = FaultConfig {
+            rates: FaultRates::uniform(1e-3),
+            multi_bit_frac: 0.1,
+            ..FaultConfig::default()
+        };
+        b3.fault(f3);
+        assert!(b3.build().is_ok());
+    }
+
+    #[test]
+    fn zero_instruction_budget_rejected() {
+        let mut b = SimConfig::builder();
+        b.instruction_budget(0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::ZeroInstructionBudget
+        ));
+        let mut b2 = SimConfig::builder();
+        b2.instruction_budget(1_000_000).checkpoint_interval(50_000);
+        let cfg = b2.build().expect("valid");
+        assert_eq!(cfg.instruction_budget, Some(1_000_000));
+        assert_eq!(cfg.checkpoint_interval, 50_000);
+    }
+
+    #[test]
     fn wb_config_per_policy() {
         assert_eq!(
             WriteBufferConfig::for_policy(WritePolicy::WriteBack),
-            WriteBufferConfig { depth: 4, width_words: 4 }
+            WriteBufferConfig {
+                depth: 4,
+                width_words: 4
+            }
         );
-        for p in [WritePolicy::WriteMissInvalidate, WritePolicy::WriteOnly, WritePolicy::Subblock] {
+        for p in [
+            WritePolicy::WriteMissInvalidate,
+            WritePolicy::WriteOnly,
+            WritePolicy::Subblock,
+        ] {
             assert_eq!(
                 WriteBufferConfig::for_policy(p),
-                WriteBufferConfig { depth: 8, width_words: 1 }
+                WriteBufferConfig {
+                    depth: 8,
+                    width_words: 1
+                }
             );
         }
     }

@@ -71,6 +71,21 @@ pub struct Counters {
     pub dirty_buffer_wait_cycles: u64,
     /// Cycles charged to TLB misses (0 under the paper's accounting).
     pub tlb_miss_cycles: u64,
+    /// Cycles lost to soft-error recovery: parity-triggered refetches, ECC
+    /// corrections, and checkpoint-restart rollback after machine checks.
+    pub recovery_cycles: u64,
+
+    /// Soft errors injected (all structures).
+    pub faults_injected: u64,
+    /// Injected faults that went undetected (unprotected structure, or a
+    /// double-bit flip escaping parity).
+    pub faults_silent: u64,
+    /// Single-bit flips corrected in place by ECC.
+    pub faults_corrected: u64,
+    /// Parity-detected faults repaired by invalidate-and-refetch.
+    pub fault_refetches: u64,
+    /// Unrecoverable faults (machine checks raised).
+    pub machine_checks: u64,
 }
 
 impl Counters {
@@ -119,6 +134,12 @@ impl Counters {
             l2d_miss_cycles,
             dirty_buffer_wait_cycles,
             tlb_miss_cycles,
+            recovery_cycles,
+            faults_injected,
+            faults_silent,
+            faults_corrected,
+            fault_refetches,
+            machine_checks,
         )
     }
 
@@ -133,6 +154,7 @@ impl Counters {
             + self.l2d_miss_cycles
             + self.dirty_buffer_wait_cycles
             + self.tlb_miss_cycles
+            + self.recovery_cycles
     }
 
     /// Total execution cycles: one issue cycle per instruction plus stalls.
@@ -147,13 +169,19 @@ impl Counters {
 
     /// L1-D miss ratio (read + write misses per data reference).
     pub fn l1d_miss_ratio(&self) -> f64 {
-        ratio(self.l1d_read_misses + self.l1d_write_misses, self.loads + self.stores)
+        ratio(
+            self.l1d_read_misses + self.l1d_write_misses,
+            self.loads + self.stores,
+        )
     }
 
     /// Combined L2 miss ratio over instruction- and data-side refill
     /// accesses (drain writes excluded, as in Table 2).
     pub fn l2_miss_ratio(&self) -> f64 {
-        ratio(self.l2i_misses + self.l2d_misses, self.l2i_accesses + self.l2d_accesses)
+        ratio(
+            self.l2i_misses + self.l2d_misses,
+            self.l2i_accesses + self.l2d_accesses,
+        )
     }
 
     /// Instruction-side L2 miss ratio.
@@ -191,6 +219,7 @@ impl Counters {
             l2d_miss: per(self.l2d_miss_cycles),
             dirty_buffer: per(self.dirty_buffer_wait_cycles),
             tlb: per(self.tlb_miss_cycles),
+            recovery: per(self.recovery_cycles),
         }
     }
 }
@@ -279,6 +308,8 @@ pub struct CpiBreakdown {
     pub dirty_buffer: f64,
     /// TLB miss charges (0 under the paper's accounting).
     pub tlb: f64,
+    /// Soft-error recovery: refetches, ECC corrections, restart rollback.
+    pub recovery: f64,
 }
 
 impl CpiBreakdown {
@@ -294,6 +325,7 @@ impl CpiBreakdown {
             + self.l2d_miss
             + self.dirty_buffer
             + self.tlb
+            + self.recovery
     }
 
     /// The memory-system contribution to CPI (everything except the base
@@ -326,6 +358,7 @@ impl CpiBreakdown {
             ("L2-D miss", self.l2d_miss),
             ("dirty buf", self.dirty_buffer),
             ("TLB", self.tlb),
+            ("recovery", self.recovery),
         ]
     }
 }
@@ -411,6 +444,28 @@ mod tests {
     #[should_panic(expected = "no instructions")]
     fn breakdown_requires_instructions() {
         let _ = Counters::new().breakdown();
+    }
+
+    #[test]
+    fn recovery_cycles_flow_through_accounting() {
+        let mut c = sample();
+        c.recovery_cycles = 50;
+        c.fault_refetches = 3;
+        c.faults_injected = 5;
+        assert_eq!(c.stall_cycles(), sample().stall_cycles() + 50);
+        let b = c.breakdown();
+        assert!((b.recovery - 0.05).abs() < 1e-12);
+        let cpi = c.total_cycles() as f64 / c.instructions as f64;
+        assert!((b.total() - cpi).abs() < 1e-12);
+        assert!(b
+            .components()
+            .iter()
+            .any(|(name, v)| *name == "recovery" && *v > 0.0));
+        // since() covers the new fields.
+        let d = c.since(&sample());
+        assert_eq!(d.recovery_cycles, 50);
+        assert_eq!(d.fault_refetches, 3);
+        assert_eq!(d.faults_injected, 5);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   passing stores (associative or the cheap dirty-bit scheme), and the
 //!   L2-D dirty buffer;
 //! * a PID-tagged multiprogramming environment: round-robin scheduling,
-//!   voluntary-syscall switches, page coloring, PID-tagged TLBs.
+//!   voluntary-syscall switches, page coloring, PID-tagged TLBs;
+//! * deterministic soft-error fault injection with parity/ECC recovery
+//!   ([`config::FaultConfig`]), an instruction-budget watchdog, and
+//!   periodic checkpoints (see the `sim` module docs).
 //!
 //! ## Quick start
 //!
@@ -53,13 +56,17 @@ pub mod sim;
 pub mod workload;
 
 pub use config::{
-    ConcurrencyConfig, ConfigError, L1Config, L2Config, L2Side, MpConfig, SimConfig,
-    SimConfigBuilder, WbBypass, WriteBufferConfig,
+    ConcurrencyConfig, ConfigError, FaultConfig, L1Config, L2Config, L2Side, MachineCheckPolicy,
+    MpConfig, SimConfig, SimConfigBuilder, WbBypass, WriteBufferConfig,
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
-pub use sim::{run, SimResult, Simulator};
+pub use sched::SchedSnapshot;
+pub use sim::{run, Checkpoint, SimError, SimResult, Simulator, Termination};
 
 // Re-export the substrate vocabulary so downstream users need only this
 // crate for common tasks.
+pub use gaas_cache::fault::{
+    FaultEffect, FaultEvent, FaultRates, Protection, ProtectionMap, Structure, TargetedFault,
+};
 pub use gaas_cache::WritePolicy;
 pub use gaas_trace::{Pid, Trace, TraceEvent, VirtAddr};

@@ -11,7 +11,11 @@ use crate::sim::SimResult;
 pub fn cpi_stack(result: &SimResult) -> String {
     let b = result.breakdown();
     let mut out = String::new();
-    let _ = writeln!(out, "CPI stack ({} instructions):", result.counters.instructions);
+    let _ = writeln!(
+        out,
+        "CPI stack ({} instructions):",
+        result.counters.instructions
+    );
     for (label, value) in b.components() {
         if value > 0.0 {
             let _ = writeln!(out, "  {label:<12} {value:>7.4}");
@@ -63,7 +67,11 @@ pub fn compare(label_a: &str, a: &SimResult, label_b: &str, b: &SimResult) -> St
     let (ba, bb) = (a.breakdown(), b.breakdown());
     let mut out = String::new();
     let _ = writeln!(out, "CPI comparison: {label_a} vs {label_b}");
-    let _ = writeln!(out, "  {:<12} {:>9} {:>9} {:>9}", "component", label_a, label_b, "delta");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>9} {:>9} {:>9}",
+        "component", label_a, label_b, "delta"
+    );
     for ((label, va), (_, vb)) in ba.components().into_iter().zip(bb.components()) {
         if va > 0.0 || vb > 0.0 {
             let _ = writeln!(out, "  {label:<12} {va:>9.4} {vb:>9.4} {:>+9.4}", vb - va);
@@ -114,7 +122,11 @@ mod tests {
         let evs = (0..100)
             .map(|i| TraceEvent::ifetch(VirtAddr::new(Pid::new(0), i % 32), 1))
             .collect();
-        run(SimConfig::baseline(), vec![Box::new(VecTrace::new("t", evs))]).expect("valid")
+        run(
+            SimConfig::baseline(),
+            vec![Box::new(VecTrace::new("t", evs))],
+        )
+        .expect("valid")
     }
 
     #[test]

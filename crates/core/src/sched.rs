@@ -32,6 +32,23 @@ pub struct Instruction {
     pub data: Option<TraceEvent>,
 }
 
+/// A point-in-time summary of scheduler progress, captured at simulator
+/// checkpoints (progress reporting, machine-check restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Benchmarks that have terminated.
+    pub completed: usize,
+    /// Processes currently resident and runnable (including the one
+    /// running).
+    pub runnable: usize,
+    /// Benchmarks still waiting for admission.
+    pub waiting: usize,
+    /// Voluntary-syscall switches taken so far.
+    pub syscall_switches: u64,
+    /// Time-slice switches taken so far.
+    pub slice_switches: u64,
+}
+
 /// Round-robin multiprogramming scheduler over a set of traces.
 ///
 /// # Examples
@@ -72,7 +89,12 @@ impl Scheduler {
         assert!(level > 0, "multiprogramming level must be positive");
         let procs: Vec<Option<Process>> = traces
             .into_iter()
-            .map(|t| Some(Process { name: t.name().to_string(), events: t.peekable() }))
+            .map(|t| {
+                Some(Process {
+                    name: t.name().to_string(),
+                    events: t.peekable(),
+                })
+            })
             .collect();
         let mut run_queue = VecDeque::new();
         let mut waiting = VecDeque::new();
@@ -118,6 +140,17 @@ impl Scheduler {
         &self.completed
     }
 
+    /// Captures current progress (for simulator checkpoints).
+    pub fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            completed: self.completed.len(),
+            runnable: self.run_queue.len() + usize::from(self.current.is_some()),
+            waiting: self.waiting.len(),
+            syscall_switches: self.syscall_switches,
+            slice_switches: self.slice_switches,
+        }
+    }
+
     /// Delivers the next instruction at cycle `now`, or `None` when every
     /// benchmark has terminated.
     pub fn next_instruction(&mut self, now: u64) -> Option<Instruction> {
@@ -136,7 +169,11 @@ impl Scheduler {
             let proc = self.procs[idx].as_mut().expect("scheduled process exists");
             match proc.events.next() {
                 Some(ifetch) => {
-                    debug_assert_eq!(ifetch.kind, AccessKind::IFetch, "traces start instructions with a fetch");
+                    debug_assert_eq!(
+                        ifetch.kind,
+                        AccessKind::IFetch,
+                        "traces start instructions with a fetch"
+                    );
                     let data = match proc.events.peek() {
                         Some(ev) if ev.kind.is_data() => proc.events.next(),
                         _ => None,
@@ -260,12 +297,8 @@ mod tests {
 
     #[test]
     fn all_instructions_delivered_exactly_once() {
-        let mk = |pid: u8, n: u64| {
-            trace(
-                &format!("p{pid}"),
-                (0..n).map(|w| ev_i(pid, w)).collect(),
-            )
-        };
+        let mk =
+            |pid: u8, n: u64| trace(&format!("p{pid}"), (0..n).map(|w| ev_i(pid, w)).collect());
         let mut s = Scheduler::new(vec![mk(0, 7), mk(1, 5), mk(2, 3)], 2, 2);
         let mut count = 0;
         let mut now = 0;
@@ -276,6 +309,27 @@ mod tests {
         }
         assert_eq!(count, 15);
         assert_eq!(s.completed().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_tracks_progress() {
+        let a = trace("a", vec![ev_i(0, 0)]);
+        let b = trace("b", vec![ev_i(1, 0)]);
+        let c = trace("c", vec![ev_i(2, 0)]);
+        let mut s = Scheduler::new(vec![a, b, c], 2, 1000);
+        let snap = s.snapshot();
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.runnable, 2);
+        assert_eq!(snap.waiting, 1);
+        let mut now = 0;
+        while let Some(i) = s.next_instruction(now) {
+            now += 1;
+            s.post_instruction(now, i.ifetch.syscall);
+        }
+        let end = s.snapshot();
+        assert_eq!(end.completed, 3);
+        assert_eq!(end.runnable, 0);
+        assert_eq!(end.waiting, 0);
     }
 
     #[test]

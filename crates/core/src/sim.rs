@@ -17,13 +17,99 @@
 //!
 //! The accounting invariant `total cycles = instructions + Σ stall
 //! components` holds exactly (checked with `debug_assert!` and tests).
+//!
+//! With soft-error injection enabled (see `FaultConfig`), faults are
+//! checked when an access *hits* the struck structure — the moment the
+//! corrupted entry would be consumed — and recovery costs (parity
+//! refetches, ECC corrections, checkpoint-restart rollback) are charged to
+//! the dedicated `recovery` stall component, keeping the invariant exact.
+//! Unrecoverable faults either halt the run ([`SimError::MachineCheck`])
+//! or roll back to the last checkpoint, per the configured policy.
 
+use std::fmt;
+
+use gaas_cache::fault::{
+    resolve, FaultEffect, FaultEvent, FaultInjector, ProtectionMap, Structure,
+};
 use gaas_cache::{CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer};
 use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
 
-use crate::config::{ConfigError, L2Config, SimConfig, WbBypass};
+use crate::config::{ConfigError, L2Config, MachineCheckPolicy, SimConfig, WbBypass};
 use crate::cpi::{Counters, ProcCounters};
-use crate::sched::Scheduler;
+use crate::sched::{SchedSnapshot, Scheduler};
+
+/// Error from building or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// An injected fault was detected but unrecoverable (dirty data under
+    /// parity, or a double-bit flip under ECC) and the machine-check
+    /// policy is [`MachineCheckPolicy::Halt`].
+    MachineCheck {
+        /// The unrecoverable fault.
+        fault: FaultEvent,
+        /// Simulated cycle at the halt (the boundary of the faulting
+        /// instruction).
+        cycle: u64,
+        /// Instructions retired before the halt.
+        instructions: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::MachineCheck {
+                fault,
+                cycle,
+                instructions,
+            } => write!(
+                f,
+                "machine check: {fault} at cycle {cycle} ({instructions} instructions retired)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::MachineCheck { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Termination {
+    /// Every benchmark ran to completion.
+    #[default]
+    Completed,
+    /// The instruction-budget watchdog fired; the result covers the
+    /// instructions retired up to the abort.
+    BudgetExhausted,
+}
+
+/// One periodic checkpoint: a progress marker and (under the restart
+/// machine-check policy) the rollback point for recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Simulated cycle at the checkpoint.
+    pub cycle: u64,
+    /// Instructions retired at the checkpoint.
+    pub instructions: u64,
+    /// Scheduler progress at the checkpoint.
+    pub sched: SchedSnapshot,
+}
 
 /// Result of a completed simulation run.
 #[derive(Debug, Clone)]
@@ -37,6 +123,10 @@ pub struct SimResult {
     /// Per-process statistics, one entry per PID that issued events
     /// (includes warm-up; sorted by PID).
     pub per_process: Vec<(gaas_trace::Pid, ProcCounters)>,
+    /// Why the run stopped.
+    pub termination: Termination,
+    /// Periodic checkpoints (empty unless `checkpoint_interval` is set).
+    pub checkpoints: Vec<Checkpoint>,
 }
 
 impl SimResult {
@@ -54,11 +144,30 @@ impl SimResult {
     pub fn breakdown(&self) -> crate::cpi::CpiBreakdown {
         self.counters.breakdown()
     }
+
+    /// True when every benchmark ran to completion (the watchdog did not
+    /// fire).
+    pub fn is_complete(&self) -> bool {
+        self.termination == Termination::Completed
+    }
 }
 
 enum L2Arrays {
     Unified(CacheArray),
     Split { i: CacheArray, d: CacheArray },
+}
+
+/// Live fault-injection state (present only when injection is enabled, so
+/// the fault-free path stays bit-identical to a build without it).
+struct FaultState {
+    injector: FaultInjector,
+    protection: ProtectionMap,
+    ecc_penalty: u64,
+    /// True for [`MachineCheckPolicy::Halt`].
+    halt: bool,
+    /// Per-structure set counts for fault-site reporting, in
+    /// [`Structure::index`] order.
+    sets: [u64; 5],
 }
 
 /// Size of the simulator's internal translation-lookup cache (a software
@@ -72,9 +181,9 @@ const TCACHE_WAYS: usize = 256;
 /// ```
 /// use gaas_sim::{config::SimConfig, workload, Simulator};
 ///
-/// # fn main() -> Result<(), gaas_sim::ConfigError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let sim = Simulator::new(SimConfig::optimized())?;
-/// let result = sim.run(workload::subset(3, 1e-4));
+/// let result = sim.run(workload::subset(3, 1e-4))?;
 /// assert!(result.cpi() > 1.0);
 /// assert_eq!(result.completed.len(), 3);
 /// # Ok(())
@@ -106,6 +215,13 @@ pub struct Simulator {
     /// L2 write access/stream occupancy for write-buffer drains.
     d_write_access: u32,
     d_write_stream: u32,
+
+    /// Fault-injection state (`None` = injection off, exact legacy path).
+    fault: Option<FaultState>,
+    /// Unrecoverable fault awaiting the halt at the instruction boundary.
+    pending_mc: Option<FaultEvent>,
+    /// Cycle of the last checkpoint (restart rollback target).
+    last_checkpoint_cycle: u64,
 }
 
 impl Simulator {
@@ -141,6 +257,25 @@ impl Simulator {
         let d_write_access = cfg.l2_drain_access_override.unwrap_or(d_side.access_cycles);
         let d_write_stream = d_write_access.saturating_sub(2).max(1);
 
+        let fault = if cfg.fault.enabled() {
+            let f = &cfg.fault;
+            Some(FaultState {
+                injector: FaultInjector::new(f.seed, f.rates, f.multi_bit_frac, f.targeted.clone()),
+                protection: f.protection,
+                ecc_penalty: f.ecc_correction_cycles as u64,
+                halt: f.machine_check == MachineCheckPolicy::Halt,
+                sets: [
+                    cfg.l1i.geometry()?.n_sets(),
+                    cfg.l1d.geometry()?.n_sets(),
+                    cfg.l2.d_side().geometry()?.n_sets(),
+                    8, // the paper's 16-entry 2-way TLBs
+                    cfg.write_buffer.depth as u64,
+                ],
+            })
+        } else {
+            None
+        };
+
         let page_colors = cfg.page_colors;
         Ok(Simulator {
             cfg,
@@ -161,6 +296,9 @@ impl Simulator {
             d_hit_cost,
             d_write_access,
             d_write_stream,
+            fault,
+            pending_mc: None,
+            last_checkpoint_cycle: 0,
         })
     }
 
@@ -191,7 +329,12 @@ impl Simulator {
 
     /// Runs a multiprogramming workload to completion and returns the
     /// accumulated result.
-    pub fn run(self, traces: Vec<Box<dyn Trace>>) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MachineCheck`] when an injected fault is
+    /// unrecoverable under the halt policy.
+    pub fn run(self, traces: Vec<Box<dyn Trace>>) -> Result<SimResult, SimError> {
         self.run_warmed(traces, 0)
     }
 
@@ -199,8 +342,17 @@ impl Simulator {
     /// `warmup_instructions` instructions (the caches stay warm; only the
     /// counters reset). Long-trace hygiene per \[BKW90\]: without warm-up,
     /// compulsory misses dominate L2 statistics on scaled-down traces.
-    pub fn run_warmed(self, traces: Vec<Box<dyn Trace>>, warmup_instructions: u64) -> SimResult {
-        self.run_sampled(traces, warmup_instructions, 0).0
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MachineCheck`] when an injected fault is
+    /// unrecoverable under the halt policy.
+    pub fn run_warmed(
+        self,
+        traces: Vec<Box<dyn Trace>>,
+        warmup_instructions: u64,
+    ) -> Result<SimResult, SimError> {
+        Ok(self.run_sampled(traces, warmup_instructions, 0)?.0)
     }
 
     /// Like [`Simulator::run_warmed`], additionally returning windowed
@@ -208,23 +360,43 @@ impl Simulator {
     /// (0 disables sampling). Each returned element is the counter *delta*
     /// over one window — a time-series view of the run (warm-up
     /// transients, context-switch beats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MachineCheck`] when an injected fault is
+    /// unrecoverable under the halt policy.
     pub fn run_sampled(
         mut self,
         traces: Vec<Box<dyn Trace>>,
         warmup_instructions: u64,
         window_instructions: u64,
-    ) -> (SimResult, Vec<Counters>) {
+    ) -> Result<(SimResult, Vec<Counters>), SimError> {
         let mut sched = Scheduler::new(traces, self.cfg.mp.level, self.cfg.mp.time_slice_cycles);
         let mut warm_snapshot: Option<Counters> = None;
         let mut windows = Vec::new();
         let mut window_start = Counters::new();
         let mut next_window = window_instructions;
+        let mut checkpoints = Vec::new();
+        let checkpoint_interval = self.cfg.checkpoint_interval;
+        let mut next_checkpoint = if checkpoint_interval > 0 {
+            checkpoint_interval
+        } else {
+            u64::MAX
+        };
+        let mut termination = Termination::Completed;
         while let Some(instr) = sched.next_instruction(self.now) {
             self.step_ifetch(&instr.ifetch);
             if let Some(data) = instr.data {
                 self.step_data(&data);
             }
             sched.post_instruction(self.now, instr.ifetch.syscall);
+            if let Some(fault) = self.pending_mc.take() {
+                return Err(SimError::MachineCheck {
+                    fault,
+                    cycle: self.now,
+                    instructions: self.counters.instructions,
+                });
+            }
             if warmup_instructions > 0
                 && warm_snapshot.is_none()
                 && self.counters.instructions >= warmup_instructions
@@ -235,6 +407,23 @@ impl Simulator {
                 windows.push(self.counters.since(&window_start));
                 window_start = self.counters;
                 next_window += window_instructions;
+            }
+            if self.counters.instructions >= next_checkpoint {
+                self.last_checkpoint_cycle = self.now;
+                checkpoints.push(Checkpoint {
+                    cycle: self.now,
+                    instructions: self.counters.instructions,
+                    sched: sched.snapshot(),
+                });
+                next_checkpoint += checkpoint_interval;
+            }
+            if self
+                .cfg
+                .instruction_budget
+                .is_some_and(|b| self.counters.instructions >= b)
+            {
+                termination = Termination::BudgetExhausted;
+                break;
             }
         }
         self.counters.syscall_switches = sched.syscall_switches();
@@ -262,8 +451,10 @@ impl Simulator {
             counters,
             completed: sched.completed().to_vec(),
             per_process,
+            termination,
+            checkpoints,
         };
-        (result, windows)
+        Ok((result, windows))
     }
 
     /// Processes a single event outside a scheduled workload (single-process
@@ -297,15 +488,19 @@ impl Simulator {
 
     // ---- L2 helpers ----
 
-    fn l2_touch_i(&mut self, addr: PhysAddr) -> bool {
+    /// Touches the instruction side of L2; on a hit returns whether the
+    /// line was dirty.
+    fn l2_touch_i(&mut self, addr: PhysAddr) -> Option<bool> {
         match &mut self.l2 {
-            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => a.touch(addr).is_some(),
+            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => a.touch(addr).map(|l| l.dirty),
         }
     }
 
-    fn l2_touch_d(&mut self, addr: PhysAddr) -> bool {
+    /// Touches the data side of L2; on a hit returns whether the line was
+    /// dirty.
+    fn l2_touch_d(&mut self, addr: PhysAddr) -> Option<bool> {
         match &mut self.l2 {
-            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => a.touch(addr).is_some(),
+            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => a.touch(addr).map(|l| l.dirty),
         }
     }
 
@@ -340,10 +535,10 @@ impl Simulator {
     fn service_i_miss(&mut self, start: u64, paddr: PhysAddr) -> u64 {
         self.counters.l2i_accesses += 1;
         let hit_cost = self.i_hit_cost as u64;
-        if self.l2_touch_i(paddr) {
+        if let Some(dirty) = self.l2_touch_i(paddr) {
             self.counters.l1i_miss_cycles += hit_cost;
             self.l1i.fill(paddr);
-            return hit_cost;
+            return hit_cost + self.fault_on_l2_hit(paddr, dirty, true);
         }
         self.counters.l2i_misses += 1;
         let dirty_victim = self.l2_fill_i(paddr);
@@ -370,9 +565,9 @@ impl Simulator {
     fn service_d_miss(&mut self, start: u64, line_base: PhysAddr) -> u64 {
         self.counters.l2d_accesses += 1;
         let hit_cost = self.d_hit_cost as u64;
-        if self.l2_touch_d(line_base) {
+        if let Some(dirty) = self.l2_touch_d(line_base) {
             self.counters.l1d_miss_cycles += hit_cost;
-            return hit_cost;
+            return hit_cost + self.fault_on_l2_hit(line_base, dirty, false);
         }
         self.counters.l2d_misses += 1;
         let dirty_victim = self.l2_fill_d(line_base);
@@ -388,7 +583,12 @@ impl Simulator {
 
     /// Write-buffer wait (in cycles, attributed) that an L1-D miss must
     /// take before its L2 fetch, per the configured bypass scheme.
-    fn wb_wait_for_d_miss(&mut self, start: u64, line_base: PhysAddr, replaced_written: bool) -> u64 {
+    fn wb_wait_for_d_miss(
+        &mut self,
+        start: u64,
+        line_base: PhysAddr,
+        replaced_written: bool,
+    ) -> u64 {
         let line_words = self.cfg.l1d.line_words;
         let until = match self.cfg.concurrency.d_read_bypass {
             WbBypass::Wait => self.wb.empty_at(start),
@@ -419,17 +619,22 @@ impl Simulator {
         // The drain's cost depends on whether it hits in L2-D.
         let extra = self.drain_l2_penalty(addr);
         let busy_from = enq_time.max(self.wb.last_completion());
-        let completes =
-            self.wb.enqueue(enq_time, addr, self.d_write_access, self.d_write_stream, extra);
+        let completes = self.wb.enqueue(
+            enq_time,
+            addr,
+            self.d_write_access,
+            self.d_write_stream,
+            extra,
+        );
         self.counters.l2_drain_busy_cycles += completes - busy_from;
-        stall
+        stall + self.fault_on_wb_write()
     }
 
     /// Models the L2 side of one drained write; returns the extra drain
     /// occupancy when the write misses L2 (write-allocate from memory).
     fn drain_l2_penalty(&mut self, addr: PhysAddr) -> u32 {
         self.counters.l2_drain_writes += 1;
-        if self.l2_touch_d(addr) {
+        if self.l2_touch_d(addr).is_some() {
             self.l2_dirty_d(addr);
             return 0;
         }
@@ -442,6 +647,164 @@ impl Simulator {
         self.mem_d.service_miss_raw(dirty_victim).stall_cycles as u32
     }
 
+    // ---- soft-error fault hooks ----
+    //
+    // Faults are checked when an access *hits* the struck structure — the
+    // moment a corrupted entry would be consumed (a deliberate
+    // simplification: flips in lines that are never referenced again are
+    // architecturally silent anyway). With injection off (`fault` is
+    // `None`) every hook returns 0 without touching the PRNG, so the
+    // fault-free path is bit-identical to the legacy simulator.
+
+    /// Consults the injector for one access to `s`; returns the fired
+    /// event with its resolved effect, if any.
+    fn fault_check(&mut self, s: Structure, dirty: bool) -> Option<(FaultEvent, FaultEffect)> {
+        let fs = self.fault.as_mut()?;
+        let ev = fs.injector.check(s, fs.sets[s.index()])?;
+        self.counters.faults_injected += 1;
+        let effect = resolve(fs.protection.get(s), dirty, ev.multi_bit);
+        Some((ev, effect))
+    }
+
+    /// Applies a resolved fault effect: updates the fault counters,
+    /// charges `recovery_cycles`, and arms the configured machine-check
+    /// response. Returns the stall cycles the faulting access absorbs.
+    fn apply_fault(&mut self, ev: FaultEvent, effect: FaultEffect, refetch_cost: u64) -> u64 {
+        match effect {
+            FaultEffect::Silent => {
+                self.counters.faults_silent += 1;
+                0
+            }
+            FaultEffect::Correct => {
+                self.counters.faults_corrected += 1;
+                let p = self.fault.as_ref().map_or(0, |f| f.ecc_penalty);
+                self.counters.recovery_cycles += p;
+                p
+            }
+            FaultEffect::Refetch => {
+                self.counters.fault_refetches += 1;
+                self.counters.recovery_cycles += refetch_cost;
+                refetch_cost
+            }
+            FaultEffect::MachineCheck => {
+                self.counters.machine_checks += 1;
+                if self.fault.as_ref().is_some_and(|f| f.halt) {
+                    // Halt at the current instruction boundary; the run
+                    // loop surfaces the error.
+                    self.pending_mc = Some(ev);
+                    0
+                } else {
+                    // Checkpoint restart: deterministic re-execution from
+                    // the last checkpoint costs the cycles since it, and
+                    // the restart point becomes the implicit checkpoint.
+                    let rollback = self.now.saturating_sub(self.last_checkpoint_cycle);
+                    self.counters.recovery_cycles += rollback;
+                    self.last_checkpoint_cycle = self.now;
+                    rollback
+                }
+            }
+        }
+    }
+
+    /// Fault check for a TLB hit (shared by both TLBs; entries are never
+    /// the only copy, so "dirty" never applies). A parity refetch re-walks
+    /// the page tables at the configured TLB miss penalty.
+    fn fault_on_tlb_hit(&mut self) -> u64 {
+        let Some((ev, effect)) = self.fault_check(Structure::Tlb, false) else {
+            return 0;
+        };
+        let cost = if effect == FaultEffect::Refetch {
+            self.cfg.tlb_miss_penalty as u64
+        } else {
+            0
+        };
+        self.apply_fault(ev, effect, cost)
+    }
+
+    /// Fault check for an L1-I hit (instruction lines are never dirty).
+    fn fault_on_l1i_hit(&mut self, paddr: PhysAddr) -> u64 {
+        let Some((ev, effect)) = self.fault_check(Structure::L1I, false) else {
+            return 0;
+        };
+        let cost = if effect == FaultEffect::Refetch {
+            self.refetch_from_l2_i(paddr)
+        } else {
+            0
+        };
+        self.apply_fault(ev, effect, cost)
+    }
+
+    /// Fault check for an L1-D hit. Under write-back a dirty line is the
+    /// only copy of its data; the write-through policies stream every
+    /// write out through the buffer, so their L1 copies are always clean
+    /// (the line's written mark notwithstanding).
+    fn fault_on_l1d_hit(&mut self, paddr: PhysAddr) -> u64 {
+        let dirty = !self.cfg.policy.is_write_through()
+            && self.l1d.array().peek(paddr).is_some_and(|l| l.dirty);
+        let Some((ev, effect)) = self.fault_check(Structure::L1D, dirty) else {
+            return 0;
+        };
+        let cost = if effect == FaultEffect::Refetch {
+            self.refetch_from_l2_d(paddr)
+        } else {
+            0
+        };
+        self.apply_fault(ev, effect, cost)
+    }
+
+    /// Fault check for a demand L2 hit (either side; background drains are
+    /// not checked). A clean line refetches from main memory in place.
+    fn fault_on_l2_hit(&mut self, _paddr: PhysAddr, dirty: bool, i_side: bool) -> u64 {
+        let Some((ev, effect)) = self.fault_check(Structure::L2, dirty) else {
+            return 0;
+        };
+        let cost = if effect == FaultEffect::Refetch {
+            if i_side && self.cfg.l2.is_split() {
+                self.mem_i.service_miss_raw(false).stall_cycles
+            } else {
+                self.mem_d.service_miss_raw(false).stall_cycles
+            }
+        } else {
+            0
+        };
+        self.apply_fault(ev, effect, cost)
+    }
+
+    /// Fault check for a write entering the write buffer. In-flight store
+    /// data is always the only copy, hence always dirty: parity can only
+    /// detect (machine check), ECC corrects.
+    fn fault_on_wb_write(&mut self) -> u64 {
+        let Some((ev, effect)) = self.fault_check(Structure::WriteBuffer, true) else {
+            return 0;
+        };
+        self.apply_fault(ev, effect, 0)
+    }
+
+    /// Real refill cycles for refetching a clean L1-I line: L2-I hit cost,
+    /// or a main-memory fetch filling L2. Demand miss-ratio counters stay
+    /// untouched — recovery traffic is reported via the fault counters.
+    fn refetch_from_l2_i(&mut self, paddr: PhysAddr) -> u64 {
+        if self.l2_touch_i(paddr).is_some() {
+            return self.i_hit_cost as u64;
+        }
+        let dirty_victim = self.l2_fill_i(paddr);
+        let svc = if self.cfg.l2.is_split() {
+            self.mem_i.service_miss_raw(dirty_victim)
+        } else {
+            self.mem_d.service_miss_raw(dirty_victim)
+        };
+        svc.stall_cycles
+    }
+
+    /// Real refill cycles for refetching a clean L1-D line from L2/memory.
+    fn refetch_from_l2_d(&mut self, paddr: PhysAddr) -> u64 {
+        if self.l2_touch_d(paddr).is_some() {
+            return self.d_hit_cost as u64;
+        }
+        let dirty_victim = self.l2_fill_d(paddr);
+        self.mem_d.service_miss_raw(dirty_victim).stall_cycles
+    }
+
     fn step_ifetch(&mut self, ev: &TraceEvent) {
         let mut cycles = 1 + ev.stall_cycles as u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
@@ -449,7 +812,9 @@ impl Simulator {
         self.counters.instructions += 1;
         self.counters.cpu_stall_cycles += ev.stall_cycles as u64;
 
-        if !self.itlb.access(ev.addr) {
+        if self.itlb.access(ev.addr) {
+            cycles += self.fault_on_tlb_hit();
+        } else {
             self.counters.itlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
@@ -457,7 +822,9 @@ impl Simulator {
         }
         let paddr = self.translate(ev.addr);
 
-        if self.l1i.touch(paddr).is_none() {
+        if self.l1i.touch(paddr).is_some() {
+            cycles += self.fault_on_l1i_hit(paddr);
+        } else {
             self.counters.l1i_misses += 1;
             missed = true;
             let mut t = self.now + cycles;
@@ -497,7 +864,9 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.loads += 1;
-        if !self.dtlb.access(ev.addr) {
+        if self.dtlb.access(ev.addr) {
+            cycles += self.fault_on_tlb_hit();
+        } else {
             self.counters.dtlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
@@ -506,7 +875,9 @@ impl Simulator {
         let paddr = self.translate(ev.addr);
 
         let outcome = self.l1d.load(paddr);
-        if !outcome.hit {
+        if outcome.hit {
+            cycles += self.fault_on_l1d_hit(paddr);
+        } else {
             self.counters.l1d_read_misses += 1;
             let line_base = outcome.fetch.expect("miss implies fetch");
             let mut t = self.now + cycles;
@@ -540,7 +911,9 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.stores += 1;
-        if !self.dtlb.access(ev.addr) {
+        if self.dtlb.access(ev.addr) {
+            cycles += self.fault_on_tlb_hit();
+        } else {
             self.counters.dtlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
@@ -549,7 +922,9 @@ impl Simulator {
         let paddr = self.translate(ev.addr);
 
         let outcome = self.l1d.store(paddr, ev.partial_word);
-        if !outcome.hit {
+        if outcome.hit {
+            cycles += self.fault_on_l1d_hit(paddr);
+        } else {
             self.counters.l1d_write_misses += 1;
         }
         if outcome.extra_cycle {
@@ -599,9 +974,11 @@ impl Simulator {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] when the configuration is invalid.
-pub fn run(cfg: SimConfig, traces: Vec<Box<dyn Trace>>) -> Result<SimResult, ConfigError> {
-    Ok(Simulator::new(cfg)?.run(traces))
+/// Returns [`SimError::Config`] when the configuration is invalid, and
+/// [`SimError::MachineCheck`] when an injected fault is unrecoverable
+/// under the halt policy.
+pub fn run(cfg: SimConfig, traces: Vec<Box<dyn Trace>>) -> Result<SimResult, SimError> {
+    Simulator::new(cfg)?.run(traces)
 }
 
 #[cfg(test)]
@@ -643,9 +1020,9 @@ mod tests {
         // second access to line 0 hits L2 (6 cycles), not memory.
         let l1_words = 4096;
         let evs = vec![
-            TraceEvent::ifetch(va(0), 0),            // cold: 143
-            TraceEvent::ifetch(va(l1_words), 0),     // conflicts in L1, cold L2: 143
-            TraceEvent::ifetch(va(0), 0),            // L1 miss, L2 hit: 6
+            TraceEvent::ifetch(va(0), 0),        // cold: 143
+            TraceEvent::ifetch(va(l1_words), 0), // conflicts in L1, cold L2: 143
+            TraceEvent::ifetch(va(0), 0),        // L1 miss, L2 hit: 6
         ];
         let r = run_events(SimConfig::baseline(), evs);
         assert_eq!(r.counters.l1i_misses, 3);
@@ -685,7 +1062,10 @@ mod tests {
         ];
         let r = run_events(cfg, evs);
         assert_eq!(r.counters.l1d_write_misses, 1);
-        assert_eq!(r.counters.l1_write_cycles, 1, "only the miss pays the extra cycle");
+        assert_eq!(
+            r.counters.l1_write_cycles, 1,
+            "only the miss pays the extra cycle"
+        );
         assert_eq!(r.counters.l2_drain_writes, 2, "both words stream to L2");
     }
 
@@ -721,14 +1101,17 @@ mod tests {
 
     #[test]
     fn accounting_balances_for_random_workload() {
-        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use gaas_trace::rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(42);
         let mut evs = Vec::new();
         for _ in 0..20_000 {
-            evs.push(TraceEvent::ifetch(va(rng.gen_range(0..8192)), rng.gen_range(0..3)));
-            match rng.gen_range(0..4) {
-                0 => evs.push(TraceEvent::load(va(0x100000 + rng.gen_range(0..65536)))),
-                1 => evs.push(TraceEvent::store(va(0x100000 + rng.gen_range(0..65536)))),
+            evs.push(TraceEvent::ifetch(
+                va(rng.gen_range(0u64..8192)),
+                rng.gen_range(0u8..3),
+            ));
+            match rng.gen_range(0u8..4) {
+                0 => evs.push(TraceEvent::load(va(0x100000 + rng.gen_range(0u64..65536)))),
+                1 => evs.push(TraceEvent::store(va(0x100000 + rng.gen_range(0u64..65536)))),
                 _ => {}
             }
         }
@@ -753,7 +1136,10 @@ mod tests {
         let evs = fetch_heavy(5_000)
             .into_iter()
             .flat_map(|f| {
-                vec![f, TraceEvent::store(va(0x100000 + (f.addr.word() * 7) % 4096))]
+                vec![
+                    f,
+                    TraceEvent::store(va(0x100000 + (f.addr.word() * 7) % 4096)),
+                ]
             })
             .collect::<Vec<_>>();
         let r = run_events(SimConfig::optimized(), evs);
@@ -767,13 +1153,15 @@ mod tests {
         // Construct a workload with heavy dirty L2 traffic: write-back
         // policy, stores marching over a large footprint with conflicting
         // re-reads.
-        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        use gaas_trace::rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(7);
         let mut evs = Vec::new();
         for _ in 0..30_000 {
-            evs.push(TraceEvent::ifetch(va(rng.gen_range(0..256)), 0));
+            evs.push(TraceEvent::ifetch(va(rng.gen_range(0u64..256)), 0));
             // Large stride to generate L2 misses with dirty victims.
-            evs.push(TraceEvent::store(va(0x100000 + rng.gen_range(0..2_000_000))));
+            evs.push(TraceEvent::store(va(
+                0x100000 + rng.gen_range(0u64..2_000_000)
+            )));
         }
         let base = run_events(SimConfig::baseline(), evs.clone());
         let mut b = SimConfig::builder();
@@ -832,6 +1220,256 @@ mod tests {
         assert!((r.cpi() - r.cycles() as f64 / 100.0).abs() < 1e-12);
     }
 
+    // ---- soft-error injection and recovery ----
+
+    use crate::config::{FaultConfig, MachineCheckPolicy};
+    use gaas_cache::fault::{FaultRates, Protection, ProtectionMap, Structure, TargetedFault};
+
+    /// A targeted single fault on `structure` at per-structure access
+    /// ordinal `access`, everything else quiet.
+    fn targeted(structure: Structure, access: u64) -> FaultConfig {
+        FaultConfig {
+            targeted: vec![TargetedFault {
+                structure,
+                access,
+                set: 0,
+                bit: 0,
+            }],
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_fault_config_is_bit_identical_to_baseline() {
+        let evs = fetch_heavy(2_000)
+            .into_iter()
+            .flat_map(|f| {
+                vec![
+                    f,
+                    TraceEvent::store(va(0x100000 + (f.addr.word() * 13) % 8192)),
+                ]
+            })
+            .collect::<Vec<_>>();
+        let plain = run_events(SimConfig::baseline(), evs.clone());
+        let mut b = SimConfig::builder();
+        b.fault(FaultConfig::default());
+        let with_default = run_events(b.build().expect("valid"), evs);
+        assert_eq!(plain.counters, with_default.counters);
+        assert_eq!(plain.cycles(), with_default.cycles());
+    }
+
+    #[test]
+    fn parity_on_clean_l1i_line_refetches_and_rehits() {
+        let mut fault = targeted(Structure::L1I, 0);
+        fault.protection.l1i = Protection::Parity;
+        let mut b = SimConfig::builder();
+        b.fault(fault);
+        // Fetch 1 cold-misses (143, fills L2); fetches 2 and 3 hit. The
+        // targeted fault strikes the first L1-I *hit* (injector ordinal 0):
+        // parity on a clean line -> invalidate-and-refetch at the real
+        // refill cost, an L2-I hit (6 cycles). Fetch 3 re-hits untouched.
+        let r = run_events(
+            b.build().expect("valid"),
+            vec![
+                TraceEvent::ifetch(va(0), 0),
+                TraceEvent::ifetch(va(0), 0),
+                TraceEvent::ifetch(va(0), 0),
+            ],
+        );
+        assert_eq!(r.counters.faults_injected, 1);
+        assert_eq!(r.counters.fault_refetches, 1);
+        assert_eq!(r.counters.machine_checks, 0);
+        assert_eq!(
+            r.counters.recovery_cycles, 6,
+            "refetch costs the real L2-I hit refill"
+        );
+        assert_eq!(r.cycles(), 3 + 143 + 6);
+        assert!((r.breakdown().total() - r.cpi()).abs() < 1e-12);
+        assert!(
+            r.breakdown().recovery > 0.0,
+            "recovery appears in the CPI stack"
+        );
+    }
+
+    #[test]
+    fn parity_on_dirty_line_machine_checks_under_write_back_but_not_write_only() {
+        // load (miss, allocate) / store (hit: injector ordinal 0) /
+        // load (hit: ordinal 1 <- the targeted strike).
+        let evs = vec![
+            TraceEvent::ifetch(va(0), 0),
+            TraceEvent::load(va(0x10000)),
+            TraceEvent::ifetch(va(1), 0),
+            TraceEvent::store(va(0x10000)),
+            TraceEvent::ifetch(va(2), 0),
+            TraceEvent::load(va(0x10000)),
+        ];
+        let mut fault = targeted(Structure::L1D, 1);
+        fault.protection.l1d = Protection::Parity;
+
+        // Write-back: the struck line is dirty — the only copy. Parity
+        // detects but cannot recover: machine check, run halts.
+        let mut wb = SimConfig::builder();
+        wb.policy(WritePolicy::WriteBack).fault(fault.clone());
+        let err = run(
+            wb.build().expect("valid"),
+            vec![Box::new(VecTrace::new("t", evs.clone()))],
+        )
+        .expect_err("dirty parity strike must machine-check");
+        match err {
+            SimError::MachineCheck {
+                fault,
+                instructions,
+                ..
+            } => {
+                assert_eq!(fault.structure, Structure::L1D);
+                assert_eq!(instructions, 3);
+            }
+            other => panic!("expected machine check, got {other:?}"),
+        }
+
+        // Write-only streams every store through the buffer, so the L1
+        // copy is clean: the same strike recovers by refetch.
+        let mut wo = SimConfig::builder();
+        wo.policy(WritePolicy::WriteOnly).fault(fault);
+        let r = run(
+            wo.build().expect("valid"),
+            vec![Box::new(VecTrace::new("t", evs))],
+        )
+        .expect("write-only recovers");
+        assert_eq!(r.counters.fault_refetches, 1);
+        assert_eq!(r.counters.machine_checks, 0);
+        assert!(r.counters.recovery_cycles > 0);
+    }
+
+    #[test]
+    fn ecc_correction_charges_exactly_the_configured_penalty() {
+        let evs = vec![
+            TraceEvent::ifetch(va(0), 0),
+            TraceEvent::load(va(0x10000)),
+            TraceEvent::ifetch(va(1), 0),
+            TraceEvent::load(va(0x10000)), // hit: ordinal 0, struck
+        ];
+        let clean = run_events(SimConfig::baseline(), evs.clone());
+
+        let mut fault = targeted(Structure::L1D, 0);
+        fault.protection.l1d = Protection::Ecc;
+        fault.ecc_correction_cycles = 7;
+        let mut b = SimConfig::builder();
+        b.fault(fault);
+        let r = run_events(b.build().expect("valid"), evs);
+        assert_eq!(r.counters.faults_corrected, 1);
+        assert_eq!(r.counters.recovery_cycles, 7);
+        assert_eq!(
+            r.cycles(),
+            clean.cycles() + 7,
+            "exactly the ECC penalty, nothing else"
+        );
+    }
+
+    #[test]
+    fn restart_policy_rolls_back_instead_of_halting() {
+        let evs = vec![
+            TraceEvent::ifetch(va(0), 0),
+            TraceEvent::load(va(0x10000)),
+            TraceEvent::ifetch(va(1), 0),
+            TraceEvent::store(va(0x10000)),
+            TraceEvent::ifetch(va(2), 0),
+            TraceEvent::load(va(0x10000)), // dirty strike (ordinal 1)
+            TraceEvent::ifetch(va(3), 0),
+        ];
+        let mut fault = targeted(Structure::L1D, 1);
+        fault.protection.l1d = Protection::Parity;
+        fault.machine_check = MachineCheckPolicy::Restart;
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::WriteBack).fault(fault);
+        let r = run_events(b.build().expect("valid"), evs);
+        assert_eq!(r.counters.machine_checks, 1);
+        assert!(
+            r.counters.recovery_cycles > 0,
+            "rollback re-execution is charged"
+        );
+        assert_eq!(r.completed.len(), 1, "the run continues to completion");
+        assert!((r.breakdown().total() - r.cpi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_sites_and_result() {
+        let fault = FaultConfig {
+            seed: 0xFA17,
+            rates: FaultRates::uniform(2e-3),
+            protection: ProtectionMap::uniform(Protection::Ecc),
+            multi_bit_frac: 0.0, // keep every fault correctable
+            ..FaultConfig::default()
+        };
+        let mut b = SimConfig::builder();
+        b.fault(fault);
+        let cfg = b.build().expect("valid");
+        let evs = fetch_heavy(5_000)
+            .into_iter()
+            .flat_map(|f| {
+                vec![
+                    f,
+                    TraceEvent::load(va(0x100000 + (f.addr.word() * 7) % 4096)),
+                ]
+            })
+            .collect::<Vec<_>>();
+        let a = run_events(cfg.clone(), evs.clone());
+        let b = run_events(cfg, evs);
+        assert!(a.counters.faults_injected > 0, "rate high enough to fire");
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.cycles(), b.cycles());
+    }
+
+    #[test]
+    fn watchdog_aborts_runaway_run_with_partial_result() {
+        let mut b = SimConfig::builder();
+        b.instruction_budget(100);
+        let r = run_events(b.build().expect("valid"), fetch_heavy(10_000));
+        assert_eq!(r.termination, Termination::BudgetExhausted);
+        assert!(!r.is_complete());
+        assert_eq!(r.counters.instructions, 100);
+        assert!(r.completed.is_empty(), "the benchmark never finished");
+        assert!(
+            (r.breakdown().total() - r.cpi()).abs() < 1e-12,
+            "partial result still balances"
+        );
+    }
+
+    #[test]
+    fn checkpoints_record_monotone_progress() {
+        let mut b = SimConfig::builder();
+        b.checkpoint_interval(250);
+        let r = run_events(b.build().expect("valid"), fetch_heavy(1_000));
+        assert_eq!(r.checkpoints.len(), 4);
+        for w in r.checkpoints.windows(2) {
+            assert!(w[1].cycle > w[0].cycle);
+            assert!(w[1].instructions > w[0].instructions);
+        }
+        assert_eq!(r.checkpoints.last().expect("nonempty").sched.completed, 0);
+        assert_eq!(r.termination, Termination::Completed);
+    }
+
+    #[test]
+    fn sim_error_display_and_source() {
+        let cfg_err: SimError = ConfigError::ZeroMultiprogramming.into();
+        assert!(cfg_err.to_string().contains("invalid configuration"));
+        assert!(std::error::Error::source(&cfg_err).is_some());
+        let mc = SimError::MachineCheck {
+            fault: gaas_cache::fault::FaultEvent {
+                structure: Structure::L1D,
+                access: 3,
+                set: 1,
+                bit: 2,
+                multi_bit: false,
+                targeted: true,
+            },
+            cycle: 99,
+            instructions: 10,
+        };
+        let s = mc.to_string();
+        assert!(s.contains("machine check") && s.contains("99"));
+    }
+
     #[test]
     fn per_process_attribution_partitions_the_run() {
         // Two interleaved processes: per-process counters must partition
@@ -856,7 +1494,12 @@ mod tests {
         let total_cycles: u64 = r.per_process.iter().map(|(_, p)| p.cycles).sum();
         assert_eq!(total_instr, r.counters.instructions);
         assert_eq!(total_cycles, r.cycles(), "cycles partition exactly");
-        let p1 = r.per_process.iter().find(|(pid, _)| pid.raw() == 1).expect("pid 1").1;
+        let p1 = r
+            .per_process
+            .iter()
+            .find(|(pid, _)| pid.raw() == 1)
+            .expect("pid 1")
+            .1;
         assert_eq!(p1.instructions, 3000);
         assert_eq!(p1.loads, 3000);
         assert!(p1.cpi() >= 1.0);

@@ -78,7 +78,12 @@ pub fn l2_line_size(scale: f64) -> Vec<Row> {
                 line_words: line,
                 access_cycles: 6,
             }));
-            point("l2-line", format!("{line}W lines"), b.build().expect("valid"), scale)
+            point(
+                "l2-line",
+                format!("{line}W lines"),
+                b.build().expect("valid"),
+                scale,
+            )
         })
         .collect()
 }
@@ -103,7 +108,12 @@ pub fn tlb_penalty(scale: f64) -> Vec<Row> {
         .map(|&p| {
             let mut b = SimConfig::builder();
             b.tlb_miss_penalty(p);
-            point("tlb-penalty", format!("{p} cycles"), b.build().expect("valid"), scale)
+            point(
+                "tlb-penalty",
+                format!("{p} cycles"),
+                b.build().expect("valid"),
+                scale,
+            )
         })
         .collect()
 }
@@ -165,9 +175,14 @@ mod tests {
         let rows = page_colors(S);
         let full = &rows[0]; // 256 colors
         let none = rows.last().expect("nonempty"); // 1 color
-        // Removing coloring must not *improve* the machine; typically it
-        // degrades L2 conflict behaviour.
-        assert!(none.cpi + 1e-9 >= full.cpi * 0.98, "{} vs {}", none.cpi, full.cpi);
+                                                   // Removing coloring must not *improve* the machine; typically it
+                                                   // degrades L2 conflict behaviour.
+        assert!(
+            none.cpi + 1e-9 >= full.cpi * 0.98,
+            "{} vs {}",
+            none.cpi,
+            full.cpi
+        );
     }
 
     #[test]

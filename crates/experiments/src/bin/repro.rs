@@ -13,12 +13,28 @@
 use std::time::Instant;
 
 use gaas_experiments::{
-    ablations, budget, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, sec5, sec8, table1, threec, verify, warmup,
+    ablations, budget, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, sec5, sec8,
+    table1, threec, verify, warmup,
 };
 
 const ALL: [&str; 17] = [
-    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "sec5",
-    "sec8", "perbench", "ablations", "budget", "threec", "warmup",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "sec5",
+    "sec8",
+    "perbench",
+    "ablations",
+    "budget",
+    "threec",
+    "warmup",
 ];
 
 fn main() {
@@ -29,7 +45,9 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().unwrap_or_else(|| usage("missing value for --scale"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --scale"));
                 scale = v.parse().unwrap_or_else(|_| usage("bad --scale value"));
                 if !(scale.is_finite() && scale > 0.0 && scale <= 1.0) {
                     usage("--scale must be in (0, 1]");
@@ -69,10 +87,19 @@ fn main() {
                 println!("{}", fig6::table2(&rows));
             }
             "fig7" => {
-                println!("{}", fig78::table(fig78::Side::Instruction, &fig78::run(fig78::Side::Instruction, scale)));
+                println!(
+                    "{}",
+                    fig78::table(
+                        fig78::Side::Instruction,
+                        &fig78::run(fig78::Side::Instruction, scale)
+                    )
+                );
             }
             "fig8" => {
-                println!("{}", fig78::table(fig78::Side::Data, &fig78::run(fig78::Side::Data, scale)));
+                println!(
+                    "{}",
+                    fig78::table(fig78::Side::Data, &fig78::run(fig78::Side::Data, scale))
+                );
             }
             "fig9" => println!("{}", fig9::table(&fig9::run(scale))),
             "fig10" => println!("{}", fig10::table(&fig10::run(scale))),

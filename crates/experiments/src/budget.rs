@@ -19,7 +19,14 @@ pub fn run() -> Vec<McmBudget> {
 pub fn table(budgets: &[McmBudget]) -> Table {
     let mut t = Table::new(
         "MCM substrate budgets (Fig. 1 vs Fig. 11 populations)",
-        &["configuration", "dies", "die area (mm2)", "substrate edge (mm)", "signal pins", "fits"],
+        &[
+            "configuration",
+            "dies",
+            "die area (mm2)",
+            "substrate edge (mm)",
+            "signal pins",
+            "fits",
+        ],
     );
     for b in budgets {
         t.push_row(vec![

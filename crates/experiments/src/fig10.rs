@@ -37,7 +37,9 @@ pub struct Row {
 /// The Fig. 9 endpoint all concurrency steps build on.
 fn base_wl() -> SimConfig {
     let mut b = SimConfig::builder();
-    b.policy(WritePolicy::WriteOnly).l2(L2Config::split_fast_i()).l1_line(8);
+    b.policy(WritePolicy::WriteOnly)
+        .l2(L2Config::split_fast_i())
+        .l1_line(8);
     b.build().expect("valid")
 }
 
@@ -90,13 +92,22 @@ pub fn run(scale: f64) -> Vec<Row> {
     for (label, cfg) in steps {
         let r: SimResult = run_standard(cfg, scale);
         let b = r.breakdown();
-        let delta = if prev_cpi.is_nan() { 0.0 } else { b.total() - prev_cpi };
+        let delta = if prev_cpi.is_nan() {
+            0.0
+        } else {
+            b.total() - prev_cpi
+        };
         // The associative column compares against the dirty-bit column but
         // does not advance the walk.
         if label != "(DWB bypass, associative)" {
             prev_cpi = b.total();
         }
-        rows.push(Row { label, cpi: b.total(), memory_cpi: b.memory_cpi(), delta_vs_prev: delta });
+        rows.push(Row {
+            label,
+            cpi: b.total(),
+            memory_cpi: b.memory_cpi(),
+            delta_vs_prev: delta,
+        });
     }
     rows
 }

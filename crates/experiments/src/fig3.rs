@@ -13,8 +13,9 @@ use crate::runner::run_standard;
 use crate::tablefmt::{f3, f4, Table};
 
 /// Time slices swept (cycles).
-pub const SLICES: [u64; 7] =
-    [10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000];
+pub const SLICES: [u64; 7] = [
+    10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+];
 
 /// One sweep point.
 #[derive(Debug, Clone, Copy)]
@@ -59,7 +60,14 @@ pub fn run(scale: f64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Fig. 3 — miss ratios vs. context-switch interval (MP level 8)",
-        &["slice (cyc)", "L1-I miss", "L1-D miss", "L2 miss", "CPI", "cyc/switch"],
+        &[
+            "slice (cyc)",
+            "L1-I miss",
+            "L1-D miss",
+            "L2 miss",
+            "CPI",
+            "cyc/switch",
+        ],
     );
     for r in rows {
         t.push_row(vec![

@@ -50,7 +50,15 @@ mod tests {
         let r = run(3e-4);
         let t = table(&r);
         let s = t.to_string();
-        for label in ["L1-I miss", "L1-D miss", "L1 writes", "WB", "L2-I miss", "L2-D miss", "TOTAL"] {
+        for label in [
+            "L1-I miss",
+            "L1-D miss",
+            "L1 writes",
+            "WB",
+            "L2-I miss",
+            "L2-D miss",
+            "TOTAL",
+        ] {
             assert!(s.contains(label), "missing {label}");
         }
     }

@@ -60,7 +60,13 @@ pub fn run(scale: f64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Fig. 5 — write policy vs. effective L2 access time (CPI)",
-        &["access", "write-back", "write-miss-inv", "write-only", "subblock"],
+        &[
+            "access",
+            "write-back",
+            "write-miss-inv",
+            "write-only",
+            "subblock",
+        ],
     );
     for &access in &ACCESS_TIMES {
         let mut cells = vec![access.to_string()];

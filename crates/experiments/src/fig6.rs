@@ -15,8 +15,7 @@ use crate::runner::run_standard;
 use crate::tablefmt::{f3, f4, Table};
 
 /// Total L2 sizes swept (words).
-pub const SIZES: [u64; 7] =
-    [16_384, 32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576];
+pub const SIZES: [u64; 7] = [16_384, 32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576];
 
 /// The four organizations of the figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +102,13 @@ pub fn run(scale: f64) -> Vec<Row> {
 fn grid(rows: &[Row], title: &str, value: impl Fn(&Row) -> String) -> Table {
     let mut t = Table::new(
         title,
-        &["size (KW)", "unified 1-way", "unified 2-way", "split 1-way", "split 2-way"],
+        &[
+            "size (KW)",
+            "unified 1-way",
+            "unified 2-way",
+            "split 1-way",
+            "split 2-way",
+        ],
     );
     for &size in &SIZES {
         let mut cells = vec![(size / 1024).to_string()];
@@ -121,14 +126,18 @@ fn grid(rows: &[Row], title: &str, value: impl Fn(&Row) -> String) -> Table {
 
 /// Renders the Fig. 6 CPI grid.
 pub fn table(rows: &[Row]) -> Table {
-    grid(rows, "Fig. 6 — CPI of L2 sizes and organizations", |r| f3(r.cpi))
+    grid(rows, "Fig. 6 — CPI of L2 sizes and organizations", |r| {
+        f3(r.cpi)
+    })
 }
 
 /// Renders the Table 2 miss-ratio grid.
 pub fn table2(rows: &[Row]) -> Table {
-    grid(rows, "Table 2 — L2 miss ratios for the sizes and organizations of Fig. 6", |r| {
-        f4(r.miss_ratio)
-    })
+    grid(
+        rows,
+        "Table 2 — L2 miss ratios for the sizes and organizations of Fig. 6",
+        |r| f4(r.miss_ratio),
+    )
 }
 
 #[cfg(test)]

@@ -45,14 +45,30 @@ pub struct Row {
 }
 
 fn base_side() -> L2Side {
-    L2Side { size_words: 262_144, assoc: 1, line_words: 32, access_cycles: 6 }
+    L2Side {
+        size_words: 262_144,
+        assoc: 1,
+        line_words: 32,
+        access_cycles: 6,
+    }
 }
 
 fn config_for(side: Side, size_words: u64, access: u32) -> SimConfig {
-    let varied = L2Side { size_words, assoc: 1, line_words: 32, access_cycles: access };
+    let varied = L2Side {
+        size_words,
+        assoc: 1,
+        line_words: 32,
+        access_cycles: access,
+    };
     let l2 = match side {
-        Side::Instruction => L2Config::Split { i: varied, d: base_side() },
-        Side::Data => L2Config::Split { i: base_side(), d: varied },
+        Side::Instruction => L2Config::Split {
+            i: varied,
+            d: base_side(),
+        },
+        Side::Data => L2Config::Split {
+            i: base_side(),
+            d: varied,
+        },
     };
     let mut b = SimConfig::builder();
     b.l2(l2);
@@ -75,7 +91,12 @@ pub fn run_with_axes(side: Side, scale: f64, sizes: &[u64], times: &[u32]) -> Ve
                 Side::Instruction => bd.instruction_side_cpi(),
                 Side::Data => bd.data_read_side_cpi(),
             };
-            rows.push(Row { size_words: size, access, side_cpi, cpi: r.cpi() });
+            rows.push(Row {
+                size_words: size,
+                access,
+                side_cpi,
+                cpi: r.cpi(),
+            });
         }
     }
     rows

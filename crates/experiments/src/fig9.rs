@@ -49,24 +49,44 @@ fn swapped() -> SimConfig {
     // Exchange the sizes and access times of L2-I and L2-D.
     let mut b = write_only_base().to_builder();
     b.l2(L2Config::Split {
-        i: L2Side { size_words: 262_144, assoc: 1, line_words: 32, access_cycles: 6 },
-        d: L2Side { size_words: 32_768, assoc: 1, line_words: 32, access_cycles: 2 },
+        i: L2Side {
+            size_words: 262_144,
+            assoc: 1,
+            line_words: 32,
+            access_cycles: 6,
+        },
+        d: L2Side {
+            size_words: 32_768,
+            assoc: 1,
+            line_words: 32,
+            access_cycles: 2,
+        },
     });
     b.build().expect("valid")
 }
 
 fn row(label: &'static str, r: &SimResult) -> Row {
     let b = r.breakdown();
-    Row { label, cpi: b.total(), memory_cpi: b.memory_cpi() }
+    Row {
+        label,
+        cpi: b.total(),
+        memory_cpi: b.memory_cpi(),
+    }
 }
 
 /// Runs the four design points.
 pub fn run(scale: f64) -> Vec<Row> {
     vec![
         row("base + write-only", &run_standard(write_only_base(), scale)),
-        row("+ split 32KW/2cyc L2-I, 256KW/6cyc L2-D", &run_standard(split_fast(), scale)),
+        row(
+            "+ split 32KW/2cyc L2-I, 256KW/6cyc L2-D",
+            &run_standard(split_fast(), scale),
+        ),
         row("+ 8W L1 fetch/line", &run_standard(split_fast_8w(), scale)),
-        row("(swapped L2-I/L2-D speeds)", &run_standard(swapped(), scale)),
+        row(
+            "(swapped L2-I/L2-D speeds)",
+            &run_standard(swapped(), scale),
+        ),
     ]
 }
 

@@ -48,10 +48,10 @@ pub mod runner;
 pub mod sec5;
 pub mod sec8;
 pub mod table1;
+pub mod tablefmt;
 pub mod threec;
 pub mod verify;
 pub mod warmup;
-pub mod tablefmt;
 
 pub use runner::{run_standard, DEFAULT_SCALE};
 pub use tablefmt::Table;

@@ -57,7 +57,15 @@ pub fn run(scale: f64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Per-benchmark behaviour inside the level-8 multiprogram mix (base arch)",
-        &["benchmark", "class", "instr", "CPI", "L1-I miss", "L1-D miss", "L2 MPKI"],
+        &[
+            "benchmark",
+            "class",
+            "instr",
+            "CPI",
+            "L1-I miss",
+            "L1-D miss",
+            "L2 MPKI",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -89,6 +97,11 @@ mod tests {
         // integer codes.
         let tomcatv = rows.iter().find(|r| r.name == "tomcatv").expect("present");
         let li = rows.iter().find(|r| r.name == "li").expect("present");
-        assert!(tomcatv.l1d > li.l1d * 0.3, "tomcatv {} vs li {}", tomcatv.l1d, li.l1d);
+        assert!(
+            tomcatv.l1d > li.l1d * 0.3,
+            "tomcatv {} vs li {}",
+            tomcatv.l1d,
+            li.l1d
+        );
     }
 }

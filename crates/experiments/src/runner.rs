@@ -28,6 +28,7 @@ pub fn run_standard(cfg: SimConfig, scale: f64) -> SimResult {
     Simulator::new(cfg)
         .expect("experiment configuration is valid")
         .run_warmed(workload::standard(scale), warmup)
+        .expect("fault-free experiment runs cannot machine-check")
 }
 
 #[cfg(test)]

@@ -57,8 +57,16 @@ pub fn run(scale: f64) -> Vec<Row> {
     for &size in &SIZES {
         for assoc in [1u32, 2] {
             let mut b = SimConfig::builder();
-            b.l1i(L1Config { size_words: size, line_words: 4, assoc });
-            b.l1d(L1Config { size_words: size, line_words: 4, assoc });
+            b.l1i(L1Config {
+                size_words: size,
+                line_words: 4,
+                assoc,
+            });
+            b.l1d(L1Config {
+                size_words: size,
+                line_words: 4,
+                assoc,
+            });
             let r = run_standard(b.build().expect("valid"), scale);
             let tags = implied_tags(size, assoc);
             let access = l1_access(size, tags);
@@ -81,7 +89,15 @@ pub fn run(scale: f64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Sec. 5 — L1 size/associativity vs. implementable cycle time",
-        &["size (KW)", "assoc", "tags", "CPI", "access (ns)", "stretch", "CPI x stretch"],
+        &[
+            "size (KW)",
+            "assoc",
+            "tags",
+            "CPI",
+            "access (ns)",
+            "stretch",
+            "CPI x stretch",
+        ],
     );
     for r in rows {
         t.push_row(vec![

@@ -45,10 +45,23 @@ pub fn run(scale: f64) -> Vec<Row> {
             let mut b = SimConfig::builder();
             b.policy(WritePolicy::WriteOnly)
                 .l2(L2Config::split_fast_i())
-                .l1i(L1Config { size_words: 4096, line_words: i_fetch, assoc: 1 })
-                .l1d(L1Config { size_words: 4096, line_words: d_fetch, assoc: 1 });
+                .l1i(L1Config {
+                    size_words: 4096,
+                    line_words: i_fetch,
+                    assoc: 1,
+                })
+                .l1d(L1Config {
+                    size_words: 4096,
+                    line_words: d_fetch,
+                    assoc: 1,
+                });
             let r = run_standard(b.build().expect("valid"), scale);
-            rows.push(Row { i_fetch, d_fetch, cpi: r.cpi(), tag_kbits: tag_kbits(i_fetch, d_fetch) });
+            rows.push(Row {
+                i_fetch,
+                d_fetch,
+                cpi: r.cpi(),
+                tag_kbits: tag_kbits(i_fetch, d_fetch),
+            });
         }
     }
     rows

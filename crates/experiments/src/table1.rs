@@ -59,7 +59,15 @@ pub fn run(scale: f64) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Table 1 — benchmark workload (synthetic analogs)",
-        &["benchmark", "class", "instr (M)", "loads", "stores", "syscalls", "stall CPI"],
+        &[
+            "benchmark",
+            "class",
+            "instr (M)",
+            "loads",
+            "stores",
+            "syscalls",
+            "stall CPI",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -85,8 +93,18 @@ mod tests {
         assert_eq!(rows.len(), 10);
         assert!(rows.iter().any(|r| r.name == "gcc" && r.class == "I"));
         for r in &rows {
-            assert!(r.load_pct > 5.0 && r.load_pct < 50.0, "{}: {}", r.name, r.load_pct);
-            assert!(r.store_pct >= 0.5 && r.store_pct < 20.0, "{}: {}", r.name, r.store_pct);
+            assert!(
+                r.load_pct > 5.0 && r.load_pct < 50.0,
+                "{}: {}",
+                r.name,
+                r.load_pct
+            );
+            assert!(
+                r.store_pct >= 0.5 && r.store_pct < 20.0,
+                "{}: {}",
+                r.name,
+                r.store_pct
+            );
         }
     }
 

@@ -42,7 +42,10 @@ impl Table {
 
     /// Cell accessor for tests (row, column).
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 }
 
@@ -62,7 +65,15 @@ impl fmt::Display for Table {
             .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
             .collect();
         writeln!(f, "{}", header.join("  "))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()

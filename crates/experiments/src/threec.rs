@@ -97,7 +97,12 @@ pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "Three-C decomposition of L2 misses: unified vs split direct-mapped",
         &[
-            "size (KW)", "org", "miss ratio", "compulsory", "capacity", "conflict",
+            "size (KW)",
+            "org",
+            "miss ratio",
+            "compulsory",
+            "capacity",
+            "conflict",
             "conflict share",
         ],
     );

@@ -22,13 +22,13 @@ pub struct Check {
     pub detail: String,
 }
 
-fn check(
-    artifact: &'static str,
-    claim: &'static str,
-    passed: bool,
-    detail: String,
-) -> Check {
-    Check { artifact, claim, passed, detail }
+fn check(artifact: &'static str, claim: &'static str, passed: bool, detail: String) -> Check {
+    Check {
+        artifact,
+        claim,
+        passed,
+        detail,
+    }
 }
 
 /// Runs all shape checks at `scale`.
@@ -41,106 +41,237 @@ pub fn run(scale: f64) -> Vec<Check> {
     let l1i_spread = f2.iter().map(|r| r.l1i).fold(f64::MIN, f64::max)
         / f2.iter().map(|r| r.l1i).fold(f64::MAX, f64::min).max(1e-9);
     let l2_rises = f2.last().map(|r| r.l2).unwrap_or(0.0) > f2[0].l2 * 0.99;
-    checks.push(check("fig2", "L1-I miss ratio flat in MP level", l1i_spread < 3.0,
-        format!("max/min = {l1i_spread:.2}")));
-    checks.push(check("fig2", "L2 miss ratio grows with MP level", l2_rises,
-        format!("{:.4} (level {}) vs {:.4} (level {})", f2[0].l2, f2[0].level,
-            f2.last().map(|r| r.l2).unwrap_or(0.0), f2.last().map(|r| r.level).unwrap_or(0))));
+    checks.push(check(
+        "fig2",
+        "L1-I miss ratio flat in MP level",
+        l1i_spread < 3.0,
+        format!("max/min = {l1i_spread:.2}"),
+    ));
+    checks.push(check(
+        "fig2",
+        "L2 miss ratio grows with MP level",
+        l2_rises,
+        format!(
+            "{:.4} (level {}) vs {:.4} (level {})",
+            f2[0].l2,
+            f2[0].level,
+            f2.last().map(|r| r.l2).unwrap_or(0.0),
+            f2.last().map(|r| r.level).unwrap_or(0)
+        ),
+    ));
 
     // Fig. 3: longer slices improve CPI.
     let f3 = fig3::run(scale);
-    checks.push(check("fig3", "performance improves with slice length",
+    checks.push(check(
+        "fig3",
+        "performance improves with slice length",
         f3[0].cpi > f3.last().map(|r| r.cpi).unwrap_or(f64::MAX),
-        format!("{:.3} @10k vs {:.3} @10M", f3[0].cpi, f3.last().map(|r| r.cpi).unwrap_or(0.0))));
+        format!(
+            "{:.3} @10k vs {:.3} @10M",
+            f3[0].cpi,
+            f3.last().map(|r| r.cpi).unwrap_or(0.0)
+        ),
+    ));
 
     // Fig. 5: write-back flat; write-through rises; crossover in (6, 12];
     // write-only ≈ subblock.
     let f5 = fig5::run(scale);
-    let wb: Vec<f64> = fig5::ACCESS_TIMES.iter().map(|&t| f5.iter()
-        .find(|r| r.policy == WritePolicy::WriteBack && r.access == t).expect("sweep").cpi).collect();
-    let wo: Vec<f64> = fig5::ACCESS_TIMES.iter().map(|&t| f5.iter()
-        .find(|r| r.policy == WritePolicy::WriteOnly && r.access == t).expect("sweep").cpi).collect();
-    let sb: Vec<f64> = fig5::ACCESS_TIMES.iter().map(|&t| f5.iter()
-        .find(|r| r.policy == WritePolicy::Subblock && r.access == t).expect("sweep").cpi).collect();
-    let wb_range = wb.iter().fold(f64::MIN, |a, &b| a.max(b)) - wb.iter().fold(f64::MAX, |a, &b| a.min(b));
-    checks.push(check("fig5", "write-back curve is flat", wb_range < 0.05,
-        format!("range {wb_range:.4}")));
-    checks.push(check("fig5", "write-through rises with drain time",
+    let wb: Vec<f64> = fig5::ACCESS_TIMES
+        .iter()
+        .map(|&t| {
+            f5.iter()
+                .find(|r| r.policy == WritePolicy::WriteBack && r.access == t)
+                .expect("sweep")
+                .cpi
+        })
+        .collect();
+    let wo: Vec<f64> = fig5::ACCESS_TIMES
+        .iter()
+        .map(|&t| {
+            f5.iter()
+                .find(|r| r.policy == WritePolicy::WriteOnly && r.access == t)
+                .expect("sweep")
+                .cpi
+        })
+        .collect();
+    let sb: Vec<f64> = fig5::ACCESS_TIMES
+        .iter()
+        .map(|&t| {
+            f5.iter()
+                .find(|r| r.policy == WritePolicy::Subblock && r.access == t)
+                .expect("sweep")
+                .cpi
+        })
+        .collect();
+    let wb_range =
+        wb.iter().fold(f64::MIN, |a, &b| a.max(b)) - wb.iter().fold(f64::MAX, |a, &b| a.min(b));
+    checks.push(check(
+        "fig5",
+        "write-back curve is flat",
+        wb_range < 0.05,
+        format!("range {wb_range:.4}"),
+    ));
+    checks.push(check(
+        "fig5",
+        "write-through rises with drain time",
         wo.last().expect("sweep") > &(wo[0] + 0.01),
-        format!("{:.3} -> {:.3}", wo[0], wo.last().expect("sweep"))));
-    let crossover = fig5::ACCESS_TIMES.iter().zip(&wo).zip(&wb)
-        .find(|((_, w), b)| w >= b).map(|((t, _), _)| *t);
-    checks.push(check("fig5", "crossover falls between 6 and 12 cycles",
+        format!("{:.3} -> {:.3}", wo[0], wo.last().expect("sweep")),
+    ));
+    let crossover = fig5::ACCESS_TIMES
+        .iter()
+        .zip(&wo)
+        .zip(&wb)
+        .find(|((_, w), b)| w >= b)
+        .map(|((t, _), _)| *t);
+    checks.push(check(
+        "fig5",
+        "crossover falls between 6 and 12 cycles",
         matches!(crossover, Some(t) if (6..=12).contains(&t)),
-        format!("crossover at {crossover:?}")));
-    let wo_sb_gap = wo.iter().zip(&sb).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
-    checks.push(check("fig5", "write-only tracks subblock placement", wo_sb_gap < 0.02,
-        format!("max gap {wo_sb_gap:.4}")));
+        format!("crossover at {crossover:?}"),
+    ));
+    let wo_sb_gap = wo
+        .iter()
+        .zip(&sb)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    checks.push(check(
+        "fig5",
+        "write-only tracks subblock placement",
+        wo_sb_gap < 0.02,
+        format!("max gap {wo_sb_gap:.4}"),
+    ));
 
     // Fig. 6: split hurts the smallest size and does not hurt the largest
     // (direct-mapped).
     let f6 = fig6::run(scale);
-    let at = |size: u64, org: fig6::Org| f6.iter()
-        .find(|r| r.size_words == size && r.org == org).expect("sweep").cpi;
+    let at = |size: u64, org: fig6::Org| {
+        f6.iter()
+            .find(|r| r.size_words == size && r.org == org)
+            .expect("sweep")
+            .cpi
+    };
     let small_u = at(fig6::SIZES[0], fig6::Org::Unified1);
     let small_s = at(fig6::SIZES[0], fig6::Org::Split1);
     let big_u = at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Unified1);
     let big_s = at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Split1);
-    checks.push(check("fig6", "splitting hurts a small direct-mapped L2", small_s > small_u,
-        format!("{small_s:.3} vs {small_u:.3} at {}KW", fig6::SIZES[0] / 1024)));
-    checks.push(check("fig6", "splitting helps a large direct-mapped L2", big_s <= big_u,
-        format!("{big_s:.3} vs {big_u:.3} at {}KW", fig6::SIZES.last().expect("sizes") / 1024)));
+    checks.push(check(
+        "fig6",
+        "splitting hurts a small direct-mapped L2",
+        small_s > small_u,
+        format!(
+            "{small_s:.3} vs {small_u:.3} at {}KW",
+            fig6::SIZES[0] / 1024
+        ),
+    ));
+    checks.push(check(
+        "fig6",
+        "splitting helps a large direct-mapped L2",
+        big_s <= big_u,
+        format!(
+            "{big_s:.3} vs {big_u:.3} at {}KW",
+            fig6::SIZES.last().expect("sizes") / 1024
+        ),
+    ));
 
     // Fig. 7: instruction-side curves flatten at large sizes.
     let f7 = fig78::run_with_axes(fig78::Side::Instruction, scale, &[131_072, 524_288], &[6]);
     let flat = (f7[0].side_cpi - f7[1].side_cpi).abs() < 0.01;
-    checks.push(check("fig7", "L2-I curve flat beyond 128KW", flat,
-        format!("{:.4} vs {:.4}", f7[0].side_cpi, f7[1].side_cpi)));
+    checks.push(check(
+        "fig7",
+        "L2-I curve flat beyond 128KW",
+        flat,
+        format!("{:.4} vs {:.4}", f7[0].side_cpi, f7[1].side_cpi),
+    ));
 
     // Fig. 8: data side keeps improving to 512 KW.
     let f8 = fig78::run_with_axes(fig78::Side::Data, scale, &[32_768, 524_288], &[6]);
-    checks.push(check("fig8", "L2-D keeps improving with size",
+    checks.push(check(
+        "fig8",
+        "L2-D keeps improving with size",
         f8[1].side_cpi < f8[0].side_cpi,
-        format!("{:.3} @32KW vs {:.3} @512KW", f8[0].side_cpi, f8[1].side_cpi)));
+        format!(
+            "{:.3} @32KW vs {:.3} @512KW",
+            f8[0].side_cpi, f8[1].side_cpi
+        ),
+    ));
 
     // Fig. 9: the split fast L2-I is a large memory win; swapping loses.
     let f9 = fig9::run(scale);
     let gain = (f9[0].memory_cpi - f9[1].memory_cpi) / f9[0].memory_cpi;
-    checks.push(check("fig9", "split fast L2-I cuts memory CPI by >15%", gain > 0.15,
-        format!("gain {:.1}%", 100.0 * gain)));
-    checks.push(check("fig9", "swapped partitioning is worse", f9[3].cpi > f9[2].cpi,
-        format!("{:.3} vs {:.3}", f9[3].cpi, f9[2].cpi)));
+    checks.push(check(
+        "fig9",
+        "split fast L2-I cuts memory CPI by >15%",
+        gain > 0.15,
+        format!("gain {:.1}%", 100.0 * gain),
+    ));
+    checks.push(check(
+        "fig9",
+        "swapped partitioning is worse",
+        f9[3].cpi > f9[2].cpi,
+        format!("{:.3} vs {:.3}", f9[3].cpi, f9[2].cpi),
+    ));
 
     // Fig. 10: concurrency steps help but only modestly.
     let f10 = fig10::run(scale);
     let total_gain = f10[0].cpi - f10.last().expect("steps").cpi;
-    checks.push(check("fig10", "concurrency helps but modestly (0 < gain < 0.1)",
+    checks.push(check(
+        "fig10",
+        "concurrency helps but modestly (0 < gain < 0.1)",
         total_gain > 0.0 && total_gain < 0.1,
-        format!("total gain {total_gain:.4}")));
+        format!("total gain {total_gain:.4}"),
+    ));
 
     // Sec. 5: 4 KW direct-mapped minimizes effective time.
     let s5 = sec5::run(scale);
-    let best = s5.iter().min_by(|a, b| a.effective.partial_cmp(&b.effective).expect("finite"))
+    let best = s5
+        .iter()
+        .min_by(|a, b| a.effective.partial_cmp(&b.effective).expect("finite"))
         .expect("rows");
-    checks.push(check("sec5", "4KW direct-mapped is the effective optimum",
+    checks.push(check(
+        "sec5",
+        "4KW direct-mapped is the effective optimum",
         best.size_words == 4096 && best.assoc == 1,
-        format!("best = {}KW {}-way ({:.3})", best.size_words / 1024, best.assoc, best.effective)));
+        format!(
+            "best = {}KW {}-way ({:.3})",
+            best.size_words / 1024,
+            best.assoc,
+            best.effective
+        ),
+    ));
 
     // Sec. 8: 8W beats 4W (both), 16W loses on the data side.
     let s8 = sec8::run(scale);
-    let g = |i: u32, d: u32| s8.iter().find(|r| r.i_fetch == i && r.d_fetch == d)
-        .expect("grid").cpi;
-    checks.push(check("sec8", "8W fetch beats 4W on both caches", g(8, 8) < g(4, 4),
-        format!("{:.3} vs {:.3}", g(8, 8), g(4, 4))));
-    checks.push(check("sec8", "16W data fetch over-fetches", g(8, 16) > g(8, 8),
-        format!("{:.3} vs {:.3}", g(8, 16), g(8, 8))));
+    let g = |i: u32, d: u32| {
+        s8.iter()
+            .find(|r| r.i_fetch == i && r.d_fetch == d)
+            .expect("grid")
+            .cpi
+    };
+    checks.push(check(
+        "sec8",
+        "8W fetch beats 4W on both caches",
+        g(8, 8) < g(4, 4),
+        format!("{:.3} vs {:.3}", g(8, 8), g(4, 4)),
+    ));
+    checks.push(check(
+        "sec8",
+        "16W data fetch over-fetches",
+        g(8, 16) > g(8, 8),
+        format!("{:.3} vs {:.3}", g(8, 16), g(8, 8)),
+    ));
 
     // 3C: splitting removes conflict misses at the large size.
     let t3 = threec::run(scale);
     let large = t3.last().expect("sizes");
-    checks.push(check("threec", "splitting removes L2 conflict misses at 1MW",
+    checks.push(check(
+        "threec",
+        "splitting removes L2 conflict misses at 1MW",
         large.split.conflict < large.unified.conflict,
-        format!("{} vs {} conflicts", large.split.conflict, large.unified.conflict)));
+        format!(
+            "{} vs {} conflicts",
+            large.split.conflict, large.unified.conflict
+        ),
+    ));
 
     checks
 }
@@ -155,7 +286,11 @@ pub fn table(checks: &[Check]) -> Table {
         t.push_row(vec![
             c.artifact.to_string(),
             c.claim.to_string(),
-            if c.passed { "PASS".into() } else { "FAIL".into() },
+            if c.passed {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
             c.detail.clone(),
         ]);
     }

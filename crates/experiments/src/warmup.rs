@@ -32,7 +32,8 @@ pub fn run(scale: f64, n_windows: u64) -> Vec<Row> {
     let window = (total / n_windows.max(1)).max(1);
     let (_, samples) = Simulator::new(SimConfig::baseline())
         .expect("valid")
-        .run_sampled(workload::standard(scale), 0, window);
+        .run_sampled(workload::standard(scale), 0, window)
+        .expect("fault-free runs cannot machine-check");
     samples
         .iter()
         .enumerate()
@@ -74,8 +75,7 @@ mod tests {
         assert!(rows.len() >= 8, "windows: {}", rows.len());
         let first = &rows[0];
         let last_quarter: Vec<&Row> = rows.iter().skip(3 * rows.len() / 4).collect();
-        let tail_l2 =
-            last_quarter.iter().map(|r| r.l2).sum::<f64>() / last_quarter.len() as f64;
+        let tail_l2 = last_quarter.iter().map(|r| r.l2).sum::<f64>() / last_quarter.len() as f64;
         assert!(
             first.l2 > tail_l2,
             "L2 transient must decline: first {} vs tail {}",

@@ -99,7 +99,12 @@ pub fn l1_access(size_words: u64, tags: TagPlacement) -> L1Access {
         TagPlacement::SerializedOffMmu => sram_ns + COMPARE_NS,
     };
 
-    L1Access { sram_ns, interconnect_ns, tag_ns, chips }
+    L1Access {
+        sram_ns,
+        interconnect_ns,
+        tag_ns,
+        chips,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +116,11 @@ mod tests {
     fn base_4kw_fits_the_cycle() {
         let a = l1_access(4096, TagPlacement::OnMmu);
         assert_eq!(a.chips, 4);
-        assert!(a.total_ns() <= CPU_CYCLE_NS, "4 KW access {:.2} ns", a.total_ns());
+        assert!(
+            a.total_ns() <= CPU_CYCLE_NS,
+            "4 KW access {:.2} ns",
+            a.total_ns()
+        );
     }
 
     #[test]
@@ -119,8 +128,16 @@ mod tests {
         // §5: the larger I-cache's access time "nullifies the positive
         // effects of a lower miss ratio".
         let a = l1_access(8192, TagPlacement::VirtualOnMcm);
-        assert!(a.chips >= 10, "8 data chips + ≥2 tag chips, got {}", a.chips);
-        assert!(a.total_ns() > CPU_CYCLE_NS, "8 KW access {:.2} ns", a.total_ns());
+        assert!(
+            a.chips >= 10,
+            "8 data chips + ≥2 tag chips, got {}",
+            a.chips
+        );
+        assert!(
+            a.total_ns() > CPU_CYCLE_NS,
+            "8 KW access {:.2} ns",
+            a.total_ns()
+        );
     }
 
     #[test]
@@ -140,7 +157,11 @@ mod tests {
         // §2: interconnect "can contribute as much as 50% to the overall
         // access time".
         let a = l1_access(65536, TagPlacement::OnMmu);
-        assert!(a.interconnect_fraction() > 0.45, "fraction {:.2}", a.interconnect_fraction());
+        assert!(
+            a.interconnect_fraction() > 0.45,
+            "fraction {:.2}",
+            a.interconnect_fraction()
+        );
     }
 
     #[test]

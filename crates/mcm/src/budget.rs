@@ -66,12 +66,42 @@ impl McmBudget {
         McmBudget {
             name: "base (Fig. 1)",
             components: vec![
-                Component { name: "CPU+FPA", count: 1, die_mm: (12.0, 12.0), signal_pins: 280 },
-                Component { name: "MMU", count: 1, die_mm: (10.0, 10.0), signal_pins: 220 },
-                Component { name: "L1-I SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "L1-D SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "L2 tag SRAM 1Kx32", count: 2, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "WB chip 4x4W", count: 1, die_mm: (8.0, 8.0), signal_pins: WB_CHIP_PINS_4W },
+                Component {
+                    name: "CPU+FPA",
+                    count: 1,
+                    die_mm: (12.0, 12.0),
+                    signal_pins: 280,
+                },
+                Component {
+                    name: "MMU",
+                    count: 1,
+                    die_mm: (10.0, 10.0),
+                    signal_pins: 220,
+                },
+                Component {
+                    name: "L1-I SRAM 1Kx32",
+                    count: 4,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "L1-D SRAM 1Kx32",
+                    count: 4,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "L2 tag SRAM 1Kx32",
+                    count: 2,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "WB chip 4x4W",
+                    count: 1,
+                    die_mm: (8.0, 8.0),
+                    signal_pins: WB_CHIP_PINS_4W,
+                },
             ],
         }
     }
@@ -83,12 +113,42 @@ impl McmBudget {
         McmBudget {
             name: "optimized (Fig. 11)",
             components: vec![
-                Component { name: "CPU+FPA", count: 1, die_mm: (12.0, 12.0), signal_pins: 280 },
-                Component { name: "MMU (+WB 8x1W)", count: 1, die_mm: (10.5, 10.5), signal_pins: 220 + WB_PATH_PINS_1W },
-                Component { name: "L1-I SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "L1-D SRAM 1Kx32", count: 4, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "L2 tag SRAM 1Kx32", count: 2, die_mm: (6.0, 6.0), signal_pins: 60 },
-                Component { name: "L2-I SRAM 1Kx32", count: 32, die_mm: (6.0, 6.0), signal_pins: 60 },
+                Component {
+                    name: "CPU+FPA",
+                    count: 1,
+                    die_mm: (12.0, 12.0),
+                    signal_pins: 280,
+                },
+                Component {
+                    name: "MMU (+WB 8x1W)",
+                    count: 1,
+                    die_mm: (10.5, 10.5),
+                    signal_pins: 220 + WB_PATH_PINS_1W,
+                },
+                Component {
+                    name: "L1-I SRAM 1Kx32",
+                    count: 4,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "L1-D SRAM 1Kx32",
+                    count: 4,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "L2 tag SRAM 1Kx32",
+                    count: 2,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
+                Component {
+                    name: "L2-I SRAM 1Kx32",
+                    count: 32,
+                    die_mm: (6.0, 6.0),
+                    signal_pins: 60,
+                },
             ],
         }
     }
@@ -133,7 +193,11 @@ mod tests {
         let b = McmBudget::base();
         assert_eq!(b.die_count(), 13);
         assert!(b.components.iter().any(|c| c.name.contains("WB chip")));
-        assert!(b.fits(), "base substrate {:.0} mm edge", b.substrate_edge_mm());
+        assert!(
+            b.fits(),
+            "base substrate {:.0} mm edge",
+            b.substrate_edge_mm()
+        );
     }
 
     #[test]
@@ -141,9 +205,17 @@ mod tests {
         let o = McmBudget::optimized();
         // The discrete WB chip is gone; 32 L2-I SRAMs are added.
         assert!(!o.components.iter().any(|c| c.name.contains("WB chip")));
-        let l2i = o.components.iter().find(|c| c.name.contains("L2-I")).expect("L2-I present");
+        let l2i = o
+            .components
+            .iter()
+            .find(|c| c.name.contains("L2-I"))
+            .expect("L2-I present");
         assert_eq!(l2i.count, 32, "32 KW from 1Kx32 chips");
-        assert!(o.fits(), "optimized substrate {:.0} mm edge", o.substrate_edge_mm());
+        assert!(
+            o.fits(),
+            "optimized substrate {:.0} mm edge",
+            o.substrate_edge_mm()
+        );
     }
 
     #[test]
@@ -161,7 +233,12 @@ mod tests {
 
     #[test]
     fn component_arithmetic() {
-        let c = Component { name: "x", count: 3, die_mm: (2.0, 5.0), signal_pins: 10 };
+        let c = Component {
+            name: "x",
+            count: 3,
+            die_mm: (2.0, 5.0),
+            signal_pins: 10,
+        };
         assert!((c.area_mm2() - 30.0).abs() < 1e-12);
         assert_eq!(c.pins(), 30);
     }

@@ -53,8 +53,18 @@ pub enum Substrate {
 impl Substrate {
     fn params(self) -> (f64, f64, f64, f64) {
         match self {
-            Substrate::Mcm => (MCM_PROP_PS_PER_MM, MCM_LINE_PF_PER_MM, MCM_LOAD_PF, MCM_DRIVER_OHMS),
-            Substrate::Pcb => (PCB_PROP_PS_PER_MM, PCB_LINE_PF_PER_MM, PCB_LOAD_PF, PCB_DRIVER_OHMS),
+            Substrate::Mcm => (
+                MCM_PROP_PS_PER_MM,
+                MCM_LINE_PF_PER_MM,
+                MCM_LOAD_PF,
+                MCM_DRIVER_OHMS,
+            ),
+            Substrate::Pcb => (
+                PCB_PROP_PS_PER_MM,
+                PCB_LINE_PF_PER_MM,
+                PCB_LOAD_PF,
+                PCB_DRIVER_OHMS,
+            ),
         }
     }
 }
@@ -73,12 +83,20 @@ pub struct Net {
 impl Net {
     /// A point-to-point MCM net of `length_mm`.
     pub fn mcm(length_mm: f64, fanout: u32) -> Self {
-        Net { substrate: Substrate::Mcm, length_mm, fanout }
+        Net {
+            substrate: Substrate::Mcm,
+            length_mm,
+            fanout,
+        }
     }
 
     /// A point-to-point PCB net of `length_mm`.
     pub fn pcb(length_mm: f64, fanout: u32) -> Self {
-        Net { substrate: Substrate::Pcb, length_mm, fanout }
+        Net {
+            substrate: Substrate::Pcb,
+            length_mm,
+            fanout,
+        }
     }
 
     /// Time-of-flight component in nanoseconds.

@@ -24,12 +24,20 @@ impl SramFamily {
     /// The GaAs-compatible 1 K × 32 (32 Kb) 3 ns SRAM used for L1 and the
     /// L2 tags.
     pub fn fast_32kb() -> Self {
-        SramFamily { anchor_bits: 32 * 1024, anchor_ns: 3.0, ns_per_doubling: 0.55 }
+        SramFamily {
+            anchor_bits: 32 * 1024,
+            anchor_ns: 3.0,
+            ns_per_doubling: 0.55,
+        }
     }
 
     /// The 8 K × 8 (64 Kb) 10 ns BiCMOS SRAM used for the L2 data array.
     pub fn bicmos_64kb() -> Self {
-        SramFamily { anchor_bits: 64 * 1024, anchor_ns: 10.0, ns_per_doubling: 1.2 }
+        SramFamily {
+            anchor_bits: 64 * 1024,
+            anchor_ns: 10.0,
+            ns_per_doubling: 1.2,
+        }
     }
 
     /// Access time for a device of `bits` capacity in this family (ns).

@@ -107,7 +107,10 @@ impl VirtAddr {
 
     /// Returns the address advanced by `delta` words (same process).
     pub fn wrapping_add(self, delta: u64) -> Self {
-        VirtAddr::new(self.pid(), (self.word() + delta) & ((1u64 << PID_SHIFT) - 1))
+        VirtAddr::new(
+            self.pid(),
+            (self.word() + delta) & ((1u64 << PID_SHIFT) - 1),
+        )
     }
 }
 

@@ -201,7 +201,11 @@ fn level(words: u64, weight: f64) -> WorkingSetLevel {
 }
 
 fn stream(len_words: u64, weight: f64, repeat: u32) -> StreamSpec {
-    StreamSpec { len_words, weight, repeat }
+    StreamSpec {
+        len_words,
+        weight,
+        repeat,
+    }
 }
 
 /// The ten-benchmark multiprogramming workload (Table 1 analog).
@@ -590,8 +594,10 @@ mod tests {
     #[test]
     fn suite_reference_total_matches_paper_scale() {
         // Paper: "about 2.5 billion memory references".
-        let total: f64 =
-            suite().iter().map(|b| b.instructions as f64 * b.refs_per_instruction()).sum();
+        let total: f64 = suite()
+            .iter()
+            .map(|b| b.instructions as f64 * b.refs_per_instruction())
+            .sum();
         assert!((2.0e9..3.0e9).contains(&total), "total refs {total}");
     }
 
@@ -599,8 +605,10 @@ mod tests {
     fn suite_store_fraction_near_paper() {
         // §6: "writes make up a 0.0725 fraction of instructions".
         let instr: f64 = suite().iter().map(|b| b.instructions as f64).sum();
-        let stores: f64 =
-            suite().iter().map(|b| b.instructions as f64 * b.store_frac).sum();
+        let stores: f64 = suite()
+            .iter()
+            .map(|b| b.instructions as f64 * b.store_frac)
+            .sum();
         let frac = stores / instr;
         assert!((0.055..0.095).contains(&frac), "store fraction {frac}");
     }
@@ -635,7 +643,10 @@ mod tests {
     fn syscall_interval_is_rate() {
         let b = &suite()[2]; // gcc
         assert_eq!(b.syscall_interval(), b.instructions / b.syscalls);
-        let none = BenchmarkSpec { syscalls: 0, ..suite()[0].clone() };
+        let none = BenchmarkSpec {
+            syscalls: 0,
+            ..suite()[0].clone()
+        };
         assert_eq!(none.syscall_interval(), u64::MAX);
     }
 
@@ -658,7 +669,11 @@ mod tests {
                 assert!(s.weight > 0.0 && s.len_words > 0);
                 total += s.weight;
             }
-            assert!((0.5..=1.5).contains(&total), "{}: weight sum {total}", b.name);
+            assert!(
+                (0.5..=1.5).contains(&total),
+                "{}: weight sum {total}",
+                b.name
+            );
         }
     }
 

@@ -20,7 +20,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<11} {:>12} {:>7} {:>7} {:>9}", "benchmark", "instructions", "loads", "stores", "syscalls");
+            println!(
+                "{:<11} {:>12} {:>7} {:>7} {:>9}",
+                "benchmark", "instructions", "loads", "stores", "syscalls"
+            );
             for b in suite() {
                 println!(
                     "{:<11} {:>12} {:>6.1}% {:>6.1}% {:>9}",
@@ -92,7 +95,10 @@ fn cmd_gen(args: &[String]) -> ExitCode {
         stats.syscalls
     );
     let path = out.unwrap_or_else(|| format!("{name}.gtrc"));
-    match File::create(&path).map(BufWriter::new).and_then(|w| write_trace(w, &events)) {
+    match File::create(&path)
+        .map(BufWriter::new)
+        .and_then(|w| write_trace(w, &events))
+    {
         Ok(()) => {
             eprintln!("wrote {path}");
             ExitCode::SUCCESS
@@ -129,7 +135,10 @@ fn cmd_info(args: &[String]) -> ExitCode {
         stats.record(&ev);
     }
     if let Some(e) = reader.error() {
-        eprintln!("info: trace damaged after {} events: {e}", stats.references());
+        eprintln!(
+            "info: trace damaged after {} events: {e}",
+            stats.references()
+        );
         return ExitCode::FAILURE;
     }
     println!("{path}: {declared} events");

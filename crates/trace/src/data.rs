@@ -13,11 +13,9 @@
 //!   such as matrix300/tomcatv), which is what keeps the L2-D speed–size
 //!   curve of Fig. 8 improving out to 512 KW.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use crate::addr::PAGE_WORDS;
 use crate::bench_model::DataModel;
+use crate::rng::SmallRng;
 
 /// Word address where the static/heap data segment begins (MIPS convention:
 /// byte 0x1000_0000).
@@ -150,7 +148,10 @@ impl DataStream {
             acc += s.weight;
             regions.push((acc, Region::Stream(i as u32)));
         }
-        assert!(acc > 0.0, "data model must have at least one weighted region");
+        assert!(
+            acc > 0.0,
+            "data model must have at least one weighted region"
+        );
         for (w, _) in &mut regions {
             *w /= acc;
         }
@@ -268,7 +269,6 @@ impl DataStream {
 mod tests {
     use super::*;
     use crate::bench_model::{StreamSpec, WorkingSetLevel};
-    use rand::SeedableRng;
 
     fn model() -> DataModel {
         DataModel {
@@ -276,10 +276,20 @@ mod tests {
             hot_lines: 64,
             stack_weight: 0.3,
             levels: vec![
-                WorkingSetLevel { words: 1024, weight: 0.3 },
-                WorkingSetLevel { words: 32768, weight: 0.2 },
+                WorkingSetLevel {
+                    words: 1024,
+                    weight: 0.3,
+                },
+                WorkingSetLevel {
+                    words: 32768,
+                    weight: 0.2,
+                },
             ],
-            streams: vec![StreamSpec { len_words: 8192, weight: 0.2, repeat: 1 }],
+            streams: vec![StreamSpec {
+                len_words: 8192,
+                weight: 0.2,
+                repeat: 1,
+            }],
             partial_store_frac: 0.1,
         }
     }
@@ -319,7 +329,9 @@ mod tests {
         let run = || {
             let mut rng = SmallRng::seed_from_u64(9);
             let mut d = DataStream::new(&model());
-            (0..5_000).map(|_| d.next_addr(&mut rng)).collect::<Vec<_>>()
+            (0..5_000)
+                .map(|_| d.next_addr(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -331,7 +343,11 @@ mod tests {
             hot_lines: 64,
             stack_weight: 0.0,
             levels: vec![],
-            streams: vec![StreamSpec { len_words: 100, weight: 1.0, repeat: 1 }],
+            streams: vec![StreamSpec {
+                len_words: 100,
+                weight: 1.0,
+                repeat: 1,
+            }],
             partial_store_frac: 0.0,
         };
         let mut rng = SmallRng::seed_from_u64(2);
@@ -380,7 +396,10 @@ mod tests {
             hot_frac: 0.0,
             hot_lines: 64,
             stack_weight: 0.0,
-            levels: vec![WorkingSetLevel { words: 64, weight: 1.0 }],
+            levels: vec![WorkingSetLevel {
+                words: 64,
+                weight: 1.0,
+            }],
             streams: vec![],
             partial_store_frac: 0.0,
         };

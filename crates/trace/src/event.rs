@@ -51,22 +51,46 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// Convenience constructor for an instruction fetch.
     pub fn ifetch(addr: VirtAddr, stall_cycles: u8) -> Self {
-        TraceEvent { kind: AccessKind::IFetch, addr, stall_cycles, partial_word: false, syscall: false }
+        TraceEvent {
+            kind: AccessKind::IFetch,
+            addr,
+            stall_cycles,
+            partial_word: false,
+            syscall: false,
+        }
     }
 
     /// Convenience constructor for a load.
     pub fn load(addr: VirtAddr) -> Self {
-        TraceEvent { kind: AccessKind::Load, addr, stall_cycles: 0, partial_word: false, syscall: false }
+        TraceEvent {
+            kind: AccessKind::Load,
+            addr,
+            stall_cycles: 0,
+            partial_word: false,
+            syscall: false,
+        }
     }
 
     /// Convenience constructor for a full-word store.
     pub fn store(addr: VirtAddr) -> Self {
-        TraceEvent { kind: AccessKind::Store, addr, stall_cycles: 0, partial_word: false, syscall: false }
+        TraceEvent {
+            kind: AccessKind::Store,
+            addr,
+            stall_cycles: 0,
+            partial_word: false,
+            syscall: false,
+        }
     }
 
     /// Convenience constructor for a partial-word store.
     pub fn partial_store(addr: VirtAddr) -> Self {
-        TraceEvent { kind: AccessKind::Store, addr, stall_cycles: 0, partial_word: true, syscall: false }
+        TraceEvent {
+            kind: AccessKind::Store,
+            addr,
+            stall_cycles: 0,
+            partial_word: true,
+            syscall: false,
+        }
     }
 
     /// Marks this event as a voluntary system-call instruction.
@@ -98,7 +122,10 @@ pub struct VecTrace {
 impl VecTrace {
     /// Wraps a vector of events as a named trace.
     pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
-        VecTrace { name: name.into(), events: events.into_iter() }
+        VecTrace {
+            name: name.into(),
+            events: events.into_iter(),
+        }
     }
 }
 
@@ -142,7 +169,10 @@ mod tests {
     #[test]
     fn vec_trace_yields_in_order() {
         let a = VirtAddr::new(Pid::new(1), 0);
-        let evs = vec![TraceEvent::ifetch(a, 0), TraceEvent::load(a.wrapping_add(1))];
+        let evs = vec![
+            TraceEvent::ifetch(a, 0),
+            TraceEvent::load(a.wrapping_add(1)),
+        ];
         let mut t = VecTrace::new("t", evs.clone());
         assert_eq!(t.name(), "t");
         assert_eq!(t.next(), Some(evs[0]));

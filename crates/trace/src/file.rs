@@ -132,7 +132,10 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Vec<TraceEvent>, ReadTraceError>
 
 fn raw_to_addr(raw: u64) -> VirtAddr {
     use crate::addr::{Pid, PID_SHIFT};
-    VirtAddr::new(Pid::new((raw >> PID_SHIFT) as u8), raw & ((1u64 << PID_SHIFT) - 1))
+    VirtAddr::new(
+        Pid::new((raw >> PID_SHIFT) as u8),
+        raw & ((1u64 << PID_SHIFT) - 1),
+    )
 }
 
 /// A streaming GTRC reader: yields events incrementally without
@@ -167,7 +170,11 @@ impl<R: Read> TraceReader<R> {
         }
         let mut c = [0u8; 8];
         reader.read_exact(&mut c)?;
-        Ok(TraceReader { reader, remaining: u64::from_le_bytes(c), error: None })
+        Ok(TraceReader {
+            reader,
+            remaining: u64::from_le_bytes(c),
+            error: None,
+        })
     }
 
     /// Events left to read.
@@ -230,8 +237,14 @@ impl FileTrace {
     /// # Errors
     ///
     /// Returns [`ReadTraceError`] on I/O failure or malformed input.
-    pub fn from_reader<R: Read>(name: impl Into<String>, reader: R) -> Result<Self, ReadTraceError> {
-        Ok(FileTrace { name: name.into(), iter: read_trace(reader)?.into_iter() })
+    pub fn from_reader<R: Read>(
+        name: impl Into<String>,
+        reader: R,
+    ) -> Result<Self, ReadTraceError> {
+        Ok(FileTrace {
+            name: name.into(),
+            iter: read_trace(reader)?.into_iter(),
+        })
     }
 }
 
@@ -356,7 +369,10 @@ mod tests {
 
     #[test]
     fn streaming_reader_rejects_bad_header() {
-        assert!(matches!(TraceReader::new(&b"XXXX"[..]).unwrap_err(), ReadTraceError::BadMagic));
+        assert!(matches!(
+            TraceReader::new(&b"XXXX"[..]).unwrap_err(),
+            ReadTraceError::BadMagic
+        ));
     }
 
     #[test]

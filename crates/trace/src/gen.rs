@@ -7,14 +7,12 @@
 //! followed by a data reference for load/store instructions, with voluntary
 //! system-call markers and per-instruction processor-stall annotations.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::addr::{Pid, VirtAddr, PAGE_WORDS};
 use crate::bench_model::BenchmarkSpec;
 use crate::data::DataStream;
 use crate::event::{Trace, TraceEvent};
 use crate::instr::InstrStream;
+use crate::rng::SmallRng;
 
 /// Streaming, deterministic generator of [`TraceEvent`]s for one benchmark.
 ///
@@ -109,7 +107,11 @@ impl TraceGenerator {
     fn sample_stall(&mut self, mean: f64) -> u8 {
         let floor = mean.floor();
         let frac = mean - floor;
-        let extra = if self.rng.gen::<f64>() < frac { 1.0 } else { 0.0 };
+        let extra = if self.rng.gen::<f64>() < frac {
+            1.0
+        } else {
+            0.0
+        };
         (floor + extra) as u8
     }
 }
@@ -126,8 +128,10 @@ impl Iterator for TraceGenerator {
         }
         self.budget -= 1;
 
-        let iaddr =
-            VirtAddr::new(self.pid, self.instr.next_addr(&mut self.rng) + self.stagger_words);
+        let iaddr = VirtAddr::new(
+            self.pid,
+            self.instr.next_addr(&mut self.rng) + self.stagger_words,
+        );
 
         // Classify the instruction.
         let class: f64 = self.rng.gen();
@@ -211,7 +215,9 @@ mod tests {
         let a: Vec<_> = small(1).take(20_000).collect();
         let b: Vec<_> = small(1).take(20_000).collect();
         assert_eq!(a, b);
-        let c: Vec<_> = TraceGenerator::new(&suite()[1], Pid::new(2), 2e-3).take(20_000).collect();
+        let c: Vec<_> = TraceGenerator::new(&suite()[1], Pid::new(2), 2e-3)
+            .take(20_000)
+            .collect();
         assert_ne!(a, c, "different PID gives different stream");
     }
 
@@ -246,7 +252,10 @@ mod tests {
         }
         let mean = stalls as f64 / ifetch as f64;
         let expect = spec.expected_stall_cpi();
-        assert!((mean - expect).abs() < 0.02, "stall {mean} vs expected {expect}");
+        assert!(
+            (mean - expect).abs() < 0.02,
+            "stall {mean} vs expected {expect}"
+        );
     }
 
     #[test]

@@ -13,10 +13,8 @@
 //! is a potential call site and the walk keeps returning to `main` and
 //! re-spreading over the footprint.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
-
 use crate::bench_model::CodeModel;
+use crate::rng::SmallRng;
 
 /// Word address where program text begins (MIPS convention: byte 0x0040_0000).
 pub const TEXT_BASE_WORD: u64 = 0x0010_0000;
@@ -123,13 +121,18 @@ impl InstrStream {
                 let len = rng.gen_range(1..=2 * mean_block - 1).min(remaining).max(1);
                 let is_last = off + len >= words_per_func;
                 let idx = blocks.len() as u32;
-                let loop_target = (!is_last && idx > loop_floor && rng.gen::<f64>() < 0.25)
-                    .then(|| {
+                let loop_target =
+                    (!is_last && idx > loop_floor && rng.gen::<f64>() < 0.25).then(|| {
                         let target = rng.gen_range(loop_floor..idx);
                         loop_floor = idx + 1;
                         target
                     });
-                blocks.push(Block { start: off, len, loop_target, is_last });
+                blocks.push(Block {
+                    start: off,
+                    len,
+                    loop_target,
+                    is_last,
+                });
                 off += len;
             }
             funcs.push(Function { base, blocks });
@@ -137,7 +140,11 @@ impl InstrStream {
 
         InstrStream {
             funcs,
-            cur: Cursor { func: 0, block: 0, off: 0 },
+            cur: Cursor {
+                func: 0,
+                block: 0,
+                off: 0,
+            },
             stack: Vec::with_capacity(MAX_CALL_DEPTH),
             callee_cdf,
             p_continue,
@@ -199,7 +206,13 @@ impl InstrStream {
             if b.is_last {
                 match self.stack.pop() {
                     Some(resume) => self.cur = resume,
-                    None => self.cur = Cursor { func: 0, block: 0, off: 0 },
+                    None => {
+                        self.cur = Cursor {
+                            func: 0,
+                            block: 0,
+                            off: 0,
+                        }
+                    }
                 }
             } else if let Some(target) =
                 b.loop_target.filter(|_| rng.gen::<f64>() < self.p_continue)
@@ -213,7 +226,11 @@ impl InstrStream {
                     self.stack.push(resume);
                 }
                 // At the depth cap this degenerates to a tail call.
-                self.cur = Cursor { func: callee, block: 0, off: 0 };
+                self.cur = Cursor {
+                    func: callee,
+                    block: 0,
+                    off: 0,
+                };
             } else {
                 self.cur.block += 1;
             }
@@ -225,7 +242,6 @@ impl InstrStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashSet;
 
     fn model() -> CodeModel {
@@ -245,7 +261,10 @@ mod tests {
         let fp = s.footprint_words();
         for _ in 0..100_000 {
             let a = s.next_addr(&mut rng);
-            assert!(a >= TEXT_BASE_WORD && a < TEXT_BASE_WORD + fp, "addr {a:#x}");
+            assert!(
+                a >= TEXT_BASE_WORD && a < TEXT_BASE_WORD + fp,
+                "addr {a:#x}"
+            );
         }
     }
 
@@ -254,7 +273,9 @@ mod tests {
         let run = || {
             let mut rng = SmallRng::seed_from_u64(7);
             let mut s = InstrStream::new(&model(), &mut rng);
-            (0..10_000).map(|_| s.next_addr(&mut rng)).collect::<Vec<_>>()
+            (0..10_000)
+                .map(|_| s.next_addr(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -278,7 +299,10 @@ mod tests {
         // Dynamic call sampling must spread execution over most functions
         // (this regressed with statically chosen call sites). Use a mild
         // Zipf exponent so the tail is reachable in a bounded walk.
-        let m = CodeModel { call_zipf_theta: 0.5, ..model() };
+        let m = CodeModel {
+            call_zipf_theta: 0.5,
+            ..model()
+        };
         let mut rng = SmallRng::seed_from_u64(9);
         let mut s = InstrStream::new(&m, &mut rng);
         let fp = s.footprint_words();
@@ -307,7 +331,11 @@ mod tests {
             }
             prev = a;
         }
-        assert!(seq as f64 / n as f64 > 0.6, "sequential fraction {}", seq as f64 / n as f64);
+        assert!(
+            seq as f64 / n as f64 > 0.6,
+            "sequential fraction {}",
+            seq as f64 / n as f64
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`gen`] — the deterministic streaming [`gen::TraceGenerator`];
 //! * [`file`](mod@crate::file) — a compact binary trace format for capture/replay;
 //! * [`stats`] — trace characterization (regenerates Table 1 columns);
-//! * [`synthetic`] — diagnostic access patterns with known cache behaviour.
+//! * [`synthetic`] — diagnostic access patterns with known cache behaviour;
+//! * [`rng`] — the vendored deterministic PRNG every stochastic component
+//!   (generators, fault injection, property tests) draws from.
 //!
 //! ## Example
 //!
@@ -40,6 +42,7 @@ pub mod event;
 pub mod file;
 pub mod gen;
 pub mod instr;
+pub mod rng;
 pub mod stats;
 pub mod synthetic;
 

@@ -46,18 +46,21 @@ impl TraceStats {
                 if ev.syscall {
                     self.syscalls += 1;
                 }
-                self.code_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+                self.code_pages
+                    .insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
             }
             AccessKind::Load => {
                 self.loads += 1;
-                self.data_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+                self.data_pages
+                    .insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
             }
             AccessKind::Store => {
                 self.stores += 1;
                 if ev.partial_word {
                     self.partial_stores += 1;
                 }
-                self.data_pages.insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
+                self.data_pages
+                    .insert(ev.addr.raw() >> crate::addr::PAGE_SHIFT);
             }
         }
     }

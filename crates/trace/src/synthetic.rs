@@ -7,11 +7,9 @@
 //! size). They are used by tests and benches across the workspace and are
 //! handy when validating a new configuration against first principles.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::addr::{Pid, VirtAddr};
 use crate::event::{Trace, TraceEvent};
+use crate::rng::SmallRng;
 
 /// A named synthetic trace backed by a closure-generated event vector.
 #[derive(Debug, Clone)]
@@ -22,7 +20,10 @@ pub struct SyntheticTrace {
 
 impl SyntheticTrace {
     fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> Self {
-        SyntheticTrace { name: name.into(), events: events.into_iter() }
+        SyntheticTrace {
+            name: name.into(),
+            events: events.into_iter(),
+        }
     }
 }
 
@@ -48,7 +49,11 @@ fn with_ifetches(pid: Pid, name: &str, data: Vec<(u64, bool)>) -> SyntheticTrace
     for (i, (addr, is_store)) in data.into_iter().enumerate() {
         events.push(TraceEvent::ifetch(VirtAddr::new(pid, (i % 16) as u64), 0));
         let va = VirtAddr::new(pid, addr);
-        events.push(if is_store { TraceEvent::store(va) } else { TraceEvent::load(va) });
+        events.push(if is_store {
+            TraceEvent::store(va)
+        } else {
+            TraceEvent::load(va)
+        });
     }
     SyntheticTrace::new(name, events)
 }
@@ -70,7 +75,9 @@ pub fn sequential(pid: Pid, base: u64, len_words: u64, passes: u32) -> Synthetic
 /// ratio approaches `1 − cache/footprint` for large footprints.
 pub fn random(pid: Pid, base: u64, footprint_words: u64, n: usize, seed: u64) -> SyntheticTrace {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let data = (0..n).map(|_| (base + rng.gen_range(0..footprint_words), false)).collect();
+    let data = (0..n)
+        .map(|_| (base + rng.gen_range(0..footprint_words), false))
+        .collect();
     with_ifetches(pid, "random", data)
 }
 
@@ -78,7 +85,9 @@ pub fn random(pid: Pid, base: u64, footprint_words: u64, n: usize, seed: u64) ->
 /// apart: every access conflicts in a direct-mapped cache, every access
 /// hits in a 2-way cache.
 pub fn pingpong(pid: Pid, base: u64, cache_words: u64, n: usize) -> SyntheticTrace {
-    let data = (0..n).map(|i| (base + (i as u64 % 2) * cache_words, false)).collect();
+    let data = (0..n)
+        .map(|i| (base + (i as u64 % 2) * cache_words, false))
+        .collect();
     with_ifetches(pid, "pingpong", data)
 }
 
@@ -92,8 +101,9 @@ pub fn strided(pid: Pid, base: u64, stride: u64, n: usize) -> SyntheticTrace {
 /// A write burst: `n` stores over a window of `window_words`, followed by
 /// reads of the same window (exercises write-policy allocate behaviour).
 pub fn write_then_read(pid: Pid, base: u64, window_words: u64, n: usize) -> SyntheticTrace {
-    let mut data: Vec<(u64, bool)> =
-        (0..n).map(|i| (base + i as u64 % window_words, true)).collect();
+    let mut data: Vec<(u64, bool)> = (0..n)
+        .map(|i| (base + i as u64 % window_words, true))
+        .collect();
     data.extend((0..n).map(|i| (base + i as u64 % window_words, false)));
     with_ifetches(pid, "write_then_read", data)
 }
@@ -117,8 +127,10 @@ mod tests {
     #[test]
     fn pingpong_alternates_two_lines() {
         let t = pingpong(Pid::new(1), 0, 4096, 4);
-        let data: Vec<u64> =
-            t.filter(|e| e.kind.is_data()).map(|e| e.addr.word()).collect();
+        let data: Vec<u64> = t
+            .filter(|e| e.kind.is_data())
+            .map(|e| e.addr.word())
+            .collect();
         assert_eq!(data, vec![0, 4096, 0, 4096]);
     }
 

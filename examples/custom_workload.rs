@@ -35,10 +35,20 @@ fn my_benchmark() -> BenchmarkSpec {
             hot_lines: 256,
             stack_weight: 0.15,
             levels: vec![
-                WorkingSetLevel { words: 2_048, weight: 0.5 },
-                WorkingSetLevel { words: 32_768, weight: 0.05 },
+                WorkingSetLevel {
+                    words: 2_048,
+                    weight: 0.5,
+                },
+                WorkingSetLevel {
+                    words: 32_768,
+                    weight: 0.05,
+                },
             ],
-            streams: vec![StreamSpec { len_words: 65_536, weight: 0.2, repeat: 3 }],
+            streams: vec![StreamSpec {
+                len_words: 65_536,
+                weight: 0.2,
+                repeat: 3,
+            }],
             partial_store_frac: 0.05,
         },
         stalls: StallModel {
@@ -71,13 +81,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Capture to the GTRC binary format and replay from it.
     let path = std::env::temp_dir().join("mykernel.gtrc");
     write_trace(std::fs::File::create(&path)?, &events)?;
-    println!("captured to {} ({} bytes)", path.display(), std::fs::metadata(&path)?.len());
+    println!(
+        "captured to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
 
     let replay = FileTrace::from_reader("mykernel-replay", std::fs::File::open(&path)?)?;
     println!("replaying '{}'", replay.name());
 
     // 3. Simulate the replayed trace on the optimized architecture.
-    let result = sim::run(SimConfig::optimized(), vec![Box::new(replay) as Box<dyn Trace>])?;
+    let result = sim::run(
+        SimConfig::optimized(),
+        vec![Box::new(replay) as Box<dyn Trace>],
+    )?;
     println!("\n{}", report::summary(&result));
     println!("{}", report::cpi_stack(&result));
 

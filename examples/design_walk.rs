@@ -28,11 +28,21 @@ fn main() {
     let scale = 2e-3;
     let mut base_mem = None;
 
-    step("1. base architecture (Fig. 1)", SimConfig::baseline(), scale, &mut base_mem);
+    step(
+        "1. base architecture (Fig. 1)",
+        SimConfig::baseline(),
+        scale,
+        &mut base_mem,
+    );
 
     let mut b = SimConfig::builder();
     b.policy(WritePolicy::WriteOnly);
-    step("2. + write-only policy (Sec. 6)", b.build().expect("valid"), scale, &mut base_mem);
+    step(
+        "2. + write-only policy (Sec. 6)",
+        b.build().expect("valid"),
+        scale,
+        &mut base_mem,
+    );
 
     b.l2(L2Config::split_fast_i());
     step(
@@ -43,7 +53,12 @@ fn main() {
     );
 
     b.l1_line(8);
-    step("4. + 8W L1 fetch/line (Sec. 8)", b.build().expect("valid"), scale, &mut base_mem);
+    step(
+        "4. + 8W L1 fetch/line (Sec. 8)",
+        b.build().expect("valid"),
+        scale,
+        &mut base_mem,
+    );
 
     b.concurrency(ConcurrencyConfig {
         concurrent_i_refill: true,

@@ -1,0 +1,83 @@
+//! Sweep soft-error fault rate × protection scheme across the hierarchy.
+//!
+//! The GaAs implementation technology of the paper trades density for
+//! speed, and small SRAM cells at 250 MHz are soft-error prone. This
+//! example injects transient single-event upsets into every cache
+//! structure at a range of per-access rates, under each protection scheme,
+//! and reports how much CPI the recovery machinery costs versus how many
+//! faults escape or kill the machine:
+//!
+//! * **none** — every fault silently corrupts data;
+//! * **parity** — detects single-bit flips: clean lines refetch at the
+//!   real refill cost, dirty lines machine-check (the cache held the only
+//!   copy);
+//! * **ECC** — corrects single-bit flips in place for a small fixed
+//!   penalty; only multi-bit upsets machine-check.
+//!
+//! Machine checks are handled with the restart policy (roll back to the
+//! last checkpoint and re-execute), so every run completes and the lost
+//! work is visible as `recovery` CPI.
+//!
+//! ```text
+//! cargo run --release -p gaas-experiments --example fault_sweep
+//! ```
+
+use gaas_sim::config::{FaultConfig, MachineCheckPolicy, SimConfig};
+use gaas_sim::{sim, workload, FaultRates, Protection, ProtectionMap};
+
+fn main() {
+    let scale = 5e-3;
+    let rates = [0.0, 1e-7, 1e-6, 1e-5];
+    let schemes = [
+        ("none", Protection::None),
+        ("parity", Protection::Parity),
+        ("ecc", Protection::Ecc),
+    ];
+
+    let baseline = sim::run(SimConfig::baseline(), workload::standard(scale))
+        .expect("fault-free baseline cannot machine-check");
+    println!("baseline CPI (no faults injected): {:.4}", baseline.cpi());
+    println!();
+    println!(
+        "{:<8} {:>9} {:>8} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "scheme", "rate", "CPI", "recovery", "faults", "silent", "corr", "refetch", "mchk"
+    );
+
+    for (label, protection) in schemes {
+        for rate in rates {
+            let fault = FaultConfig {
+                seed: 0xCAFE,
+                rates: FaultRates::uniform(rate),
+                protection: ProtectionMap::uniform(protection),
+                multi_bit_frac: 0.02,
+                ecc_correction_cycles: 1,
+                machine_check: MachineCheckPolicy::Restart,
+                targeted: Vec::new(),
+            };
+            let mut b = SimConfig::builder();
+            b.fault(fault).checkpoint_interval(50_000);
+            let r = sim::run(b.build().expect("valid"), workload::standard(scale))
+                .expect("restart policy always completes");
+            let c = &r.counters;
+            println!(
+                "{:<8} {:>9.0e} {:>8.4} {:>9.4} {:>8} {:>8} {:>7} {:>7} {:>7}",
+                label,
+                rate,
+                r.cpi(),
+                r.breakdown().recovery,
+                c.faults_injected,
+                c.faults_silent,
+                c.faults_corrected,
+                c.fault_refetches,
+                c.machine_checks,
+            );
+        }
+        println!();
+    }
+
+    println!("Reading the table: with no protection every fault is silent data");
+    println!("corruption at zero cycle cost — fast and wrong. Parity converts");
+    println!("clean-line faults into refetch stalls but machine-checks on dirty");
+    println!("data; ECC caps the per-fault cost at the correction penalty and");
+    println!("only multi-bit upsets (2% here) force a rollback.");
+}

@@ -38,13 +38,25 @@ fn main() {
     println!("4 KW direct-mapped, 4W lines:");
     classify("sequential-8KW", dm, synthetic::sequential(pid, 0, 8192, 4));
     classify("random-2KW", dm, synthetic::random(pid, 0, 2048, 40_000, 1));
-    classify("random-64KW", dm, synthetic::random(pid, 0, 65_536, 40_000, 2));
+    classify(
+        "random-64KW",
+        dm,
+        synthetic::random(pid, 0, 65_536, 40_000, 2),
+    );
     classify("pingpong", dm, synthetic::pingpong(pid, 0, 4096, 10_000));
     classify("strided", dm, synthetic::strided(pid, 0, 4, 10_000));
 
     println!("\nSame patterns, 2-way set-associative (conflicts should vanish):");
-    classify("pingpong", two_way, synthetic::pingpong(pid, 0, 4096, 10_000));
-    classify("random-64KW", two_way, synthetic::random(pid, 0, 65_536, 40_000, 2));
+    classify(
+        "pingpong",
+        two_way,
+        synthetic::pingpong(pid, 0, 4096, 10_000),
+    );
+    classify(
+        "random-64KW",
+        two_way,
+        synthetic::random(pid, 0, 65_536, 40_000, 2),
+    );
 
     println!();
     println!("This is the paper's Sec. 7 argument in miniature: direct-mapped");

@@ -44,7 +44,10 @@ fn all_policies_complete_the_same_workload() {
         assert_eq!(r.completed.len(), 10, "{policy:?}");
     }
     // The workload is identical regardless of policy.
-    assert!(instr_counts.windows(2).all(|w| w[0] == w[1]), "{instr_counts:?}");
+    assert!(
+        instr_counts.windows(2).all(|w| w[0] == w[1]),
+        "{instr_counts:?}"
+    );
 }
 
 #[test]
@@ -68,9 +71,15 @@ fn split_l2_isolates_instruction_lines_from_data_traffic() {
 fn trace_event_stream_matches_sim_counts() {
     let spec = suite().remove(0);
     let events: Vec<_> = TraceGenerator::new(&spec, Pid::new(0), 2e-4).collect();
-    let n_instr = events.iter().filter(|e| e.kind == AccessKind::IFetch).count() as u64;
+    let n_instr = events
+        .iter()
+        .filter(|e| e.kind == AccessKind::IFetch)
+        .count() as u64;
     let n_loads = events.iter().filter(|e| e.kind == AccessKind::Load).count() as u64;
-    let n_stores = events.iter().filter(|e| e.kind == AccessKind::Store).count() as u64;
+    let n_stores = events
+        .iter()
+        .filter(|e| e.kind == AccessKind::Store)
+        .count() as u64;
 
     let t = gaas_trace::VecTrace::new("doduc", events);
     let r = sim::run(SimConfig::baseline(), vec![Box::new(t) as Box<dyn Trace>]).expect("valid");

@@ -15,7 +15,10 @@ fn baseline_runs_the_full_suite_to_completion() {
     let c = &r.counters;
     assert!(c.instructions > 500_000);
     assert!(c.loads > 0 && c.stores > 0);
-    assert!(c.syscall_switches > 0, "gcc's syscall rate guarantees switches");
+    assert!(
+        c.syscall_switches > 0,
+        "gcc's syscall rate guarantees switches"
+    );
     assert!(c.slice_switches > 0);
 }
 
@@ -26,13 +29,29 @@ fn baseline_metrics_are_in_plausible_ranges() {
     // Wide brackets: these guard against catastrophic regressions, not
     // exact values (EXPERIMENTS.md records the calibrated numbers).
     assert!((1.3..2.6).contains(&r.cpi()), "CPI {}", r.cpi());
-    assert!((0.001..0.08).contains(&c.l1i_miss_ratio()), "L1I {}", c.l1i_miss_ratio());
-    assert!((0.01..0.15).contains(&c.l1d_miss_ratio()), "L1D {}", c.l1d_miss_ratio());
+    assert!(
+        (0.001..0.08).contains(&c.l1i_miss_ratio()),
+        "L1I {}",
+        c.l1i_miss_ratio()
+    );
+    assert!(
+        (0.01..0.15).contains(&c.l1d_miss_ratio()),
+        "L1D {}",
+        c.l1d_miss_ratio()
+    );
     assert!(c.l2_miss_ratio() < 0.4, "L2 {}", c.l2_miss_ratio());
     let b = r.breakdown();
-    assert!((b.cpu_stall - 0.238).abs() < 0.08, "stall CPI {}", b.cpu_stall);
+    assert!(
+        (b.cpu_stall - 0.238).abs() < 0.08,
+        "stall CPI {}",
+        b.cpu_stall
+    );
     // Paper: write hits cost ~0.071 CPI under write-back.
-    assert!((0.03..0.12).contains(&b.l1_writes), "write CPI {}", b.l1_writes);
+    assert!(
+        (0.03..0.12).contains(&b.l1_writes),
+        "write CPI {}",
+        b.l1_writes
+    );
 }
 
 #[test]
@@ -70,11 +89,13 @@ fn accounting_balances_across_presets() {
 fn warmup_discard_reduces_compulsory_pollution() {
     let full = Simulator::new(SimConfig::baseline())
         .expect("valid")
-        .run_warmed(workload::standard(SCALE), 0);
+        .run_warmed(workload::standard(SCALE), 0)
+        .expect("fault-free");
     let total = full.counters.instructions;
     let warmed = Simulator::new(SimConfig::baseline())
         .expect("valid")
-        .run_warmed(workload::standard(SCALE), total / 2);
+        .run_warmed(workload::standard(SCALE), total / 2)
+        .expect("fault-free");
     assert!(warmed.counters.instructions < total);
     assert!(
         warmed.counters.l2_miss_ratio() < full.counters.l2_miss_ratio(),

@@ -25,7 +25,11 @@ fn pingpong_thrashes_direct_mapped_but_not_two_way() {
     );
 
     let mut b = SimConfig::builder();
-    b.l1d(L1Config { size_words: 4096, line_words: 4, assoc: 2 });
+    b.l1d(L1Config {
+        size_words: 4096,
+        line_words: 4,
+        assoc: 2,
+    });
     let two_way = run_one(
         b.build().expect("valid"),
         synthetic::pingpong(Pid::new(0), 0x100000, 4096, n),
@@ -83,7 +87,11 @@ fn write_policies_differ_on_write_then_read_exactly_as_specified() {
     let mut wb = SimConfig::builder();
     wb.policy(WritePolicy::WriteBack);
     let r_wb = run_one(wb.build().expect("valid"), mk());
-    assert!(r_wb.counters.l1d_read_misses <= 64 / 4 + 2, "WB read misses {}", r_wb.counters.l1d_read_misses);
+    assert!(
+        r_wb.counters.l1d_read_misses <= 64 / 4 + 2,
+        "WB read misses {}",
+        r_wb.counters.l1d_read_misses
+    );
 
     // Write-miss-invalidate never allocates: the first reads of each line miss.
     let mut wmi = SimConfig::builder();
@@ -102,8 +110,7 @@ fn write_policies_differ_on_write_then_read_exactly_as_specified() {
     let r_wo = run_one(wo.build().expect("valid"), mk());
     let lines = 64 / 4;
     assert!(
-        r_wo.counters.l1d_read_misses >= lines
-            && r_wo.counters.l1d_read_misses <= lines + 2,
+        r_wo.counters.l1d_read_misses >= lines && r_wo.counters.l1d_read_misses <= lines + 2,
         "write-only read misses {} (want ~{lines})",
         r_wo.counters.l1d_read_misses
     );

@@ -1,10 +1,17 @@
 //! Property-based tests over the memory-hierarchy substrates, cross-checked
 //! against simple reference models.
-
-use proptest::prelude::*;
+//!
+//! Each property replays many independent randomized cases drawn from the
+//! vendored deterministic PRNG ([`gaas_trace::rng::SmallRng`]), so every
+//! failure reproduces exactly from the fixed seed baked into the test.
 
 use gaas_cache::{CacheArray, CacheGeometry, PageMapper, Tlb, WriteBuffer};
+use gaas_trace::rng::SmallRng;
 use gaas_trace::{PhysAddr, Pid, VirtAddr};
+
+/// Cases per property. Mirrors the case count the previous proptest
+/// harness used.
+const CASES: usize = 64;
 
 /// An O(n) fully-associative-per-set reference model of a cache.
 #[derive(Debug)]
@@ -16,7 +23,10 @@ struct RefCache {
 
 impl RefCache {
     fn new(geom: CacheGeometry) -> Self {
-        RefCache { geom, sets: vec![Vec::new(); geom.n_sets() as usize] }
+        RefCache {
+            geom,
+            sets: vec![Vec::new(); geom.n_sets() as usize],
+        }
     }
 
     fn touch(&mut self, addr: PhysAddr) -> bool {
@@ -40,26 +50,34 @@ impl RefCache {
             set.push(b);
             return None;
         }
-        let evicted = if set.len() == assoc { Some(set.remove(0)) } else { None };
+        let evicted = if set.len() == assoc {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         set.push(base);
         evicted
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_addrs(rng: &mut SmallRng, max_addr: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(0..max_addr)).collect()
+}
 
-    #[test]
-    fn cache_array_matches_reference_model(
-        size_log in 4u32..10,
-        line_log in 0u32..3,
-        assoc_log in 0u32..2,
-        addrs in prop::collection::vec(0u64..4096, 1..400),
-    ) {
-        let size = 1u64 << size_log;
-        let line = 1u32 << line_log;
-        let assoc = 1u32 << assoc_log;
-        prop_assume!(size >= (line as u64) * (assoc as u64));
+#[test]
+fn cache_array_matches_reference_model() {
+    let mut rng = SmallRng::seed_from_u64(0xB0);
+    let mut cases = 0;
+    while cases < CASES {
+        let size = 1u64 << rng.gen_range(4u32..10);
+        let line = 1u32 << rng.gen_range(0u32..3);
+        let assoc = 1u32 << rng.gen_range(0u32..2);
+        if size < (line as u64) * (assoc as u64) {
+            continue;
+        }
+        cases += 1;
+        let addrs = random_addrs(&mut rng, 4096, 1, 400);
         let geom = CacheGeometry::new(size, line, assoc).expect("valid");
         let mut dut = CacheArray::new(geom);
         let mut reference = RefCache::new(geom);
@@ -69,64 +87,81 @@ proptest! {
             // Hit/miss agreement (touch updates LRU in both).
             let dut_hit = dut.touch(addr).is_some();
             let ref_hit = reference.touch(addr);
-            prop_assert_eq!(dut_hit, ref_hit, "hit mismatch at {:#x}", a);
+            assert_eq!(dut_hit, ref_hit, "hit mismatch at {a:#x}");
             if !dut_hit {
                 let dut_ev = dut.fill(addr).map(|e| e.base.word());
                 let ref_ev = reference.fill(addr);
-                prop_assert_eq!(dut_ev, ref_ev, "eviction mismatch at {:#x}", a);
+                assert_eq!(dut_ev, ref_ev, "eviction mismatch at {a:#x}");
             }
         }
     }
+}
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        addrs in prop::collection::vec(0u64..100_000, 1..600),
-    ) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    let mut rng = SmallRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let addrs = random_addrs(&mut rng, 100_000, 1, 600);
         let geom = CacheGeometry::new(256, 4, 2).expect("valid");
         let mut c = CacheArray::new(geom);
         for &a in &addrs {
             c.fill(PhysAddr::new(a));
-            prop_assert!(c.occupancy() as u64 <= geom.size_words() / geom.line_words() as u64);
+            assert!(c.occupancy() as u64 <= geom.size_words() / geom.line_words() as u64);
         }
     }
+}
 
-    #[test]
-    fn write_buffer_completions_are_fifo_and_monotone(
-        writes in prop::collection::vec((0u64..1000, 2u32..12), 1..64),
-    ) {
+#[test]
+fn write_buffer_completions_are_fifo_and_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..64);
+        let writes: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1000), rng.gen_range(2u32..12)))
+            .collect();
         let mut wb = WriteBuffer::new(8);
         let mut now = 0u64;
         let mut last_completion = 0u64;
         for (gap, access) in writes {
             now += gap;
             let enq = wb.slot_free_at(now).max(now);
-            let done = wb.enqueue(enq, PhysAddr::new(now), access, access.saturating_sub(2).max(1), 0);
-            prop_assert!(done >= enq, "completion precedes enqueue");
-            prop_assert!(done >= last_completion, "FIFO order violated");
+            let done = wb.enqueue(
+                enq,
+                PhysAddr::new(now),
+                access,
+                access.saturating_sub(2).max(1),
+                0,
+            );
+            assert!(done >= enq, "completion precedes enqueue");
+            assert!(done >= last_completion, "FIFO order violated");
             last_completion = done;
         }
         // Eventually drains completely.
-        prop_assert!(wb.is_empty(last_completion));
+        assert!(wb.is_empty(last_completion));
     }
+}
 
-    #[test]
-    fn page_mapper_is_stable_and_color_preserving(
-        refs in prop::collection::vec((0u8..8, 0u64..1u64 << 24), 1..300),
-        colors_log in 4u32..9,
-    ) {
-        let colors = 1u64 << colors_log;
+#[test]
+fn page_mapper_is_stable_and_color_preserving() {
+    let mut rng = SmallRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..300);
+        let refs: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u8..8), rng.gen_range(0u64..1 << 24)))
+            .collect();
+        let colors = 1u64 << rng.gen_range(4u32..9);
         let mut m = PageMapper::new(colors);
         let mut seen: std::collections::HashMap<(u8, u64), u64> = Default::default();
         for (pid, word) in refs {
             let va = VirtAddr::new(Pid::new(pid), word);
             let pa = m.translate(va);
             // Offset passes through; color preserved.
-            prop_assert_eq!(pa.page_offset(), va.page_offset());
-            prop_assert_eq!(pa.ppn() % colors, va.vpn() % colors);
+            assert_eq!(pa.page_offset(), va.page_offset());
+            assert_eq!(pa.ppn() % colors, va.vpn() % colors);
             // Stable mapping.
             let prev = seen.insert((pid, va.vpn()), pa.ppn());
             if let Some(p) = prev {
-                prop_assert_eq!(p, pa.ppn(), "mapping changed");
+                assert_eq!(p, pa.ppn(), "mapping changed");
             }
         }
         // Injective: distinct (pid, vpn) never share a frame.
@@ -134,13 +169,18 @@ proptest! {
         frames.sort_unstable();
         let n = frames.len();
         frames.dedup();
-        prop_assert_eq!(frames.len(), n, "frame reused");
+        assert_eq!(frames.len(), n, "frame reused");
     }
+}
 
-    #[test]
-    fn tlb_behaves_like_lru_set_per_pid(
-        refs in prop::collection::vec((0u8..4, 0u64..64), 1..300),
-    ) {
+#[test]
+fn tlb_behaves_like_lru_set_per_pid() {
+    let mut rng = SmallRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..300);
+        let refs: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u64..64)))
+            .collect();
         let mut tlb = Tlb::new(16, 2);
         // Reference: per set, LRU list of (pid, vpn).
         let mut sets: Vec<Vec<(u8, u64)>> = vec![Vec::new(); 8];
@@ -159,15 +199,17 @@ proptest! {
                 set.push((pid, vpn));
                 false
             };
-            prop_assert_eq!(hit, ref_hit, "TLB mismatch for pid {} vpn {}", pid, vpn);
+            assert_eq!(hit, ref_hit, "TLB mismatch for pid {pid} vpn {vpn}");
         }
     }
+}
 
-    #[test]
-    fn three_c_classification_is_consistent(
-        addrs in prop::collection::vec(0u64..2048, 1..500),
-    ) {
-        use gaas_cache::ThreeCClassifier;
+#[test]
+fn three_c_classification_is_consistent() {
+    use gaas_cache::ThreeCClassifier;
+    let mut rng = SmallRng::seed_from_u64(0xB5);
+    for _ in 0..CASES {
+        let addrs = random_addrs(&mut rng, 2048, 1, 500);
         let geom = CacheGeometry::new(64, 4, 1).expect("valid");
         let mut dut = ThreeCClassifier::new(geom);
         // A fully-associative cache of the same capacity can never have
@@ -181,33 +223,34 @@ proptest! {
         }
         let (d, f) = (dut.counts(), fa.counts());
         // Totals account for every access.
-        prop_assert_eq!(d.accesses(), addrs.len() as u64);
+        assert_eq!(d.accesses(), addrs.len() as u64);
         // Compulsory misses are mapping-independent.
-        prop_assert_eq!(d.compulsory, f.compulsory);
+        assert_eq!(d.compulsory, f.compulsory);
         // The fully-associative cache has no conflict misses. (Note: a
         // direct-mapped cache CAN have fewer total misses than FA-LRU on
         // cyclic patterns — the classic LRU anomaly — so no ordering on
         // total misses is asserted.)
-        prop_assert_eq!(f.conflict, 0, "FA cache cannot conflict");
+        assert_eq!(f.conflict, 0, "FA cache cannot conflict");
     }
+}
 
-    #[test]
-    fn simulator_accounting_balances_for_arbitrary_traces(
-        events in prop::collection::vec(
-            (0u8..3, 0u64..1u64 << 20, 0u8..4, any::<bool>()),
-            1..400,
-        ),
-        policy_idx in 0usize..4,
-        split in any::<bool>(),
-    ) {
-        use gaas_sim::config::{L2Config, SimConfig};
-        use gaas_sim::{sim, Trace, WritePolicy};
-        use gaas_trace::{TraceEvent, VecTrace};
+#[test]
+fn simulator_accounting_balances_for_arbitrary_traces() {
+    use gaas_sim::config::{L2Config, SimConfig};
+    use gaas_sim::{sim, Trace, WritePolicy};
+    use gaas_trace::{TraceEvent, VecTrace};
 
+    let mut rng = SmallRng::seed_from_u64(0xB6);
+    for _ in 0..CASES {
         // Build a legal instruction stream: every data event follows a
         // fetch.
+        let n = rng.gen_range(1usize..400);
         let mut evs = Vec::new();
-        for (kind, addr, stall, partial) in events {
+        for _ in 0..n {
+            let kind = rng.gen_range(0u8..3);
+            let addr = rng.gen_range(0u64..1 << 20);
+            let stall = rng.gen_range(0u8..4);
+            let partial = rng.gen::<bool>();
             let va = VirtAddr::new(Pid::new(0), addr);
             match kind {
                 0 => evs.push(TraceEvent::ifetch(va, stall)),
@@ -223,6 +266,8 @@ proptest! {
                 }
             }
         }
+        let policy_idx = rng.gen_range(0usize..4);
+        let split = rng.gen::<bool>();
         let mut b = SimConfig::builder();
         b.policy(WritePolicy::all()[policy_idx]);
         if split {
@@ -230,22 +275,112 @@ proptest! {
         }
         let cfg = b.build().expect("valid");
         let run = |evs: Vec<TraceEvent>| {
-            sim::run(cfg.clone(), vec![Box::new(VecTrace::new("fuzz", evs)) as Box<dyn Trace>])
-                .expect("valid")
+            sim::run(
+                cfg.clone(),
+                vec![Box::new(VecTrace::new("fuzz", evs)) as Box<dyn Trace>],
+            )
+            .expect("valid")
         };
         let r1 = run(evs.clone());
         // Accounting balances and the run is deterministic.
-        prop_assert!((r1.breakdown().total() - r1.cpi()).abs() < 1e-9);
+        assert!((r1.breakdown().total() - r1.cpi()).abs() < 1e-9);
         let r2 = run(evs);
-        prop_assert_eq!(r1.cycles(), r2.cycles());
-        prop_assert_eq!(r1.counters, r2.counters);
+        assert_eq!(r1.cycles(), r2.cycles());
+        assert_eq!(r1.counters, r2.counters);
     }
+}
 
-    #[test]
-    fn counters_since_is_inverse_of_accumulation(
-        a in 0u64..1000, b in 0u64..1000, c in 0u64..1000,
-    ) {
-        use gaas_sim::Counters;
+#[test]
+fn fault_injection_never_panics_and_accounting_still_balances() {
+    use gaas_sim::config::{FaultConfig, MachineCheckPolicy, SimConfig};
+    use gaas_sim::{sim, FaultRates, Protection, ProtectionMap, Trace, WritePolicy};
+    use gaas_trace::{TraceEvent, VecTrace};
+
+    let protections = [Protection::None, Protection::Parity, Protection::Ecc];
+    let mut rng = SmallRng::seed_from_u64(0xB8);
+    for case in 0..CASES {
+        // Random legal instruction stream (fetch before every data event).
+        let n = rng.gen_range(1usize..300);
+        let mut evs = Vec::new();
+        for _ in 0..n {
+            let addr = rng.gen_range(0u64..1 << 18);
+            let va = VirtAddr::new(Pid::new(0), addr);
+            evs.push(TraceEvent::ifetch(va, rng.gen_range(0u8..3)));
+            match rng.gen_range(0u8..3) {
+                0 => {}
+                1 => evs.push(TraceEvent::load(VirtAddr::new(Pid::new(0), addr ^ 0x1F3F))),
+                _ => evs.push(TraceEvent::store(VirtAddr::new(Pid::new(0), addr ^ 0x2E2E))),
+            }
+        }
+        // Random fault campaign: high rates so faults actually land, random
+        // per-structure protection, either machine-check policy.
+        let protection = ProtectionMap {
+            l1i: protections[rng.gen_range(0usize..3)],
+            l1d: protections[rng.gen_range(0usize..3)],
+            l2: protections[rng.gen_range(0usize..3)],
+            tlb: protections[rng.gen_range(0usize..3)],
+            write_buffer: protections[rng.gen_range(0usize..3)],
+        };
+        let fault = FaultConfig {
+            seed: rng.gen::<u64>(),
+            rates: FaultRates::uniform(10f64.powi(-(rng.gen_range(2u32..6) as i32))),
+            protection,
+            multi_bit_frac: rng.gen_range(0u64..100) as f64 / 100.0,
+            ecc_correction_cycles: rng.gen_range(1u32..8),
+            machine_check: if rng.gen::<bool>() {
+                MachineCheckPolicy::Halt
+            } else {
+                MachineCheckPolicy::Restart
+            },
+            targeted: Vec::new(),
+        };
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::all()[rng.gen_range(0usize..4)])
+            .fault(fault);
+        b.checkpoint_interval(rng.gen_range(0u64..200));
+        let cfg = b.build().expect("valid");
+        let run = |evs: Vec<TraceEvent>| {
+            sim::run(
+                cfg.clone(),
+                vec![Box::new(VecTrace::new("fault", evs)) as Box<dyn Trace>],
+            )
+        };
+        // `run` must never panic: it either completes (accounting exact)
+        // or surfaces a typed machine check. Either way it reproduces.
+        match run(evs.clone()) {
+            Ok(r1) => {
+                assert!(
+                    (r1.breakdown().total() - r1.cpi()).abs() < 1e-9,
+                    "case {case}: breakdown {} vs cpi {}",
+                    r1.breakdown().total(),
+                    r1.cpi()
+                );
+                assert_eq!(r1.cycles(), r1.counters.total_cycles());
+                let r2 = run(evs).expect("same seed, same outcome");
+                assert_eq!(r1.counters, r2.counters, "case {case} not reproducible");
+            }
+            Err(e1) => {
+                let e2 = run(evs).expect_err("same seed, same outcome");
+                assert_eq!(
+                    format!("{e1}"),
+                    format!("{e2}"),
+                    "case {case} not reproducible"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn counters_since_is_inverse_of_accumulation() {
+    use gaas_sim::Counters;
+    let mut rng = SmallRng::seed_from_u64(0xB7);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0u64..1000),
+            rng.gen_range(0u64..1000),
+            rng.gen_range(0u64..1000),
+        );
         let mut early = Counters::new();
         early.instructions = a;
         early.l1i_miss_cycles = b;
@@ -253,8 +388,8 @@ proptest! {
         late.instructions += c;
         late.cpu_stall_cycles += b;
         let d = late.since(&early);
-        prop_assert_eq!(d.instructions, c);
-        prop_assert_eq!(d.cpu_stall_cycles, b);
-        prop_assert_eq!(d.l1i_miss_cycles, 0);
+        assert_eq!(d.instructions, c);
+        assert_eq!(d.cpu_stall_cycles, b);
+        assert_eq!(d.l1i_miss_cycles, 0);
     }
 }
