@@ -320,6 +320,32 @@ impl CacheArray {
     pub fn iter(&self) -> impl Iterator<Item = &Line> {
         self.lines.iter().filter(|l| l.valid)
     }
+
+    /// Mutable lookup of `addr`'s resident line *without* touching LRU
+    /// state.
+    ///
+    /// This exists for the differential oracle's seeded-bug canary (flip
+    /// a dirty bit in place and assert the oracle notices) and for
+    /// invariant-checking tools; normal cache operation always goes
+    /// through [`CacheArray::touch`] / [`CacheArray::fill`].
+    pub fn peek_mut(&mut self, addr: PhysAddr) -> Option<&mut Line> {
+        let idx = self.probe_idx(addr)?;
+        Some(&mut self.lines[idx])
+    }
+
+    /// Snapshot of every valid line's architectural state — `(base word,
+    /// dirty, write_only, subblock_valid)` sorted by base address — for
+    /// structural equivalence checks against a reference model. LRU
+    /// ordering is deliberately excluded: it is compared indirectly,
+    /// through the evictions it causes.
+    pub fn content_snapshot(&self) -> Vec<(u64, bool, bool, u32)> {
+        let mut v: Vec<_> = self
+            .iter()
+            .map(|l| (l.base.word(), l.dirty, l.write_only, l.subblock_valid))
+            .collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 #[cfg(test)]

@@ -123,6 +123,13 @@ impl L1DataCache {
         &self.array
     }
 
+    /// The underlying array, mutably. Exists for deliberate state
+    /// corruption in the differential oracle's seeded-bug canary; the
+    /// policy methods are the only legitimate mutation path.
+    pub fn array_mut(&mut self) -> &mut CacheArray {
+        &mut self.array
+    }
+
     /// Performs a load.
     ///
     /// A tag match does not suffice for a hit: under write-only, lines

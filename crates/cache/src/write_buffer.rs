@@ -183,6 +183,24 @@ impl WriteBuffer {
     pub fn is_empty(&mut self, now: u64) -> bool {
         self.occupancy(now) == 0
     }
+
+    /// Iterates over the queued entries in FIFO order (oldest first),
+    /// *without* retiring drained entries first. Because retirement is
+    /// lazy, the live queue is always a suffix of the enqueue history —
+    /// the invariant the differential oracle checks.
+    pub fn entries(&self) -> impl Iterator<Item = &WbEntry> {
+        self.entries.iter()
+    }
+
+    /// Removes and returns the most recently enqueued entry, if any.
+    ///
+    /// This is a *deliberate-corruption hook* for the differential
+    /// oracle's seeded-bug canary (drop a pending write, assert the
+    /// oracle notices); the architecture itself never loses buffer
+    /// entries.
+    pub fn drop_youngest(&mut self) -> Option<WbEntry> {
+        self.entries.pop_back()
+    }
 }
 
 #[cfg(test)]

@@ -285,6 +285,72 @@ impl FaultConfig {
     }
 }
 
+/// A deliberate state corruption the simulator applies to *itself* so the
+/// differential oracle can prove it detects real divergences (the canary
+/// of the verification harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// Flip the dirty bit of the L1-D line holding the most recent data
+    /// address.
+    FlipL1dDirty,
+    /// Silently drop the youngest write-buffer entry.
+    DropWriteBufferEntry,
+    /// Invalidate the L1-I line holding the most recent fetch address.
+    InvalidateL1i,
+}
+
+/// When and how to seed a deliberate bug (see [`SeededBug`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededBugSpec {
+    /// Access index (fetches + loads + stores, 0-based) at or after which
+    /// the corruption is applied (it is applied at the first access from
+    /// this index on where the targeted state exists).
+    pub access: u64,
+    /// The corruption to apply.
+    pub kind: SeededBug,
+}
+
+/// Configuration of the lockstep golden-model differential oracle.
+///
+/// When `enabled`, the simulator runs a small functional reference model
+/// of the whole hierarchy in lockstep and cross-checks every access; see
+/// the `oracle` module. The default is *off* and costs nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffCheckConfig {
+    /// Master switch for lockstep cross-checking.
+    pub enabled: bool,
+    /// Run a full structural-equivalence sweep (cache contents, write
+    /// buffer order, inclusion) every this many accesses; 0 checks only
+    /// per-access classifications.
+    pub state_check_interval: u64,
+    /// Number of most recent trace events kept for the divergence report's
+    /// repro window.
+    pub window: usize,
+    /// Optional deliberate corruption for canary tests.
+    pub seeded_bug: Option<SeededBugSpec>,
+}
+
+impl Default for DiffCheckConfig {
+    fn default() -> Self {
+        DiffCheckConfig {
+            enabled: false,
+            state_check_interval: 1024,
+            window: 32,
+            seeded_bug: None,
+        }
+    }
+}
+
+impl DiffCheckConfig {
+    /// An enabled oracle with the default check cadence.
+    pub fn on() -> Self {
+        DiffCheckConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
 /// Error returned by [`SimConfigBuilder::build`] for inconsistent
 /// configurations.
 #[derive(Debug, Clone, PartialEq)]
@@ -308,6 +374,18 @@ pub enum ConfigError {
     InvalidFaultRate(f64),
     /// An instruction budget of zero (use `None` to disable the watchdog).
     ZeroInstructionBudget,
+    /// A write buffer with no slots (every policy needs at least one).
+    ZeroWriteBufferDepth,
+    /// A page-color count that is zero or not a power of two (the mapper
+    /// masks color bits, so only powers of two are meaningful).
+    InvalidPageColors(u64),
+    /// The differential oracle and fault injection are mutually exclusive:
+    /// injected faults corrupt cache state by design, which the reference
+    /// model would (correctly) flag as divergence.
+    DiffCheckWithFaultInjection,
+    /// A seeded canary corruption without the oracle enabled would corrupt
+    /// simulator state with nothing watching for it.
+    SeededBugWithoutOracle,
 }
 
 impl fmt::Display for ConfigError {
@@ -338,6 +416,26 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroInstructionBudget => {
                 write!(f, "instruction budget must be positive (use None to disable)")
+            }
+            ConfigError::ZeroWriteBufferDepth => {
+                write!(f, "write buffer needs at least one slot")
+            }
+            ConfigError::InvalidPageColors(n) => {
+                write!(f, "page colors {n} must be a nonzero power of two")
+            }
+            ConfigError::DiffCheckWithFaultInjection => {
+                write!(
+                    f,
+                    "the differential oracle cannot run with fault injection enabled \
+                     (injected faults corrupt state by design)"
+                )
+            }
+            ConfigError::SeededBugWithoutOracle => {
+                write!(
+                    f,
+                    "a seeded canary corruption requires the differential oracle \
+                     (nothing else would detect it)"
+                )
             }
         }
     }
@@ -406,6 +504,8 @@ pub struct SimConfig {
     /// `0` disables checkpointing (restart then rolls back to the start of
     /// the current sampling window).
     pub checkpoint_interval: u64,
+    /// Lockstep golden-model differential oracle (default: off).
+    pub diffcheck: DiffCheckConfig,
 }
 
 impl SimConfig {
@@ -426,6 +526,7 @@ impl SimConfig {
             fault: FaultConfig::default(),
             instruction_budget: None,
             checkpoint_interval: 0,
+            diffcheck: DiffCheckConfig::default(),
         }
     }
 
@@ -460,6 +561,7 @@ impl SimConfig {
             fault: FaultConfig::default(),
             instruction_budget: None,
             checkpoint_interval: 0,
+            diffcheck: DiffCheckConfig::default(),
         }
     }
 
@@ -523,6 +625,18 @@ impl SimConfig {
         }
         if self.instruction_budget == Some(0) {
             return Err(ConfigError::ZeroInstructionBudget);
+        }
+        if self.write_buffer.depth == 0 {
+            return Err(ConfigError::ZeroWriteBufferDepth);
+        }
+        if self.page_colors == 0 || !self.page_colors.is_power_of_two() {
+            return Err(ConfigError::InvalidPageColors(self.page_colors));
+        }
+        if self.diffcheck.enabled && self.fault.enabled() {
+            return Err(ConfigError::DiffCheckWithFaultInjection);
+        }
+        if self.diffcheck.seeded_bug.is_some() && !self.diffcheck.enabled {
+            return Err(ConfigError::SeededBugWithoutOracle);
         }
         Ok(())
     }
@@ -716,6 +830,18 @@ impl SimConfigBuilder {
     /// Sets the checkpoint interval in instructions (0 disables).
     pub fn checkpoint_interval(&mut self, instructions: u64) -> &mut Self {
         self.cfg.checkpoint_interval = instructions;
+        self
+    }
+
+    /// Sets the page-color count of the virtual-to-physical mapper.
+    pub fn page_colors(&mut self, colors: u64) -> &mut Self {
+        self.cfg.page_colors = colors;
+        self
+    }
+
+    /// Sets the differential-oracle configuration.
+    pub fn diffcheck(&mut self, d: DiffCheckConfig) -> &mut Self {
+        self.cfg.diffcheck = d;
         self
     }
 
@@ -960,6 +1086,63 @@ mod tests {
         let cfg = b2.build().expect("valid");
         assert_eq!(cfg.instruction_budget, Some(1_000_000));
         assert_eq!(cfg.checkpoint_interval, 50_000);
+    }
+
+    #[test]
+    fn zero_write_buffer_depth_rejected() {
+        let mut b = SimConfig::builder();
+        b.write_buffer(WriteBufferConfig {
+            depth: 0,
+            width_words: 4,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::ZeroWriteBufferDepth
+        ));
+    }
+
+    #[test]
+    fn bad_page_colors_rejected() {
+        for colors in [0u64, 3, 100] {
+            let mut b = SimConfig::builder();
+            b.page_colors(colors);
+            assert!(matches!(
+                b.build().unwrap_err(),
+                ConfigError::InvalidPageColors(c) if c == colors
+            ));
+        }
+        let mut ok = SimConfig::builder();
+        ok.page_colors(64);
+        assert!(ok.build().is_ok());
+    }
+
+    #[test]
+    fn diffcheck_excludes_fault_injection() {
+        let mut b = SimConfig::builder();
+        b.diffcheck(DiffCheckConfig::on()).fault(FaultConfig {
+            rates: FaultRates::uniform(1e-4),
+            ..FaultConfig::default()
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ConfigError::DiffCheckWithFaultInjection
+        ));
+        // A *disabled* fault config coexists with the oracle.
+        let mut ok = SimConfig::builder();
+        ok.diffcheck(DiffCheckConfig::on());
+        assert!(ok.build().is_ok());
+        assert!(!SimConfig::baseline().diffcheck.enabled, "default off");
+    }
+
+    #[test]
+    fn new_config_errors_display() {
+        for e in [
+            ConfigError::ZeroWriteBufferDepth,
+            ConfigError::InvalidPageColors(3),
+            ConfigError::DiffCheckWithFaultInjection,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

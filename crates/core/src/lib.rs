@@ -46,20 +46,25 @@
 //! * [`cpi`] — counters and the Fig. 4 CPI breakdown;
 //! * [`sched`] — the §3 multiprogramming scheduler;
 //! * [`workload`] — ready-made Table 1 workloads;
-//! * [`report`] — textual CPI stacks and summaries.
+//! * [`report`] — textual CPI stacks and summaries;
+//! * [`oracle`] — the lockstep golden-model differential oracle
+//!   (enabled via [`config::DiffCheckConfig`]).
 
 pub mod config;
 pub mod cpi;
+pub mod oracle;
 pub mod report;
 pub mod sched;
 pub mod sim;
 pub mod workload;
 
 pub use config::{
-    ConcurrencyConfig, ConfigError, FaultConfig, L1Config, L2Config, L2Side, MachineCheckPolicy,
-    MpConfig, SimConfig, SimConfigBuilder, WbBypass, WriteBufferConfig,
+    ConcurrencyConfig, ConfigError, DiffCheckConfig, FaultConfig, L1Config, L2Config, L2Side,
+    MachineCheckPolicy, MpConfig, SeededBug, SeededBugSpec, SimConfig, SimConfigBuilder, WbBypass,
+    WriteBufferConfig,
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
+pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};
 pub use sched::SchedSnapshot;
 pub use sim::{run, Checkpoint, SimError, SimResult, Simulator, Termination};
 

@@ -61,6 +61,16 @@ pub fn summary(result: &SimResult) -> String {
     out
 }
 
+/// Renders a divergence report from the lockstep golden-model oracle:
+/// the tripped cross-check with its detail, the config fingerprint and
+/// summary, the repro seed, and the trailing trace window.
+pub fn divergence(report: &crate::oracle::DivergenceReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "DIFFERENTIAL ORACLE DIVERGENCE");
+    let _ = writeln!(out, "{report}");
+    out
+}
+
 /// Renders a side-by-side comparison of two runs (e.g. before/after an
 /// optimization step): per-component CPI with deltas.
 pub fn compare(label_a: &str, a: &SimResult, label_b: &str, b: &SimResult) -> String {

@@ -34,8 +34,9 @@ use gaas_cache::fault::{
 use gaas_cache::{CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer};
 use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
 
-use crate::config::{ConfigError, L2Config, MachineCheckPolicy, SimConfig, WbBypass};
+use crate::config::{ConfigError, L2Config, MachineCheckPolicy, SeededBug, SimConfig, WbBypass};
 use crate::cpi::{Counters, ProcCounters};
+use crate::oracle::{Deltas, DiffState, DivergenceReport, SimStructures};
 use crate::sched::{SchedSnapshot, Scheduler};
 
 /// Error from building or running a simulation.
@@ -55,6 +56,17 @@ pub enum SimError {
         /// Instructions retired before the halt.
         instructions: u64,
     },
+    /// The lockstep golden-model oracle observed the fast simulator
+    /// diverging from the reference model (see
+    /// [`DiffCheckConfig`](crate::config::DiffCheckConfig)).
+    Divergence(Box<DivergenceReport>),
+    /// A campaign cell exceeded its wall-clock budget (produced by the
+    /// experiment runner's isolation layer, never by the simulator
+    /// itself).
+    Timeout {
+        /// The wall-clock budget that was exhausted, in seconds.
+        seconds: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +81,10 @@ impl fmt::Display for SimError {
                 f,
                 "machine check: {fault} at cycle {cycle} ({instructions} instructions retired)"
             ),
+            SimError::Divergence(report) => write!(f, "{report}"),
+            SimError::Timeout { seconds } => {
+                write!(f, "cell exceeded its {seconds}s wall-clock budget")
+            }
         }
     }
 }
@@ -77,7 +93,9 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
-            SimError::MachineCheck { .. } => None,
+            SimError::MachineCheck { .. } | SimError::Divergence(_) | SimError::Timeout { .. } => {
+                None
+            }
         }
     }
 }
@@ -222,6 +240,8 @@ pub struct Simulator {
     pending_mc: Option<FaultEvent>,
     /// Cycle of the last checkpoint (restart rollback target).
     last_checkpoint_cycle: u64,
+    /// Lockstep golden-model state (`None` = oracle off, exact fast path).
+    diff: Option<Box<DiffState>>,
 }
 
 impl Simulator {
@@ -276,6 +296,12 @@ impl Simulator {
             None
         };
 
+        let diff = if cfg.diffcheck.enabled {
+            Some(Box::new(DiffState::new(&cfg)?))
+        } else {
+            None
+        };
+
         let page_colors = cfg.page_colors;
         Ok(Simulator {
             cfg,
@@ -299,6 +325,7 @@ impl Simulator {
             fault,
             pending_mc: None,
             last_checkpoint_cycle: 0,
+            diff,
         })
     }
 
@@ -397,6 +424,9 @@ impl Simulator {
                     instructions: self.counters.instructions,
                 });
             }
+            if let Some(err) = self.take_divergence() {
+                return Err(err);
+            }
             if warmup_instructions > 0
                 && warm_snapshot.is_none()
                 && self.counters.instructions >= warmup_instructions
@@ -425,6 +455,12 @@ impl Simulator {
                 termination = Termination::BudgetExhausted;
                 break;
             }
+        }
+        // One last structural sweep so a divergence in the tail (after the
+        // final periodic check) still surfaces.
+        self.diff_final_check();
+        if let Some(err) = self.take_divergence() {
+            return Err(err);
         }
         self.counters.syscall_switches = sched.syscall_switches();
         self.counters.slice_switches = sched.slice_switches();
@@ -484,6 +520,82 @@ impl Simulator {
         let p = self.mapper.translate(addr);
         self.tcache[idx] = (key, p.ppn());
         p
+    }
+
+    // ---- differential-oracle hooks ----
+
+    /// The pending divergence report, if the oracle tripped (for manual
+    /// [`Simulator::step`] users; [`Simulator::run`] surfaces it as
+    /// [`SimError::Divergence`]).
+    pub fn divergence(&self) -> Option<&DivergenceReport> {
+        self.diff.as_ref().and_then(|d| d.report())
+    }
+
+    /// Accesses the oracle has cross-checked so far (`None` when the
+    /// oracle is disabled).
+    pub fn oracle_checked(&self) -> Option<u64> {
+        self.diff.as_ref().map(|d| d.accesses_checked())
+    }
+
+    /// Borrowed views of the live structures for oracle checks. For a
+    /// unified L2 both side references alias the single array.
+    fn structures(&self) -> SimStructures<'_> {
+        let (l2i, l2d) = match &self.l2 {
+            L2Arrays::Unified(a) => (a, a),
+            L2Arrays::Split { i, d } => (i, d),
+        };
+        SimStructures {
+            l1i: &self.l1i,
+            l1d: &self.l1d,
+            l2i,
+            l2d,
+            wb: &self.wb,
+        }
+    }
+
+    /// Cross-checks one completed access against the golden model, then
+    /// applies a due seeded bug (after the check, so the corruption is
+    /// first observed by a *later* access — as a real bug would be).
+    fn diff_note(&mut self, ev: &TraceEvent, paddr: PhysAddr, before: Counters) {
+        let Some(mut ds) = self.diff.take() else {
+            return;
+        };
+        let actual = Deltas::between(&before, &self.counters);
+        ds.note_access(ev, paddr, actual, &self.structures());
+        if let Some(kind) = ds.bug_due() {
+            let applied = match kind {
+                SeededBug::FlipL1dDirty => match self.l1d.array_mut().peek_mut(paddr) {
+                    Some(line) if ev.kind.is_data() => {
+                        line.dirty = !line.dirty;
+                        true
+                    }
+                    _ => false,
+                },
+                SeededBug::InvalidateL1i => {
+                    ev.kind == AccessKind::IFetch && self.l1i.invalidate(paddr).is_some()
+                }
+                SeededBug::DropWriteBufferEntry => self.wb.drop_youngest().is_some(),
+            };
+            if applied {
+                ds.set_bug_applied();
+            }
+        }
+        self.diff = Some(ds);
+    }
+
+    /// Runs the oracle's full structural sweep once (end of run).
+    fn diff_final_check(&mut self) {
+        let Some(mut ds) = self.diff.take() else {
+            return;
+        };
+        ds.full_state_check(&self.structures());
+        self.diff = Some(ds);
+    }
+
+    /// Takes a pending divergence as the run-terminating error.
+    fn take_divergence(&mut self) -> Option<SimError> {
+        let report = self.diff.as_mut()?.take_report()?;
+        Some(SimError::Divergence(Box::new(report)))
     }
 
     // ---- L2 helpers ----
@@ -806,6 +918,7 @@ impl Simulator {
     }
 
     fn step_ifetch(&mut self, ev: &TraceEvent) {
+        let diff_before = self.diff.as_ref().map(|_| self.counters);
         let mut cycles = 1 + ev.stall_cycles as u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         let mut missed = false;
@@ -841,6 +954,9 @@ impl Simulator {
             cycles += self.service_i_miss(t, paddr);
         }
         self.now += cycles;
+        if let Some(before) = diff_before {
+            self.diff_note(ev, paddr, before);
+        }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
         let p = self.proc_entry(ev.addr.pid());
@@ -861,6 +977,7 @@ impl Simulator {
     }
 
     fn step_load(&mut self, ev: &TraceEvent) {
+        let diff_before = self.diff.as_ref().map(|_| self.counters);
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.loads += 1;
@@ -895,6 +1012,9 @@ impl Simulator {
             cycles += self.service_d_miss(t, line_base);
         }
         self.now += cycles;
+        if let Some(before) = diff_before {
+            self.diff_note(ev, paddr, before);
+        }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
         let hit = outcome.hit;
@@ -908,6 +1028,7 @@ impl Simulator {
     }
 
     fn step_store(&mut self, ev: &TraceEvent) {
+        let diff_before = self.diff.as_ref().map(|_| self.counters);
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.stores += 1;
@@ -957,6 +1078,9 @@ impl Simulator {
             cycles += stall;
         }
         self.now += cycles;
+        if let Some(before) = diff_before {
+            self.diff_note(ev, paddr, before);
+        }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
         let hit = outcome.hit;

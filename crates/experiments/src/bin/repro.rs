@@ -1,20 +1,24 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--scale S] [--quick]
+//! repro [EXPERIMENT ...] [--scale S] [--quick] [--journal PATH] [--resume]
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             sec5 sec8 perbench ablations budget threec warmup
 //!             | all (default) | check (PASS/FAIL shape verification)
-//! --scale S   workload scale (default 0.01 = 1% of the 2.4G-ref suite)
-//! --quick     shorthand for --scale 0.002
+//!             | diffcheck (lockstep golden-model oracle smoke sweep)
+//! --scale S      workload scale (default 0.01 = 1% of the 2.4G-ref suite)
+//! --quick        shorthand for --scale 0.002
+//! --journal PATH journal every sweep cell to a JSON checkpoint at PATH
+//! --resume       with --journal: skip cells already journaled (a killed
+//!                run picks up where it left off, byte-identical tables)
 //! ```
 
 use std::time::Instant;
 
 use gaas_experiments::{
-    ablations, budget, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, sec5, sec8,
-    table1, threec, verify, warmup,
+    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench,
+    runner, sec5, sec8, table1, threec, verify, warmup,
 };
 
 const ALL: [&str; 17] = [
@@ -41,6 +45,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = gaas_experiments::DEFAULT_SCALE;
     let mut selected: Vec<String> = Vec::new();
+    let mut journal: Option<String> = None;
+    let mut resume = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -54,9 +60,17 @@ fn main() {
                 }
             }
             "--quick" => scale = 0.002,
+            "--journal" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --journal"));
+                journal = Some(v.clone());
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => usage(""),
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             "check" => selected.push("check".to_string()),
+            "diffcheck" => selected.push("diffcheck".to_string()),
             name if ALL.contains(&name) => selected.push(name.to_string()),
             other => usage(&format!("unknown experiment '{other}'")),
         }
@@ -65,6 +79,19 @@ fn main() {
         selected.extend(ALL.iter().map(|s| s.to_string()));
     }
     selected.dedup();
+    if resume && journal.is_none() {
+        usage("--resume requires --journal");
+    }
+    if let Some(path) = &journal {
+        if let Err(e) = campaign::activate(path, resume, campaign::CellOptions::default()) {
+            eprintln!("error: cannot open journal {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "[campaign journaling to {path}{}]",
+            if resume { ", resuming" } else { "" }
+        );
+    }
 
     println!("# GaAs two-level cache design study — reproduction run");
     println!("# workload scale {scale} (1.0 = the paper's ~2.4G references)\n");
@@ -115,9 +142,25 @@ fn main() {
                 let pass = checks.iter().filter(|c| c.passed).count();
                 println!("{pass}/{} claims reproduced", checks.len());
                 if !verify::all_passed(&checks) {
+                    finish_campaign();
                     std::process::exit(1);
                 }
             }
+            "diffcheck" => match runner::diffcheck_smoke(scale) {
+                Ok(results) => {
+                    println!("## Differential oracle smoke sweep — zero divergences");
+                    for (label, accesses) in results {
+                        println!("  {label:<16} {accesses:>12} accesses cross-checked");
+                    }
+                    println!();
+                }
+                Err((label, err)) => {
+                    eprintln!("oracle failure in config '{label}':");
+                    eprintln!("{err}");
+                    finish_campaign();
+                    std::process::exit(1);
+                }
+            },
             "budget" => {
                 let budgets = budget::run();
                 println!("{}", budget::table(&budgets));
@@ -129,6 +172,13 @@ fn main() {
         }
         eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
     }
+    finish_campaign();
+}
+
+fn finish_campaign() {
+    if let Some(stats) = campaign::deactivate() {
+        eprintln!("[campaign: {stats}]");
+    }
 }
 
 fn usage(err: &str) -> ! {
@@ -136,8 +186,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT ...] [--scale S] [--quick]\n\
-         experiments: {} | all | check",
+        "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--journal PATH] [--resume]\n\
+         experiments: {} | all | check | diffcheck",
         ALL.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

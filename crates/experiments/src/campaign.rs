@@ -1,0 +1,1024 @@
+//! Crash-resilient campaign running: per-cell isolation and a resumable
+//! JSON journal.
+//!
+//! A figure sweep is a *campaign* of independent cells (one configuration
+//! × scale each). Historically one panicking or wedged cell lost the
+//! whole sweep; this module gives every cell three layers of protection:
+//!
+//! 1. **isolation** — the cell runs on its own thread behind
+//!    `catch_unwind`, so a panic degrades to a per-cell
+//!    [`CellResult::Failed`] instead of tearing down the campaign;
+//! 2. **wall-clock timeout** — a wedged cell is abandoned after
+//!    [`CellOptions::timeout`] (the worker thread is detached; its result,
+//!    if it ever arrives, is dropped);
+//! 3. **bounded retry** — panics and timeouts are retried up to
+//!    [`CellOptions::attempts`] times; *typed* simulation errors
+//!    (invalid config, machine check, oracle divergence) are
+//!    deterministic and fail immediately.
+//!
+//! With a campaign [`activate`]d, every cell additionally journals its
+//! result to a JSON checkpoint file (written atomically: temp file +
+//! rename) keyed by a fingerprint of the *full* configuration debug form
+//! plus the workload scale. Re-running after a crash with the journal
+//! present skips completed cells — including failed ones — and produces
+//! byte-identical tables, because counters round-trip through the journal
+//! losslessly (lexical `u64` parsing, no float coercion).
+//!
+//! The journal stores counters, completion lists and per-process stats —
+//! everything a table renders — but not checkpoints (progress markers are
+//! meaningless for a reloaded run; [`SimResult::checkpoints`] comes back
+//! empty).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use gaas_sim::config::SimConfig;
+use gaas_sim::{config_fingerprint, Counters, Pid, ProcCounters, SimError, SimResult, Termination};
+
+use self::json::Json;
+use crate::runner;
+
+/// Per-cell isolation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellOptions {
+    /// Wall-clock budget per attempt; a cell still running at the
+    /// deadline is abandoned.
+    pub timeout: Duration,
+    /// Maximum attempts per cell (panics and timeouts retry; typed
+    /// simulation errors are deterministic and never retry).
+    pub attempts: u32,
+}
+
+impl Default for CellOptions {
+    fn default() -> Self {
+        CellOptions {
+            timeout: Duration::from_secs(600),
+            attempts: 2,
+        }
+    }
+}
+
+impl CellOptions {
+    /// Effectively unbounded options for direct (non-campaign) runs: one
+    /// attempt, a week of wall clock.
+    pub fn unbounded() -> Self {
+        CellOptions {
+            timeout: Duration::from_secs(7 * 24 * 3600),
+            attempts: 1,
+        }
+    }
+}
+
+/// Outcome of one campaign cell.
+#[derive(Debug, Clone)]
+pub enum CellResult {
+    /// The cell completed; the full result is available.
+    Done(Box<SimResult>),
+    /// The cell failed every attempt; tables render it as a gap.
+    Failed {
+        /// Human-readable failure description (panic message, timeout,
+        /// or typed simulation error).
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl CellResult {
+    /// The result, if the cell completed.
+    pub fn ok(self) -> Option<Box<SimResult>> {
+        match self {
+            CellResult::Done(r) => Some(r),
+            CellResult::Failed { .. } => None,
+        }
+    }
+
+    /// True when the cell completed.
+    pub fn is_done(&self) -> bool {
+        matches!(self, CellResult::Done(_))
+    }
+}
+
+/// Journal key for one cell: FNV-1a over the configuration's `Debug`
+/// form (the summary `Display` omits sweep knobs) plus the exact bits of
+/// the workload scale.
+pub fn cell_key(cfg: &SimConfig, scale: f64) -> String {
+    format!("{:016x}-{:016x}", config_fingerprint(cfg), scale.to_bits())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one cell isolated on its own thread with `catch_unwind`, a
+/// wall-clock timeout and bounded retry. Never panics, never blocks past
+/// `opts.timeout * opts.attempts`.
+pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResult {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let (tx, rx) = mpsc::channel();
+        let worker_cfg = cfg.clone();
+        let spawned = thread::Builder::new()
+            .name("campaign-cell".into())
+            .spawn(move || {
+                let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                    runner::run_standard_raw(worker_cfg, scale)
+                }));
+                let _ = tx.send(out);
+            });
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => {
+                return CellResult::Failed {
+                    error: format!("could not spawn cell worker: {e}"),
+                    attempts,
+                }
+            }
+        };
+        let retryable_error = match rx.recv_timeout(opts.timeout) {
+            Ok(Ok(Ok(result))) => {
+                let _ = handle.join();
+                return CellResult::Done(Box::new(result));
+            }
+            Ok(Ok(Err(sim_err))) => {
+                // Typed errors are deterministic: retrying reproduces them.
+                let _ = handle.join();
+                return CellResult::Failed {
+                    error: sim_err.to_string(),
+                    attempts,
+                };
+            }
+            Ok(Err(payload)) => {
+                let _ = handle.join();
+                format!("panicked: {}", panic_message(payload.as_ref()))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Abandon the worker: it keeps running detached, but its
+                // send goes to a dropped receiver.
+                SimError::Timeout {
+                    seconds: opts.timeout.as_secs(),
+                }
+                .to_string()
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = handle.join();
+                "cell worker exited without reporting a result".to_string()
+            }
+        };
+        if attempts >= opts.attempts {
+            return CellResult::Failed {
+                error: retryable_error,
+                attempts,
+            };
+        }
+    }
+}
+
+/// Macro over every [`Counters`] field (single source of truth for the
+/// journal encoding).
+macro_rules! for_each_counter {
+    ($m:ident, $($extra:tt)*) => {
+        $m!($($extra)*; instructions, loads, stores, syscall_switches,
+            slice_switches, l1i_misses, l1d_read_misses, l1d_write_misses,
+            l2i_accesses, l2i_misses, l2d_accesses, l2d_misses,
+            l2_drain_writes, l2_drain_misses, l2_drain_busy_cycles,
+            itlb_misses, dtlb_misses, cpu_stall_cycles, l1i_miss_cycles,
+            l1d_miss_cycles, l1_write_cycles, wb_wait_cycles,
+            l2i_miss_cycles, l2d_miss_cycles, dirty_buffer_wait_cycles,
+            tlb_miss_cycles, recovery_cycles, faults_injected,
+            faults_silent, faults_corrected, fault_refetches,
+            machine_checks)
+    };
+}
+
+/// Macro over every [`ProcCounters`] field.
+macro_rules! for_each_proc_counter {
+    ($m:ident, $($extra:tt)*) => {
+        $m!($($extra)*; instructions, cycles, loads, stores, l1i_misses,
+            l1d_misses, l2_misses)
+    };
+}
+
+fn counters_to_json(c: &Counters) -> Json {
+    let mut fields = Vec::new();
+    macro_rules! put {
+        ($src:expr; $($f:ident),*) => {
+            $( fields.push((stringify!($f).to_string(), Json::Int($src.$f))); )*
+        };
+    }
+    for_each_counter!(put, c);
+    Json::Obj(fields)
+}
+
+fn counters_from_json(v: &Json) -> Option<Counters> {
+    let mut c = Counters::new();
+    macro_rules! get {
+        ($dst:expr; $($f:ident),*) => {
+            $( $dst.$f = v.get(stringify!($f))?.as_u64()?; )*
+        };
+    }
+    for_each_counter!(get, c);
+    Some(c)
+}
+
+fn proc_to_json(pid: u8, p: &ProcCounters) -> Json {
+    let mut fields = vec![("pid".to_string(), Json::Int(pid as u64))];
+    macro_rules! put {
+        ($src:expr; $($f:ident),*) => {
+            $( fields.push((stringify!($f).to_string(), Json::Int($src.$f))); )*
+        };
+    }
+    for_each_proc_counter!(put, p);
+    Json::Obj(fields)
+}
+
+fn proc_from_json(v: &Json) -> Option<(u8, ProcCounters)> {
+    let pid = u8::try_from(v.get("pid")?.as_u64()?).ok()?;
+    let mut p = ProcCounters::default();
+    macro_rules! get {
+        ($dst:expr; $($f:ident),*) => {
+            $( $dst.$f = v.get(stringify!($f))?.as_u64()?; )*
+        };
+    }
+    for_each_proc_counter!(get, p);
+    Some((pid, p))
+}
+
+/// The journaled portion of a [`SimResult`] (everything a table needs;
+/// the config is re-supplied by the caller on reload, checkpoints are
+/// not persisted).
+#[derive(Debug, Clone)]
+struct StoredResult {
+    counters: Counters,
+    completed: Vec<String>,
+    per_process: Vec<(u8, ProcCounters)>,
+    budget_exhausted: bool,
+}
+
+impl StoredResult {
+    fn from_result(r: &SimResult) -> Self {
+        StoredResult {
+            counters: r.counters,
+            completed: r.completed.clone(),
+            per_process: r
+                .per_process
+                .iter()
+                .map(|(pid, p)| (pid.raw(), *p))
+                .collect(),
+            budget_exhausted: r.termination == Termination::BudgetExhausted,
+        }
+    }
+
+    fn to_result(&self, config: SimConfig) -> SimResult {
+        SimResult {
+            config,
+            counters: self.counters,
+            completed: self.completed.clone(),
+            per_process: self
+                .per_process
+                .iter()
+                .map(|(pid, p)| (Pid::new(*pid), *p))
+                .collect(),
+            termination: if self.budget_exhausted {
+                Termination::BudgetExhausted
+            } else {
+                Termination::Completed
+            },
+            checkpoints: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("counters".into(), counters_to_json(&self.counters)),
+            (
+                "completed".into(),
+                Json::Arr(
+                    self.completed
+                        .iter()
+                        .map(|s| Json::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "per_process".into(),
+                Json::Arr(
+                    self.per_process
+                        .iter()
+                        .map(|(pid, p)| proc_to_json(*pid, p))
+                        .collect(),
+                ),
+            ),
+            ("budget_exhausted".into(), Json::Bool(self.budget_exhausted)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let counters = counters_from_json(v.get("counters")?)?;
+        let completed = v
+            .get("completed")?
+            .as_arr()?
+            .iter()
+            .map(|s| s.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?;
+        let per_process = v
+            .get("per_process")?
+            .as_arr()?
+            .iter()
+            .map(proc_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        let budget_exhausted = v.get("budget_exhausted")?.as_bool()?;
+        Some(StoredResult {
+            counters,
+            completed,
+            per_process,
+            budget_exhausted,
+        })
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    Done(Box<StoredResult>),
+    Failed { error: String, attempts: u32 },
+}
+
+impl JournalEntry {
+    fn to_json(&self) -> Json {
+        match self {
+            JournalEntry::Done(s) => Json::Obj(vec![
+                ("status".into(), Json::Str("done".into())),
+                ("result".into(), s.to_json()),
+            ]),
+            JournalEntry::Failed { error, attempts } => Json::Obj(vec![
+                ("status".into(), Json::Str("failed".into())),
+                ("error".into(), Json::Str(error.clone())),
+                ("attempts".into(), Json::Int(*attempts as u64)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        match v.get("status")?.as_str()? {
+            "done" => Some(JournalEntry::Done(Box::new(StoredResult::from_json(
+                v.get("result")?,
+            )?))),
+            "failed" => Some(JournalEntry::Failed {
+                error: v.get("error")?.as_str()?.to_string(),
+                attempts: v.get("attempts")?.as_u64()? as u32,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Progress statistics of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignStats {
+    /// Cells executed in this process.
+    pub executed: u64,
+    /// Cells reused from the journal (both done and failed).
+    pub reused: u64,
+    /// Cells currently recorded as failed.
+    pub failed: u64,
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executed, {} reused from journal, {} failed",
+            self.executed, self.reused, self.failed
+        )
+    }
+}
+
+/// A resumable campaign: cell results keyed by config fingerprint,
+/// journaled to `path` after every cell.
+#[derive(Debug)]
+pub struct Campaign {
+    path: PathBuf,
+    cells: BTreeMap<String, JournalEntry>,
+    opts: CellOptions,
+    executed: u64,
+    reused: u64,
+}
+
+impl Campaign {
+    /// Opens a campaign journaling to `path`. With `resume`, previously
+    /// journaled cells are reloaded and skipped; without it the campaign
+    /// starts empty (the old journal is overwritten on the first cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `resume` is set and the journal exists
+    /// but cannot be read. A *corrupt* journal is not an error: it is
+    /// ignored with a warning (crash resilience beats strictness).
+    pub fn open(path: impl AsRef<Path>, resume: bool, opts: CellOptions) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut cells = BTreeMap::new();
+        if resume && path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            match parse_journal(&text) {
+                Some(loaded) => cells = loaded,
+                None => eprintln!(
+                    "campaign: journal {} is unreadable; starting fresh",
+                    path.display()
+                ),
+            }
+        }
+        Ok(Campaign {
+            path,
+            cells,
+            opts,
+            executed: 0,
+            reused: 0,
+        })
+    }
+
+    /// Runs (or reloads) one cell.
+    pub fn cell(&mut self, cfg: &SimConfig, scale: f64) -> CellResult {
+        let key = cell_key(cfg, scale);
+        if let Some(entry) = self.cells.get(&key) {
+            self.reused += 1;
+            return match entry {
+                JournalEntry::Done(s) => CellResult::Done(Box::new(s.to_result(cfg.clone()))),
+                JournalEntry::Failed { error, attempts } => CellResult::Failed {
+                    error: error.clone(),
+                    attempts: *attempts,
+                },
+            };
+        }
+        let res = run_isolated(cfg, scale, &self.opts);
+        self.executed += 1;
+        let entry = match &res {
+            CellResult::Done(r) => JournalEntry::Done(Box::new(StoredResult::from_result(r))),
+            CellResult::Failed { error, attempts } => JournalEntry::Failed {
+                error: error.clone(),
+                attempts: *attempts,
+            },
+        };
+        self.cells.insert(key, entry);
+        if let Err(e) = self.save() {
+            eprintln!(
+                "campaign: could not write journal {}: {e}",
+                self.path.display()
+            );
+        }
+        res
+    }
+
+    /// Journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Progress so far.
+    pub fn stats(&self) -> CampaignStats {
+        CampaignStats {
+            executed: self.executed,
+            reused: self.reused,
+            failed: self
+                .cells
+                .values()
+                .filter(|e| matches!(e, JournalEntry::Failed { .. }))
+                .count() as u64,
+        }
+    }
+
+    /// Atomic journal write: temp file in the same directory, then
+    /// rename — a kill mid-write can never tear the journal.
+    fn save(&self) -> io::Result<()> {
+        let cells = Json::Obj(
+            self.cells
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let root = Json::Obj(vec![
+            ("version".into(), Json::Int(1)),
+            ("cells".into(), cells),
+        ]);
+        let mut text = String::new();
+        root.write(&mut text);
+        text.push('\n');
+        let tmp = self.path.with_extension("journal.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+fn parse_journal(text: &str) -> Option<BTreeMap<String, JournalEntry>> {
+    let root = json::parse(text).ok()?;
+    if root.get("version")?.as_u64()? != 1 {
+        return None;
+    }
+    let mut cells = BTreeMap::new();
+    for (k, v) in root.get("cells")?.as_obj()? {
+        cells.insert(k.clone(), JournalEntry::from_json(v)?);
+    }
+    Some(cells)
+}
+
+/// The process-wide active campaign consulted by
+/// [`runner::run_standard_cell`](crate::runner::run_standard_cell).
+static ACTIVE: Mutex<Option<Campaign>> = Mutex::new(None);
+
+fn active() -> std::sync::MutexGuard<'static, Option<Campaign>> {
+    ACTIVE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Activates a process-wide campaign: every subsequent standard-workload
+/// run journals to `path` (and, with `resume`, skips journaled cells).
+/// Replaces any previously active campaign.
+///
+/// # Errors
+///
+/// Returns the I/O error if the existing journal cannot be read.
+pub fn activate(path: impl AsRef<Path>, resume: bool, opts: CellOptions) -> io::Result<()> {
+    let campaign = Campaign::open(path, resume, opts)?;
+    *active() = Some(campaign);
+    Ok(())
+}
+
+/// Deactivates the process-wide campaign, returning its final statistics
+/// (or `None` when no campaign was active).
+pub fn deactivate() -> Option<CampaignStats> {
+    active().take().map(|c| c.stats())
+}
+
+/// True when a process-wide campaign is active.
+pub fn is_active() -> bool {
+    active().is_some()
+}
+
+/// Routes one cell through the active campaign, or runs it isolated
+/// without journaling (single attempt, no effective timeout) when no
+/// campaign is active.
+pub fn dispatch(cfg: &SimConfig, scale: f64) -> CellResult {
+    let mut guard = active();
+    match guard.as_mut() {
+        Some(campaign) => campaign.cell(cfg, scale),
+        None => {
+            drop(guard);
+            run_isolated(cfg, scale, &CellOptions::unbounded())
+        }
+    }
+}
+
+mod json {
+    //! A deliberately tiny JSON subset — exactly what the journal needs.
+    //!
+    //! The one load-bearing choice: integers are kept *lexical* as `u64`
+    //! ([`Json::Int`]) instead of coercing through `f64`, so 64-bit cycle
+    //! counters round-trip exactly and resumed tables are byte-identical.
+
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Int(u64),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Json::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        #[cfg(test)] // the journal schema itself is all-integer
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(x) => Some(*x),
+                Json::Int(n) => Some(*n as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Obj(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn write(&self, out: &mut String) {
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Int(n) => out.push_str(&n.to_string()),
+                Json::Num(x) => out.push_str(&format!("{x:?}")),
+                Json::Str(s) => write_string(s, out),
+                Json::Arr(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write(out);
+                    }
+                    out.push(']');
+                }
+                Json::Obj(fields) => {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_string(k, out);
+                        out.push(':');
+                        v.write(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b'[') => self.array(),
+                Some(b'{') => self.object(),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut s = String::new();
+            loop {
+                let rest = &self.bytes[self.pos..];
+                let Some(&b) = rest.first() else {
+                    return Err("unterminated string".into());
+                };
+                match b {
+                    b'"' => {
+                        self.pos += 1;
+                        return Ok(s);
+                    }
+                    b'\\' => {
+                        let esc = rest.get(1).copied().ok_or("truncated escape")?;
+                        self.pos += 2;
+                        match esc {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                self.pos += 4;
+                                s.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
+                            }
+                            other => return Err(format!("unknown escape '\\{}'", other as char)),
+                        }
+                    }
+                    _ => {
+                        // Consume one UTF-8 scalar (the journal writer
+                        // emits raw UTF-8 above 0x1F).
+                        let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                        let c = text.chars().next().ok_or("unterminated string")?;
+                        s.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.pos += 1;
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
+            // Lexical u64 first: exact round-trip for 64-bit counters.
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number '{text}'"))
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_exact_u64() {
+        let big = u64::MAX - 1; // would corrupt through an f64
+        let v = Json::Obj(vec![
+            ("n".into(), Json::Int(big)),
+            ("s".into(), Json::Str("a \"quoted\"\nline".into())),
+            ("b".into(), Json::Bool(true)),
+            (
+                "a".into(),
+                Json::Arr(vec![Json::Int(1), Json::Null, Json::Num(1.5)]),
+            ),
+        ]);
+        let mut text = String::new();
+        v.write(&mut text);
+        let back = json::parse(&text).expect("parses");
+        assert_eq!(back.get("n").and_then(Json::as_u64), Some(big));
+        assert_eq!(
+            back.get("s").and_then(Json::as_str),
+            Some("a \"quoted\"\nline")
+        );
+        assert_eq!(back.get("b").and_then(Json::as_bool), Some(true));
+        let arr = back.get("a").and_then(Json::as_arr).expect("array");
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[2].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("123 456").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn cell_key_distinguishes_config_and_scale() {
+        let base = SimConfig::baseline();
+        let mut b = base.to_builder();
+        b.l2_drain_access(8);
+        let tweaked = b.build().expect("valid");
+        assert_ne!(cell_key(&base, 0.01), cell_key(&tweaked, 0.01));
+        assert_ne!(cell_key(&base, 0.01), cell_key(&base, 0.02));
+        assert_eq!(cell_key(&base, 0.01), cell_key(&base, 0.01));
+    }
+
+    #[test]
+    fn stored_result_round_trips() {
+        let cfg = SimConfig::baseline();
+        let r = runner::run_standard_raw(cfg.clone(), 5e-5).expect("runs");
+        let stored = StoredResult::from_result(&r);
+        let mut text = String::new();
+        stored.to_json().write(&mut text);
+        let back = StoredResult::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        let rebuilt = back.to_result(cfg);
+        assert_eq!(rebuilt.counters, r.counters);
+        assert_eq!(rebuilt.completed, r.completed);
+        assert_eq!(rebuilt.per_process, r.per_process);
+        assert_eq!(rebuilt.termination, r.termination);
+    }
+
+    #[test]
+    fn typed_error_fails_without_retry() {
+        // diffcheck + fault injection is rejected by validation: a typed,
+        // deterministic error must consume exactly one attempt.
+        let mut b = SimConfig::builder();
+        b.diffcheck(gaas_sim::DiffCheckConfig::on());
+        let mut cfg = b.build().expect("valid");
+        cfg.fault.rates = gaas_sim::FaultRates::uniform(1e-3);
+        let res = run_isolated(
+            &cfg,
+            1e-4,
+            &CellOptions {
+                timeout: Duration::from_secs(60),
+                attempts: 3,
+            },
+        );
+        match res {
+            CellResult::Failed { error, attempts } => {
+                assert_eq!(attempts, 1, "typed errors must not retry");
+                assert!(error.contains("invalid configuration"), "{error}");
+            }
+            CellResult::Done(_) => panic!("invalid config cannot succeed"),
+        }
+    }
+
+    #[test]
+    fn campaign_journals_and_reuses_cells() {
+        let dir = std::env::temp_dir().join(format!(
+            "gaas-campaign-test-{}-{:x}",
+            std::process::id(),
+            config_fingerprint(&SimConfig::baseline())
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let journal = dir.join("journal.json");
+        let _ = std::fs::remove_file(&journal);
+
+        let cfg = SimConfig::baseline();
+        let fresh = runner::run_standard_raw(cfg.clone(), 5e-5).expect("runs");
+
+        let mut c1 = Campaign::open(&journal, true, CellOptions::default()).expect("open");
+        let first = c1.cell(&cfg, 5e-5).ok().expect("done");
+        assert_eq!(c1.stats().executed, 1);
+        assert_eq!(first.counters, fresh.counters, "isolated run is faithful");
+        drop(c1);
+
+        // A second campaign (a fresh process, in spirit) reloads the cell.
+        let mut c2 = Campaign::open(&journal, true, CellOptions::default()).expect("open");
+        let second = c2.cell(&cfg, 5e-5).ok().expect("done");
+        assert_eq!(c2.stats().executed, 0);
+        assert_eq!(c2.stats().reused, 1);
+        assert_eq!(second.counters, fresh.counters, "journal round-trip exact");
+
+        // Without resume, the journal is ignored and the cell re-runs.
+        let mut c3 = Campaign::open(&journal, false, CellOptions::default()).expect("open");
+        let third = c3.cell(&cfg, 5e-5).ok().expect("done");
+        assert_eq!(c3.stats().executed, 1);
+        assert_eq!(third.counters, fresh.counters);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

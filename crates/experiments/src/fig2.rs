@@ -9,7 +9,8 @@
 
 use gaas_sim::config::SimConfig;
 
-use crate::runner::run_standard;
+use crate::campaign::CellResult;
+use crate::runner::run_standard_cell;
 use crate::tablefmt::{f3, f4, Table};
 
 /// Multiprogramming levels swept.
@@ -30,21 +31,30 @@ pub struct Row {
     pub cpi: f64,
 }
 
-/// Runs the sweep on the base architecture.
+/// Runs the sweep on the base architecture. A level whose cell fails
+/// every isolation attempt is reported to stderr and omitted from the
+/// returned rows.
 pub fn run(scale: f64) -> Vec<Row> {
     LEVELS
         .iter()
-        .map(|&level| {
+        .filter_map(|&level| {
             let mut b = SimConfig::builder();
             b.mp_level(level);
-            let r = run_standard(b.build().expect("valid"), scale);
-            let c = &r.counters;
-            Row {
-                level,
-                l1i: c.l1i_miss_ratio(),
-                l1d: c.l1d_miss_ratio(),
-                l2: c.l2_miss_ratio(),
-                cpi: r.cpi(),
+            match run_standard_cell(&b.build().expect("valid"), scale) {
+                CellResult::Done(r) => {
+                    let c = &r.counters;
+                    Some(Row {
+                        level,
+                        l1i: c.l1i_miss_ratio(),
+                        l1d: c.l1d_miss_ratio(),
+                        l2: c.l2_miss_ratio(),
+                        cpi: r.cpi(),
+                    })
+                }
+                CellResult::Failed { error, attempts } => {
+                    eprintln!("fig2: level {level} failed after {attempts} attempt(s): {error}");
+                    None
+                }
             }
         })
         .collect()

@@ -13,8 +13,8 @@
 use gaas_cache::WritePolicy;
 use gaas_sim::config::SimConfig;
 
-use crate::runner::run_standard;
-use crate::tablefmt::{f3, f4, Table};
+use crate::runner::run_standard_cell;
+use crate::tablefmt::{f3_opt, f4, Table};
 
 /// Effective drain access times swept (cycles).
 pub const ACCESS_TIMES: [u32; 5] = [2, 4, 6, 8, 10];
@@ -34,22 +34,31 @@ pub struct Row {
     pub wb_cpi: f64,
 }
 
-/// Runs the 4 × 5 sweep on the base architecture.
+/// Runs the 4 × 5 sweep on the base architecture. A cell that fails
+/// every isolation attempt is reported to stderr and skipped; the tables
+/// render it as a gap.
 pub fn run(scale: f64) -> Vec<Row> {
     let mut rows = Vec::new();
     for policy in WritePolicy::all() {
         for &access in &ACCESS_TIMES {
             let mut b = SimConfig::builder();
             b.policy(policy).l2_drain_access(access);
-            let r = run_standard(b.build().expect("valid"), scale);
-            let bd = r.breakdown();
-            rows.push(Row {
-                policy,
-                access,
-                cpi: r.cpi(),
-                write_cpi: bd.l1_writes,
-                wb_cpi: bd.wb_wait,
-            });
+            match run_standard_cell(&b.build().expect("valid"), scale) {
+                crate::campaign::CellResult::Done(r) => {
+                    let bd = r.breakdown();
+                    rows.push(Row {
+                        policy,
+                        access,
+                        cpi: r.cpi(),
+                        write_cpi: bd.l1_writes,
+                        wb_cpi: bd.wb_wait,
+                    });
+                }
+                crate::campaign::CellResult::Failed { error, attempts } => eprintln!(
+                    "fig5: cell {}/{access} failed after {attempts} attempt(s): {error}",
+                    policy.label()
+                ),
+            }
         }
     }
     rows
@@ -73,9 +82,8 @@ pub fn table(rows: &[Row]) -> Table {
         for policy in WritePolicy::all() {
             let row = rows
                 .iter()
-                .find(|r| r.policy == policy && r.access == access)
-                .expect("full sweep");
-            cells.push(f3(row.cpi));
+                .find(|r| r.policy == policy && r.access == access);
+            cells.push(f3_opt(row.map(|r| r.cpi)));
         }
         t.push_row(cells);
     }

@@ -11,8 +11,9 @@
 
 use gaas_sim::config::{L2Config, L2Side, SimConfig};
 
-use crate::runner::run_standard;
-use crate::tablefmt::{f3, f4, Table};
+use crate::campaign::CellResult;
+use crate::runner::run_standard_cell;
+use crate::tablefmt::{f3, f4, Table, GAP};
 
 /// Total L2 sizes swept (words).
 pub const SIZES: [u64; 7] = [16_384, 32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576];
@@ -80,20 +81,27 @@ pub struct Row {
     pub miss_ratio: f64,
 }
 
-/// Runs the 7 × 4 sweep.
+/// Runs the 7 × 4 sweep. A cell that fails every isolation attempt is
+/// reported to stderr and skipped; the grids render it as a gap.
 pub fn run(scale: f64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &size in &SIZES {
         for org in Org::all() {
             let mut b = SimConfig::builder();
             b.l2(org.l2(size));
-            let r = run_standard(b.build().expect("valid"), scale);
-            rows.push(Row {
-                size_words: size,
-                org,
-                cpi: r.cpi(),
-                miss_ratio: r.counters.l2_miss_ratio(),
-            });
+            match run_standard_cell(&b.build().expect("valid"), scale) {
+                CellResult::Done(r) => rows.push(Row {
+                    size_words: size,
+                    org,
+                    cpi: r.cpi(),
+                    miss_ratio: r.counters.l2_miss_ratio(),
+                }),
+                CellResult::Failed { error, attempts } => eprintln!(
+                    "fig6: cell {}KW/{} failed after {attempts} attempt(s): {error}",
+                    size / 1024,
+                    org.label()
+                ),
+            }
         }
     }
     rows
@@ -113,11 +121,8 @@ fn grid(rows: &[Row], title: &str, value: impl Fn(&Row) -> String) -> Table {
     for &size in &SIZES {
         let mut cells = vec![(size / 1024).to_string()];
         for org in Org::all() {
-            let row = rows
-                .iter()
-                .find(|r| r.size_words == size && r.org == org)
-                .expect("full sweep");
-            cells.push(value(row));
+            let row = rows.iter().find(|r| r.size_words == size && r.org == org);
+            cells.push(row.map(&value).unwrap_or_else(|| GAP.to_string()));
         }
         t.push_row(cells);
     }

@@ -35,6 +35,7 @@
 
 pub mod ablations;
 pub mod budget;
+pub mod campaign;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;
@@ -53,5 +54,6 @@ pub mod threec;
 pub mod verify;
 pub mod warmup;
 
-pub use runner::{run_standard, DEFAULT_SCALE};
+pub use campaign::{CampaignStats, CellOptions, CellResult};
+pub use runner::{run_standard, run_standard_cell, run_standard_raw, DEFAULT_SCALE};
 pub use tablefmt::Table;

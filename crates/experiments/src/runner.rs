@@ -1,7 +1,24 @@
-//! Shared experiment plumbing: scaled workloads, warm-up, timing.
+//! Shared experiment plumbing: scaled workloads, warm-up, cell dispatch.
+//!
+//! Three entry points, by robustness level:
+//!
+//! * [`run_standard_raw`] — the bare simulation with typed errors; used
+//!   by the isolation layer and by tests that want exact control;
+//! * [`run_standard_cell`] — one *campaign cell*: isolated behind
+//!   `catch_unwind` + timeout, journaled when a
+//!   [`campaign`](crate::campaign) is active; failures degrade to
+//!   [`CellResult::Failed`] so a sweep renders gaps instead of dying;
+//! * [`run_standard`] — the historical panicking convenience wrapper
+//!   (now routed through the cell layer).
 
-use gaas_sim::{config::SimConfig, workload, SimResult, Simulator};
+use gaas_sim::config::SimConfig;
+use gaas_sim::{
+    workload, ConcurrencyConfig, DiffCheckConfig, L2Config, SimError, SimResult, Simulator,
+    WbBypass, WritePolicy,
+};
 use gaas_trace::bench_model::suite;
+
+use crate::campaign::{self, CellResult};
 
 /// Default workload scale for experiment runs: 1 % of the full-length
 /// suite, ≈ 17 M instructions (≈ 24 M references) per configuration.
@@ -17,18 +34,110 @@ pub fn suite_instructions(scale: f64) -> u64 {
 }
 
 /// Runs `cfg` over the standard ten-benchmark workload at `scale`,
+/// discarding warm-up. No isolation, no journaling: errors come back
+/// typed.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for invalid configurations, machine checks, and
+/// oracle divergences.
+pub fn run_standard_raw(cfg: SimConfig, scale: f64) -> Result<SimResult, SimError> {
+    let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
+    Simulator::new(cfg)?.run_warmed(workload::standard(scale), warmup)
+}
+
+/// Runs one campaign cell: through the active
+/// [`campaign`](crate::campaign) when one is activated (journaled,
+/// resumable), otherwise isolated on a worker thread with `catch_unwind`.
+pub fn run_standard_cell(cfg: &SimConfig, scale: f64) -> CellResult {
+    campaign::dispatch(cfg, scale)
+}
+
+/// Runs `cfg` over the standard ten-benchmark workload at `scale`,
 /// discarding warm-up.
 ///
 /// # Panics
 ///
-/// Panics if `cfg` is invalid (experiment configurations are constructed
-/// programmatically and validated in tests) or `scale` is not positive.
+/// Panics if the cell fails (invalid configuration, machine check,
+/// divergence, or a panic inside the simulator). Sweeps that should
+/// degrade gracefully use [`run_standard_cell`] instead.
 pub fn run_standard(cfg: SimConfig, scale: f64) -> SimResult {
-    let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
-    Simulator::new(cfg)
-        .expect("experiment configuration is valid")
-        .run_warmed(workload::standard(scale), warmup)
-        .expect("fault-free experiment runs cannot machine-check")
+    match run_standard_cell(&cfg, scale) {
+        CellResult::Done(r) => *r,
+        CellResult::Failed { error, attempts } => {
+            panic!("experiment cell failed after {attempts} attempt(s): {error}")
+        }
+    }
+}
+
+/// Runs `cfg` with the lockstep golden-model oracle enabled (every other
+/// knob untouched), so a divergence surfaces as
+/// [`SimError::Divergence`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] — notably [`SimError::Divergence`] when the fast
+/// simulator disagrees with the reference model.
+pub fn run_diffchecked(cfg: &SimConfig, scale: f64) -> Result<SimResult, SimError> {
+    let mut b = cfg.to_builder();
+    b.diffcheck(DiffCheckConfig::on());
+    let cfg = b.build()?;
+    run_standard_raw(cfg, scale)
+}
+
+/// The three configurations of the oracle smoke sweep: the paper's
+/// baseline, the §9 optimized design, and an exotic mix (subblock
+/// placement, associative write-buffer bypass, split 2-way L2) chosen to
+/// exercise every policy-specific oracle path.
+pub fn diffcheck_configs() -> Vec<(&'static str, SimConfig)> {
+    let mut exotic = SimConfig::builder();
+    exotic
+        .policy(WritePolicy::Subblock)
+        .l2(L2Config::split_even(256 * 1024, 2, 7))
+        .concurrency(ConcurrencyConfig {
+            d_read_bypass: WbBypass::Associative,
+            ..ConcurrencyConfig::default()
+        });
+    vec![
+        ("baseline", SimConfig::baseline()),
+        ("optimized", SimConfig::optimized()),
+        (
+            "subblock-split2",
+            exotic.build().expect("smoke config is valid"),
+        ),
+    ]
+}
+
+/// Per-config success of [`diffcheck_smoke`]: label and the number of
+/// accesses cross-checked.
+pub type SmokeChecked = (&'static str, u64);
+
+/// Failure of [`diffcheck_smoke`]: the offending config's label and the
+/// error (typically a divergence report).
+pub type SmokeFailure = (String, Box<SimError>);
+
+/// Oracle-enabled smoke sweep: [`diffcheck_configs`] over the full
+/// ten-benchmark workload at `scale`. Returns per-config
+/// `(label, accesses cross-checked)` on success.
+///
+/// # Errors
+///
+/// Returns the first divergence (or other simulation error), boxed,
+/// tagged with the config label.
+pub fn diffcheck_smoke(scale: f64) -> Result<Vec<SmokeChecked>, SmokeFailure> {
+    let mut out = Vec::new();
+    for (label, cfg) in diffcheck_configs() {
+        match run_diffchecked(&cfg, scale) {
+            Ok(r) => {
+                // Every reference passed the oracle, or the run would
+                // have diverged; report the checked volume.
+                let c = &r.counters;
+                out.push((label, c.instructions + c.loads + c.stores));
+            }
+            Err(e) => return Err((label.to_string(), Box::new(e))),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -47,5 +156,29 @@ mod tests {
         let r = run_standard(SimConfig::baseline(), 2e-4);
         assert!(r.cpi() > 1.0 && r.cpi() < 10.0);
         assert!(r.counters.instructions > 0);
+    }
+
+    #[test]
+    fn diffchecked_baseline_agrees_with_fast_path() {
+        let fast = run_standard_raw(SimConfig::baseline(), 1e-4).expect("fast path runs");
+        let checked = run_diffchecked(&SimConfig::baseline(), 1e-4)
+            .expect("oracle finds no divergence at baseline");
+        assert_eq!(
+            checked.counters, fast.counters,
+            "the oracle must observe, never perturb"
+        );
+    }
+
+    #[test]
+    fn diffcheck_configs_are_valid_and_distinct() {
+        let cfgs = diffcheck_configs();
+        assert_eq!(cfgs.len(), 3);
+        let mut prints: Vec<u64> = cfgs
+            .iter()
+            .map(|(_, c)| gaas_sim::config_fingerprint(c))
+            .collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), 3, "smoke configs must differ");
     }
 }

@@ -101,6 +101,20 @@ pub fn pct(x: f64) -> String {
     format!("{x:.1}%")
 }
 
+/// Placeholder rendered for a missing table cell (a sweep cell that
+/// failed every attempt and was degraded to a gap).
+pub const GAP: &str = "-";
+
+/// [`f4`] for optional values: `None` renders as [`GAP`].
+pub fn f4_opt(x: Option<f64>) -> String {
+    x.map(f4).unwrap_or_else(|| GAP.to_string())
+}
+
+/// [`f3`] for optional values: `None` renders as [`GAP`].
+pub fn f3_opt(x: Option<f64>) -> String {
+    x.map(f3).unwrap_or_else(|| GAP.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +144,9 @@ mod tests {
         assert_eq!(f4(0.12345), "0.1235");
         assert_eq!(f3(1.2), "1.200");
         assert_eq!(pct(12.34), "12.3%");
+        assert_eq!(f4_opt(Some(0.5)), "0.5000");
+        assert_eq!(f4_opt(None), GAP);
+        assert_eq!(f3_opt(Some(1.0)), "1.000");
+        assert_eq!(f3_opt(None), GAP);
     }
 }

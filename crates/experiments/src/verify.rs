@@ -36,29 +36,39 @@ pub fn run(scale: f64) -> Vec<Check> {
     let mut checks = Vec::new();
 
     // Fig. 2: L1-I ratio roughly flat across MP levels; L2 ratio rises
-    // from level 1 to 8.
+    // from level 1 to 8. Failed cells degrade the sweep to incomplete —
+    // that is a failed check, never a panic.
     let f2 = fig2::run(scale);
-    let l1i_spread = f2.iter().map(|r| r.l1i).fold(f64::MIN, f64::max)
-        / f2.iter().map(|r| r.l1i).fold(f64::MAX, f64::min).max(1e-9);
-    let l2_rises = f2.last().map(|r| r.l2).unwrap_or(0.0) > f2[0].l2 * 0.99;
-    checks.push(check(
-        "fig2",
-        "L1-I miss ratio flat in MP level",
-        l1i_spread < 3.0,
-        format!("max/min = {l1i_spread:.2}"),
-    ));
-    checks.push(check(
-        "fig2",
-        "L2 miss ratio grows with MP level",
-        l2_rises,
-        format!(
-            "{:.4} (level {}) vs {:.4} (level {})",
-            f2[0].l2,
-            f2[0].level,
-            f2.last().map(|r| r.l2).unwrap_or(0.0),
-            f2.last().map(|r| r.level).unwrap_or(0)
-        ),
-    ));
+    if f2.len() == fig2::LEVELS.len() {
+        let l1i_spread = f2.iter().map(|r| r.l1i).fold(f64::MIN, f64::max)
+            / f2.iter().map(|r| r.l1i).fold(f64::MAX, f64::min).max(1e-9);
+        let l2_rises = f2.last().map(|r| r.l2).unwrap_or(0.0) > f2[0].l2 * 0.99;
+        checks.push(check(
+            "fig2",
+            "L1-I miss ratio flat in MP level",
+            l1i_spread < 3.0,
+            format!("max/min = {l1i_spread:.2}"),
+        ));
+        checks.push(check(
+            "fig2",
+            "L2 miss ratio grows with MP level",
+            l2_rises,
+            format!(
+                "{:.4} (level {}) vs {:.4} (level {})",
+                f2[0].l2,
+                f2[0].level,
+                f2.last().map(|r| r.l2).unwrap_or(0.0),
+                f2.last().map(|r| r.level).unwrap_or(0)
+            ),
+        ));
+    } else {
+        checks.push(check(
+            "fig2",
+            "sweep is complete",
+            false,
+            format!("{} of {} cells present", f2.len(), fig2::LEVELS.len()),
+        ));
+    }
 
     // Fig. 3: longer slices improve CPI.
     let f3 = fig3::run(scale);
@@ -76,70 +86,70 @@ pub fn run(scale: f64) -> Vec<Check> {
     // Fig. 5: write-back flat; write-through rises; crossover in (6, 12];
     // write-only ≈ subblock.
     let f5 = fig5::run(scale);
-    let wb: Vec<f64> = fig5::ACCESS_TIMES
-        .iter()
-        .map(|&t| {
-            f5.iter()
-                .find(|r| r.policy == WritePolicy::WriteBack && r.access == t)
-                .expect("sweep")
-                .cpi
-        })
-        .collect();
-    let wo: Vec<f64> = fig5::ACCESS_TIMES
-        .iter()
-        .map(|&t| {
-            f5.iter()
-                .find(|r| r.policy == WritePolicy::WriteOnly && r.access == t)
-                .expect("sweep")
-                .cpi
-        })
-        .collect();
-    let sb: Vec<f64> = fig5::ACCESS_TIMES
-        .iter()
-        .map(|&t| {
-            f5.iter()
-                .find(|r| r.policy == WritePolicy::Subblock && r.access == t)
-                .expect("sweep")
-                .cpi
-        })
-        .collect();
-    let wb_range =
-        wb.iter().fold(f64::MIN, |a, &b| a.max(b)) - wb.iter().fold(f64::MAX, |a, &b| a.min(b));
-    checks.push(check(
-        "fig5",
-        "write-back curve is flat",
-        wb_range < 0.05,
-        format!("range {wb_range:.4}"),
-    ));
-    checks.push(check(
-        "fig5",
-        "write-through rises with drain time",
-        wo.last().expect("sweep") > &(wo[0] + 0.01),
-        format!("{:.3} -> {:.3}", wo[0], wo.last().expect("sweep")),
-    ));
-    let crossover = fig5::ACCESS_TIMES
-        .iter()
-        .zip(&wo)
-        .zip(&wb)
-        .find(|((_, w), b)| w >= b)
-        .map(|((t, _), _)| *t);
-    checks.push(check(
-        "fig5",
-        "crossover falls between 6 and 12 cycles",
-        matches!(crossover, Some(t) if (6..=12).contains(&t)),
-        format!("crossover at {crossover:?}"),
-    ));
-    let wo_sb_gap = wo
-        .iter()
-        .zip(&sb)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
-    checks.push(check(
-        "fig5",
-        "write-only tracks subblock placement",
-        wo_sb_gap < 0.02,
-        format!("max gap {wo_sb_gap:.4}"),
-    ));
+    let series = |policy: WritePolicy| -> Option<Vec<f64>> {
+        fig5::ACCESS_TIMES
+            .iter()
+            .map(|&t| {
+                f5.iter()
+                    .find(|r| r.policy == policy && r.access == t)
+                    .map(|r| r.cpi)
+            })
+            .collect()
+    };
+    if let (Some(wb), Some(wo), Some(sb)) = (
+        series(WritePolicy::WriteBack),
+        series(WritePolicy::WriteOnly),
+        series(WritePolicy::Subblock),
+    ) {
+        let wb_range =
+            wb.iter().fold(f64::MIN, |a, &b| a.max(b)) - wb.iter().fold(f64::MAX, |a, &b| a.min(b));
+        checks.push(check(
+            "fig5",
+            "write-back curve is flat",
+            wb_range < 0.05,
+            format!("range {wb_range:.4}"),
+        ));
+        checks.push(check(
+            "fig5",
+            "write-through rises with drain time",
+            wo.last().expect("sweep") > &(wo[0] + 0.01),
+            format!("{:.3} -> {:.3}", wo[0], wo.last().expect("sweep")),
+        ));
+        let crossover = fig5::ACCESS_TIMES
+            .iter()
+            .zip(&wo)
+            .zip(&wb)
+            .find(|((_, w), b)| w >= b)
+            .map(|((t, _), _)| *t);
+        checks.push(check(
+            "fig5",
+            "crossover falls between 6 and 12 cycles",
+            matches!(crossover, Some(t) if (6..=12).contains(&t)),
+            format!("crossover at {crossover:?}"),
+        ));
+        let wo_sb_gap = wo
+            .iter()
+            .zip(&sb)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        checks.push(check(
+            "fig5",
+            "write-only tracks subblock placement",
+            wo_sb_gap < 0.02,
+            format!("max gap {wo_sb_gap:.4}"),
+        ));
+    } else {
+        checks.push(check(
+            "fig5",
+            "sweep is complete",
+            false,
+            format!(
+                "{} of {} cells present",
+                f5.len(),
+                4 * fig5::ACCESS_TIMES.len()
+            ),
+        ));
+    }
 
     // Fig. 6: split hurts the smallest size and does not hurt the largest
     // (direct-mapped).
@@ -147,31 +157,41 @@ pub fn run(scale: f64) -> Vec<Check> {
     let at = |size: u64, org: fig6::Org| {
         f6.iter()
             .find(|r| r.size_words == size && r.org == org)
-            .expect("sweep")
-            .cpi
+            .map(|r| r.cpi)
     };
-    let small_u = at(fig6::SIZES[0], fig6::Org::Unified1);
-    let small_s = at(fig6::SIZES[0], fig6::Org::Split1);
-    let big_u = at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Unified1);
-    let big_s = at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Split1);
-    checks.push(check(
-        "fig6",
-        "splitting hurts a small direct-mapped L2",
-        small_s > small_u,
-        format!(
-            "{small_s:.3} vs {small_u:.3} at {}KW",
-            fig6::SIZES[0] / 1024
-        ),
-    ));
-    checks.push(check(
-        "fig6",
-        "splitting helps a large direct-mapped L2",
-        big_s <= big_u,
-        format!(
-            "{big_s:.3} vs {big_u:.3} at {}KW",
-            fig6::SIZES.last().expect("sizes") / 1024
-        ),
-    ));
+    let corners = (
+        at(fig6::SIZES[0], fig6::Org::Unified1),
+        at(fig6::SIZES[0], fig6::Org::Split1),
+        at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Unified1),
+        at(*fig6::SIZES.last().expect("sizes"), fig6::Org::Split1),
+    );
+    if let (Some(small_u), Some(small_s), Some(big_u), Some(big_s)) = corners {
+        checks.push(check(
+            "fig6",
+            "splitting hurts a small direct-mapped L2",
+            small_s > small_u,
+            format!(
+                "{small_s:.3} vs {small_u:.3} at {}KW",
+                fig6::SIZES[0] / 1024
+            ),
+        ));
+        checks.push(check(
+            "fig6",
+            "splitting helps a large direct-mapped L2",
+            big_s <= big_u,
+            format!(
+                "{big_s:.3} vs {big_u:.3} at {}KW",
+                fig6::SIZES.last().expect("sizes") / 1024
+            ),
+        ));
+    } else {
+        checks.push(check(
+            "fig6",
+            "sweep is complete",
+            false,
+            format!("{} of {} cells present", f6.len(), 4 * fig6::SIZES.len()),
+        ));
+    }
 
     // Fig. 7: instruction-side curves flatten at large sizes.
     let f7 = fig78::run_with_axes(fig78::Side::Instruction, scale, &[131_072, 524_288], &[6]);

@@ -1,0 +1,161 @@
+//! Differential-oracle integration tests: the fast simulator against the
+//! lockstep golden model.
+//!
+//! Three angles:
+//!
+//! * **agreement** — random configurations × the real multiprogramming
+//!   workload produce zero divergences, and enabling the oracle never
+//!   perturbs the measured counters (it observes, it does not steer);
+//! * **canaries** — each deliberate corruption the config can seed
+//!   ([`SeededBug`]) is provably *caught*, within a bounded number of
+//!   accesses of its injection;
+//! * **reporting** — a divergence surfaces as a typed
+//!   [`SimError::Divergence`] whose report carries the structured repro
+//!   material (access index, config fingerprint, seed, trace window).
+
+use gaas_experiments::runner;
+use gaas_sim::config::SimConfig;
+use gaas_sim::{run, DiffCheckConfig, L2Config, SeededBug, SeededBugSpec, SimError, WritePolicy};
+use gaas_trace::rng::SmallRng;
+use gaas_trace::{Pid, TraceEvent, VecTrace, VirtAddr};
+
+/// Draws a random-but-valid configuration. L1-D stays direct-mapped (the
+/// write-through policies require it) while the policy, L2 organization,
+/// drain time, write-buffer depth and MP level all vary.
+fn random_config(rng: &mut SmallRng) -> SimConfig {
+    let policies = WritePolicy::all();
+    let policy = policies[rng.gen_range(0..policies.len())];
+    let l2_total = [65_536u64, 131_072, 262_144][rng.gen_range(0..3usize)];
+    let l2 = if rng.gen_bool(0.5) {
+        L2Config::split_even(l2_total, if rng.gen_bool(0.5) { 1 } else { 2 }, 6)
+    } else {
+        let mut base = L2Config::base();
+        if let L2Config::Unified(side) = &mut base {
+            side.size_words = l2_total;
+        }
+        base
+    };
+    let mut b = SimConfig::builder();
+    b.policy(policy)
+        .l2(l2)
+        .l2_drain_access(rng.gen_range(2..=10u32))
+        .mp_level(*[1usize, 4, 8].get(rng.gen_range(0..3usize)).unwrap())
+        .diffcheck(DiffCheckConfig {
+            enabled: true,
+            state_check_interval: 256,
+            ..DiffCheckConfig::default()
+        });
+    b.build().expect("randomized configs stay valid")
+}
+
+#[test]
+fn random_configs_agree_with_golden_model() {
+    let mut rng = SmallRng::seed_from_u64(0x0D1F_FCEC);
+    for round in 0..5 {
+        let cfg = random_config(&mut rng);
+        let summary = format!("round {round}: {cfg}");
+        let r = runner::run_standard_raw(cfg, 5e-5);
+        assert!(r.is_ok(), "oracle divergence in {summary}: {:?}", r.err());
+    }
+}
+
+#[test]
+fn oracle_observes_without_perturbing() {
+    let fast = runner::run_standard_raw(SimConfig::optimized(), 1e-4).expect("fast path");
+    let checked = runner::run_diffchecked(&SimConfig::optimized(), 1e-4).expect("no divergence");
+    assert_eq!(checked.counters, fast.counters);
+    assert_eq!(checked.per_process, fast.per_process);
+}
+
+/// A store-heavy single-process trace: every line distinct, so the write
+/// buffer stays occupied and L1-D state churns — ideal canary substrate.
+fn canary_trace(n: u64) -> Vec<Box<dyn gaas_trace::Trace>> {
+    let pid = Pid::new(0);
+    let mut evs = Vec::new();
+    for i in 0..n {
+        evs.push(TraceEvent::ifetch(VirtAddr::new(pid, i % 256), 0));
+        evs.push(TraceEvent::store(VirtAddr::new(pid, 0x10_000 + i * 8)));
+    }
+    vec![Box::new(VecTrace::new("canary", evs))]
+}
+
+fn canary_config(bug: SeededBug, policy: WritePolicy) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.policy(policy).diffcheck(DiffCheckConfig {
+        enabled: true,
+        state_check_interval: 1, // full structural sweep after every access
+        seeded_bug: Some(SeededBugSpec {
+            access: 500,
+            kind: bug,
+        }),
+        ..DiffCheckConfig::default()
+    });
+    b.build().expect("valid")
+}
+
+fn assert_caught(bug: SeededBug, policy: WritePolicy) {
+    let cfg = canary_config(bug, policy);
+    match run(cfg, canary_trace(2_000)) {
+        Err(SimError::Divergence(report)) => {
+            assert!(
+                report.access_index > 500,
+                "{bug:?}: corruption precedes its own injection point \
+                 (diverged at {})",
+                report.access_index
+            );
+            assert!(
+                report.access_index < 500 + 64,
+                "{bug:?}: caught only {} accesses after injection",
+                report.access_index - 500
+            );
+            assert!(!report.detail.is_empty());
+            assert_ne!(report.config_fingerprint, 0);
+            assert!(!report.window.is_empty(), "repro window must be kept");
+        }
+        Err(other) => panic!("{bug:?}: wrong error {other}"),
+        Ok(_) => panic!("{bug:?}: seeded corruption went undetected"),
+    }
+}
+
+#[test]
+fn canary_flipped_dirty_bit_is_caught() {
+    assert_caught(SeededBug::FlipL1dDirty, WritePolicy::WriteBack);
+}
+
+#[test]
+fn canary_invalidated_l1i_line_is_caught() {
+    assert_caught(SeededBug::InvalidateL1i, WritePolicy::WriteBack);
+}
+
+#[test]
+fn canary_dropped_write_buffer_entry_is_caught() {
+    assert_caught(SeededBug::DropWriteBufferEntry, WritePolicy::WriteOnly);
+}
+
+#[test]
+fn divergence_report_renders_repro_material() {
+    let cfg = canary_config(SeededBug::FlipL1dDirty, WritePolicy::WriteBack);
+    let err = run(cfg, canary_trace(2_000)).expect_err("canary diverges");
+    let text = err.to_string();
+    for needle in [
+        "oracle divergence",
+        "at access",
+        "config",
+        "repro seed",
+        "window:",
+    ] {
+        assert!(text.contains(needle), "report misses '{needle}':\n{text}");
+    }
+}
+
+#[test]
+fn seeded_bug_requires_enabled_oracle() {
+    // A seeded bug without the oracle would corrupt silently; the
+    // validator refuses the combination.
+    let mut cfg = SimConfig::baseline();
+    cfg.diffcheck.seeded_bug = Some(SeededBugSpec {
+        access: 1,
+        kind: SeededBug::FlipL1dDirty,
+    });
+    assert!(cfg.validate().is_err());
+}
