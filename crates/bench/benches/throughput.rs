@@ -11,7 +11,16 @@ use gaas_cache::{CacheArray, CacheGeometry, PageMapper, Tlb, WriteBuffer};
 use gaas_sim::{config::SimConfig, sim, workload};
 use gaas_trace::bench_model::suite;
 use gaas_trace::gen::TraceGenerator;
-use gaas_trace::{PhysAddr, Pid, VirtAddr};
+use gaas_trace::{PhysAddr, Pid, Trace, UnbatchedTrace, VirtAddr};
+
+/// Wraps every trace so each `next_batch` yields at most one event — the
+/// seed kernel's one-virtual-call-per-event consumption pattern.
+fn unbatched(traces: Vec<Box<dyn Trace>>) -> Vec<Box<dyn Trace>> {
+    traces
+        .into_iter()
+        .map(|t| Box::new(UnbatchedTrace(t)) as Box<dyn Trace>)
+        .collect()
+}
 
 fn simulator_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
@@ -35,6 +44,16 @@ fn simulator_throughput(c: &mut Criterion) {
             b.iter(|| sim::run(cfg.clone(), workload::standard(scale)).expect("valid"))
         });
     }
+    // Seed-kernel reference: same workload consumed one virtual call per
+    // event instead of per 256-event batch. The gap is the batching win.
+    let cfg = SimConfig::baseline();
+    g.bench_with_input(
+        BenchmarkId::new("events", "baseline-unbatched"),
+        &cfg,
+        |b, cfg| {
+            b.iter(|| sim::run(cfg.clone(), unbatched(workload::standard(scale))).expect("valid"))
+        },
+    );
     g.finish();
 }
 

@@ -1,0 +1,117 @@
+//! Ad-hoc component timing: where the per-event nanoseconds go, layer by
+//! layer (generation → scheduling → TLB/translate → full simulator).
+
+use std::time::Instant;
+
+use gaas_cache::Tlb;
+use gaas_sim::{config::SimConfig, sched::Scheduler, sim, workload};
+use gaas_trace::Trace;
+
+const REPS: u32 = 3;
+
+fn time_per_event(events: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(REPS) / events as f64
+}
+
+fn main() {
+    let scale = 5e-4;
+
+    // Count events once.
+    let mut events_total = 0u64;
+    let mut buf = Vec::with_capacity(256);
+    for mut t in workload::standard(scale) {
+        loop {
+            buf.clear();
+            let got = t.next_batch(&mut buf, 256);
+            if got == 0 {
+                break;
+            }
+            events_total += got as u64;
+        }
+    }
+
+    // Batched generation alone (the path the scheduler uses).
+    let gen_ns = time_per_event(events_total, || {
+        let mut buf = Vec::with_capacity(256);
+        let mut n = 0u64;
+        for mut t in workload::standard(scale) {
+            loop {
+                buf.clear();
+                let got = t.next_batch(&mut buf, 256);
+                if got == 0 {
+                    break;
+                }
+                n += got as u64;
+            }
+        }
+        std::hint::black_box(n);
+    });
+
+    // Generation + scheduler (next_instruction/post_instruction, no sim).
+    let cfg = SimConfig::baseline();
+    let sched_ns = time_per_event(events_total, || {
+        let mut s = Scheduler::new(
+            workload::standard(scale),
+            cfg.mp.level,
+            cfg.mp.time_slice_cycles,
+        );
+        let mut now = 0u64;
+        while let Some(i) = s.next_instruction(now) {
+            now += 1 + u64::from(i.ifetch.stall_cycles);
+            s.post_instruction(now, i.ifetch.syscall);
+        }
+        std::hint::black_box(now);
+    });
+
+    // Generation + scheduler + TLB accesses (no caches).
+    let tlb_ns = time_per_event(events_total, || {
+        let mut s = Scheduler::new(
+            workload::standard(scale),
+            cfg.mp.level,
+            cfg.mp.time_slice_cycles,
+        );
+        let mut itlb = Tlb::instruction();
+        let mut dtlb = Tlb::data();
+        let mut now = 0u64;
+        let mut hits = 0u64;
+        while let Some(i) = s.next_instruction(now) {
+            hits += u64::from(itlb.access(i.ifetch.addr));
+            if let Some(d) = i.data {
+                hits += u64::from(dtlb.access(d.addr));
+            }
+            now += 1 + u64::from(i.ifetch.stall_cycles);
+            s.post_instruction(now, i.ifetch.syscall);
+        }
+        std::hint::black_box(hits);
+    });
+
+    // Full simulator.
+    let sim_ns = time_per_event(events_total, || {
+        let r = sim::run(SimConfig::baseline(), workload::standard(scale)).expect("valid");
+        std::hint::black_box(r.counters.instructions);
+    });
+
+    let me = |ns: f64| 1e3 / ns;
+    println!("events per run      : {events_total}");
+    println!(
+        "generation (batched): {gen_ns:5.1} ns/event ({:.2} Me/s)",
+        me(gen_ns)
+    );
+    println!(
+        "+ scheduler         : {sched_ns:5.1} ns/event (+{:.1})",
+        sched_ns - gen_ns
+    );
+    println!(
+        "+ TLBs              : {tlb_ns:5.1} ns/event (+{:.1})",
+        tlb_ns - sched_ns
+    );
+    println!(
+        "full simulator      : {sim_ns:5.1} ns/event (+{:.1})",
+        sim_ns - tlb_ns
+    );
+    println!("full sim throughput : {:.2} Me/s", me(sim_ns));
+}

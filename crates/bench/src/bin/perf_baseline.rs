@@ -1,0 +1,279 @@
+//! `perf_baseline` — machine-readable performance baseline for the
+//! simulator kernel and the sweep engine.
+//!
+//! ```text
+//! perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH]
+//!
+//! --scale S    workload scale for the per-figure wall-clocks
+//!              (default GAAS_BENCH_SCALE or 2e-3)
+//! --jobs N     worker threads for the parallel-sweep speedup measurement
+//!              (default min(4, available cores))
+//! --samples K  timed repetitions per kernel measurement; best-of-K is
+//!              reported (default 3)
+//! --out PATH   where to write the JSON report (default BENCH_sim.json)
+//! ```
+//!
+//! The report (`BENCH_sim.json`) records:
+//!
+//! * **kernel** — events/second through the full simulator at kernel
+//!   scale, both with the batched trace path (256-event refills, one
+//!   virtual call per batch) and with the [`UnbatchedTrace`] adapter that
+//!   reproduces the seed kernel's one-virtual-call-per-event pattern, plus
+//!   the ratio between them and a fixed reference throughput measured at
+//!   the growth seed;
+//! * **figures** — wall-clock seconds to regenerate each paper figure at
+//!   table scale;
+//! * **sweep** — serial vs. `--jobs N` wall-clock over an 8-cell sweep and
+//!   the resulting speedup (≈ 1.0 on a single-core host — recorded, not
+//!   assumed);
+//! * **determinism** — whether batched-vs-unbatched and parallel-vs-serial
+//!   runs produced identical counters (they must).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gaas_bench::table_scale;
+use gaas_experiments::{
+    ablations, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
+};
+use gaas_sim::config::SimConfig;
+use gaas_sim::{sim, workload, SimResult};
+use gaas_trace::bench_model::suite;
+use gaas_trace::{Trace, UnbatchedTrace};
+
+/// Simulator events/second measured at the growth seed (commit tagged in
+/// CHANGES.md) on the CI reference machine, with the per-event dispatch
+/// kernel. `speedup_vs_seed_reference` is only meaningful on that machine;
+/// on others, compare `batched` against `unbatched` instead.
+const SEED_EVENTS_PER_SEC: f64 = 20.69e6;
+
+fn main() {
+    let mut scale = table_scale();
+    let mut jobs = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let mut samples = 3usize;
+    let mut out_path = "BENCH_sim.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = parse(it.next(), "--scale"),
+            "--jobs" => jobs = parse(it.next(), "--jobs"),
+            "--samples" => samples = parse(it.next(), "--samples"),
+            "--out" => out_path = it.next().unwrap_or_else(|| usage("--out")).clone(),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !(scale.is_finite() && scale > 0.0 && scale <= 1.0) {
+        usage("--scale must be in (0, 1]");
+    }
+    let jobs = jobs.max(1);
+    let samples = samples.max(1);
+    let kernel_scale = scale / 4.0;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    eprintln!(
+        "[perf_baseline: scale {scale}, kernel scale {kernel_scale}, jobs {jobs}, \
+         samples {samples}, {cores} core(s)]"
+    );
+
+    // --- Kernel: batched vs. unbatched events/second. -------------------
+    let events: u64 = suite()
+        .iter()
+        .map(|b| {
+            let n = b.scaled_instructions(kernel_scale) as f64;
+            (n * b.refs_per_instruction()) as u64
+        })
+        .sum();
+    let cfg = SimConfig::baseline();
+    let (batched_secs, batched_res) = best_of(samples, || {
+        sim::run(cfg.clone(), workload::standard(kernel_scale)).expect("valid config")
+    });
+    let (unbatched_secs, unbatched_res) = best_of(samples, || {
+        sim::run(cfg.clone(), unbatched(workload::standard(kernel_scale))).expect("valid config")
+    });
+    let batched_eps = events as f64 / batched_secs;
+    let unbatched_eps = events as f64 / unbatched_secs;
+    let kernel_deterministic = batched_res.counters == unbatched_res.counters;
+    eprintln!(
+        "[kernel: batched {:.2} Me/s, unbatched {:.2} Me/s, ratio {:.3}, counters {}]",
+        batched_eps / 1e6,
+        unbatched_eps / 1e6,
+        batched_eps / unbatched_eps,
+        if kernel_deterministic {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // --- Figures: wall-clock to regenerate each at table scale. ---------
+    let mut figures: Vec<(&str, f64)> = Vec::new();
+    macro_rules! time_figure {
+        ($name:literal, $body:expr) => {{
+            let t0 = Instant::now();
+            std::hint::black_box($body);
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!("[{}: {:.2}s]", $name, secs);
+            figures.push(($name, secs));
+        }};
+    }
+    time_figure!("fig2", fig2::run(scale));
+    time_figure!("fig3", fig3::run(scale));
+    time_figure!("fig4", fig4::run(scale));
+    time_figure!("fig5", fig5::run(scale));
+    time_figure!("fig6", fig6::run(scale));
+    time_figure!("fig7", fig78::run(fig78::Side::Instruction, scale));
+    time_figure!("fig8", fig78::run(fig78::Side::Data, scale));
+    time_figure!("fig9", fig9::run(scale));
+    time_figure!("fig10", fig10::run(scale));
+    time_figure!("sec5", sec5::run(scale));
+    time_figure!("sec8", sec8::run(scale));
+    time_figure!("ablations", ablations::run(scale));
+
+    // --- Sweep engine: serial vs. --jobs over an 8-cell sweep. ----------
+    let sweep_cfgs: Vec<SimConfig> = [0u32, 5, 10, 20, 40, 60, 80, 100]
+        .iter()
+        .map(|&p| {
+            let mut b = SimConfig::builder();
+            b.tlb_miss_penalty(p);
+            b.build().expect("valid")
+        })
+        .collect();
+    pool::set_jobs(1);
+    let t0 = Instant::now();
+    let serial = runner::run_standard_many(&sweep_cfgs, kernel_scale);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    pool::set_jobs(jobs);
+    let t0 = Instant::now();
+    let parallel = runner::run_standard_many(&sweep_cfgs, kernel_scale);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    pool::set_jobs(1);
+    let sweep_deterministic = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.counters == b.counters);
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "[sweep: {} cells, serial {serial_secs:.2}s, --jobs {jobs} {parallel_secs:.2}s, \
+         speedup {speedup:.2}x, counters {}]",
+        sweep_cfgs.len(),
+        if sweep_deterministic {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // --- Emit the JSON report. ------------------------------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
+    let _ = writeln!(j, "  \"cores\": {cores},");
+    let _ = writeln!(j, "  \"samples\": {samples},");
+    let _ = writeln!(j, "  \"kernel\": {{");
+    let _ = writeln!(j, "    \"events\": {events},");
+    let _ = writeln!(
+        j,
+        "    \"batched\": {{ \"seconds_best\": {batched_secs:.6}, \"events_per_sec\": {batched_eps:.1} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"unbatched\": {{ \"seconds_best\": {unbatched_secs:.6}, \"events_per_sec\": {unbatched_eps:.1} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"batched_over_unbatched\": {:.4},",
+        batched_eps / unbatched_eps
+    );
+    let _ = writeln!(
+        j,
+        "    \"seed_reference_events_per_sec\": {SEED_EVENTS_PER_SEC:.1},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"speedup_vs_seed_reference\": {:.4}",
+        batched_eps / SEED_EVENTS_PER_SEC
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"figures\": [");
+    for (i, (name, secs)) in figures.iter().enumerate() {
+        let comma = if i + 1 < figures.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{name}\", \"seconds\": {secs:.4} }}{comma}"
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    let _ = writeln!(j, "  \"sweep\": {{");
+    let _ = writeln!(j, "    \"cells\": {},", sweep_cfgs.len());
+    let _ = writeln!(j, "    \"serial_seconds\": {serial_secs:.4},");
+    let _ = writeln!(j, "    \"jobs\": {jobs},");
+    let _ = writeln!(j, "    \"parallel_seconds\": {parallel_secs:.4},");
+    let _ = writeln!(j, "    \"speedup\": {speedup:.4}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"determinism\": {{");
+    let _ = writeln!(
+        j,
+        "    \"batched_equals_unbatched\": {kernel_deterministic},"
+    );
+    let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &j) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("[wrote {out_path}]");
+
+    if !kernel_deterministic || !sweep_deterministic {
+        eprintln!("error: determinism violation — see the report");
+        std::process::exit(1);
+    }
+}
+
+/// Wraps every trace so each `next_batch` yields at most one event (the
+/// seed kernel's consumption pattern).
+fn unbatched(traces: Vec<Box<dyn Trace>>) -> Vec<Box<dyn Trace>> {
+    traces
+        .into_iter()
+        .map(|t| Box::new(UnbatchedTrace(t)) as Box<dyn Trace>)
+        .collect()
+}
+
+/// Runs `f` `samples` times, returning the best wall-clock and the last
+/// result (all results are identical by the determinism invariant).
+fn best_of(samples: usize, mut f: impl FnMut() -> SimResult) -> (f64, SimResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("samples >= 1"))
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.unwrap_or_else(|| usage(&format!("missing value for {flag}")))
+        .parse()
+        .unwrap_or_else(|_| usage(&format!("bad value for {flag}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -15,11 +15,24 @@ use gaas_trace::PhysAddr;
 
 /// Validated geometry of a cache: total size, line length, associativity
 /// (all in words, all powers of two).
+///
+/// The constructor precomputes the shift/mask forms of every per-access
+/// derivation (set index, line base, word-in-line, subblock mask) so the
+/// simulator's hot path performs no divisions: all sizes are powers of
+/// two, so `set_of` is one shift and one mask.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_words: u64,
     line_words: u32,
     assoc: u32,
+    /// log2(line_words): shifts a word address down to a line number.
+    line_shift: u32,
+    /// `line_words - 1`: masks the word offset within a line.
+    line_mask: u64,
+    /// `n_sets - 1`: masks a line number down to a set index.
+    set_mask: u64,
+    /// All subblock valid bits set for this line length.
+    full_subblock_mask: u32,
 }
 
 /// Error returned for inconsistent cache geometry.
@@ -69,10 +82,19 @@ impl CacheGeometry {
                 "size {size_words} smaller than one set ({line_words} x {assoc})"
             )));
         }
+        let n_sets = size_words / (line_words as u64 * assoc as u64);
         Ok(CacheGeometry {
             size_words,
             line_words,
             assoc,
+            line_shift: line_words.trailing_zeros(),
+            line_mask: line_words as u64 - 1,
+            set_mask: n_sets - 1,
+            full_subblock_mask: if line_words == 32 {
+                u32::MAX
+            } else {
+                (1u32 << line_words) - 1
+            },
         })
     }
 
@@ -92,23 +114,33 @@ impl CacheGeometry {
     }
 
     /// Number of sets.
+    #[inline]
     pub fn n_sets(&self) -> u64 {
-        self.size_words / (self.line_words as u64 * self.assoc as u64)
+        self.set_mask + 1
     }
 
     /// Set index for a physical word address.
+    #[inline]
     pub fn set_of(&self, addr: PhysAddr) -> u64 {
-        (addr.word() / self.line_words as u64) & (self.n_sets() - 1)
+        (addr.word() >> self.line_shift) & self.set_mask
     }
 
     /// Line-aligned base address of the line containing `addr`.
+    #[inline]
     pub fn line_base(&self, addr: PhysAddr) -> PhysAddr {
-        addr.block_base(self.line_words as u64)
+        PhysAddr::new(addr.word() & !self.line_mask)
     }
 
     /// Word index of `addr` within its line (for subblock valid bits).
+    #[inline]
     pub fn word_in_line(&self, addr: PhysAddr) -> u32 {
-        (addr.word() & (self.line_words as u64 - 1)) as u32
+        (addr.word() & self.line_mask) as u32
+    }
+
+    /// The subblock valid mask with every word bit of a line set.
+    #[inline]
+    pub fn full_subblock_mask(&self) -> u32 {
+        self.full_subblock_mask
     }
 }
 
@@ -196,6 +228,7 @@ impl CacheArray {
         &self.geom
     }
 
+    #[inline]
     fn set_range(&self, set: u64) -> std::ops::Range<usize> {
         let a = self.geom.assoc() as usize;
         let start = set as usize * a;
@@ -204,9 +237,16 @@ impl CacheArray {
 
     /// Looks up `addr` without updating LRU state. Returns the index of the
     /// matching line in the internal array.
+    #[inline]
     fn probe_idx(&self, addr: PhysAddr) -> Option<usize> {
         let base = self.geom.line_base(addr);
         let set = self.geom.set_of(addr);
+        if self.geom.assoc() == 1 {
+            // Direct-mapped fast path: exactly one candidate way.
+            let i = set as usize;
+            let l = &self.lines[i];
+            return (l.valid && l.base == base).then_some(i);
+        }
         self.set_range(set)
             .find(|&i| self.lines[i].valid && self.lines[i].base == base)
     }
@@ -225,6 +265,7 @@ impl CacheArray {
 
     /// Looks up `addr`; on a tag match, marks the line most-recently-used
     /// and returns a mutable reference to it.
+    #[inline]
     pub fn touch(&mut self, addr: PhysAddr) -> Option<&mut Line> {
         let idx = self.probe_idx(addr)?;
         self.clock += 1;
@@ -241,11 +282,7 @@ impl CacheArray {
     /// that same state and no eviction occurs.
     pub fn fill(&mut self, addr: PhysAddr) -> Option<Evicted> {
         let base = self.geom.line_base(addr);
-        let full_mask = if self.geom.line_words() == 32 {
-            u32::MAX
-        } else {
-            (1u32 << self.geom.line_words()) - 1
-        };
+        let full_mask = self.geom.full_subblock_mask();
         self.clock += 1;
         let clock = self.clock;
 
@@ -381,6 +418,36 @@ mod tests {
         assert_eq!(g.set_of(pa(4096)), 0, "wraps at cache size");
         assert_eq!(g.line_base(pa(7)).word(), 4);
         assert_eq!(g.word_in_line(pa(7)), 3);
+    }
+
+    #[test]
+    fn shift_mask_forms_match_arithmetic_definitions() {
+        // The precomputed shift/mask fast path must agree with the
+        // division/modulo definitions for every geometry the study uses.
+        for (size, line, assoc) in [
+            (4096u64, 4u32, 1u32),
+            (4096, 8, 1),
+            (4096, 16, 2),
+            (262_144, 32, 1),
+            (262_144, 32, 2),
+            (1_048_576, 32, 2),
+            (64, 32, 1),
+        ] {
+            let g = CacheGeometry::new(size, line, assoc).expect("valid");
+            assert_eq!(g.n_sets(), size / (line as u64 * assoc as u64));
+            for w in [0u64, 1, 7, 31, 63, 4095, 4096, 999_999, 1 << 29] {
+                let a = pa(w);
+                assert_eq!(g.set_of(a), (w / line as u64) & (g.n_sets() - 1));
+                assert_eq!(g.line_base(a), a.block_base(line as u64));
+                assert_eq!(g.word_in_line(a), (w & (line as u64 - 1)) as u32);
+            }
+            let full = if line == 32 {
+                u32::MAX
+            } else {
+                (1u32 << line) - 1
+            };
+            assert_eq!(g.full_subblock_mask(), full);
+        }
     }
 
     #[test]

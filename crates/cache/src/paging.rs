@@ -9,12 +9,43 @@
 //! distinct physical pages (the PID prefix feeds the hash).
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use gaas_trace::{PhysAddr, VirtAddr, PAGE_SHIFT};
 
 /// Default number of colors: enough for a 1024 KW (4 MB) cache with 4 KW
 /// pages.
 pub const DEFAULT_COLORS: u64 = 256;
+
+/// Slots in the direct-mapped translation cache fronting the page table.
+/// A software TLB, in effect: `translate` sits on the per-event hot path
+/// of the simulator, and page working sets are far smaller than 4096.
+const XLATE_CACHE_SLOTS: usize = 4096;
+
+/// Single-`u64` hasher for the page table (Fibonacci multiplicative hash).
+///
+/// The std default (SipHash) costs more than the rest of `translate`
+/// combined. Frame assignment depends only on *insertion order* — the
+/// per-color sequence counters — never on hash values, so swapping the
+/// hasher cannot change any translation.
+#[derive(Debug, Default, Clone)]
+struct PageKeyHasher(u64);
+
+impl Hasher for PageKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// A demand-allocating, page-coloring page table covering every process
 /// (the PID is part of the key).
@@ -37,7 +68,10 @@ pub struct PageMapper {
     /// Next allocation sequence number per color.
     next_seq: Vec<u64>,
     /// `(pid << 52 | vpn) -> ppn`.
-    map: HashMap<u64, u64>,
+    map: HashMap<u64, u64, BuildHasherDefault<PageKeyHasher>>,
+    /// Direct-mapped `(key, ppn)` cache over `map`. Mappings are immutable
+    /// once allocated, so entries never need invalidation.
+    xlate: Vec<(u64, u64)>,
 }
 
 impl PageMapper {
@@ -54,7 +88,8 @@ impl PageMapper {
         PageMapper {
             colors,
             next_seq: vec![0; colors as usize],
-            map: HashMap::new(),
+            map: HashMap::default(),
+            xlate: vec![(u64::MAX, 0); XLATE_CACHE_SLOTS],
         }
     }
 
@@ -68,14 +103,24 @@ impl PageMapper {
     pub fn translate(&mut self, addr: VirtAddr) -> PhysAddr {
         let vpn = addr.vpn();
         let key = ((addr.pid().raw() as u64) << 52) | vpn;
-        let color = vpn & (self.colors - 1);
-        let colors = self.colors;
-        let next_seq = &mut self.next_seq[color as usize];
-        let ppn = *self.map.entry(key).or_insert_with(|| {
-            let ppn = *next_seq * colors + color;
-            *next_seq += 1;
+        // Fast path: the direct-mapped cache. PID bits are folded down so
+        // processes with identical layouts don't all collide per slot.
+        let slot = ((key ^ (key >> 49)) as usize) & (XLATE_CACHE_SLOTS - 1);
+        let (ckey, cppn) = self.xlate[slot];
+        let ppn = if ckey == key {
+            cppn
+        } else {
+            let color = vpn & (self.colors - 1);
+            let colors = self.colors;
+            let next_seq = &mut self.next_seq[color as usize];
+            let ppn = *self.map.entry(key).or_insert_with(|| {
+                let ppn = *next_seq * colors + color;
+                *next_seq += 1;
+                ppn
+            });
+            self.xlate[slot] = (key, ppn);
             ppn
-        });
+        };
         PhysAddr::new((ppn << PAGE_SHIFT) | addr.page_offset())
     }
 

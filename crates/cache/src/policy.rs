@@ -138,6 +138,7 @@ impl L1DataCache {
     /// line from L2 (the outcome's `fetch` field) — the refill is applied
     /// here immediately (trace-driven simulation has no outstanding-miss
     /// window).
+    #[inline]
     pub fn load(&mut self, addr: PhysAddr) -> LoadOutcome {
         let word = self.array.geometry().word_in_line(addr);
         let hit = match self.array.touch(addr) {
@@ -185,6 +186,7 @@ impl L1DataCache {
 
     /// Performs a store. `partial_word` marks a sub-word write (§6: these
     /// do not set subblock valid bits).
+    #[inline]
     pub fn store(&mut self, addr: PhysAddr, partial_word: bool) -> StoreOutcome {
         match self.policy {
             WritePolicy::WriteBack => self.store_write_back(addr),
@@ -194,6 +196,7 @@ impl L1DataCache {
         }
     }
 
+    #[inline]
     fn store_write_back(&mut self, addr: PhysAddr) -> StoreOutcome {
         if let Some(line) = self.array.touch(addr) {
             line.dirty = true;
@@ -223,6 +226,7 @@ impl L1DataCache {
         }
     }
 
+    #[inline]
     fn store_wmi(&mut self, addr: PhysAddr) -> StoreOutcome {
         let word_addr = addr;
         if let Some(line) = self.array.touch(addr) {
@@ -250,6 +254,7 @@ impl L1DataCache {
         }
     }
 
+    #[inline]
     fn store_write_only(&mut self, addr: PhysAddr) -> StoreOutcome {
         if let Some(line) = self.array.touch(addr) {
             line.dirty = true;

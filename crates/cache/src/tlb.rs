@@ -10,9 +10,24 @@
 //! the simulator defaults the TLB miss penalty to zero; the structure is
 //! still simulated faithfully and its miss counts are reported.
 
-use gaas_trace::{Pid, VirtAddr};
+use gaas_trace::{Pid, VirtAddr, PAGE_SHIFT, PID_SHIFT};
+
+/// Bits a per-process VPN can occupy (the word address space below the PID
+/// prefix, minus the page offset).
+const VPN_BITS: u32 = PID_SHIFT - PAGE_SHIFT;
+
+/// Mask selecting the VPN part of a packed entry key.
+const VPN_MASK: u64 = (1 << VPN_BITS) - 1;
+
+/// Key of an invalid entry. Real keys are `raw >> PAGE_SHIFT` with the PID
+/// packed directly above [`VPN_BITS`] bits of VPN, so they never reach this.
+const INVALID_KEY: u64 = u64::MAX;
 
 /// A PID-tagged, set-associative TLB with LRU replacement.
+///
+/// Entries are stored as flat `(key, lru)` pairs — `key` packs the PID above
+/// the VPN exactly as [`VirtAddr::raw`] does above the page offset — so the
+/// hot hit path is one 16-byte load and one compare per way.
 ///
 /// # Examples
 ///
@@ -30,8 +45,10 @@ use gaas_trace::{Pid, VirtAddr};
 pub struct Tlb {
     n_sets: u64,
     assoc: u32,
-    /// `(pid, vpn, lru)` per way; `None` = invalid.
-    entries: Vec<Option<(u8, u64, u64)>>,
+    /// `(packed key, lru)` per way; `key == INVALID_KEY` = invalid (their
+    /// `lru` stays 0, below every live timestamp, so replacement prefers
+    /// them without a separate validity scan).
+    entries: Vec<(u64, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -55,7 +72,7 @@ impl Tlb {
         Tlb {
             n_sets,
             assoc,
-            entries: vec![None; entries as usize],
+            entries: vec![(INVALID_KEY, 0); entries as usize],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -72,46 +89,49 @@ impl Tlb {
         Tlb::new(64, 2)
     }
 
-    fn set_range(&self, vpn: u64) -> std::ops::Range<usize> {
-        let set = (vpn & (self.n_sets - 1)) as usize;
+    /// Indexes with the VPN part of a packed key (the PID does not select
+    /// the set, matching the hardware's untranslated index).
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let set = (key & VPN_MASK & (self.n_sets - 1)) as usize;
         let a = self.assoc as usize;
         set * a..set * a + a
     }
 
     /// Translates `(pid, vpn)`; returns `true` on a hit. On a miss the
     /// mapping is installed, evicting the set's LRU entry.
+    #[inline]
     pub fn access(&mut self, addr: VirtAddr) -> bool {
-        let (pid, vpn) = (addr.pid().raw(), addr.vpn());
+        let key = addr.raw() >> PAGE_SHIFT;
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(vpn);
+        let range = self.set_range(key);
+        let ways = &mut self.entries[range];
 
-        for i in range.clone() {
-            if let Some((p, v, ref mut lru)) = self.entries[i] {
-                if p == pid && v == vpn {
-                    *lru = clock;
-                    self.hits += 1;
-                    return true;
-                }
+        for e in ways.iter_mut() {
+            if e.0 == key {
+                e.1 = clock;
+                self.hits += 1;
+                return true;
             }
         }
         self.misses += 1;
-        let victim = range
-            .clone()
-            .find(|&i| self.entries[i].is_none())
-            .unwrap_or_else(|| {
-                range
-                    .min_by_key(|&i| self.entries[i].map_or(0, |(_, _, lru)| lru))
-                    .expect("set has at least one way")
-            });
-        self.entries[victim] = Some((pid, vpn, clock));
+        // Invalid ways keep `lru == 0`, below every live timestamp, so the
+        // minimum-lru way is "first invalid, else LRU" in one pass.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| e.1)
+            .expect("set has at least one way");
+        *victim = (key, clock);
         false
     }
 
     /// True when `(pid, vpn)` is currently mapped (no state change).
     pub fn contains(&self, pid: Pid, vpn: u64) -> bool {
-        self.set_range(vpn)
-            .any(|i| matches!(self.entries[i], Some((p, v, _)) if p == pid.raw() && v == vpn))
+        if vpn > VPN_MASK {
+            return false; // outside the packable VPN space: never installed
+        }
+        let key = (u64::from(pid.raw()) << VPN_BITS) | vpn;
+        self.entries[self.set_range(key)].iter().any(|e| e.0 == key)
     }
 
     /// Hits recorded so far.

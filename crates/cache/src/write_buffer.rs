@@ -81,6 +81,7 @@ impl WriteBuffer {
     }
 
     /// Retires entries whose drain completed by `now`.
+    #[inline]
     pub fn advance(&mut self, now: u64) {
         while let Some(front) = self.entries.front() {
             if front.completes_at <= now {
@@ -99,6 +100,7 @@ impl WriteBuffer {
 
     /// Cycle by which a slot is free, i.e. the earliest time an enqueue can
     /// be accepted. Equals `now` when the buffer is not full.
+    #[inline]
     pub fn slot_free_at(&mut self, now: u64) -> u64 {
         self.advance(now);
         if self.entries.len() < self.depth {
@@ -109,6 +111,7 @@ impl WriteBuffer {
     }
 
     /// Cycle by which the buffer is completely empty (≥ `now`).
+    #[inline]
     pub fn empty_at(&mut self, now: u64) -> u64 {
         self.advance(now);
         self.entries.back().map_or(now, |e| e.completes_at.max(now))
@@ -129,6 +132,7 @@ impl WriteBuffer {
     /// # Panics
     ///
     /// Panics (debug builds) if the buffer is full at `enq_time`.
+    #[inline]
     pub fn enqueue(
         &mut self,
         enq_time: u64,
@@ -175,6 +179,7 @@ impl WriteBuffer {
     /// Completion time of the most recently enqueued entry (0 before any
     /// enqueue). With the enqueue time, this bounds the L2 occupancy of
     /// the next drain: `busy = completion − max(enqueue, last_completion)`.
+    #[inline]
     pub fn last_completion(&self) -> u64 {
         self.last_completion
     }

@@ -66,7 +66,7 @@ pub use config::{
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
 pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};
 pub use sched::SchedSnapshot;
-pub use sim::{run, Checkpoint, SimError, SimResult, Simulator, Termination};
+pub use sim::{run, CancelToken, Checkpoint, SimError, SimResult, Simulator, Termination};
 
 // Re-export the substrate vocabulary so downstream users need only this
 // crate for common tasks.

@@ -13,13 +13,79 @@
 //! switches never split an instruction from its data access.
 
 use std::collections::VecDeque;
-use std::iter::Peekable;
 
 use gaas_trace::{AccessKind, Trace, TraceEvent};
 
+/// Events pulled per [`Trace::next_batch`] call. Large enough to amortize
+/// the virtual dispatch to nothing, small enough that per-process buffers
+/// stay cache-resident (256 events × 16 B = 4 KB).
+const TRACE_BATCH: usize = 256;
+
+/// A [`Trace`] consumed through a refillable batch buffer: one virtual
+/// `next_batch` call per [`TRACE_BATCH`] events instead of one `next` per
+/// event. The delivered stream is identical by the `next_batch` contract.
+struct BatchedEvents {
+    trace: Box<dyn Trace>,
+    buf: Vec<TraceEvent>,
+    pos: usize,
+    exhausted: bool,
+}
+
+impl BatchedEvents {
+    fn new(trace: Box<dyn Trace>) -> Self {
+        BatchedEvents {
+            trace,
+            buf: Vec::with_capacity(TRACE_BATCH),
+            pos: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Refills the buffer from the underlying trace; true when events are
+    /// available at `pos`.
+    fn refill(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        self.buf.clear();
+        self.pos = 0;
+        if self.trace.next_batch(&mut self.buf, TRACE_BATCH) == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        true
+    }
+
+    #[inline]
+    fn next(&mut self) -> Option<TraceEvent> {
+        if self.pos >= self.buf.len() && !self.refill() {
+            return None;
+        }
+        let ev = self.buf[self.pos];
+        self.pos += 1;
+        Some(ev)
+    }
+
+    /// Consumes the next event only if it is a data reference (the
+    /// peek-then-next idiom fused into one bounds/refill check).
+    #[inline]
+    fn next_if_data(&mut self) -> Option<TraceEvent> {
+        if self.pos >= self.buf.len() && !self.refill() {
+            return None;
+        }
+        let ev = self.buf[self.pos];
+        if ev.kind.is_data() {
+            self.pos += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+}
+
 struct Process {
     name: String,
-    events: Peekable<Box<dyn Trace>>,
+    events: BatchedEvents,
 }
 
 /// One instruction as delivered to the simulator.
@@ -92,7 +158,7 @@ impl Scheduler {
             .map(|t| {
                 Some(Process {
                     name: t.name().to_string(),
-                    events: t.peekable(),
+                    events: BatchedEvents::new(t),
                 })
             })
             .collect();
@@ -153,7 +219,43 @@ impl Scheduler {
 
     /// Delivers the next instruction at cycle `now`, or `None` when every
     /// benchmark has terminated.
+    #[inline]
     pub fn next_instruction(&mut self, now: u64) -> Option<Instruction> {
+        // Fast path: the running process has buffered events. Falls back to
+        // the out-of-line slow path for refills, admissions and retirement.
+        if let Some(idx) = self.current {
+            let proc = self.procs[idx].as_mut().expect("scheduled process exists");
+            let ev = &mut proc.events;
+            if ev.pos < ev.buf.len() {
+                let ifetch = ev.buf[ev.pos];
+                ev.pos += 1;
+                debug_assert_eq!(
+                    ifetch.kind,
+                    AccessKind::IFetch,
+                    "traces start instructions with a fetch"
+                );
+                let data = if ev.pos < ev.buf.len() {
+                    let d = ev.buf[ev.pos];
+                    if d.kind.is_data() {
+                        ev.pos += 1;
+                        Some(d)
+                    } else {
+                        None
+                    }
+                } else {
+                    ev.next_if_data() // batch boundary: refill first
+                };
+                return Some(Instruction { ifetch, data });
+            }
+        }
+        self.next_instruction_slow(now)
+    }
+
+    /// The scheduling slow path: refills exhausted buffers, retires
+    /// terminated benchmarks, admits waiting ones, and installs the next
+    /// runnable process.
+    #[cold]
+    fn next_instruction_slow(&mut self, now: u64) -> Option<Instruction> {
         loop {
             // Ensure a current process.
             let idx = match self.current {
@@ -174,10 +276,7 @@ impl Scheduler {
                         AccessKind::IFetch,
                         "traces start instructions with a fetch"
                     );
-                    let data = match proc.events.peek() {
-                        Some(ev) if ev.kind.is_data() => proc.events.next(),
-                        _ => None,
-                    };
+                    let data = proc.events.next_if_data();
                     return Some(Instruction { ifetch, data });
                 }
                 None => {
@@ -196,6 +295,7 @@ impl Scheduler {
 
     /// Reports the completion of the current instruction at cycle `now`;
     /// rotates the run queue on a voluntary syscall or slice expiry.
+    #[inline]
     pub fn post_instruction(&mut self, now: u64, was_syscall: bool) {
         let Some(idx) = self.current else { return };
         if was_syscall {

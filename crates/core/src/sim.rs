@@ -27,6 +27,8 @@
 //! or roll back to the last checkpoint, per the configured policy.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use gaas_cache::fault::{
     resolve, FaultEffect, FaultEvent, FaultInjector, ProtectionMap, Structure,
@@ -67,6 +69,9 @@ pub enum SimError {
         /// The wall-clock budget that was exhausted, in seconds.
         seconds: u64,
     },
+    /// The run's [`CancelToken`] was triggered; the simulator stopped
+    /// cooperatively at the next instruction-batch boundary.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +90,7 @@ impl fmt::Display for SimError {
             SimError::Timeout { seconds } => {
                 write!(f, "cell exceeded its {seconds}s wall-clock budget")
             }
+            SimError::Cancelled => write!(f, "run cancelled cooperatively"),
         }
     }
 }
@@ -93,9 +99,10 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
-            SimError::MachineCheck { .. } | SimError::Divergence(_) | SimError::Timeout { .. } => {
-                None
-            }
+            SimError::MachineCheck { .. }
+            | SimError::Divergence(_)
+            | SimError::Timeout { .. }
+            | SimError::Cancelled => None,
         }
     }
 }
@@ -105,6 +112,41 @@ impl From<ConfigError> for SimError {
         SimError::Config(e)
     }
 }
+
+/// A shared flag for cooperatively cancelling a running simulation.
+///
+/// Hand a clone to [`Simulator::set_cancel_token`] before the run; any
+/// thread may then call [`CancelToken::cancel`]. The simulator polls the
+/// flag between instruction batches (every few thousand instructions),
+/// so a cancelled run returns [`SimError::Cancelled`] within
+/// microseconds instead of burning CPU until the workload ends — this is
+/// how the experiment campaign stops timed-out cells for real rather
+/// than detaching them.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, untriggered token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every simulator holding a clone stops at
+    /// its next batch boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Instructions between cooperative-cancellation polls: coarse enough to
+/// vanish in the hot loop, fine enough (≈ tens of microseconds) that a
+/// cancelled cell stops promptly.
+const CANCEL_CHECK_INTERVAL: u64 = 8192;
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -236,12 +278,21 @@ pub struct Simulator {
 
     /// Fault-injection state (`None` = injection off, exact legacy path).
     fault: Option<FaultState>,
+    /// Cached `fault.is_some()`: hot hit paths skip the injector hooks (and
+    /// the dirty-line peek feeding them) on one predictable branch.
+    fault_on: bool,
     /// Unrecoverable fault awaiting the halt at the instruction boundary.
     pending_mc: Option<FaultEvent>,
     /// Cycle of the last checkpoint (restart rollback target).
     last_checkpoint_cycle: u64,
     /// Lockstep golden-model state (`None` = oracle off, exact fast path).
     diff: Option<Box<DiffState>>,
+    /// Cached `diff.is_some()`: the per-event gate is one predictable
+    /// branch with no `Option` load, so the oracle costs nothing when
+    /// off.
+    diff_on: bool,
+    /// Cooperative cancellation flag, polled between instruction batches.
+    cancel: Option<CancelToken>,
 }
 
 impl Simulator {
@@ -303,6 +354,8 @@ impl Simulator {
         };
 
         let page_colors = cfg.page_colors;
+        let diff_on = diff.is_some();
+        let fault_on = fault.is_some();
         Ok(Simulator {
             cfg,
             now: 0,
@@ -323,10 +376,20 @@ impl Simulator {
             d_write_access,
             d_write_stream,
             fault,
+            fault_on,
             pending_mc: None,
             last_checkpoint_cycle: 0,
             diff,
+            diff_on,
+            cancel: None,
         })
+    }
+
+    /// Installs a cooperative-cancellation token: once
+    /// [`CancelToken::cancel`] is called on any clone, the run stops at
+    /// the next batch boundary with [`SimError::Cancelled`].
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
     }
 
     /// The configuration being simulated.
@@ -402,7 +465,19 @@ impl Simulator {
         let mut warm_snapshot: Option<Counters> = None;
         let mut windows = Vec::new();
         let mut window_start = Counters::new();
-        let mut next_window = window_instructions;
+        // Disabled features get `u64::MAX` thresholds: the per-instruction
+        // poll is then a never-taken compare instead of flag re-checks.
+        let mut next_window = if window_instructions > 0 {
+            window_instructions
+        } else {
+            u64::MAX
+        };
+        let mut next_warm = if warmup_instructions > 0 {
+            warmup_instructions
+        } else {
+            u64::MAX
+        };
+        let budget_limit = self.cfg.instruction_budget.unwrap_or(u64::MAX);
         let mut checkpoints = Vec::new();
         let checkpoint_interval = self.cfg.checkpoint_interval;
         let mut next_checkpoint = if checkpoint_interval > 0 {
@@ -411,29 +486,41 @@ impl Simulator {
             u64::MAX
         };
         let mut termination = Termination::Completed;
+        let mut next_cancel_check = if self.cancel.is_some() {
+            CANCEL_CHECK_INTERVAL
+        } else {
+            u64::MAX
+        };
         while let Some(instr) = sched.next_instruction(self.now) {
             self.step_ifetch(&instr.ifetch);
             if let Some(data) = instr.data {
                 self.step_data(&data);
             }
             sched.post_instruction(self.now, instr.ifetch.syscall);
-            if let Some(fault) = self.pending_mc.take() {
+            if self.pending_mc.is_some() {
+                let fault = self.pending_mc.take().expect("just checked");
                 return Err(SimError::MachineCheck {
                     fault,
                     cycle: self.now,
                     instructions: self.counters.instructions,
                 });
             }
-            if let Some(err) = self.take_divergence() {
-                return Err(err);
+            if self.diff_on {
+                if let Some(err) = self.take_divergence() {
+                    return Err(err);
+                }
             }
-            if warmup_instructions > 0
-                && warm_snapshot.is_none()
-                && self.counters.instructions >= warmup_instructions
-            {
+            if self.counters.instructions >= next_cancel_check {
+                next_cancel_check = self.counters.instructions + CANCEL_CHECK_INTERVAL;
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    return Err(SimError::Cancelled);
+                }
+            }
+            if self.counters.instructions >= next_warm {
                 warm_snapshot = Some(self.counters);
+                next_warm = u64::MAX;
             }
-            if window_instructions > 0 && self.counters.instructions >= next_window {
+            if self.counters.instructions >= next_window {
                 windows.push(self.counters.since(&window_start));
                 window_start = self.counters;
                 next_window += window_instructions;
@@ -447,11 +534,7 @@ impl Simulator {
                 });
                 next_checkpoint += checkpoint_interval;
             }
-            if self
-                .cfg
-                .instruction_budget
-                .is_some_and(|b| self.counters.instructions >= b)
-            {
+            if self.counters.instructions >= budget_limit {
                 termination = Termination::BudgetExhausted;
                 break;
             }
@@ -502,6 +585,7 @@ impl Simulator {
         }
     }
 
+    #[inline]
     fn proc_entry(&mut self, pid: gaas_trace::Pid) -> &mut ProcCounters {
         let idx = pid.raw() as usize;
         if self.per_proc.len() <= idx {
@@ -510,6 +594,7 @@ impl Simulator {
         &mut self.per_proc[idx]
     }
 
+    #[inline]
     fn translate(&mut self, addr: VirtAddr) -> PhysAddr {
         let key = addr.raw() >> PAGE_SHIFT;
         let idx = (key as usize) & (TCACHE_WAYS - 1);
@@ -556,6 +641,8 @@ impl Simulator {
     /// Cross-checks one completed access against the golden model, then
     /// applies a due seeded bug (after the check, so the corruption is
     /// first observed by a *later* access — as a real bug would be).
+    #[cold]
+    #[inline(never)]
     fn diff_note(&mut self, ev: &TraceEvent, paddr: PhysAddr, before: Counters) {
         let Some(mut ds) = self.diff.take() else {
             return;
@@ -821,7 +908,11 @@ impl Simulator {
     /// Fault check for a TLB hit (shared by both TLBs; entries are never
     /// the only copy, so "dirty" never applies). A parity refetch re-walks
     /// the page tables at the configured TLB miss penalty.
+    #[inline]
     fn fault_on_tlb_hit(&mut self) -> u64 {
+        if !self.fault_on {
+            return 0;
+        }
         let Some((ev, effect)) = self.fault_check(Structure::Tlb, false) else {
             return 0;
         };
@@ -834,7 +925,11 @@ impl Simulator {
     }
 
     /// Fault check for an L1-I hit (instruction lines are never dirty).
+    #[inline]
     fn fault_on_l1i_hit(&mut self, paddr: PhysAddr) -> u64 {
+        if !self.fault_on {
+            return 0;
+        }
         let Some((ev, effect)) = self.fault_check(Structure::L1I, false) else {
             return 0;
         };
@@ -850,7 +945,11 @@ impl Simulator {
     /// only copy of its data; the write-through policies stream every
     /// write out through the buffer, so their L1 copies are always clean
     /// (the line's written mark notwithstanding).
+    #[inline]
     fn fault_on_l1d_hit(&mut self, paddr: PhysAddr) -> u64 {
+        if !self.fault_on {
+            return 0; // skip the dirty-line peek along with the check
+        }
         let dirty = !self.cfg.policy.is_write_through()
             && self.l1d.array().peek(paddr).is_some_and(|l| l.dirty);
         let Some((ev, effect)) = self.fault_check(Structure::L1D, dirty) else {
@@ -866,7 +965,11 @@ impl Simulator {
 
     /// Fault check for a demand L2 hit (either side; background drains are
     /// not checked). A clean line refetches from main memory in place.
+    #[inline]
     fn fault_on_l2_hit(&mut self, _paddr: PhysAddr, dirty: bool, i_side: bool) -> u64 {
+        if !self.fault_on {
+            return 0;
+        }
         let Some((ev, effect)) = self.fault_check(Structure::L2, dirty) else {
             return 0;
         };
@@ -885,7 +988,11 @@ impl Simulator {
     /// Fault check for a write entering the write buffer. In-flight store
     /// data is always the only copy, hence always dirty: parity can only
     /// detect (machine check), ECC corrects.
+    #[inline]
     fn fault_on_wb_write(&mut self) -> u64 {
+        if !self.fault_on {
+            return 0;
+        }
         let Some((ev, effect)) = self.fault_check(Structure::WriteBuffer, true) else {
             return 0;
         };
@@ -917,8 +1024,13 @@ impl Simulator {
         self.mem_d.service_miss_raw(dirty_victim).stall_cycles
     }
 
+    #[inline]
     fn step_ifetch(&mut self, ev: &TraceEvent) {
-        let diff_before = self.diff.as_ref().map(|_| self.counters);
+        let diff_before = if self.diff_on {
+            Some(self.counters)
+        } else {
+            None
+        };
         let mut cycles = 1 + ev.stall_cycles as u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         let mut missed = false;
@@ -968,6 +1080,7 @@ impl Simulator {
         p.l2_misses += l2_after - l2_before;
     }
 
+    #[inline]
     fn step_data(&mut self, ev: &TraceEvent) {
         match ev.kind {
             AccessKind::Load => self.step_load(ev),
@@ -976,8 +1089,13 @@ impl Simulator {
         }
     }
 
+    #[inline]
     fn step_load(&mut self, ev: &TraceEvent) {
-        let diff_before = self.diff.as_ref().map(|_| self.counters);
+        let diff_before = if self.diff_on {
+            Some(self.counters)
+        } else {
+            None
+        };
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.loads += 1;
@@ -1027,8 +1145,13 @@ impl Simulator {
         p.l2_misses += l2_after - l2_before;
     }
 
+    #[inline]
     fn step_store(&mut self, ev: &TraceEvent) {
-        let diff_before = self.diff.as_ref().map(|_| self.counters);
+        let diff_before = if self.diff_on {
+            Some(self.counters)
+        } else {
+            None
+        };
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.stores += 1;
@@ -1121,6 +1244,32 @@ mod tests {
 
     fn fetch_heavy(n: u64) -> Vec<TraceEvent> {
         (0..n).map(|i| TraceEvent::ifetch(va(i % 64), 0)).collect()
+    }
+
+    #[test]
+    fn cancelled_token_stops_run_at_batch_boundary() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sim = Simulator::new(SimConfig::baseline()).expect("valid");
+        sim.set_cancel_token(token);
+        // Enough instructions to cross the first cancellation poll.
+        let events = fetch_heavy(3 * super::CANCEL_CHECK_INTERVAL);
+        let err = sim
+            .run(vec![Box::new(VecTrace::new("t", events))])
+            .expect_err("cancelled run must not complete");
+        assert_eq!(err, SimError::Cancelled);
+    }
+
+    #[test]
+    fn untriggered_token_does_not_perturb_run() {
+        let events = fetch_heavy(3 * super::CANCEL_CHECK_INTERVAL);
+        let plain = run_events(SimConfig::baseline(), events.clone());
+        let mut sim = Simulator::new(SimConfig::baseline()).expect("valid");
+        sim.set_cancel_token(CancelToken::new());
+        let tokened = sim
+            .run(vec![Box::new(VecTrace::new("t", events))])
+            .expect("runs to completion");
+        assert_eq!(plain.counters, tokened.counters);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use gaas_cache::WritePolicy;
 use gaas_sim::config::{L2Config, L2Side, SimConfig, WriteBufferConfig};
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, f4, Table};
 
 /// One ablation point: a labeled config and its headline metrics.
@@ -34,20 +34,25 @@ pub struct Row {
     pub l2_miss: f64,
 }
 
-fn point(family: &'static str, label: String, cfg: SimConfig, scale: f64) -> Row {
-    let r = run_standard(cfg, scale);
-    Row {
-        family,
-        label,
-        cpi: r.cpi(),
-        memory_cpi: r.breakdown().memory_cpi(),
-        l2_miss: r.counters.l2_miss_ratio(),
-    }
+/// Runs a family of labeled configs as one batched sweep.
+fn run_points(points: Vec<(&'static str, String, SimConfig)>, scale: f64) -> Vec<Row> {
+    let cfgs: Vec<SimConfig> = points.iter().map(|(_, _, cfg)| cfg.clone()).collect();
+    run_standard_many(&cfgs, scale)
+        .into_iter()
+        .zip(points)
+        .map(|(r, (family, label, _))| Row {
+            family,
+            label,
+            cpi: r.cpi(),
+            memory_cpi: r.breakdown().memory_cpi(),
+            l2_miss: r.counters.l2_miss_ratio(),
+        })
+        .collect()
 }
 
 /// Write-buffer depth sweep for both policy classes.
 pub fn write_buffer_depth(scale: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for policy in [WritePolicy::WriteBack, WritePolicy::WriteOnly] {
         for depth in [1usize, 2, 4, 8, 16] {
             let mut b = SimConfig::builder();
@@ -55,20 +60,19 @@ pub fn write_buffer_depth(scale: f64) -> Vec<Row> {
                 depth,
                 width_words: if policy.is_write_through() { 1 } else { 4 },
             });
-            rows.push(point(
+            points.push((
                 "wb-depth",
                 format!("{} depth {depth}", policy.label()),
                 b.build().expect("valid"),
-                scale,
             ));
         }
     }
-    rows
+    run_points(points, scale)
 }
 
 /// L2 line-size sweep on the base architecture.
 pub fn l2_line_size(scale: f64) -> Vec<Row> {
-    [8u32, 16, 32]
+    let points = [8u32, 16, 32]
         .iter()
         .map(|&line| {
             let mut b = SimConfig::builder();
@@ -78,44 +82,45 @@ pub fn l2_line_size(scale: f64) -> Vec<Row> {
                 line_words: line,
                 access_cycles: 6,
             }));
-            point(
+            (
                 "l2-line",
                 format!("{line}W lines"),
                 b.build().expect("valid"),
-                scale,
             )
         })
-        .collect()
+        .collect();
+    run_points(points, scale)
 }
 
 /// Page-color sweep: 256 colors (the default) down to a single color
 /// (an allocator that ignores cache geometry).
 pub fn page_colors(scale: f64) -> Vec<Row> {
-    [256u64, 64, 16, 4, 1]
+    let points = [256u64, 64, 16, 4, 1]
         .iter()
         .map(|&colors| {
             let mut cfg = SimConfig::baseline();
             cfg.page_colors = colors;
-            point("page-colors", format!("{colors} colors"), cfg, scale)
+            ("page-colors", format!("{colors} colors"), cfg)
         })
-        .collect()
+        .collect();
+    run_points(points, scale)
 }
 
 /// TLB miss-penalty sensitivity.
 pub fn tlb_penalty(scale: f64) -> Vec<Row> {
-    [0u32, 10, 30, 100]
+    let points = [0u32, 10, 30, 100]
         .iter()
         .map(|&p| {
             let mut b = SimConfig::builder();
             b.tlb_miss_penalty(p);
-            point(
+            (
                 "tlb-penalty",
                 format!("{p} cycles"),
                 b.build().expect("valid"),
-                scale,
             )
         })
-        .collect()
+        .collect();
+    run_points(points, scale)
 }
 
 /// Runs every ablation family.

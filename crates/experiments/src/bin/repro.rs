@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--scale S] [--quick] [--journal PATH] [--resume]
+//! repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             sec5 sec8 perbench ablations budget threec warmup
@@ -9,6 +9,8 @@
 //!             | diffcheck (lockstep golden-model oracle smoke sweep)
 //! --scale S      workload scale (default 0.01 = 1% of the 2.4G-ref suite)
 //! --quick        shorthand for --scale 0.002
+//! --jobs N       run sweep cells on N worker threads (default 1 = serial;
+//!                tables are byte-identical at any job count)
 //! --journal PATH journal every sweep cell to a JSON checkpoint at PATH
 //! --resume       with --journal: skip cells already journaled (a killed
 //!                run picks up where it left off, byte-identical tables)
@@ -17,7 +19,7 @@
 use std::time::Instant;
 
 use gaas_experiments::{
-    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench,
+    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, pool,
     runner, sec5, sec8, table1, threec, verify, warmup,
 };
 
@@ -60,6 +62,16 @@ fn main() {
                 }
             }
             "--quick" => scale = 0.002,
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing value for --jobs"));
+                let n: usize = v.parse().unwrap_or_else(|_| usage("bad --jobs value"));
+                if n == 0 {
+                    usage("--jobs must be >= 1");
+                }
+                pool::set_jobs(n);
+            }
             "--journal" => {
                 let v = it
                     .next()
@@ -95,6 +107,9 @@ fn main() {
 
     println!("# GaAs two-level cache design study — reproduction run");
     println!("# workload scale {scale} (1.0 = the paper's ~2.4G references)\n");
+    if pool::jobs() > 1 {
+        eprintln!("[sweep cells on {} worker threads]", pool::jobs());
+    }
 
     for name in &selected {
         let t0 = Instant::now();
@@ -186,7 +201,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--journal PATH] [--resume]\n\
+        "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]\n\
          experiments: {} | all | check | diffcheck",
         ALL.join(" ")
     );

@@ -8,9 +8,11 @@
 //! 1. **isolation** — the cell runs on its own thread behind
 //!    `catch_unwind`, so a panic degrades to a per-cell
 //!    [`CellResult::Failed`] instead of tearing down the campaign;
-//! 2. **wall-clock timeout** — a wedged cell is abandoned after
-//!    [`CellOptions::timeout`] (the worker thread is detached; its result,
-//!    if it ever arrives, is dropped);
+//! 2. **wall-clock timeout** — a cell still running at
+//!    [`CellOptions::timeout`] is cancelled cooperatively (the simulator
+//!    polls a [`CancelToken`] between instruction batches and stops
+//!    within microseconds); only a cell wedged so hard it ignores the
+//!    flag is detached as a last resort;
 //! 3. **bounded retry** — panics and timeouts are retried up to
 //!    [`CellOptions::attempts`] times; *typed* simulation errors
 //!    (invalid config, machine check, oracle divergence) are
@@ -39,10 +41,16 @@ use std::thread;
 use std::time::Duration;
 
 use gaas_sim::config::SimConfig;
-use gaas_sim::{config_fingerprint, Counters, Pid, ProcCounters, SimError, SimResult, Termination};
+use gaas_sim::{
+    config_fingerprint, CancelToken, Counters, Pid, ProcCounters, SimError, SimResult, Termination,
+};
 
 use self::json::Json;
-use crate::runner;
+use crate::{pool, runner};
+
+/// How long a timed-out cell gets to acknowledge cooperative
+/// cancellation before it is detached as truly wedged.
+const CANCEL_GRACE: Duration = Duration::from_secs(2);
 
 /// Per-cell isolation knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,11 +139,13 @@ pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResu
         attempts += 1;
         let (tx, rx) = mpsc::channel();
         let worker_cfg = cfg.clone();
+        let cancel = CancelToken::new();
+        let worker_cancel = cancel.clone();
         let spawned = thread::Builder::new()
             .name("campaign-cell".into())
             .spawn(move || {
                 let out = panic::catch_unwind(AssertUnwindSafe(|| {
-                    runner::run_standard_raw(worker_cfg, scale)
+                    runner::run_standard_raw_cancellable(worker_cfg, scale, Some(worker_cancel))
                 }));
                 let _ = tx.send(out);
             });
@@ -166,8 +176,18 @@ pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResu
                 format!("panicked: {}", panic_message(payload.as_ref()))
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Abandon the worker: it keeps running detached, but its
-                // send goes to a dropped receiver.
+                // Flag the worker to stop at its next batch boundary and
+                // give it a short grace period to acknowledge; whatever
+                // it reports (normally `SimError::Cancelled`) is dropped
+                // in favour of the timeout. Only a cell wedged so hard it
+                // never reaches a boundary is detached.
+                cancel.cancel();
+                match rx.recv_timeout(CANCEL_GRACE) {
+                    Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        let _ = handle.join();
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                }
                 SimError::Timeout {
                     seconds: opts.timeout.as_secs(),
                 }
@@ -450,35 +470,46 @@ impl Campaign {
         })
     }
 
-    /// Runs (or reloads) one cell.
-    pub fn cell(&mut self, cfg: &SimConfig, scale: f64) -> CellResult {
-        let key = cell_key(cfg, scale);
-        if let Some(entry) = self.cells.get(&key) {
-            self.reused += 1;
-            return match entry {
-                JournalEntry::Done(s) => CellResult::Done(Box::new(s.to_result(cfg.clone()))),
-                JournalEntry::Failed { error, attempts } => CellResult::Failed {
-                    error: error.clone(),
-                    attempts: *attempts,
-                },
-            };
-        }
-        let res = run_isolated(cfg, scale, &self.opts);
+    /// Reloads one cell from the journal, if present (counts as reuse).
+    fn lookup(&mut self, cfg: &SimConfig, scale: f64) -> Option<CellResult> {
+        let entry = self.cells.get(&cell_key(cfg, scale))?;
+        self.reused += 1;
+        Some(match entry {
+            JournalEntry::Done(s) => CellResult::Done(Box::new(s.to_result(cfg.clone()))),
+            JournalEntry::Failed { error, attempts } => CellResult::Failed {
+                error: error.clone(),
+                attempts: *attempts,
+            },
+        })
+    }
+
+    /// Journals one executed cell result (written atomically right away,
+    /// so a crash after any cell loses nothing).
+    fn record(&mut self, cfg: &SimConfig, scale: f64, res: &CellResult) {
         self.executed += 1;
-        let entry = match &res {
+        let entry = match res {
             CellResult::Done(r) => JournalEntry::Done(Box::new(StoredResult::from_result(r))),
             CellResult::Failed { error, attempts } => JournalEntry::Failed {
                 error: error.clone(),
                 attempts: *attempts,
             },
         };
-        self.cells.insert(key, entry);
+        self.cells.insert(cell_key(cfg, scale), entry);
         if let Err(e) = self.save() {
             eprintln!(
                 "campaign: could not write journal {}: {e}",
                 self.path.display()
             );
         }
+    }
+
+    /// Runs (or reloads) one cell.
+    pub fn cell(&mut self, cfg: &SimConfig, scale: f64) -> CellResult {
+        if let Some(res) = self.lookup(cfg, scale) {
+            return res;
+        }
+        let res = run_isolated(cfg, scale, &self.opts);
+        self.record(cfg, scale, &res);
         res
     }
 
@@ -578,6 +609,56 @@ pub fn dispatch(cfg: &SimConfig, scale: f64) -> CellResult {
             run_isolated(cfg, scale, &CellOptions::unbounded())
         }
     }
+}
+
+/// Runs a batch of cells over the process-wide worker pool
+/// ([`pool::jobs`], set by `repro --jobs`), returning results in
+/// submission order regardless of completion order — so tables built
+/// from the batch are byte-identical to a serial sweep.
+///
+/// Journal semantics match per-cell [`dispatch`]: journaled cells are
+/// reused without running, executed cells journal atomically as each one
+/// completes (arrival order; the journal's `BTreeMap` keying makes the
+/// file bytes order-independent). The campaign lock is *not* held while
+/// cells run, only around the journal lookups/writes.
+pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
+    let mut results: Vec<Option<CellResult>> = vec![None; cfgs.len()];
+    let mut todo: Vec<usize> = Vec::new();
+    let opts = {
+        let mut guard = active();
+        match guard.as_mut() {
+            Some(campaign) => {
+                for (i, cfg) in cfgs.iter().enumerate() {
+                    match campaign.lookup(cfg, scale) {
+                        Some(res) => results[i] = Some(res),
+                        None => todo.push(i),
+                    }
+                }
+                campaign.opts
+            }
+            None => {
+                todo.extend(0..cfgs.len());
+                CellOptions::unbounded()
+            }
+        }
+    };
+    let executed = pool::run_ordered(
+        pool::jobs(),
+        todo.len(),
+        |k| run_isolated(&cfgs[todo[k]], scale, &opts),
+        |k, res| {
+            if let Some(campaign) = active().as_mut() {
+                campaign.record(&cfgs[todo[k]], scale, res);
+            }
+        },
+    );
+    for (k, res) in todo.iter().zip(executed) {
+        results[*k] = Some(res);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell resolved"))
+        .collect()
 }
 
 mod json {

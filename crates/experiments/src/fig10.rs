@@ -16,9 +16,8 @@
 
 use gaas_cache::WritePolicy;
 use gaas_sim::config::{ConcurrencyConfig, L2Config, SimConfig, WbBypass};
-use gaas_sim::SimResult;
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, f4, Table};
 
 /// One design point in the concurrency walk.
@@ -87,10 +86,10 @@ pub fn run(scale: f64) -> Vec<Row> {
         ),
     ];
 
+    let (labels, cfgs): (Vec<_>, Vec<_>) = steps.into_iter().unzip();
     let mut rows: Vec<Row> = Vec::new();
     let mut prev_cpi = f64::NAN;
-    for (label, cfg) in steps {
-        let r: SimResult = run_standard(cfg, scale);
+    for (r, label) in run_standard_many(&cfgs, scale).iter().zip(labels) {
         let b = r.breakdown();
         let delta = if prev_cpi.is_nan() {
             0.0

@@ -10,7 +10,7 @@
 use gaas_sim::config::SimConfig;
 
 use crate::campaign::CellResult;
-use crate::runner::run_standard_cell;
+use crate::runner::run_standard_cells;
 use crate::tablefmt::{f3, f4, Table};
 
 /// Multiprogramming levels swept.
@@ -35,26 +35,31 @@ pub struct Row {
 /// every isolation attempt is reported to stderr and omitted from the
 /// returned rows.
 pub fn run(scale: f64) -> Vec<Row> {
-    LEVELS
+    let cfgs: Vec<SimConfig> = LEVELS
         .iter()
-        .filter_map(|&level| {
+        .map(|&level| {
             let mut b = SimConfig::builder();
             b.mp_level(level);
-            match run_standard_cell(&b.build().expect("valid"), scale) {
-                CellResult::Done(r) => {
-                    let c = &r.counters;
-                    Some(Row {
-                        level,
-                        l1i: c.l1i_miss_ratio(),
-                        l1d: c.l1d_miss_ratio(),
-                        l2: c.l2_miss_ratio(),
-                        cpi: r.cpi(),
-                    })
-                }
-                CellResult::Failed { error, attempts } => {
-                    eprintln!("fig2: level {level} failed after {attempts} attempt(s): {error}");
-                    None
-                }
+            b.build().expect("valid")
+        })
+        .collect();
+    run_standard_cells(&cfgs, scale)
+        .into_iter()
+        .zip(LEVELS)
+        .filter_map(|(res, level)| match res {
+            CellResult::Done(r) => {
+                let c = &r.counters;
+                Some(Row {
+                    level,
+                    l1i: c.l1i_miss_ratio(),
+                    l1d: c.l1d_miss_ratio(),
+                    l2: c.l2_miss_ratio(),
+                    cpi: r.cpi(),
+                })
+            }
+            CellResult::Failed { error, attempts } => {
+                eprintln!("fig2: level {level} failed after {attempts} attempt(s): {error}");
+                None
             }
         })
         .collect()

@@ -9,7 +9,7 @@
 
 use gaas_sim::config::SimConfig;
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, f4, Table};
 
 /// Time slices swept (cycles).
@@ -36,12 +36,18 @@ pub struct Row {
 
 /// Runs the sweep on the base architecture at level 8.
 pub fn run(scale: f64) -> Vec<Row> {
-    SLICES
+    let cfgs: Vec<SimConfig> = SLICES
         .iter()
         .map(|&slice| {
             let mut b = SimConfig::builder();
             b.time_slice(slice);
-            let r = run_standard(b.build().expect("valid"), scale);
+            b.build().expect("valid")
+        })
+        .collect();
+    run_standard_many(&cfgs, scale)
+        .into_iter()
+        .zip(SLICES)
+        .map(|(r, slice)| {
             let c = &r.counters;
             let switches = (c.syscall_switches + c.slice_switches).max(1);
             Row {

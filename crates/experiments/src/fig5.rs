@@ -13,7 +13,7 @@
 use gaas_cache::WritePolicy;
 use gaas_sim::config::SimConfig;
 
-use crate::runner::run_standard_cell;
+use crate::runner::run_standard_cells;
 use crate::tablefmt::{f3_opt, f4, Table};
 
 /// Effective drain access times swept (cycles).
@@ -38,27 +38,33 @@ pub struct Row {
 /// every isolation attempt is reported to stderr and skipped; the tables
 /// render it as a gap.
 pub fn run(scale: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut cfgs = Vec::new();
     for policy in WritePolicy::all() {
         for &access in &ACCESS_TIMES {
             let mut b = SimConfig::builder();
             b.policy(policy).l2_drain_access(access);
-            match run_standard_cell(&b.build().expect("valid"), scale) {
-                crate::campaign::CellResult::Done(r) => {
-                    let bd = r.breakdown();
-                    rows.push(Row {
-                        policy,
-                        access,
-                        cpi: r.cpi(),
-                        write_cpi: bd.l1_writes,
-                        wb_cpi: bd.wb_wait,
-                    });
-                }
-                crate::campaign::CellResult::Failed { error, attempts } => eprintln!(
-                    "fig5: cell {}/{access} failed after {attempts} attempt(s): {error}",
-                    policy.label()
-                ),
+            points.push((policy, access));
+            cfgs.push(b.build().expect("valid"));
+        }
+    }
+    let mut rows = Vec::new();
+    for (res, (policy, access)) in run_standard_cells(&cfgs, scale).into_iter().zip(points) {
+        match res {
+            crate::campaign::CellResult::Done(r) => {
+                let bd = r.breakdown();
+                rows.push(Row {
+                    policy,
+                    access,
+                    cpi: r.cpi(),
+                    write_cpi: bd.l1_writes,
+                    wb_cpi: bd.wb_wait,
+                });
             }
+            crate::campaign::CellResult::Failed { error, attempts } => eprintln!(
+                "fig5: cell {}/{access} failed after {attempts} attempt(s): {error}",
+                policy.label()
+            ),
         }
     }
     rows

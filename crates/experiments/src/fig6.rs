@@ -12,7 +12,7 @@
 use gaas_sim::config::{L2Config, L2Side, SimConfig};
 
 use crate::campaign::CellResult;
-use crate::runner::run_standard_cell;
+use crate::runner::run_standard_cells;
 use crate::tablefmt::{f3, f4, Table, GAP};
 
 /// Total L2 sizes swept (words).
@@ -84,24 +84,30 @@ pub struct Row {
 /// Runs the 7 × 4 sweep. A cell that fails every isolation attempt is
 /// reported to stderr and skipped; the grids render it as a gap.
 pub fn run(scale: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut cfgs = Vec::new();
     for &size in &SIZES {
         for org in Org::all() {
             let mut b = SimConfig::builder();
             b.l2(org.l2(size));
-            match run_standard_cell(&b.build().expect("valid"), scale) {
-                CellResult::Done(r) => rows.push(Row {
-                    size_words: size,
-                    org,
-                    cpi: r.cpi(),
-                    miss_ratio: r.counters.l2_miss_ratio(),
-                }),
-                CellResult::Failed { error, attempts } => eprintln!(
-                    "fig6: cell {}KW/{} failed after {attempts} attempt(s): {error}",
-                    size / 1024,
-                    org.label()
-                ),
-            }
+            points.push((size, org));
+            cfgs.push(b.build().expect("valid"));
+        }
+    }
+    let mut rows = Vec::new();
+    for (res, (size, org)) in run_standard_cells(&cfgs, scale).into_iter().zip(points) {
+        match res {
+            CellResult::Done(r) => rows.push(Row {
+                size_words: size,
+                org,
+                cpi: r.cpi(),
+                miss_ratio: r.counters.l2_miss_ratio(),
+            }),
+            CellResult::Failed { error, attempts } => eprintln!(
+                "fig6: cell {}KW/{} failed after {attempts} attempt(s): {error}",
+                size / 1024,
+                org.label()
+            ),
         }
     }
     rows

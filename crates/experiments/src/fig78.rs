@@ -13,7 +13,7 @@
 
 use gaas_sim::config::{L2Config, L2Side, SimConfig};
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f4, Table};
 
 /// Side sizes swept (words).
@@ -82,24 +82,31 @@ pub fn run(side: Side, scale: f64) -> Vec<Row> {
 
 /// Runs a surface over explicit axes (benches use sparser grids).
 pub fn run_with_axes(side: Side, scale: f64, sizes: &[u64], times: &[u32]) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut cfgs = Vec::new();
     for &size in sizes {
         for &access in times {
-            let r = run_standard(config_for(side, size, access), scale);
+            points.push((size, access));
+            cfgs.push(config_for(side, size, access));
+        }
+    }
+    run_standard_many(&cfgs, scale)
+        .into_iter()
+        .zip(points)
+        .map(|(r, (size, access))| {
             let bd = r.breakdown();
             let side_cpi = match side {
                 Side::Instruction => bd.instruction_side_cpi(),
                 Side::Data => bd.data_read_side_cpi(),
             };
-            rows.push(Row {
+            Row {
                 size_words: size,
                 access,
                 side_cpi,
                 cpi: r.cpi(),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders a surface: one row per size, one column per access time.

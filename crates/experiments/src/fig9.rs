@@ -13,7 +13,7 @@ use gaas_cache::WritePolicy;
 use gaas_sim::config::{L2Config, L2Side, SimConfig};
 use gaas_sim::SimResult;
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, f4, Table};
 
 /// One design point in the walk.
@@ -76,18 +76,18 @@ fn row(label: &'static str, r: &SimResult) -> Row {
 
 /// Runs the four design points.
 pub fn run(scale: f64) -> Vec<Row> {
-    vec![
-        row("base + write-only", &run_standard(write_only_base(), scale)),
-        row(
-            "+ split 32KW/2cyc L2-I, 256KW/6cyc L2-D",
-            &run_standard(split_fast(), scale),
-        ),
-        row("+ 8W L1 fetch/line", &run_standard(split_fast_8w(), scale)),
-        row(
-            "(swapped L2-I/L2-D speeds)",
-            &run_standard(swapped(), scale),
-        ),
-    ]
+    let labels = [
+        "base + write-only",
+        "+ split 32KW/2cyc L2-I, 256KW/6cyc L2-D",
+        "+ 8W L1 fetch/line",
+        "(swapped L2-I/L2-D speeds)",
+    ];
+    let cfgs = [write_only_base(), split_fast(), split_fast_8w(), swapped()];
+    run_standard_many(&cfgs, scale)
+        .iter()
+        .zip(labels)
+        .map(|(r, label)| row(label, r))
+        .collect()
 }
 
 /// Renders the Fig. 9 columns.

@@ -45,6 +45,7 @@ pub mod fig6;
 pub mod fig78;
 pub mod fig9;
 pub mod perbench;
+pub mod pool;
 pub mod runner;
 pub mod sec5;
 pub mod sec8;
@@ -55,5 +56,8 @@ pub mod verify;
 pub mod warmup;
 
 pub use campaign::{CampaignStats, CellOptions, CellResult};
-pub use runner::{run_standard, run_standard_cell, run_standard_raw, DEFAULT_SCALE};
+pub use runner::{
+    run_standard, run_standard_cell, run_standard_cells, run_standard_many, run_standard_raw,
+    DEFAULT_SCALE,
+};
 pub use tablefmt::Table;

@@ -13,8 +13,8 @@
 
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
-    workload, ConcurrencyConfig, DiffCheckConfig, L2Config, SimError, SimResult, Simulator,
-    WbBypass, WritePolicy,
+    workload, CancelToken, ConcurrencyConfig, DiffCheckConfig, L2Config, SimError, SimResult,
+    Simulator, WbBypass, WritePolicy,
 };
 use gaas_trace::bench_model::suite;
 
@@ -42,8 +42,28 @@ pub fn suite_instructions(scale: f64) -> u64 {
 /// Returns [`SimError`] for invalid configurations, machine checks, and
 /// oracle divergences.
 pub fn run_standard_raw(cfg: SimConfig, scale: f64) -> Result<SimResult, SimError> {
+    run_standard_raw_cancellable(cfg, scale, None)
+}
+
+/// [`run_standard_raw`] with an optional cooperative-cancellation token;
+/// the campaign's timeout layer uses this so an abandoned cell stops
+/// burning CPU instead of running detached to completion.
+///
+/// # Errors
+///
+/// As [`run_standard_raw`], plus [`SimError::Cancelled`] when the token
+/// fires mid-run.
+pub fn run_standard_raw_cancellable(
+    cfg: SimConfig,
+    scale: f64,
+    cancel: Option<CancelToken>,
+) -> Result<SimResult, SimError> {
     let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
-    Simulator::new(cfg)?.run_warmed(workload::standard(scale), warmup)
+    let mut sim = Simulator::new(cfg)?;
+    if let Some(token) = cancel {
+        sim.set_cancel_token(token);
+    }
+    sim.run_warmed(workload::standard(scale), warmup)
 }
 
 /// Runs one campaign cell: through the active
@@ -51,6 +71,33 @@ pub fn run_standard_raw(cfg: SimConfig, scale: f64) -> Result<SimResult, SimErro
 /// resumable), otherwise isolated on a worker thread with `catch_unwind`.
 pub fn run_standard_cell(cfg: &SimConfig, scale: f64) -> CellResult {
     campaign::dispatch(cfg, scale)
+}
+
+/// Runs a whole batch of campaign cells, fanning out over the
+/// process-wide worker pool (`repro --jobs N`; serial by default) while
+/// returning results in submission order — the parallel sweep engine's
+/// front door. Journal reuse, isolation and journaling semantics are
+/// identical to calling [`run_standard_cell`] per config.
+pub fn run_standard_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
+    campaign::run_cells(cfgs, scale)
+}
+
+/// Batch form of [`run_standard`]: runs every config (in parallel when
+/// `--jobs` is set) and unwraps the results in submission order.
+///
+/// # Panics
+///
+/// Panics if any cell fails, like [`run_standard`].
+pub fn run_standard_many(cfgs: &[SimConfig], scale: f64) -> Vec<SimResult> {
+    run_standard_cells(cfgs, scale)
+        .into_iter()
+        .map(|res| match res {
+            CellResult::Done(r) => *r,
+            CellResult::Failed { error, attempts } => {
+                panic!("experiment cell failed after {attempts} attempt(s): {error}")
+            }
+        })
+        .collect()
 }
 
 /// Runs `cfg` over the standard ten-benchmark workload at `scale`,

@@ -12,7 +12,7 @@
 use gaas_mcm::{cycle_stretch, l1_access, TagPlacement};
 use gaas_sim::config::{L1Config, SimConfig};
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, Table};
 
 /// L1 sizes swept (words, both caches).
@@ -53,7 +53,8 @@ pub fn implied_tags(size_words: u64, assoc: u32) -> TagPlacement {
 
 /// Runs the size × associativity sweep.
 pub fn run(scale: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut cfgs = Vec::new();
     for &size in &SIZES {
         for assoc in [1u32, 2] {
             let mut b = SimConfig::builder();
@@ -67,11 +68,18 @@ pub fn run(scale: f64) -> Vec<Row> {
                 line_words: 4,
                 assoc,
             });
-            let r = run_standard(b.build().expect("valid"), scale);
+            points.push((size, assoc));
+            cfgs.push(b.build().expect("valid"));
+        }
+    }
+    run_standard_many(&cfgs, scale)
+        .into_iter()
+        .zip(points)
+        .map(|(r, (size, assoc))| {
             let tags = implied_tags(size, assoc);
             let access = l1_access(size, tags);
             let stretch = cycle_stretch(&access);
-            rows.push(Row {
+            Row {
                 size_words: size,
                 assoc,
                 tags,
@@ -79,10 +87,9 @@ pub fn run(scale: f64) -> Vec<Row> {
                 access_ns: access.total_ns(),
                 stretch,
                 effective: r.cpi() * stretch,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// Renders the §5 table.

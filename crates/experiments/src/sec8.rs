@@ -10,7 +10,7 @@
 use gaas_cache::WritePolicy;
 use gaas_sim::config::{L1Config, L2Config, SimConfig};
 
-use crate::runner::run_standard;
+use crate::runner::run_standard_many;
 use crate::tablefmt::{f3, Table};
 
 /// Fetch/line sizes swept (words).
@@ -39,7 +39,8 @@ pub fn tag_kbits(i_fetch: u32, d_fetch: u32) -> u32 {
 /// Runs the 3 × 3 fetch-size grid on the §7 design point (write-only,
 /// split fast L2-I).
 pub fn run(scale: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut cfgs = Vec::new();
     for &i_fetch in &FETCH_SIZES {
         for &d_fetch in &FETCH_SIZES {
             let mut b = SimConfig::builder();
@@ -55,16 +56,20 @@ pub fn run(scale: f64) -> Vec<Row> {
                     line_words: d_fetch,
                     assoc: 1,
                 });
-            let r = run_standard(b.build().expect("valid"), scale);
-            rows.push(Row {
-                i_fetch,
-                d_fetch,
-                cpi: r.cpi(),
-                tag_kbits: tag_kbits(i_fetch, d_fetch),
-            });
+            points.push((i_fetch, d_fetch));
+            cfgs.push(b.build().expect("valid"));
         }
     }
-    rows
+    run_standard_many(&cfgs, scale)
+        .into_iter()
+        .zip(points)
+        .map(|(r, (i_fetch, d_fetch))| Row {
+            i_fetch,
+            d_fetch,
+            cpi: r.cpi(),
+            tag_kbits: tag_kbits(i_fetch, d_fetch),
+        })
+        .collect()
 }
 
 /// Renders the fetch-size grid (rows: L1-I fetch; columns: L1-D fetch).

@@ -50,6 +50,9 @@ impl Table {
 }
 
 impl fmt::Display for Table {
+    /// Renders the table, streaming every cell straight into the
+    /// formatter: the only allocation is the per-render column-width
+    /// vector, not a `String` per cell and `Vec` per row.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -57,30 +60,28 @@ impl fmt::Display for Table {
                 widths[i] = widths[i].max(cell.len());
             }
         }
+        let write_cells = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{c:>w$}", w = widths[i])?;
+            }
+            writeln!(f)
+        };
         writeln!(f, "## {}", self.title)?;
-        let header: Vec<String> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
-            .collect();
-        writeln!(f, "{}", header.join("  "))?;
-        writeln!(
-            f,
-            "{}",
-            widths
-                .iter()
-                .map(|w| "-".repeat(*w))
-                .collect::<Vec<_>>()
-                .join("  ")
-        )?;
+        write_cells(f, &self.headers)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                f.write_str("  ")?;
+            }
+            for _ in 0..*w {
+                f.write_str("-")?;
+            }
+        }
+        writeln!(f)?;
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
-                .collect();
-            writeln!(f, "{}", line.join("  "))?;
+            write_cells(f, row)?;
         }
         Ok(())
     }

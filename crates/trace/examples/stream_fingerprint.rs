@@ -1,0 +1,24 @@
+//! Prints an FNV fingerprint of the first events of every suite benchmark
+//! (cross-version determinism check; not part of the test suite).
+
+use gaas_trace::bench_model::suite;
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::Pid;
+
+fn main() {
+    for spec in &suite() {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fnv = |v: u64| {
+            h = (h ^ v).wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        let mut n = 0u64;
+        for ev in TraceGenerator::new(spec, Pid::new(3), 2e-3) {
+            fnv(ev.addr.raw());
+            fnv(ev.kind as u64);
+            fnv(u64::from(ev.stall_cycles));
+            fnv(u64::from(ev.partial_word) | (u64::from(ev.syscall) << 1));
+            n += 1;
+        }
+        println!("{} {} {:016x}", spec.name, n, h);
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::addr::PAGE_WORDS;
 use crate::bench_model::DataModel;
-use crate::rng::SmallRng;
+use crate::rng::{bernoulli_threshold, SmallRng, F64_DRAW_SHIFT};
 
 /// Word address where the static/heap data segment begins (MIPS convention:
 /// byte 0x1000_0000).
@@ -86,12 +86,18 @@ struct StreamState {
 /// Stateful generator of data-reference word addresses for one process.
 #[derive(Debug, Clone)]
 pub struct DataStream {
-    regions: Vec<(f64, Region)>,
+    /// Cumulative region weights as 53-bit draw thresholds.
+    regions: Vec<(u64, Region)>,
     levels: Vec<LevelState>,
     streams: Vec<StreamState>,
     stack_depth: u64,
     footprint_words: u64,
-    hot_frac: f64,
+    /// True when the model has any hot-set mass (`hot_frac > 0`).
+    has_hot: bool,
+    /// Hot-set probability for loads (53-bit draw threshold).
+    t_hot_load: u64,
+    /// Hot-set probability for stores (53-bit draw threshold).
+    t_hot_store: u64,
     /// Ring of recently used 4-word granule addresses (the hot set).
     hot: Vec<u64>,
     hot_cap: usize,
@@ -152,9 +158,10 @@ impl DataStream {
             acc > 0.0,
             "data model must have at least one weighted region"
         );
-        for (w, _) in &mut regions {
-            *w /= acc;
-        }
+        let regions = regions
+            .into_iter()
+            .map(|(w, r)| (bernoulli_threshold(w / acc), r))
+            .collect();
 
         DataStream {
             regions,
@@ -162,7 +169,10 @@ impl DataStream {
             streams,
             stack_depth: 4,
             footprint_words: next_base - DATA_BASE_WORD,
-            hot_frac: model.hot_frac,
+            has_hot: model.hot_frac > 0.0,
+            t_hot_load: bernoulli_threshold(model.hot_frac),
+            // Stores redirect 90 % of their cold mass to the hot set.
+            t_hot_store: bernoulli_threshold(1.0 - (1.0 - model.hot_frac) * 0.10),
             hot: Vec::with_capacity(model.hot_lines),
             hot_cap: model.hot_lines.max(1),
             hot_pos: 0,
@@ -188,23 +198,22 @@ impl DataStream {
     }
 
     fn next_addr_kind(&mut self, rng: &mut SmallRng, store: bool) -> u64 {
-        // Short-reuse-distance mass: re-touch a recent granule. Stores
-        // redirect 90 % of their cold mass to the hot set.
-        let hot_frac = if store {
-            1.0 - (1.0 - self.hot_frac) * 0.10
+        // Short-reuse-distance mass: re-touch a recent granule.
+        let t_hot = if store {
+            self.t_hot_store
         } else {
-            self.hot_frac
+            self.t_hot_load
         };
-        if !self.hot.is_empty() && self.hot_frac > 0.0 && rng.gen::<f64>() < hot_frac {
+        if !self.hot.is_empty() && self.has_hot && (rng.next_u64() >> F64_DRAW_SHIFT) < t_hot {
             let g = self.hot[rng.gen_range(0..self.hot.len())];
             return g * GRANULE_WORDS + rng.gen_range(0..GRANULE_WORDS);
         }
 
-        let x: f64 = rng.gen();
+        let m = rng.next_u64() >> F64_DRAW_SHIFT;
         let region = self
             .regions
             .iter()
-            .find(|(w, _)| x < *w)
+            .find(|(t, _)| m < *t)
             .map(|(_, r)| *r)
             .unwrap_or(self.regions.last().expect("nonempty regions").1);
 

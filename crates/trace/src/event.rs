@@ -110,6 +110,42 @@ impl TraceEvent {
 pub trait Trace: Iterator<Item = TraceEvent> {
     /// Human-readable benchmark name (used in reports).
     fn name(&self) -> &str;
+
+    /// Appends up to `max` further events to `out` and returns how many
+    /// were appended.
+    ///
+    /// This is the bulk form of [`Iterator::next`]: the scheduler refills
+    /// a per-process buffer through one virtual call per batch instead of
+    /// one per event, and concrete traces override it with chunked
+    /// generation (a statically dispatched inner loop).
+    ///
+    /// # Contract
+    ///
+    /// * The concatenation of all batches is **exactly** the sequence
+    ///   `next()` would have produced — batching must never change the
+    ///   event stream (the determinism invariant; see `DESIGN.md`).
+    /// * A return of `0` (with `max > 0`) means the trace is exhausted.
+    ///   Short non-zero batches are allowed.
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let start = out.len();
+        for _ in 0..max {
+            match self.next() {
+                Some(ev) => out.push(ev),
+                None => break,
+            }
+        }
+        out.len() - start
+    }
+}
+
+impl<T: Trace + ?Sized> Trace for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        (**self).next_batch(out, max)
+    }
 }
 
 /// A trivial [`Trace`] over an in-memory event vector, mainly for tests.
@@ -141,6 +177,53 @@ impl Trace for VecTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let start = out.len();
+        out.extend(self.events.by_ref().take(max));
+        out.len() - start
+    }
+}
+
+/// Adapter that defeats batching: every [`Trace::next_batch`] call
+/// delivers at most one event, reproducing the seed kernel's
+/// one-virtual-call-per-event consumption pattern.
+///
+/// Exists for determinism tests (batched vs. unbatched runs must produce
+/// identical [`crate::event::TraceEvent`] streams and simulator counters)
+/// and for the bench harness's seed-kernel reference mode.
+#[derive(Debug)]
+pub struct UnbatchedTrace<T: Trace>(pub T);
+
+impl<T: Trace> Iterator for UnbatchedTrace<T> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<T: Trace> Trace for UnbatchedTrace<T> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        match self.0.next() {
+            Some(ev) => {
+                out.push(ev);
+                1
+            }
+            None => 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +247,46 @@ mod tests {
         assert!(!AccessKind::IFetch.is_data());
         assert!(AccessKind::Load.is_data());
         assert!(AccessKind::Store.is_data());
+    }
+
+    #[test]
+    fn next_batch_matches_per_event_iteration() {
+        let a = VirtAddr::new(Pid::new(1), 0);
+        let evs: Vec<_> = (0..100)
+            .map(|i| TraceEvent::ifetch(a.wrapping_add(i), (i % 4) as u8))
+            .collect();
+        let serial: Vec<_> = VecTrace::new("t", evs.clone()).collect();
+
+        // Batched drain, odd batch size so batches straddle the end.
+        let mut t = VecTrace::new("t", evs.clone());
+        let mut batched = Vec::new();
+        loop {
+            if t.next_batch(&mut batched, 7) == 0 {
+                break;
+            }
+        }
+        assert_eq!(batched, serial);
+
+        // Unbatched adapter: one event per call, same stream.
+        let mut u = UnbatchedTrace(VecTrace::new("t", evs));
+        assert_eq!(u.name(), "t");
+        let mut one_by_one = Vec::new();
+        loop {
+            let n = u.next_batch(&mut one_by_one, 64);
+            assert!(n <= 1, "unbatched adapter must yield at most one");
+            if n == 0 {
+                break;
+            }
+        }
+        assert_eq!(one_by_one, serial);
+    }
+
+    #[test]
+    fn next_batch_zero_means_exhausted() {
+        let mut t = VecTrace::new("t", Vec::new());
+        let mut out = Vec::new();
+        assert_eq!(t.next_batch(&mut out, 16), 0);
+        assert!(out.is_empty());
     }
 
     #[test]

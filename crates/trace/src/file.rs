@@ -260,6 +260,12 @@ impl Trace for FileTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let start = out.len();
+        out.extend(self.iter.by_ref().take(max));
+        out.len() - start
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use crate::bench_model::BenchmarkSpec;
 use crate::data::DataStream;
 use crate::event::{Trace, TraceEvent};
 use crate::instr::InstrStream;
-use crate::rng::SmallRng;
+use crate::rng::{bernoulli_threshold, SmallRng, F64_DRAW_SHIFT};
 
 /// Streaming, deterministic generator of [`TraceEvent`]s for one benchmark.
 ///
@@ -49,13 +49,18 @@ pub struct TraceGenerator {
     syscall_interval: u64,
     /// Data event to emit after the current instruction fetch.
     pending: Option<TraceEvent>,
-    load_frac: f64,
-    store_frac: f64,
-    partial_store_frac: f64,
-    branch_stall_p: f64,
-    load_use_prob: f64,
-    fp_frac: f64,
-    fp_stall_cycles: f64,
+    /// Classification thresholds on the 53-bit draw (see
+    /// [`bernoulli_threshold`]): `m < t_load` ⇒ load,
+    /// `m < t_load_or_store` ⇒ load or store.
+    t_load: u64,
+    t_load_or_store: u64,
+    t_partial_store: u64,
+    t_branch_stall: u64,
+    t_load_use: u64,
+    t_fp: u64,
+    /// FP stall decomposed as `floor + Bernoulli(frac)`.
+    fp_stall_floor: u8,
+    t_fp_stall_extra: u64,
 }
 
 impl TraceGenerator {
@@ -82,13 +87,18 @@ impl TraceGenerator {
             until_syscall: syscall_interval,
             syscall_interval,
             pending: None,
-            load_frac: spec.load_frac,
-            store_frac: spec.store_frac,
-            partial_store_frac: spec.data.partial_store_frac,
-            branch_stall_p: spec.stalls.branch_frac * spec.stalls.branch_stall_prob,
-            load_use_prob: spec.stalls.load_use_prob,
-            fp_frac: spec.stalls.fp_frac,
-            fp_stall_cycles: spec.stalls.fp_stall_cycles,
+            t_load: bernoulli_threshold(spec.load_frac),
+            t_load_or_store: bernoulli_threshold(spec.load_frac + spec.store_frac),
+            t_partial_store: bernoulli_threshold(spec.data.partial_store_frac),
+            t_branch_stall: bernoulli_threshold(
+                spec.stalls.branch_frac * spec.stalls.branch_stall_prob,
+            ),
+            t_load_use: bernoulli_threshold(spec.stalls.load_use_prob),
+            t_fp: bernoulli_threshold(spec.stalls.fp_frac),
+            fp_stall_floor: spec.stalls.fp_stall_cycles.floor() as u8,
+            t_fp_stall_extra: bernoulli_threshold(
+                spec.stalls.fp_stall_cycles - spec.stalls.fp_stall_cycles.floor(),
+            ),
         }
     }
 
@@ -102,17 +112,68 @@ impl TraceGenerator {
         self.pid
     }
 
-    /// Samples an integer stall with mean `mean` (floor + Bernoulli on the
-    /// fractional part), keeping the expected value exact.
-    fn sample_stall(&mut self, mean: f64) -> u8 {
-        let floor = mean.floor();
-        let frac = mean - floor;
-        let extra = if self.rng.gen::<f64>() < frac {
-            1.0
+    /// Generates the next instruction: its fetch event and, for loads and
+    /// stores, the trailing data event. The single hot path shared by
+    /// [`Iterator::next`] (which stages the data event in `pending`) and
+    /// [`Trace::next_batch`] (which emits both directly).
+    #[inline]
+    fn step(&mut self) -> (TraceEvent, Option<TraceEvent>) {
+        debug_assert!(self.budget > 0);
+        self.budget -= 1;
+
+        let iaddr = VirtAddr::new(
+            self.pid,
+            self.instr.next_addr(&mut self.rng) + self.stagger_words,
+        );
+
+        // Classify the instruction. One 53-bit draw, compared exactly as
+        // the former `f64` comparison would (see `bernoulli_threshold`).
+        let class = self.rng.next_u64() >> F64_DRAW_SHIFT;
+        let is_load = class < self.t_load;
+        let is_store = !is_load && class < self.t_load_or_store;
+
+        // Processor stalls (the paper's CPU_stall_cycles).
+        let mut stall = 0u8;
+        if (self.rng.next_u64() >> F64_DRAW_SHIFT) < self.t_branch_stall {
+            stall += 1;
+        }
+        if is_load && (self.rng.next_u64() >> F64_DRAW_SHIFT) < self.t_load_use {
+            stall += 1;
+        }
+        if (self.rng.next_u64() >> F64_DRAW_SHIFT) < self.t_fp {
+            stall += self.fp_stall_floor
+                + u8::from((self.rng.next_u64() >> F64_DRAW_SHIFT) < self.t_fp_stall_extra);
+        }
+
+        // Voluntary syscall marker.
+        let mut syscall = false;
+        self.until_syscall = self.until_syscall.saturating_sub(1);
+        if self.until_syscall == 0 {
+            syscall = true;
+            self.until_syscall = self.syscall_interval;
+        }
+
+        let data = if is_load || is_store {
+            let word = if is_store {
+                self.data.next_store_addr(&mut self.rng)
+            } else {
+                self.data.next_addr(&mut self.rng)
+            };
+            let daddr = VirtAddr::new(self.pid, word + self.stagger_words);
+            Some(if is_load {
+                TraceEvent::load(daddr)
+            } else if (self.rng.next_u64() >> F64_DRAW_SHIFT) < self.t_partial_store {
+                TraceEvent::partial_store(daddr)
+            } else {
+                TraceEvent::store(daddr)
+            })
         } else {
-            0.0
+            None
         };
-        (floor + extra) as u8
+
+        let mut ev = TraceEvent::ifetch(iaddr, stall);
+        ev.syscall = syscall;
+        (ev, data)
     }
 }
 
@@ -126,56 +187,8 @@ impl Iterator for TraceGenerator {
         if self.budget == 0 {
             return None;
         }
-        self.budget -= 1;
-
-        let iaddr = VirtAddr::new(
-            self.pid,
-            self.instr.next_addr(&mut self.rng) + self.stagger_words,
-        );
-
-        // Classify the instruction.
-        let class: f64 = self.rng.gen();
-        let is_load = class < self.load_frac;
-        let is_store = !is_load && class < self.load_frac + self.store_frac;
-
-        // Processor stalls (the paper's CPU_stall_cycles).
-        let mut stall = 0u8;
-        if self.rng.gen::<f64>() < self.branch_stall_p {
-            stall += 1;
-        }
-        if is_load && self.rng.gen::<f64>() < self.load_use_prob {
-            stall += 1;
-        }
-        if self.rng.gen::<f64>() < self.fp_frac {
-            stall += self.sample_stall(self.fp_stall_cycles);
-        }
-
-        // Voluntary syscall marker.
-        let mut syscall = false;
-        self.until_syscall = self.until_syscall.saturating_sub(1);
-        if self.until_syscall == 0 {
-            syscall = true;
-            self.until_syscall = self.syscall_interval;
-        }
-
-        if is_load || is_store {
-            let word = if is_store {
-                self.data.next_store_addr(&mut self.rng)
-            } else {
-                self.data.next_addr(&mut self.rng)
-            };
-            let daddr = VirtAddr::new(self.pid, word + self.stagger_words);
-            self.pending = Some(if is_load {
-                TraceEvent::load(daddr)
-            } else if self.rng.gen::<f64>() < self.partial_store_frac {
-                TraceEvent::partial_store(daddr)
-            } else {
-                TraceEvent::store(daddr)
-            });
-        }
-
-        let mut ev = TraceEvent::ifetch(iaddr, stall);
-        ev.syscall = syscall;
+        let (ev, data) = self.step();
+        self.pending = data;
         Some(ev)
     }
 }
@@ -183,6 +196,36 @@ impl Iterator for TraceGenerator {
 impl Trace for TraceGenerator {
     fn name(&self) -> &str {
         self.name
+    }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        // One virtual call amortized over the whole chunk, and — unlike
+        // per-event iteration — no staging of data events through the
+        // `pending` Option: `step()` emits both events of a load/store
+        // instruction straight into the buffer. The RNG draws and event
+        // sequence are identical to `next()` (determinism invariant).
+        let start = out.len();
+        out.reserve(max);
+        if max == 0 {
+            return 0;
+        }
+        if let Some(ev) = self.pending.take() {
+            out.push(ev);
+        }
+        // A load/store instruction appends two events, so stop one early
+        // and stage the overflow in `pending` only at the batch boundary.
+        while out.len() - start < max && self.budget > 0 {
+            let (ev, data) = self.step();
+            out.push(ev);
+            if let Some(d) = data {
+                if out.len() - start < max {
+                    out.push(d);
+                } else {
+                    self.pending = Some(d);
+                }
+            }
+        }
+        out.len() - start
     }
 }
 
@@ -208,6 +251,17 @@ mod tests {
                 AccessKind::Load | AccessKind::Store => expecting_data = false,
             }
         }
+    }
+
+    #[test]
+    fn batched_generation_identical_to_per_event() {
+        let serial: Vec<_> = small(2).collect();
+        let mut g = small(2);
+        let mut batched = Vec::new();
+        // 257 is coprime with the ifetch/data pairing, so batch boundaries
+        // land mid-instruction as well as between instructions.
+        while g.next_batch(&mut batched, 257) != 0 {}
+        assert_eq!(batched, serial);
     }
 
     #[test]

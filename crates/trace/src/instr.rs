@@ -14,7 +14,7 @@
 //! re-spreading over the footprint.
 
 use crate::bench_model::CodeModel;
-use crate::rng::SmallRng;
+use crate::rng::{bernoulli_threshold, SmallRng, F64_DRAW_SHIFT};
 
 /// Word address where program text begins (MIPS convention: byte 0x0040_0000).
 pub const TEXT_BASE_WORD: u64 = 0x0010_0000;
@@ -49,11 +49,13 @@ struct Function {
     blocks: Vec<Block>,
 }
 
+/// Block-granular position of the walk. Instruction-level progress within
+/// the block lives in the cached `cur_addr`/`left` fast-path fields, so a
+/// cursor always points at a block start.
 #[derive(Debug, Clone, Copy)]
 struct Cursor {
     func: u32,
     block: u32,
-    off: u32,
 }
 
 /// Walks a randomly constructed control-flow graph and yields one
@@ -62,13 +64,20 @@ struct Cursor {
 pub struct InstrStream {
     funcs: Vec<Function>,
     cur: Cursor,
+    /// Next fetch address (fast path: most fetches are mid-block and touch
+    /// nothing but these two fields).
+    cur_addr: u64,
+    /// Instructions left in the current block (≥ 1 between calls).
+    left: u32,
     stack: Vec<Cursor>,
     /// Cumulative Zipf weights for runtime callee selection.
     callee_cdf: Vec<f64>,
-    /// Geometric loop-continue probability.
-    p_continue: f64,
-    /// Per-block-end call probability (kept subcritical).
-    p_call: f64,
+    /// Geometric loop-continue probability (53-bit draw threshold).
+    t_continue: u64,
+    /// Per-block-end call probability (53-bit draw threshold).
+    t_call: u64,
+    /// [`P_RECALL`] as a 53-bit draw threshold.
+    t_recall: u64,
     /// Ring of recently called functions (temporal call locality).
     recent: Vec<u32>,
     recent_pos: usize,
@@ -138,20 +147,29 @@ impl InstrStream {
             funcs.push(Function { base, blocks });
         }
 
-        InstrStream {
+        let mut s = InstrStream {
             funcs,
-            cur: Cursor {
-                func: 0,
-                block: 0,
-                off: 0,
-            },
+            cur: Cursor { func: 0, block: 0 },
+            cur_addr: 0,
+            left: 0,
             stack: Vec::with_capacity(MAX_CALL_DEPTH),
             callee_cdf,
-            p_continue,
-            p_call,
+            t_continue: bernoulli_threshold(p_continue),
+            t_call: bernoulli_threshold(p_call),
+            t_recall: bernoulli_threshold(P_RECALL),
             recent: Vec::with_capacity(RECENT_FUNCS),
             recent_pos: 0,
-        }
+        };
+        s.reload_block();
+        s
+    }
+
+    /// Loads the fast-path fields from the block the cursor points at.
+    fn reload_block(&mut self) {
+        let f = &self.funcs[self.cur.func as usize];
+        let b = &f.blocks[self.cur.block as usize];
+        self.cur_addr = f.base + b.start as u64;
+        self.left = b.len;
     }
 
     /// Current call depth (0 = in `main`).
@@ -173,7 +191,7 @@ impl InstrStream {
         if self.funcs.len() == 1 {
             return 0;
         }
-        if !self.recent.is_empty() && rng.gen::<f64>() < P_RECALL {
+        if !self.recent.is_empty() && (rng.next_u64() >> F64_DRAW_SHIFT) < self.t_recall {
             return self.recent[rng.gen_range(0..self.recent.len())];
         }
         let x: f64 = rng.gen();
@@ -195,47 +213,48 @@ impl InstrStream {
 
     /// Produces the next instruction-fetch word address and advances the
     /// walk. Infinite: when `main` returns the program restarts.
+    #[inline]
     pub fn next_addr(&mut self, rng: &mut SmallRng) -> u64 {
-        let f = &self.funcs[self.cur.func as usize];
-        let b = f.blocks[self.cur.block as usize];
-        let addr = f.base + (b.start + self.cur.off) as u64;
-
-        self.cur.off += 1;
-        if self.cur.off >= b.len {
-            self.cur.off = 0;
-            if b.is_last {
-                match self.stack.pop() {
-                    Some(resume) => self.cur = resume,
-                    None => {
-                        self.cur = Cursor {
-                            func: 0,
-                            block: 0,
-                            off: 0,
-                        }
-                    }
-                }
-            } else if let Some(target) =
-                b.loop_target.filter(|_| rng.gen::<f64>() < self.p_continue)
-            {
-                self.cur.block = target;
-            } else if rng.gen::<f64>() < self.p_call {
-                let callee = self.sample_callee(rng);
-                if self.stack.len() < MAX_CALL_DEPTH {
-                    let mut resume = self.cur;
-                    resume.block += 1;
-                    self.stack.push(resume);
-                }
-                // At the depth cap this degenerates to a tail call.
-                self.cur = Cursor {
-                    func: callee,
-                    block: 0,
-                    off: 0,
-                };
-            } else {
-                self.cur.block += 1;
-            }
+        let addr = self.cur_addr;
+        self.cur_addr += 1;
+        self.left -= 1;
+        if self.left == 0 {
+            self.advance_block(rng);
         }
         addr
+    }
+
+    /// Block-end control transfer: return, loop back, call, or fall
+    /// through. The draw order is data-dependent (a continue draw happens
+    /// only on loop blocks) — part of the stream's seed contract.
+    fn advance_block(&mut self, rng: &mut SmallRng) {
+        let b = self.funcs[self.cur.func as usize].blocks[self.cur.block as usize];
+        if b.is_last {
+            match self.stack.pop() {
+                Some(resume) => self.cur = resume,
+                None => self.cur = Cursor { func: 0, block: 0 },
+            }
+        } else if let Some(target) = b
+            .loop_target
+            .filter(|_| (rng.next_u64() >> F64_DRAW_SHIFT) < self.t_continue)
+        {
+            self.cur.block = target;
+        } else if (rng.next_u64() >> F64_DRAW_SHIFT) < self.t_call {
+            let callee = self.sample_callee(rng);
+            if self.stack.len() < MAX_CALL_DEPTH {
+                let mut resume = self.cur;
+                resume.block += 1;
+                self.stack.push(resume);
+            }
+            // At the depth cap this degenerates to a tail call.
+            self.cur = Cursor {
+                func: callee,
+                block: 0,
+            };
+        } else {
+            self.cur.block += 1;
+        }
+        self.reload_block();
     }
 }
 

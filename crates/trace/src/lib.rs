@@ -46,5 +46,5 @@ pub mod rng;
 pub mod stats;
 pub mod synthetic;
 
-pub use addr::{PhysAddr, Pid, VirtAddr, PAGE_SHIFT, PAGE_WORDS, WORD_BYTES};
-pub use event::{AccessKind, Trace, TraceEvent, VecTrace};
+pub use addr::{PhysAddr, Pid, VirtAddr, PAGE_SHIFT, PAGE_WORDS, PID_SHIFT, WORD_BYTES};
+pub use event::{AccessKind, Trace, TraceEvent, UnbatchedTrace, VecTrace};

@@ -95,6 +95,35 @@ impl SmallRng {
     }
 }
 
+/// Bits discarded from a raw [`SmallRng::next_u64`] output to form the
+/// 53-bit mantissa draw behind `gen::<f64>()`.
+pub const F64_DRAW_SHIFT: u32 = 11;
+
+/// Converts a probability into an integer threshold on the 53-bit draw
+/// `m = next_u64() >> F64_DRAW_SHIFT` such that
+///
+/// ```text
+/// m < bernoulli_threshold(p)  ⟺  gen::<f64>() < p
+/// ```
+///
+/// **bit-for-bit**, for the same raw draw. `gen::<f64>()` is
+/// `m · 2⁻⁵³`, so `m · 2⁻⁵³ < p ⟺ m < p · 2⁵³ ⟺ m < ⌈p · 2⁵³⌉` (`m` is an
+/// integer, and `p · 2⁵³` is computed exactly — scaling by a power of two
+/// only changes the exponent). Hot paths compare one integer instead of
+/// converting to `f64` and comparing floats; the trace streams are
+/// unchanged.
+pub fn bernoulli_threshold(p: f64) -> u64 {
+    const ONE: u64 = 1 << 53;
+    let scaled = (p * ONE as f64).ceil();
+    if scaled >= ONE as f64 {
+        ONE // p ≥ 1: every draw is below the threshold.
+    } else if scaled > 0.0 {
+        scaled as u64
+    } else {
+        0 // p ≤ 0 (or NaN): never taken, as the f64 compare would be.
+    }
+}
+
 /// Types [`SmallRng::gen`] can produce.
 pub trait Sample: Sized {
     /// Draws one uniform value.
@@ -237,6 +266,35 @@ mod tests {
     fn empty_range_panics() {
         let mut r = SmallRng::seed_from_u64(8);
         let _ = r.gen_range(5u64..5);
+    }
+
+    #[test]
+    fn bernoulli_threshold_matches_f64_compare_exactly() {
+        let ps = [
+            0.0,
+            -0.5,
+            1.0,
+            1.5,
+            0.25,
+            0.1,
+            0.3333333333333333,
+            0.97,
+            1e-9,
+            0.9999999999,
+        ];
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let raw = r.next_u64();
+            let m = raw >> F64_DRAW_SHIFT;
+            let x = m as f64 * (1.0 / (1u64 << 53) as f64);
+            for &p in &ps {
+                assert_eq!(
+                    m < bernoulli_threshold(p),
+                    x < p,
+                    "diverged at p={p}, m={m}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,12 @@ impl Trace for SyntheticTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn next_batch(&mut self, out: &mut Vec<TraceEvent>, max: usize) -> usize {
+        let start = out.len();
+        out.extend(self.events.by_ref().take(max));
+        out.len() - start
+    }
 }
 
 /// Interleaves each generated data address with an instruction fetch from a
