@@ -22,24 +22,34 @@
 //!   the ratio between them and a fixed reference throughput measured at
 //!   the growth seed;
 //! * **figures** — wall-clock seconds to regenerate each paper figure at
-//!   table scale;
-//! * **sweep** — serial vs. `--jobs N` wall-clock over an 8-cell sweep and
-//!   the resulting speedup (≈ 1.0 on a single-core host — recorded, not
-//!   assumed);
-//! * **determinism** — whether batched-vs-unbatched and parallel-vs-serial
-//!   runs produced identical counters (they must).
+//!   table scale (with two-phase sweep memoization on, its default);
+//! * **sweep** — a geometry-diverse 16-cell sweep (4 L2-D geometries × 4
+//!   access times) measured three ways: serial full simulation
+//!   (memoization off, jobs 1), parallel full simulation (memoization
+//!   off, `--jobs N` — the raw pool scaling, ≈ 1.0 on a single-core
+//!   host), and the memoized two-phase path at `--jobs N`. The headline
+//!   `speedup` is serial-full vs. memoized-parallel: the work-reduction
+//!   win (4 functional passes instead of 16), which holds even with one
+//!   core;
+//! * **arena** — trace-arena generation/reuse counters and hit rate over
+//!   the whole run;
+//! * **memo** — functional runs vs. priced cells in the measured sweep
+//!   and the resulting reuse factor;
+//! * **determinism** — whether batched-vs-unbatched,
+//!   parallel-vs-serial and memoized-vs-full runs produced identical
+//!   counters (they must; any violation exits 1).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use gaas_bench::table_scale;
 use gaas_experiments::{
-    ablations, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
+    ablations, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
 };
-use gaas_sim::config::SimConfig;
+use gaas_sim::config::{L2Config, L2Side, SimConfig};
 use gaas_sim::{sim, workload, SimResult};
 use gaas_trace::bench_model::suite;
-use gaas_trace::{Trace, UnbatchedTrace};
+use gaas_trace::{arena, Trace, UnbatchedTrace};
 
 /// Simulator events/second measured at the growth seed (commit tagged in
 /// CHANGES.md) on the CI reference machine, with the per-event dispatch
@@ -136,44 +146,96 @@ fn main() {
     time_figure!("sec8", sec8::run(scale));
     time_figure!("ablations", ablations::run(scale));
 
-    // --- Sweep engine: serial vs. --jobs over an 8-cell sweep. ----------
-    let sweep_cfgs: Vec<SimConfig> = [0u32, 5, 10, 20, 40, 60, 80, 100]
+    // --- Sweep engine: a geometry-diverse sweep, three ways. ------------
+    // 4 L2-D geometries × 4 access times, so the memoized path has real
+    // grouping to exploit (4 functional passes for 16 cells). The old
+    // sweep varied only the TLB miss penalty — a single geometry, which
+    // measured nothing but pool scheduling overhead.
+    let geometries: [u64; 4] = [32_768, 65_536, 131_072, 262_144];
+    let access_times: [u32; 4] = [2, 4, 6, 8];
+    let sweep_cfgs: Vec<SimConfig> = geometries
         .iter()
-        .map(|&p| {
+        .flat_map(|&size| access_times.iter().map(move |&t| (size, t)))
+        .map(|(size, access)| {
             let mut b = SimConfig::builder();
-            b.tlb_miss_penalty(p);
+            b.l2(L2Config::Split {
+                i: L2Side {
+                    size_words: 262_144,
+                    assoc: 1,
+                    line_words: 32,
+                    access_cycles: 6,
+                },
+                d: L2Side {
+                    size_words: size,
+                    assoc: 1,
+                    line_words: 32,
+                    access_cycles: access,
+                },
+            });
             b.build().expect("valid")
         })
         .collect();
+
+    // Pass A — serial full simulation (the pre-memoization reference).
+    campaign::set_memoize(false);
     pool::set_jobs(1);
     let t0 = Instant::now();
     let serial = runner::run_standard_many(&sweep_cfgs, kernel_scale);
     let serial_secs = t0.elapsed().as_secs_f64();
+
+    // Pass B — parallel full simulation: the raw pool scaling, honest
+    // about the host (on one core this is ≈ 1.0 by construction).
     pool::set_jobs(jobs);
     let t0 = Instant::now();
     let parallel = runner::run_standard_many(&sweep_cfgs, kernel_scale);
-    let parallel_secs = t0.elapsed().as_secs_f64();
+    let parallel_full_secs = t0.elapsed().as_secs_f64();
+
+    // Pass C — the memoized two-phase path at --jobs N: the configuration
+    // sweeps actually run under, and the recorded headline speedup.
+    campaign::set_memoize(true);
+    campaign::reset_memo_stats();
+    let t0 = Instant::now();
+    let memoized = runner::run_standard_many(&sweep_cfgs, kernel_scale);
+    let memoized_secs = t0.elapsed().as_secs_f64();
     pool::set_jobs(1);
-    let sweep_deterministic = serial
-        .iter()
-        .zip(&parallel)
-        .all(|(a, b)| a.counters == b.counters);
-    let speedup = serial_secs / parallel_secs;
+    let memo = campaign::memo_stats();
+
+    let identical = |xs: &[SimResult], ys: &[SimResult]| {
+        xs.iter().zip(ys).all(|(a, b)| {
+            a.counters == b.counters && a.per_process == b.per_process && a.completed == b.completed
+        })
+    };
+    let sweep_deterministic = identical(&serial, &parallel);
+    let memo_deterministic = identical(&serial, &memoized);
+    let pool_scaling = serial_secs / parallel_full_secs;
+    let speedup = serial_secs / memoized_secs;
     eprintln!(
-        "[sweep: {} cells, serial {serial_secs:.2}s, --jobs {jobs} {parallel_secs:.2}s, \
-         speedup {speedup:.2}x, counters {}]",
+        "[sweep: {} cells ({} geometries x {} access times), serial full {serial_secs:.2}s, \
+         --jobs {jobs} full {parallel_full_secs:.2}s (pool scaling {pool_scaling:.2}x on \
+         {cores} core(s)), --jobs {jobs} memoized {memoized_secs:.2}s, speedup {speedup:.2}x, \
+         {} functional + {} priced, counters {}/{}]",
         sweep_cfgs.len(),
+        geometries.len(),
+        access_times.len(),
+        memo.functional_runs,
+        memo.priced_cells,
         if sweep_deterministic {
-            "identical"
+            "parallel identical"
         } else {
-            "DIVERGED"
+            "parallel DIVERGED"
+        },
+        if memo_deterministic {
+            "memoized identical"
+        } else {
+            "memoized DIVERGED"
         }
     );
+    let arena_stats = arena::stats();
 
     // --- Emit the JSON report. ------------------------------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": 1,");
+    let _ = writeln!(j, "  \"schema\": 2,");
     let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
     let _ = writeln!(j, "  \"scale\": {scale},");
     let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
@@ -215,17 +277,36 @@ fn main() {
     let _ = writeln!(j, "  ],");
     let _ = writeln!(j, "  \"sweep\": {{");
     let _ = writeln!(j, "    \"cells\": {},", sweep_cfgs.len());
-    let _ = writeln!(j, "    \"serial_seconds\": {serial_secs:.4},");
+    let _ = writeln!(j, "    \"geometry_groups\": {},", geometries.len());
+    let _ = writeln!(
+        j,
+        "    \"timing_variants_per_group\": {},",
+        access_times.len()
+    );
+    let _ = writeln!(j, "    \"serial_full_seconds\": {serial_secs:.4},");
     let _ = writeln!(j, "    \"jobs\": {jobs},");
-    let _ = writeln!(j, "    \"parallel_seconds\": {parallel_secs:.4},");
+    let _ = writeln!(j, "    \"parallel_full_seconds\": {parallel_full_secs:.4},");
+    let _ = writeln!(j, "    \"pool_scaling_raw\": {pool_scaling:.4},");
+    let _ = writeln!(j, "    \"memoized_parallel_seconds\": {memoized_secs:.4},");
     let _ = writeln!(j, "    \"speedup\": {speedup:.4}");
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"arena\": {{");
+    let _ = writeln!(j, "    \"generated\": {},", arena_stats.generated);
+    let _ = writeln!(j, "    \"reused\": {},", arena_stats.reused);
+    let _ = writeln!(j, "    \"hit_rate\": {:.4}", arena_stats.hit_rate());
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"memo\": {{");
+    let _ = writeln!(j, "    \"functional_runs\": {},", memo.functional_runs);
+    let _ = writeln!(j, "    \"priced_cells\": {},", memo.priced_cells);
+    let _ = writeln!(j, "    \"reuse_factor\": {:.4}", memo.reuse_factor());
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"determinism\": {{");
     let _ = writeln!(
         j,
         "    \"batched_equals_unbatched\": {kernel_deterministic},"
     );
-    let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic}");
+    let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic},");
+    let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic}");
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
@@ -235,9 +316,16 @@ fn main() {
     }
     eprintln!("[wrote {out_path}]");
 
-    if !kernel_deterministic || !sweep_deterministic {
+    if !kernel_deterministic || !sweep_deterministic || !memo_deterministic {
         eprintln!("error: determinism violation — see the report");
         std::process::exit(1);
+    }
+    if speedup <= 1.5 {
+        eprintln!(
+            "warning: memoized sweep speedup {speedup:.2}x did not exceed 1.5x \
+             (expected ~{}x from work reduction alone)",
+            sweep_cfgs.len() / geometries.len()
+        );
     }
 }
 

@@ -53,6 +53,7 @@
 pub mod config;
 pub mod cpi;
 pub mod oracle;
+pub mod profile;
 pub mod report;
 pub mod sched;
 pub mod sim;
@@ -65,6 +66,7 @@ pub use config::{
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
 pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};
+pub use profile::{functional_fingerprint, price_profile, FunctionalProfile};
 pub use sched::SchedSnapshot;
 pub use sim::{run, CancelToken, Checkpoint, SimError, SimResult, Simulator, Termination};
 

@@ -1,0 +1,1058 @@
+//! Two-phase sweep memoization: functional profiles and timing pricing.
+//!
+//! The paper's sweeps (Figs. 5, 7, 8) vary two very different kinds of
+//! knob. *Geometry* knobs — cache sizes, associativities, line sizes, the
+//! write policy, the L2 organization — change which accesses hit and miss.
+//! *Timing* knobs — L2 access times, memory penalties, write-buffer depth,
+//! the §9 concurrency switches — change only how many cycles each outcome
+//! costs. A 63-cell access-time sweep therefore repeats the same hit/miss
+//! computation 9 times per geometry.
+//!
+//! This module splits the simulation accordingly:
+//!
+//! 1. **Functional pass** — one full simulation per geometry, run with a
+//!    [`ProfileRecorder`] attached ([`Simulator::run_profiled`]). The
+//!    recorder captures every instruction's functional outcome into a
+//!    compact byte-token stream (typically ~1.1 bytes/instruction): TLB
+//!    hit/miss, L1/L2 hit/miss with victim dirtiness, write-policy
+//!    outcomes, and the physical addresses the write buffer needs.
+//! 2. **Timing pass** — [`price_profile`] replays the token stream under
+//!    any timing point of the same geometry, re-running the *exact* cycle
+//!    arithmetic of the live simulator (write-buffer occupancy, dirty
+//!    buffer, drain streaming) against fresh timing state. The result is
+//!    byte-identical to a full simulation of that configuration.
+//!
+//! The split is sound because the simulator's scheduler runs on a
+//! *functional clock* (see `Simulator::fnow`) that advances only on
+//! functional outcomes: every timing variant of one geometry executes the
+//! identical instruction interleaving.
+//!
+//! [`functional_fingerprint`] defines the grouping key. It destructures
+//! [`SimConfig`] *exhaustively* — adding a config field without
+//! classifying it as functional, timing, or disqualifying breaks the
+//! build, so the memoizer can never silently group configurations that
+//! differ functionally.
+
+use gaas_cache::{MainMemory, MemorySystem, WriteBuffer, WritePolicy};
+use gaas_trace::{PhysAddr, Pid};
+
+use crate::config::{
+    ConcurrencyConfig, L1Config, L2Config, L2Side, MpConfig, SimConfig, WbBypass, WriteBufferConfig,
+};
+use crate::cpi::{Counters, ProcCounters};
+use crate::sim::{SimError, SimResult, Termination};
+
+// ---- token encoding ----
+//
+// The ops stream is a sequence of instruction records, optionally
+// preceded by a control token when the issuing PID changes:
+//
+//   control token:  0b11......  followed by one raw PID byte
+//   ifetch byte:    bits 7-6 data kind (0 none, 1 load, 2 store)
+//                   bit  5   I-TLB miss
+//                   bits 4-2 CPU stall (0-6 inline; 7 = next byte holds
+//                            the full 8-bit stall)
+//                   bits 1-0 fetch outcome (see OUTCOME_*)
+//   load byte:      bits 1-0 data outcome, bit 2 D-TLB miss,
+//                   bit 3 replaced-written-line, bit 4 has victim
+//   store byte:     bit 0 D-TLB miss, bit 1 L1 hit, bit 2 extra write
+//                   cycle, bit 3 wb word, bit 4 fetch, bit 5 victim
+//   store ext byte: (present iff fetch) bits 1-0 data outcome,
+//                   bit 2 replaced-written-line
+//   drain byte:     one per write-buffer enqueue, in enqueue order:
+//                   0 = L2-D drain hit, 1 = drain miss w/ clean victim,
+//                   2 = drain miss w/ dirty victim
+//
+// Outcome codes: 0 = L1 hit, 1 = L2 hit, 2 = L2 miss (clean victim),
+// 3 = L2 miss (dirty victim).
+//
+// The addrs side channel carries only the physical addresses the timing
+// replay needs (write-buffer entries and fetched line bases), in
+// consumption order: per load miss `[line_base][victim?]`, per store
+// `[wb_word?][line_base?][victim?]`.
+
+const KIND_LOAD: u8 = 1 << 6;
+const KIND_STORE: u8 = 2 << 6;
+const CONTROL: u8 = 3 << 6;
+const I_TLB_MISS: u8 = 1 << 5;
+const STALL_ESCAPE: u8 = 7;
+
+const LOAD_DTLB: u8 = 1 << 2;
+const LOAD_REPLACED: u8 = 1 << 3;
+const LOAD_VICTIM: u8 = 1 << 4;
+
+const STORE_DTLB: u8 = 1 << 0;
+const STORE_HIT: u8 = 1 << 1;
+const STORE_EXTRA: u8 = 1 << 2;
+const STORE_WB_WORD: u8 = 1 << 3;
+const STORE_FETCH: u8 = 1 << 4;
+const STORE_VICTIM: u8 = 1 << 5;
+const EXT_REPLACED: u8 = 1 << 2;
+
+const OUTCOME_MASK: u8 = 0x03;
+
+/// One geometry's functional behaviour, replayable under any timing point
+/// (produced by [`Simulator::run_profiled`], consumed by
+/// [`price_profile`]).
+///
+/// [`Simulator::run_profiled`]: crate::sim::Simulator::run_profiled
+#[derive(Debug, Clone)]
+pub struct FunctionalProfile {
+    /// The geometry key this profile was recorded under
+    /// ([`functional_fingerprint`]).
+    pub fkey: u64,
+    /// Warm-up instruction count the recording run used; pricing snapshots
+    /// at the same boundary.
+    pub warmup: u64,
+    /// Packed per-instruction outcome tokens.
+    ops: Vec<u8>,
+    /// Physical word addresses for the write-buffer replay.
+    addrs: Vec<u64>,
+    /// Benchmarks in completion order (scheduler outcome, functional).
+    pub completed: Vec<String>,
+    /// Voluntary-syscall context switches taken.
+    pub syscall_switches: u64,
+    /// Time-slice context switches taken.
+    pub slice_switches: u64,
+    /// True when the recording run hit its instruction budget.
+    pub budget_exhausted: bool,
+}
+
+impl FunctionalProfile {
+    /// Approximate heap footprint in bytes (capacity planning).
+    pub fn size_bytes(&self) -> usize {
+        self.ops.len() + 8 * self.addrs.len()
+    }
+
+    /// Instructions the profile covers (including warm-up).
+    pub fn instructions(&self) -> u64 {
+        // Count ifetch records: every byte stream position that starts an
+        // instruction. Cheap enough for reporting; not used in pricing.
+        let mut n = 0u64;
+        let mut i = 0usize;
+        while i < self.ops.len() {
+            let b = self.ops[i];
+            i += 1;
+            if b & CONTROL == CONTROL {
+                i += 1; // pid byte
+                continue;
+            }
+            n += 1;
+            if (b >> 2) & 0x07 == STALL_ESCAPE {
+                i += 1; // full stall byte
+            }
+            match b & CONTROL {
+                KIND_LOAD => {
+                    let lb = self.ops[i];
+                    i += 1;
+                    if lb & OUTCOME_MASK != 0 && lb & LOAD_VICTIM != 0 {
+                        i += 1; // drain byte
+                    }
+                }
+                KIND_STORE => {
+                    let sb = self.ops[i];
+                    i += 1;
+                    if sb & STORE_FETCH != 0 {
+                        i += 1; // ext byte
+                    }
+                    let drains = u32::from(sb & STORE_WB_WORD != 0)
+                        + u32::from(sb & STORE_FETCH != 0 && sb & STORE_VICTIM != 0)
+                        + u32::from(sb & STORE_FETCH == 0 && sb & STORE_VICTIM != 0);
+                    i += drains as usize;
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+}
+
+/// Captures functional outcomes during a recording run (installed by
+/// [`Simulator::run_profiled`]; see the module docs for the encoding).
+///
+/// [`Simulator::run_profiled`]: crate::sim::Simulator::run_profiled
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    ops: Vec<u8>,
+    addrs: Vec<u64>,
+    last_pid: Option<u8>,
+    /// Index of the current instruction's ifetch byte (outcome patched by
+    /// the L2 service path, data kind patched by the data step).
+    i_slot: usize,
+    /// Index of the current data byte awaiting its outcome patch (the
+    /// load byte, or a store's ext byte).
+    d_slot: usize,
+}
+
+impl ProfileRecorder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn begin_instr(&mut self, pid: u8, stall: u8, itlb_miss: bool) {
+        if self.last_pid != Some(pid) {
+            self.ops.push(CONTROL);
+            self.ops.push(pid);
+            self.last_pid = Some(pid);
+        }
+        let mut b = 0u8;
+        if itlb_miss {
+            b |= I_TLB_MISS;
+        }
+        let s = stall.min(STALL_ESCAPE);
+        b |= s << 2;
+        self.i_slot = self.ops.len();
+        self.ops.push(b);
+        if s == STALL_ESCAPE {
+            self.ops.push(stall);
+        }
+    }
+
+    /// Patches the current instruction's fetch outcome (1 = L2 hit,
+    /// 2/3 = L2 miss with clean/dirty victim).
+    pub(crate) fn set_i_outcome(&mut self, code: u8) {
+        self.ops[self.i_slot] |= code;
+    }
+
+    pub(crate) fn begin_load(&mut self, dtlb_miss: bool) {
+        self.ops[self.i_slot] |= KIND_LOAD;
+        self.d_slot = self.ops.len();
+        self.ops.push(if dtlb_miss { LOAD_DTLB } else { 0 });
+    }
+
+    pub(crate) fn load_miss(&mut self, replaced_written: bool, has_victim: bool, line_base: u64) {
+        let mut b = 0u8;
+        if replaced_written {
+            b |= LOAD_REPLACED;
+        }
+        if has_victim {
+            b |= LOAD_VICTIM;
+        }
+        self.ops[self.d_slot] |= b;
+        self.addrs.push(line_base);
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::fn_params_excessive_bools)]
+    pub(crate) fn begin_store(
+        &mut self,
+        dtlb_miss: bool,
+        hit: bool,
+        extra_cycle: bool,
+        has_wb_word: bool,
+        has_fetch: bool,
+        has_victim: bool,
+        replaced_written: bool,
+    ) {
+        self.ops[self.i_slot] |= KIND_STORE;
+        let mut b = 0u8;
+        if dtlb_miss {
+            b |= STORE_DTLB;
+        }
+        if hit {
+            b |= STORE_HIT;
+        }
+        if extra_cycle {
+            b |= STORE_EXTRA;
+        }
+        if has_wb_word {
+            b |= STORE_WB_WORD;
+        }
+        if has_fetch {
+            b |= STORE_FETCH;
+        }
+        if has_victim {
+            b |= STORE_VICTIM;
+        }
+        self.ops.push(b);
+        if has_fetch {
+            self.d_slot = self.ops.len();
+            self.ops
+                .push(if replaced_written { EXT_REPLACED } else { 0 });
+        }
+    }
+
+    /// Patches the current data access's outcome (load byte or store ext
+    /// byte).
+    pub(crate) fn set_d_outcome(&mut self, code: u8) {
+        self.ops[self.d_slot] |= code;
+    }
+
+    /// Records a physical address for the write-buffer replay (enqueued
+    /// words/victims and store fetch line bases, in consumption order).
+    pub(crate) fn push_addr(&mut self, raw: u64) {
+        self.addrs.push(raw);
+    }
+
+    /// Records one write-buffer drain's L2-D outcome, in enqueue order.
+    pub(crate) fn push_drain(&mut self, code: u8) {
+        self.ops.push(code);
+    }
+
+    pub(crate) fn finish(self, fkey: u64, warmup: u64, result: &SimResult) -> FunctionalProfile {
+        FunctionalProfile {
+            fkey,
+            warmup,
+            ops: self.ops,
+            addrs: self.addrs,
+            completed: result.completed.clone(),
+            syscall_switches: result.counters.syscall_switches,
+            slice_switches: result.counters.slice_switches,
+            budget_exhausted: result.termination == Termination::BudgetExhausted,
+        }
+    }
+}
+
+// ---- geometry key ----
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+}
+
+fn hash_l1(h: &mut Fnv, c: &L1Config) {
+    let L1Config {
+        size_words,
+        line_words,
+        assoc,
+    } = *c;
+    h.u64(size_words);
+    h.u32(line_words);
+    h.u32(assoc);
+}
+
+/// Hashes the *functional* part of an L2 side: its shape, not its access
+/// time (the access time is exactly what the timing pass re-prices).
+fn hash_l2_side(h: &mut Fnv, s: &L2Side) {
+    let L2Side {
+        size_words,
+        assoc,
+        line_words,
+        access_cycles: _, // timing
+    } = *s;
+    h.u64(size_words);
+    h.u32(assoc);
+    h.u32(line_words);
+}
+
+/// The memoizer's grouping key: a hash over exactly the [`SimConfig`]
+/// fields that determine *functional* behaviour (hit/miss outcomes,
+/// scheduling, completion order). Two configurations with equal keys may
+/// share one [`FunctionalProfile`]; they may differ only in timing.
+///
+/// Returns `None` for configurations that must not be memoized at all:
+/// fault injection (stochastic state corruption driven by access order
+/// *and* recovery costs), the differential oracle (must observe the real
+/// engine), and checkpointing (checkpoints carry timing-clock cycles).
+///
+/// # Classification (every field, exhaustively)
+///
+/// | class | fields |
+/// |---|---|
+/// | functional | `l1i`, `l1d`, `policy`, `l2` shape (organization, sizes, assocs, line sizes), `mp`, `page_colors`, `instruction_budget` |
+/// | timing | L2 `access_cycles`, `write_buffer`, `concurrency`, `memory`, `tlb_miss_penalty`, `l2_drain_access_override` |
+/// | disqualifying | `fault` (when enabled), `diffcheck` (when enabled), `checkpoint_interval` (when nonzero) |
+///
+/// The destructuring below is deliberately exhaustive (no `..`): adding a
+/// field to [`SimConfig`] fails to compile until it is classified here,
+/// so the memoizer can never silently group configs that differ in a new
+/// functional knob.
+pub fn functional_fingerprint(cfg: &SimConfig) -> Option<u64> {
+    let SimConfig {
+        l1i,
+        l1d,
+        policy,
+        l2,
+        write_buffer,
+        concurrency,
+        memory,
+        mp,
+        tlb_miss_penalty,
+        page_colors,
+        l2_drain_access_override,
+        fault,
+        instruction_budget,
+        checkpoint_interval,
+        diffcheck,
+    } = cfg;
+
+    // Disqualifiers: behaviours that couple functional state to timing or
+    // to per-run stochastic machinery.
+    if fault.enabled() || diffcheck.enabled || *checkpoint_interval != 0 {
+        return None;
+    }
+
+    // Timing-only fields — destructured so a new subfield must be
+    // (re)classified, then ignored by the key.
+    let WriteBufferConfig {
+        depth: _,
+        width_words: _,
+    } = *write_buffer;
+    let ConcurrencyConfig {
+        concurrent_i_refill: _,
+        d_read_bypass: _,
+        l2d_dirty_buffer: _,
+    } = *concurrency;
+    let MainMemory {
+        clean_miss_cycles: _,
+        dirty_miss_cycles: _,
+    } = *memory;
+    let _: (&u32, &Option<u32>) = (tlb_miss_penalty, l2_drain_access_override);
+
+    let mut h = Fnv::new();
+    hash_l1(&mut h, l1i);
+    hash_l1(&mut h, l1d);
+    h.put(&[match policy {
+        WritePolicy::WriteBack => 0u8,
+        WritePolicy::WriteMissInvalidate => 1,
+        WritePolicy::WriteOnly => 2,
+        WritePolicy::Subblock => 3,
+    }]);
+    match l2 {
+        L2Config::Unified(s) => {
+            h.put(&[0]);
+            hash_l2_side(&mut h, s);
+        }
+        L2Config::Split { i, d } => {
+            h.put(&[1]);
+            hash_l2_side(&mut h, i);
+            hash_l2_side(&mut h, d);
+        }
+    }
+    let MpConfig {
+        level,
+        time_slice_cycles,
+    } = *mp;
+    h.u64(level as u64);
+    h.u64(time_slice_cycles);
+    h.u64(*page_colors);
+    match instruction_budget {
+        Some(b) => {
+            h.put(&[1]);
+            h.u64(*b);
+        }
+        None => h.put(&[0]),
+    }
+    Some(h.0)
+}
+
+// ---- timing pricer ----
+
+/// Prices a [`FunctionalProfile`] under `cfg`'s timing point, producing a
+/// [`SimResult`] byte-identical to a full simulation of `cfg`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] when `cfg` fails validation.
+///
+/// # Panics
+///
+/// Panics when `cfg` is not a timing variant of the profiled geometry
+/// (`functional_fingerprint(cfg) != Some(profile.fkey)`) — grouping
+/// mistakes are programming errors, not recoverable conditions.
+pub fn price_profile(cfg: &SimConfig, profile: &FunctionalProfile) -> Result<SimResult, SimError> {
+    cfg.validate()?;
+    assert_eq!(
+        functional_fingerprint(cfg),
+        Some(profile.fkey),
+        "price_profile requires a timing variant of the profiled geometry"
+    );
+
+    // Twin of `Simulator::new`'s cost derivation.
+    let beats = |line_words: u32| line_words.div_ceil(4);
+    let i_side = cfg.l2.i_side();
+    let d_side = cfg.l2.d_side();
+    let mut p = Pricer {
+        cfg,
+        ops: &profile.ops,
+        addrs: &profile.addrs,
+        i: 0,
+        ai: 0,
+        now: 0,
+        counters: Counters::new(),
+        per_proc: Vec::new(),
+        cur_pid: 0,
+        wb: WriteBuffer::new(cfg.write_buffer.depth),
+        mem_d: MemorySystem::new(cfg.memory, cfg.concurrency.l2d_dirty_buffer),
+        mem_i: MemorySystem::new(cfg.memory, false),
+        i_hit_cost: (i_side.access_cycles + beats(cfg.l1i.line_words) - 1) as u64,
+        d_hit_cost: (d_side.access_cycles + beats(cfg.l1d.line_words) - 1) as u64,
+        d_write_access: cfg.l2_drain_access_override.unwrap_or(d_side.access_cycles),
+        d_write_stream: 0,
+    };
+    p.d_write_stream = p.d_write_access.saturating_sub(2).max(1);
+
+    let mut warm_snapshot: Option<Counters> = None;
+    while p.i < p.ops.len() {
+        let b = p.ops[p.i];
+        p.i += 1;
+        if b & CONTROL == CONTROL {
+            p.cur_pid = p.ops[p.i];
+            p.i += 1;
+            continue;
+        }
+        p.replay_ifetch(b);
+        match b & CONTROL {
+            KIND_LOAD => p.replay_load(),
+            KIND_STORE => p.replay_store(),
+            _ => {}
+        }
+        if profile.warmup > 0 && p.counters.instructions == profile.warmup {
+            warm_snapshot = Some(p.counters);
+        }
+    }
+    debug_assert_eq!(p.i, p.ops.len(), "ops stream fully consumed");
+    debug_assert_eq!(p.ai, p.addrs.len(), "addrs stream fully consumed");
+    debug_assert_eq!(
+        p.now,
+        p.counters.total_cycles(),
+        "cycle accounting must balance"
+    );
+
+    p.counters.syscall_switches = profile.syscall_switches;
+    p.counters.slice_switches = profile.slice_switches;
+    let counters = match warm_snapshot {
+        Some(snap) => p.counters.since(&snap),
+        None => p.counters,
+    };
+    let per_process = p
+        .per_proc
+        .iter()
+        .enumerate()
+        .filter(|(_, pc)| pc.instructions > 0 || pc.loads > 0 || pc.stores > 0)
+        .map(|(i, pc)| (Pid::new(i as u8), *pc))
+        .collect();
+    Ok(SimResult {
+        config: cfg.clone(),
+        counters,
+        completed: profile.completed.clone(),
+        per_process,
+        termination: if profile.budget_exhausted {
+            Termination::BudgetExhausted
+        } else {
+            Termination::Completed
+        },
+        checkpoints: Vec::new(),
+    })
+}
+
+/// Replays a token stream against fresh timing state, twinning the live
+/// simulator's cycle arithmetic step for step.
+struct Pricer<'a> {
+    cfg: &'a SimConfig,
+    ops: &'a [u8],
+    addrs: &'a [u64],
+    i: usize,
+    ai: usize,
+    now: u64,
+    counters: Counters,
+    per_proc: Vec<ProcCounters>,
+    cur_pid: u8,
+    wb: WriteBuffer,
+    mem_d: MemorySystem,
+    mem_i: MemorySystem,
+    i_hit_cost: u64,
+    d_hit_cost: u64,
+    d_write_access: u32,
+    d_write_stream: u32,
+}
+
+impl Pricer<'_> {
+    fn next_op(&mut self) -> u8 {
+        let b = self.ops[self.i];
+        self.i += 1;
+        b
+    }
+
+    fn next_addr(&mut self) -> PhysAddr {
+        let a = self.addrs[self.ai];
+        self.ai += 1;
+        PhysAddr::new(a)
+    }
+
+    fn proc_entry(&mut self) -> &mut ProcCounters {
+        let idx = self.cur_pid as usize;
+        if self.per_proc.len() <= idx {
+            self.per_proc.resize(idx + 1, ProcCounters::default());
+        }
+        &mut self.per_proc[idx]
+    }
+
+    fn charge_tlb_miss(&mut self, instruction_side: bool, cycles: &mut u64) {
+        if instruction_side {
+            self.counters.itlb_misses += 1;
+        } else {
+            self.counters.dtlb_misses += 1;
+        }
+        let p = self.cfg.tlb_miss_penalty as u64;
+        self.counters.tlb_miss_cycles += p;
+        *cycles += p;
+    }
+
+    fn replay_ifetch(&mut self, b: u8) {
+        let mut stall = ((b >> 2) & 0x07) as u64;
+        if stall == STALL_ESCAPE as u64 {
+            stall = self.next_op() as u64;
+        }
+        let outcome = b & OUTCOME_MASK;
+        let mut cycles = 1 + stall;
+        self.counters.instructions += 1;
+        self.counters.cpu_stall_cycles += stall;
+        if b & I_TLB_MISS != 0 {
+            self.charge_tlb_miss(true, &mut cycles);
+        }
+        let missed = outcome != 0;
+        if missed {
+            self.counters.l1i_misses += 1;
+            let mut t = self.now + cycles;
+            if !self.cfg.concurrency.concurrent_i_refill {
+                let empty = self.wb.empty_at(t);
+                let wait = empty - t;
+                self.counters.wb_wait_cycles += wait;
+                cycles += wait;
+                t = empty;
+            }
+            cycles += self.service_i(t, outcome);
+        }
+        self.now += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry();
+        p.instructions += 1;
+        p.cycles += cycles;
+        if missed {
+            p.l1i_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+
+    fn service_i(&mut self, start: u64, outcome: u8) -> u64 {
+        self.counters.l2i_accesses += 1;
+        let hit_cost = self.i_hit_cost;
+        if outcome == 1 {
+            self.counters.l1i_miss_cycles += hit_cost;
+            return hit_cost;
+        }
+        self.counters.l2i_misses += 1;
+        let svc = if self.cfg.l2.is_split() {
+            self.mem_i.service_miss(start, outcome == 3)
+        } else {
+            self.mem_d.service_miss(start, outcome == 3)
+        };
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters.l1i_miss_cycles += l1_share;
+        self.counters.l2i_miss_cycles += service - l1_share;
+        self.counters.dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        svc.stall_cycles
+    }
+
+    fn service_d(&mut self, start: u64, outcome: u8) -> u64 {
+        self.counters.l2d_accesses += 1;
+        let hit_cost = self.d_hit_cost;
+        if outcome == 1 {
+            self.counters.l1d_miss_cycles += hit_cost;
+            return hit_cost;
+        }
+        self.counters.l2d_misses += 1;
+        let svc = self.mem_d.service_miss(start, outcome == 3);
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters.l1d_miss_cycles += l1_share;
+        self.counters.l2d_miss_cycles += service - l1_share;
+        self.counters.dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        svc.stall_cycles
+    }
+
+    fn wb_wait_for_d_miss(&mut self, start: u64, line_base: PhysAddr, replaced: bool) -> u64 {
+        let until = match self.cfg.concurrency.d_read_bypass {
+            WbBypass::Wait => self.wb.empty_at(start),
+            WbBypass::DirtyBit => {
+                if replaced {
+                    self.wb.empty_at(start)
+                } else {
+                    start
+                }
+            }
+            WbBypass::Associative => self
+                .wb
+                .match_line(start, line_base, self.cfg.l1d.line_words)
+                .map_or(start, |t| t.max(start)),
+        };
+        let wait = until - start;
+        self.counters.wb_wait_cycles += wait;
+        wait
+    }
+
+    fn replay_enqueue(&mut self, start: u64) -> u64 {
+        let addr = self.next_addr();
+        let free_at = self.wb.slot_free_at(start);
+        let stall = free_at - start;
+        self.counters.wb_wait_cycles += stall;
+        let code = self.next_op();
+        self.counters.l2_drain_writes += 1;
+        let extra = if code == 0 {
+            0
+        } else {
+            self.counters.l2_drain_misses += 1;
+            self.mem_d.service_miss_raw(code == 2).stall_cycles as u32
+        };
+        let busy_from = free_at.max(self.wb.last_completion());
+        let completes = self.wb.enqueue(
+            free_at,
+            addr,
+            self.d_write_access,
+            self.d_write_stream,
+            extra,
+        );
+        self.counters.l2_drain_busy_cycles += completes - busy_from;
+        stall
+    }
+
+    fn replay_load(&mut self) {
+        let b = self.next_op();
+        let outcome = b & OUTCOME_MASK;
+        let mut cycles = 0u64;
+        self.counters.loads += 1;
+        if b & LOAD_DTLB != 0 {
+            self.charge_tlb_miss(false, &mut cycles);
+        }
+        if outcome != 0 {
+            self.counters.l1d_read_misses += 1;
+            let line_base = self.next_addr();
+            let mut t = self.now + cycles;
+            let wait = self.wb_wait_for_d_miss(t, line_base, b & LOAD_REPLACED != 0);
+            cycles += wait;
+            t += wait;
+            if b & LOAD_VICTIM != 0 {
+                let stall = self.replay_enqueue(t);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d(t, outcome);
+        }
+        self.now += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry();
+        p.loads += 1;
+        p.cycles += cycles;
+        if outcome != 0 {
+            p.l1d_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+
+    fn replay_store(&mut self) {
+        let b = self.next_op();
+        let (mut outcome, mut replaced) = (0u8, false);
+        if b & STORE_FETCH != 0 {
+            let ext = self.next_op();
+            outcome = ext & OUTCOME_MASK;
+            replaced = ext & EXT_REPLACED != 0;
+        }
+        let mut cycles = 0u64;
+        self.counters.stores += 1;
+        if b & STORE_DTLB != 0 {
+            self.charge_tlb_miss(false, &mut cycles);
+        }
+        let hit = b & STORE_HIT != 0;
+        if !hit {
+            self.counters.l1d_write_misses += 1;
+        }
+        if b & STORE_EXTRA != 0 {
+            self.counters.l1_write_cycles += 1;
+            cycles += 1;
+        }
+        let mut t = self.now + cycles;
+        if b & STORE_WB_WORD != 0 {
+            let stall = self.replay_enqueue(t);
+            cycles += stall;
+            t += stall;
+        }
+        if b & STORE_FETCH != 0 {
+            let line_base = self.next_addr();
+            let wait = self.wb_wait_for_d_miss(t, line_base, replaced);
+            cycles += wait;
+            t += wait;
+            if b & STORE_VICTIM != 0 {
+                let stall = self.replay_enqueue(t);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d(t, outcome);
+        } else if b & STORE_VICTIM != 0 {
+            cycles += self.replay_enqueue(t);
+        }
+        self.now += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry();
+        p.stores += 1;
+        p.cycles += cycles;
+        if !hit {
+            p.l1d_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DiffCheckConfig, FaultConfig};
+    use crate::sim::Simulator;
+    use crate::workload;
+    use gaas_cache::fault::FaultRates;
+
+    const SCALE: f64 = 3e-4;
+    const WARMUP: u64 = 1_500;
+
+    fn profile_for(cfg: &SimConfig) -> (SimResult, FunctionalProfile) {
+        Simulator::new(cfg.clone())
+            .expect("valid config")
+            .run_profiled(workload::subset(4, SCALE), WARMUP)
+            .expect("profiled run")
+    }
+
+    fn direct(cfg: &SimConfig) -> SimResult {
+        Simulator::new(cfg.clone())
+            .expect("valid config")
+            .run_warmed(workload::subset(4, SCALE), WARMUP)
+            .expect("direct run")
+    }
+
+    /// Byte-identical comparison of everything a cell result reports.
+    fn assert_identical(priced: &SimResult, full: &SimResult, what: &str) {
+        assert_eq!(priced.counters, full.counters, "{what}: counters");
+        assert_eq!(priced.per_process, full.per_process, "{what}: per-proc");
+        assert_eq!(priced.completed, full.completed, "{what}: completion");
+        assert_eq!(priced.termination, full.termination, "{what}: termination");
+        assert_eq!(priced.config, full.config, "{what}: config");
+        assert!(priced.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_fields() {
+        let base = SimConfig::baseline();
+        let fp = functional_fingerprint(&base).expect("memoizable");
+
+        let mut b = base.to_builder();
+        b.l2_access(9)
+            .tlb_miss_penalty(20)
+            .memory(MainMemory {
+                clean_miss_cycles: 100,
+                dirty_miss_cycles: 180,
+            })
+            .l2_drain_access(4)
+            .write_buffer(WriteBufferConfig {
+                depth: 2,
+                width_words: 4,
+            });
+        let timing_variant = b.build().expect("valid");
+        assert_eq!(functional_fingerprint(&timing_variant), Some(fp));
+    }
+
+    #[test]
+    fn fingerprint_separates_geometries() {
+        let fp = |f: &dyn Fn(&mut crate::config::SimConfigBuilder)| {
+            let mut b = SimConfig::builder();
+            f(&mut b);
+            functional_fingerprint(&b.build().expect("valid")).expect("memoizable")
+        };
+        let base = fp(&|_| {});
+        assert_ne!(
+            base,
+            fp(&|b| {
+                b.l1_line(8);
+            })
+        );
+        assert_ne!(
+            base,
+            fp(&|b| {
+                b.policy(WritePolicy::WriteOnly);
+            })
+        );
+        assert_ne!(
+            base,
+            fp(&|b| {
+                b.l2(L2Config::split_even(262_144, 1, 6));
+            })
+        );
+        assert_ne!(
+            base,
+            fp(&|b| {
+                b.mp_level(4);
+            })
+        );
+        assert_ne!(
+            base,
+            fp(&|b| {
+                b.instruction_budget(1_000_000);
+            })
+        );
+    }
+
+    #[test]
+    fn fingerprint_refuses_unmemoizable_configs() {
+        let mut faulty = SimConfig::baseline();
+        faulty.fault = FaultConfig {
+            rates: FaultRates::uniform(1e-5),
+            ..FaultConfig::default()
+        };
+        assert_eq!(functional_fingerprint(&faulty), None);
+
+        let mut diff = SimConfig::baseline();
+        diff.diffcheck = DiffCheckConfig::on();
+        assert_eq!(functional_fingerprint(&diff), None);
+
+        let mut ckpt = SimConfig::baseline();
+        ckpt.checkpoint_interval = 10_000;
+        assert_eq!(functional_fingerprint(&ckpt), None);
+    }
+
+    #[test]
+    fn pricing_matches_direct_runs_across_the_baseline_timing_axis() {
+        let base = SimConfig::baseline();
+        let (rep, profile) = profile_for(&base);
+        assert_identical(&rep, &direct(&base), "recording run itself");
+        for access in [1, 4, 9] {
+            let mut b = base.to_builder();
+            b.l2_access(access);
+            let cfg = b.build().expect("valid");
+            let priced = price_profile(&cfg, &profile).expect("priced");
+            assert_identical(&priced, &direct(&cfg), &format!("access={access}"));
+        }
+        let mut b = base.to_builder();
+        b.memory(MainMemory {
+            clean_miss_cycles: 80,
+            dirty_miss_cycles: 200,
+        })
+        .tlb_miss_penalty(30);
+        let cfg = b.build().expect("valid");
+        assert_identical(
+            &price_profile(&cfg, &profile).expect("priced"),
+            &direct(&cfg),
+            "memory+tlb variant",
+        );
+    }
+
+    #[test]
+    fn pricing_matches_direct_runs_for_the_optimized_geometry() {
+        let opt = SimConfig::optimized();
+        let (_, profile) = profile_for(&opt);
+        // Walk the §9 concurrency switches (all timing-side) and the split
+        // access times.
+        let mut variants = Vec::new();
+        let mut b = opt.to_builder();
+        b.l2_access(4);
+        variants.push(b.build().expect("valid"));
+        let mut b = opt.to_builder();
+        b.concurrency(ConcurrencyConfig {
+            concurrent_i_refill: false,
+            d_read_bypass: WbBypass::Wait,
+            l2d_dirty_buffer: false,
+        });
+        variants.push(b.build().expect("valid"));
+        let mut b = opt.to_builder();
+        b.concurrency(ConcurrencyConfig {
+            concurrent_i_refill: true,
+            d_read_bypass: WbBypass::Associative,
+            l2d_dirty_buffer: true,
+        });
+        variants.push(b.build().expect("valid"));
+        for (k, cfg) in variants.iter().enumerate() {
+            assert_identical(
+                &price_profile(cfg, &profile).expect("priced"),
+                &direct(cfg),
+                &format!("optimized variant {k}"),
+            );
+        }
+    }
+
+    #[test]
+    fn pricing_matches_direct_runs_for_the_drain_override_sweep() {
+        let mut b = SimConfig::builder();
+        b.policy(WritePolicy::Subblock);
+        let geom = b.build().expect("valid");
+        let (_, profile) = profile_for(&geom);
+        for drain in [2, 6, 10] {
+            let mut b = geom.to_builder();
+            b.l2_drain_access(drain);
+            let cfg = b.build().expect("valid");
+            assert_identical(
+                &price_profile(&cfg, &profile).expect("priced"),
+                &direct(&cfg),
+                &format!("drain={drain}"),
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_runs_price_identically() {
+        let mut b = SimConfig::builder();
+        b.instruction_budget(20_000);
+        let geom = b.build().expect("valid");
+        let (rep, profile) = profile_for(&geom);
+        assert_eq!(rep.termination, Termination::BudgetExhausted);
+        let mut b = geom.to_builder();
+        b.l2_access(8);
+        let cfg = b.build().expect("valid");
+        let priced = price_profile(&cfg, &profile).expect("priced");
+        assert_eq!(priced.termination, Termination::BudgetExhausted);
+        assert_identical(&priced, &direct(&cfg), "budget variant");
+    }
+
+    #[test]
+    #[should_panic(expected = "memoizable")]
+    fn run_profiled_rejects_unmemoizable_configs() {
+        let mut cfg = SimConfig::baseline();
+        cfg.checkpoint_interval = 5_000;
+        let _ = Simulator::new(cfg)
+            .expect("valid config")
+            .run_profiled(workload::subset(1, 1e-4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timing variant")]
+    fn pricing_rejects_a_different_geometry() {
+        let (_, profile) = profile_for(&SimConfig::baseline());
+        let mut b = SimConfig::builder();
+        b.l1_line(8);
+        let other = b.build().expect("valid");
+        let _ = price_profile(&other, &profile);
+    }
+
+    #[test]
+    fn profile_reports_size_and_instructions() {
+        let (rep, profile) = profile_for(&SimConfig::baseline());
+        assert!(profile.size_bytes() > 0);
+        // `instructions()` counts the full run including warm-up; the
+        // result counters exclude it.
+        assert_eq!(
+            profile.instructions(),
+            rep.counters.instructions + WARMUP,
+            "token walk must agree with the run's instruction count"
+        );
+    }
+}

@@ -39,6 +39,7 @@ use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
 use crate::config::{ConfigError, L2Config, MachineCheckPolicy, SeededBug, SimConfig, WbBypass};
 use crate::cpi::{Counters, ProcCounters};
 use crate::oracle::{Deltas, DiffState, DivergenceReport, SimStructures};
+use crate::profile::{functional_fingerprint, FunctionalProfile, ProfileRecorder};
 use crate::sched::{SchedSnapshot, Scheduler};
 
 /// Error from building or running a simulation.
@@ -234,6 +235,15 @@ struct FaultState {
 /// accelerator, not an architectural structure).
 const TCACHE_WAYS: usize = 256;
 
+/// Reference constants the functional clock advances by. They mirror the
+/// paper's base architecture (6-cycle L2 access, 143/237-cycle memory
+/// penalties) but are deliberately *fixed*, not read from the
+/// configuration: the functional clock must be invariant across the
+/// timing axis of a sweep.
+const REF_L2_ACCESS: u64 = 6;
+const REF_MEM_CLEAN: u64 = 143;
+const REF_MEM_DIRTY: u64 = 237;
+
 /// The trace-driven simulator for one architecture configuration.
 ///
 /// # Examples
@@ -252,6 +262,16 @@ const TCACHE_WAYS: usize = 256;
 pub struct Simulator {
     cfg: SimConfig,
     now: u64,
+    /// The *functional* clock driving scheduler time-slicing. It advances
+    /// on functional outcomes only — issue + stall cycles, L2 hits at the
+    /// fixed reference access time, memory misses at the reference
+    /// penalties — never on the timing knobs (access times, latencies,
+    /// write-buffer waits, TLB penalties). Two configurations with the
+    /// same geometry therefore schedule the *identical* instruction
+    /// interleaving regardless of their timing points, which is what lets
+    /// the two-phase sweep memoizer (see `profile`) price many timing
+    /// variants from one functional pass.
+    fnow: u64,
     counters: Counters,
 
     l1i: CacheArray,
@@ -272,6 +292,11 @@ pub struct Simulator {
     /// Precomputed L1 miss service costs for an L2 hit.
     i_hit_cost: u32,
     d_hit_cost: u32,
+    /// Functional-clock L2-hit costs at the reference access time (see
+    /// `fnow`): `REF_L2_ACCESS + beats − 1`, independent of the
+    /// configured access times.
+    ref_i_hit_cost: u32,
+    ref_d_hit_cost: u32,
     /// L2 write access/stream occupancy for write-buffer drains.
     d_write_access: u32,
     d_write_stream: u32,
@@ -293,6 +318,9 @@ pub struct Simulator {
     diff_on: bool,
     /// Cooperative cancellation flag, polled between instruction batches.
     cancel: Option<CancelToken>,
+    /// Functional-outcome recorder (`None` = normal run; installed by
+    /// [`Simulator::run_profiled`] for the two-phase sweep memoizer).
+    rec: Option<Box<ProfileRecorder>>,
 }
 
 impl Simulator {
@@ -323,6 +351,8 @@ impl Simulator {
         let d_side = cfg.l2.d_side();
         let i_hit_cost = i_side.access_cycles + beats(cfg.l1i.line_words) - 1;
         let d_hit_cost = d_side.access_cycles + beats(cfg.l1d.line_words) - 1;
+        let ref_i_hit_cost = REF_L2_ACCESS as u32 + beats(cfg.l1i.line_words) - 1;
+        let ref_d_hit_cost = REF_L2_ACCESS as u32 + beats(cfg.l1d.line_words) - 1;
         // Drains write at the data side's access time (or the Fig. 5
         // override); streams overlap the 2-cycle latency.
         let d_write_access = cfg.l2_drain_access_override.unwrap_or(d_side.access_cycles);
@@ -359,6 +389,7 @@ impl Simulator {
         Ok(Simulator {
             cfg,
             now: 0,
+            fnow: 0,
             counters: Counters::new(),
             l1i,
             l1d,
@@ -373,6 +404,8 @@ impl Simulator {
             per_proc: Vec::new(),
             i_hit_cost,
             d_hit_cost,
+            ref_i_hit_cost,
+            ref_d_hit_cost,
             d_write_access,
             d_write_stream,
             fault,
@@ -382,6 +415,7 @@ impl Simulator {
             diff,
             diff_on,
             cancel: None,
+            rec: None,
         })
     }
 
@@ -456,11 +490,54 @@ impl Simulator {
     /// Returns [`SimError::MachineCheck`] when an injected fault is
     /// unrecoverable under the halt policy.
     pub fn run_sampled(
-        mut self,
+        self,
         traces: Vec<Box<dyn Trace>>,
         warmup_instructions: u64,
         window_instructions: u64,
     ) -> Result<(SimResult, Vec<Counters>), SimError> {
+        let (result, windows, _) =
+            self.run_sampled_rec(traces, warmup_instructions, window_instructions)?;
+        Ok((result, windows))
+    }
+
+    /// Runs a workload with a [`ProfileRecorder`] attached, returning the
+    /// result together with a [`FunctionalProfile`] that [`price_profile`]
+    /// can replay under any timing variant of this configuration's
+    /// geometry (see the `profile` module).
+    ///
+    /// [`price_profile`]: crate::profile::price_profile
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run_warmed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is not memoizable
+    /// ([`functional_fingerprint`] returns `None` for fault injection,
+    /// the differential oracle, and checkpointing).
+    pub fn run_profiled(
+        mut self,
+        traces: Vec<Box<dyn Trace>>,
+        warmup_instructions: u64,
+    ) -> Result<(SimResult, FunctionalProfile), SimError> {
+        let fkey = functional_fingerprint(&self.cfg)
+            .expect("run_profiled requires a memoizable configuration");
+        self.rec = Some(Box::new(ProfileRecorder::new()));
+        let (result, _, rec) = self.run_sampled_rec(traces, warmup_instructions, 0)?;
+        let profile =
+            rec.expect("recorder installed above")
+                .finish(fkey, warmup_instructions, &result);
+        Ok((result, profile))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_sampled_rec(
+        mut self,
+        traces: Vec<Box<dyn Trace>>,
+        warmup_instructions: u64,
+        window_instructions: u64,
+    ) -> Result<(SimResult, Vec<Counters>, Option<Box<ProfileRecorder>>), SimError> {
         let mut sched = Scheduler::new(traces, self.cfg.mp.level, self.cfg.mp.time_slice_cycles);
         let mut warm_snapshot: Option<Counters> = None;
         let mut windows = Vec::new();
@@ -491,12 +568,15 @@ impl Simulator {
         } else {
             u64::MAX
         };
-        while let Some(instr) = sched.next_instruction(self.now) {
+        // The scheduler sees the *functional* clock, not the timing clock:
+        // time-slice context switches then land on identical instruction
+        // boundaries for every timing variant of one cache geometry.
+        while let Some(instr) = sched.next_instruction(self.fnow) {
             self.step_ifetch(&instr.ifetch);
             if let Some(data) = instr.data {
                 self.step_data(&data);
             }
-            sched.post_instruction(self.now, instr.ifetch.syscall);
+            sched.post_instruction(self.fnow, instr.ifetch.syscall);
             if self.pending_mc.is_some() {
                 let fault = self.pending_mc.take().expect("just checked");
                 return Err(SimError::MachineCheck {
@@ -573,7 +653,7 @@ impl Simulator {
             termination,
             checkpoints,
         };
-        Ok((result, windows))
+        Ok((result, windows, self.rec.take()))
     }
 
     /// Processes a single event outside a scheduled workload (single-process
@@ -736,11 +816,23 @@ impl Simulator {
         let hit_cost = self.i_hit_cost as u64;
         if let Some(dirty) = self.l2_touch_i(paddr) {
             self.counters.l1i_miss_cycles += hit_cost;
+            self.fnow += self.ref_i_hit_cost as u64;
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.set_i_outcome(1);
+            }
             self.l1i.fill(paddr);
             return hit_cost + self.fault_on_l2_hit(paddr, dirty, true);
         }
         self.counters.l2i_misses += 1;
         let dirty_victim = self.l2_fill_i(paddr);
+        self.fnow += if dirty_victim {
+            REF_MEM_DIRTY
+        } else {
+            REF_MEM_CLEAN
+        };
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.set_i_outcome(if dirty_victim { 3 } else { 2 });
+        }
         let svc = if self.cfg.l2.is_split() {
             self.mem_i.service_miss(start, dirty_victim)
         } else {
@@ -766,10 +858,22 @@ impl Simulator {
         let hit_cost = self.d_hit_cost as u64;
         if let Some(dirty) = self.l2_touch_d(line_base) {
             self.counters.l1d_miss_cycles += hit_cost;
+            self.fnow += self.ref_d_hit_cost as u64;
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.set_d_outcome(1);
+            }
             return hit_cost + self.fault_on_l2_hit(line_base, dirty, false);
         }
         self.counters.l2d_misses += 1;
         let dirty_victim = self.l2_fill_d(line_base);
+        self.fnow += if dirty_victim {
+            REF_MEM_DIRTY
+        } else {
+            REF_MEM_CLEAN
+        };
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.set_d_outcome(if dirty_victim { 3 } else { 2 });
+        }
         let svc = self.mem_d.service_miss(start, dirty_victim);
         // Same clamped attribution as the instruction side.
         let service = svc.stall_cycles - svc.dirty_buffer_wait;
@@ -811,6 +915,9 @@ impl Simulator {
     /// Enqueues a write into the write buffer at `start`, stalling for a
     /// slot if the buffer is full. Returns the stall (attributed to WB).
     fn enqueue_write(&mut self, start: u64, addr: PhysAddr) -> u64 {
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.push_addr(addr.word());
+        }
         let free_at = self.wb.slot_free_at(start);
         let stall = free_at - start;
         self.counters.wb_wait_cycles += stall;
@@ -835,11 +942,17 @@ impl Simulator {
         self.counters.l2_drain_writes += 1;
         if self.l2_touch_d(addr).is_some() {
             self.l2_dirty_d(addr);
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.push_drain(0);
+            }
             return 0;
         }
         self.counters.l2_drain_misses += 1;
         let dirty_victim = self.l2_fill_d(addr);
         self.l2_dirty_d(addr);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.push_drain(if dirty_victim { 2 } else { 1 });
+        }
         // The drain stalls the buffer, not the CPU, and does not compete
         // for the dirty buffer: fold the raw penalty into the entry's
         // occupancy.
@@ -1036,8 +1149,13 @@ impl Simulator {
         let mut missed = false;
         self.counters.instructions += 1;
         self.counters.cpu_stall_cycles += ev.stall_cycles as u64;
+        self.fnow += 1 + ev.stall_cycles as u64;
 
-        if self.itlb.access(ev.addr) {
+        let itlb_hit = self.itlb.access(ev.addr);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.begin_instr(ev.addr.pid().raw(), ev.stall_cycles, !itlb_hit);
+        }
+        if itlb_hit {
             cycles += self.fault_on_tlb_hit();
         } else {
             self.counters.itlb_misses += 1;
@@ -1099,7 +1217,11 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.loads += 1;
-        if self.dtlb.access(ev.addr) {
+        let dtlb_hit = self.dtlb.access(ev.addr);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.begin_load(!dtlb_hit);
+        }
+        if dtlb_hit {
             cycles += self.fault_on_tlb_hit();
         } else {
             self.counters.dtlb_misses += 1;
@@ -1115,6 +1237,13 @@ impl Simulator {
         } else {
             self.counters.l1d_read_misses += 1;
             let line_base = outcome.fetch.expect("miss implies fetch");
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.load_miss(
+                    outcome.replaced_written_line,
+                    outcome.writeback_victim.is_some(),
+                    line_base.word(),
+                );
+            }
             let mut t = self.now + cycles;
             // Wait on *previously pending* writes per the bypass rule; the
             // victim this very miss displaces drains in the background
@@ -1155,7 +1284,8 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.stores += 1;
-        if self.dtlb.access(ev.addr) {
+        let dtlb_hit = self.dtlb.access(ev.addr);
+        if dtlb_hit {
             cycles += self.fault_on_tlb_hit();
         } else {
             self.counters.dtlb_misses += 1;
@@ -1166,6 +1296,17 @@ impl Simulator {
         let paddr = self.translate(ev.addr);
 
         let outcome = self.l1d.store(paddr, ev.partial_word);
+        if let Some(r) = self.rec.as_deref_mut() {
+            r.begin_store(
+                !dtlb_hit,
+                outcome.hit,
+                outcome.extra_cycle,
+                outcome.wb_word.is_some(),
+                outcome.fetch.is_some(),
+                outcome.writeback_victim.is_some(),
+                outcome.replaced_written_line,
+            );
+        }
         if outcome.hit {
             cycles += self.fault_on_l1d_hit(paddr);
         } else {
@@ -1174,6 +1315,7 @@ impl Simulator {
         if outcome.extra_cycle {
             self.counters.l1_write_cycles += 1;
             cycles += 1;
+            self.fnow += 1;
         }
         let mut t = self.now + cycles;
 
@@ -1187,6 +1329,9 @@ impl Simulator {
         // waits on previously pending writes, while the victim this miss
         // displaces drains in the background during the refill.
         if let Some(line_base) = outcome.fetch {
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.push_addr(line_base.word());
+            }
             let wait = self.wb_wait_for_d_miss(t, line_base, outcome.replaced_written_line);
             cycles += wait;
             t += wait;

@@ -5,8 +5,8 @@
 //! synthetic benchmark models at a chosen scale; [`subset`] builds smaller
 //! workloads for quick runs and tests.
 
+use gaas_trace::arena;
 use gaas_trace::bench_model::{suite, BenchmarkSpec};
-use gaas_trace::gen::TraceGenerator;
 use gaas_trace::{Pid, Trace};
 
 /// Builds the full ten-benchmark workload, PIDs 0–9, with every
@@ -41,7 +41,11 @@ pub fn subset(n: usize, scale: f64) -> Vec<Box<dyn Trace>> {
     from_specs(&all[..n], scale)
 }
 
-/// Builds a workload from explicit specs, assigning PIDs in order.
+/// Builds a workload from explicit specs, assigning PIDs in order. Each
+/// stream is a replay cursor over the shared trace arena (materialized
+/// once per benchmark × scale, byte-identical to direct generation), so
+/// repeated runs — sweep cells in particular — stop paying generation
+/// cost.
 ///
 /// # Panics
 ///
@@ -52,9 +56,7 @@ pub fn from_specs(specs: &[BenchmarkSpec], scale: f64) -> Vec<Box<dyn Trace>> {
     specs
         .iter()
         .enumerate()
-        .map(|(i, spec)| {
-            Box::new(TraceGenerator::new(spec, Pid::new(i as u8), scale)) as Box<dyn Trace>
-        })
+        .map(|(i, spec)| arena::cursor(spec, Pid::new(i as u8), scale))
         .collect()
 }
 

@@ -31,18 +31,20 @@
 //! meaningless for a reloaded run; [`SimResult::checkpoints`] comes back
 //! empty).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::Duration;
 
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
-    config_fingerprint, CancelToken, Counters, Pid, ProcCounters, SimError, SimResult, Termination,
+    config_fingerprint, functional_fingerprint, price_profile, CancelToken, Counters, Pid,
+    ProcCounters, SimError, SimResult, Termination,
 };
 
 use self::json::Json;
@@ -51,6 +53,72 @@ use crate::{pool, runner};
 /// How long a timed-out cell gets to acknowledge cooperative
 /// cancellation before it is detached as truly wedged.
 const CANCEL_GRACE: Duration = Duration::from_secs(2);
+
+/// Process-wide switch for the two-phase memoized sweep path (on by
+/// default). When off, [`run_cells`] runs every cell as a full isolated
+/// simulation — the pre-memoization behaviour, kept reachable so the
+/// determinism gate can compare the two paths byte for byte.
+static MEMO_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Full functional simulations executed by the grouping path (group
+/// leads, singleton groups, and fallback members).
+static FUNCTIONAL_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Cells priced from a memoized [`gaas_sim::FunctionalProfile`] instead
+/// of simulated.
+static PRICED_CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables sweep memoization process-wide.
+pub fn set_memoize(on: bool) {
+    MEMO_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when sweep memoization is enabled.
+pub fn memoize_enabled() -> bool {
+    MEMO_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Work counters of the memoized sweep path, accumulated process-wide
+/// across [`run_cells`] batches since the last [`reset_memo_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Full functional simulations executed.
+    pub functional_runs: u64,
+    /// Cells priced from a memoized profile instead of simulated.
+    pub priced_cells: u64,
+}
+
+impl MemoStats {
+    /// Total cells resolved through the grouping path.
+    pub fn cells(&self) -> u64 {
+        self.functional_runs + self.priced_cells
+    }
+
+    /// Functional-pass reuse factor: cells resolved per full simulation
+    /// (1.0 when nothing was memoized).
+    pub fn reuse_factor(&self) -> f64 {
+        if self.functional_runs == 0 {
+            1.0
+        } else {
+            self.cells() as f64 / self.functional_runs as f64
+        }
+    }
+}
+
+/// The memoization work counters accumulated so far.
+pub fn memo_stats() -> MemoStats {
+    MemoStats {
+        functional_runs: FUNCTIONAL_RUNS.load(Ordering::Relaxed),
+        priced_cells: PRICED_CELLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the memoization work counters (callers reset before a sweep
+/// they intend to report on).
+pub fn reset_memo_stats() {
+    FUNCTIONAL_RUNS.store(0, Ordering::Relaxed);
+    PRICED_CELLS.store(0, Ordering::Relaxed);
+}
 
 /// Per-cell isolation knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -611,16 +679,118 @@ pub fn dispatch(cfg: &SimConfig, scale: f64) -> CellResult {
     }
 }
 
+/// Runs every member of a group as its own full isolated simulation (the
+/// non-memoized path: singleton groups, memoization off, and the
+/// fallback after any group failure).
+fn run_members_individually(
+    cfgs: &[SimConfig],
+    members: &[usize],
+    scale: f64,
+    opts: &CellOptions,
+) -> Vec<CellResult> {
+    members
+        .iter()
+        .map(|&i| {
+            FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
+            run_isolated(&cfgs[i], scale, opts)
+        })
+        .collect()
+}
+
+/// Runs one geometry group: the functional pass (a full simulation
+/// recording a [`gaas_sim::FunctionalProfile`]) on the first member, then
+/// cheap token-replay pricing for every other member. The whole group
+/// runs isolated on one thread behind `catch_unwind` with the cell
+/// timeout, mirroring [`run_isolated`]; *any* failure — panic, timeout,
+/// or typed error anywhere in the group — falls back to running every
+/// member individually, so memoization can only change wall-clock, never
+/// results or failure granularity.
+fn run_group(
+    cfgs: &[SimConfig],
+    members: &[usize],
+    scale: f64,
+    opts: &CellOptions,
+) -> Vec<CellResult> {
+    if members.len() == 1 {
+        return run_members_individually(cfgs, members, scale, opts);
+    }
+    let (tx, rx) = mpsc::channel();
+    let worker_cfgs: Vec<SimConfig> = members.iter().map(|&i| cfgs[i].clone()).collect();
+    let cancel = CancelToken::new();
+    let worker_cancel = cancel.clone();
+    let spawned = thread::Builder::new()
+        .name("campaign-group".into())
+        .spawn(move || {
+            let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                let (lead, profile) = runner::run_standard_profiled_cancellable(
+                    worker_cfgs[0].clone(),
+                    scale,
+                    Some(worker_cancel),
+                )?;
+                let mut results = Vec::with_capacity(worker_cfgs.len());
+                results.push(lead);
+                for cfg in &worker_cfgs[1..] {
+                    results.push(price_profile(cfg, &profile)?);
+                }
+                Ok::<Vec<SimResult>, SimError>(results)
+            }));
+            let _ = tx.send(out);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(_) => return run_members_individually(cfgs, members, scale, opts),
+    };
+    match rx.recv_timeout(opts.timeout) {
+        Ok(Ok(Ok(results))) => {
+            let _ = handle.join();
+            FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
+            PRICED_CELLS.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+            results
+                .into_iter()
+                .map(|r| CellResult::Done(Box::new(r)))
+                .collect()
+        }
+        Ok(Ok(Err(_))) | Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // A typed error or panic anywhere in the group: re-run each
+            // member individually so the failure lands on exactly the
+            // cell(s) that own it, with per-cell retry semantics.
+            let _ = handle.join();
+            run_members_individually(cfgs, members, scale, opts)
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            cancel.cancel();
+            match rx.recv_timeout(CANCEL_GRACE) {
+                Ok(_) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+            }
+            run_members_individually(cfgs, members, scale, opts)
+        }
+    }
+}
+
 /// Runs a batch of cells over the process-wide worker pool
 /// ([`pool::jobs`], set by `repro --jobs`), returning results in
 /// submission order regardless of completion order — so tables built
 /// from the batch are byte-identical to a serial sweep.
 ///
+/// **Two-phase memoization**: cells whose configurations share a
+/// functional fingerprint ([`functional_fingerprint`] — same cache
+/// geometry, different timing knobs) are grouped; each group runs its
+/// functional pass once and prices the other members from the recorded
+/// profile. Unmemoizable cells (fault injection, diffcheck,
+/// checkpointing) and singleton geometries run as full simulations
+/// exactly as before. Groups are formed in first-occurrence order and
+/// fan out over the pool as units. Disable with [`set_memoize`]; the
+/// results are byte-identical either way (enforced by the determinism
+/// gate in `perf_baseline` and the memoized-sweep integration tests).
+///
 /// Journal semantics match per-cell [`dispatch`]: journaled cells are
-/// reused without running, executed cells journal atomically as each one
-/// completes (arrival order; the journal's `BTreeMap` keying makes the
-/// file bytes order-independent). The campaign lock is *not* held while
-/// cells run, only around the journal lookups/writes.
+/// reused without running, executed cells journal atomically as each
+/// group completes (arrival order; the journal's `BTreeMap` keying makes
+/// the file bytes order-independent). The campaign lock is *not* held
+/// while cells run, only around the journal lookups/writes.
 pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
     let mut results: Vec<Option<CellResult>> = vec![None; cfgs.len()];
     let mut todo: Vec<usize> = Vec::new();
@@ -642,18 +812,40 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
             }
         }
     };
+    // Group the remaining cells by functional fingerprint (first
+    // occurrence fixes each group's position, so the unit sequence is
+    // deterministic). Unmemoizable configs get singleton groups.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut by_key: HashMap<u64, usize> = HashMap::new();
+    let memoize = memoize_enabled();
+    for &i in &todo {
+        match functional_fingerprint(&cfgs[i]).filter(|_| memoize) {
+            Some(key) => match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push(vec![i]);
+                }
+            },
+            None => groups.push(vec![i]),
+        }
+    }
     let executed = pool::run_ordered(
         pool::jobs(),
-        todo.len(),
-        |k| run_isolated(&cfgs[todo[k]], scale, &opts),
-        |k, res| {
+        groups.len(),
+        |g| run_group(cfgs, &groups[g], scale, &opts),
+        |g, group_results: &Vec<CellResult>| {
             if let Some(campaign) = active().as_mut() {
-                campaign.record(&cfgs[todo[k]], scale, res);
+                for (&i, res) in groups[g].iter().zip(group_results) {
+                    campaign.record(&cfgs[i], scale, res);
+                }
             }
         },
     );
-    for (k, res) in todo.iter().zip(executed) {
-        results[*k] = Some(res);
+    for (g, group_results) in executed.into_iter().enumerate() {
+        for (&i, res) in groups[g].iter().zip(group_results) {
+            results[i] = Some(res);
+        }
     }
     results
         .into_iter()

@@ -55,7 +55,10 @@ pub mod threec;
 pub mod verify;
 pub mod warmup;
 
-pub use campaign::{CampaignStats, CellOptions, CellResult};
+pub use campaign::{
+    memo_stats, memoize_enabled, reset_memo_stats, set_memoize, CampaignStats, CellOptions,
+    CellResult, MemoStats,
+};
 pub use runner::{
     run_standard, run_standard_cell, run_standard_cells, run_standard_many, run_standard_raw,
     DEFAULT_SCALE,

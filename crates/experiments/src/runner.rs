@@ -13,8 +13,8 @@
 
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
-    workload, CancelToken, ConcurrencyConfig, DiffCheckConfig, L2Config, SimError, SimResult,
-    Simulator, WbBypass, WritePolicy,
+    workload, CancelToken, ConcurrencyConfig, DiffCheckConfig, FunctionalProfile, L2Config,
+    SimError, SimResult, Simulator, WbBypass, WritePolicy,
 };
 use gaas_trace::bench_model::suite;
 
@@ -64,6 +64,33 @@ pub fn run_standard_raw_cancellable(
         sim.set_cancel_token(token);
     }
     sim.run_warmed(workload::standard(scale), warmup)
+}
+
+/// [`run_standard_raw_cancellable`] recording a [`FunctionalProfile`]
+/// alongside the result: the functional pass of the two-phase memoized
+/// sweep. The returned profile prices any timing variant of the same
+/// cache geometry via [`gaas_sim::price_profile`] without re-simulating.
+///
+/// # Panics
+///
+/// Panics if `cfg` is not memoizable
+/// ([`gaas_sim::functional_fingerprint`] returns `None`): fault
+/// injection, diffcheck and checkpointing runs must use the plain path.
+///
+/// # Errors
+///
+/// As [`run_standard_raw_cancellable`].
+pub fn run_standard_profiled_cancellable(
+    cfg: SimConfig,
+    scale: f64,
+    cancel: Option<CancelToken>,
+) -> Result<(SimResult, FunctionalProfile), SimError> {
+    let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
+    let mut sim = Simulator::new(cfg)?;
+    if let Some(token) = cancel {
+        sim.set_cancel_token(token);
+    }
+    sim.run_profiled(workload::standard(scale), warmup)
 }
 
 /// Runs one campaign cell: through the active

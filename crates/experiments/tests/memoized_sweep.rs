@@ -1,0 +1,173 @@
+//! Memoized-sweep identity: `run_standard_cells` with two-phase
+//! memoization enabled must return results byte-identical to full
+//! per-cell simulation, for the sweeps that actually exploit grouping
+//! (Fig. 7/8 speed–size grids, a Fig. 5 drain-override column) and for
+//! the configurations that must *bypass* it (fault injection, diffcheck).
+//!
+//! This lives in its own integration-test binary because
+//! [`campaign::set_memoize`] and [`pool::set_jobs`] are process-global:
+//! the file-level mutex serializes the tests, and no other test binary
+//! ever sees memoization toggled off.
+
+use std::sync::Mutex;
+
+use gaas_experiments::campaign::{self, CellResult};
+use gaas_experiments::{pool, runner};
+use gaas_sim::config::{L2Config, L2Side, SimConfig};
+use gaas_sim::{functional_fingerprint, DiffCheckConfig, FaultRates, WritePolicy};
+
+/// Serializes tests (memoization and pool width are process-global) and
+/// restores the defaults afterwards even on panic.
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct Restore;
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        campaign::set_memoize(true);
+        pool::set_jobs(1);
+    }
+}
+
+fn serialized() -> (std::sync::MutexGuard<'static, ()>, Restore) {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    (guard, Restore)
+}
+
+const SCALE: f64 = 2e-4;
+
+fn assert_identical(label: &str, full: &[CellResult], memo: &[CellResult]) {
+    assert_eq!(full.len(), memo.len());
+    for (k, (a, b)) in full.iter().zip(memo).enumerate() {
+        match (a, b) {
+            (CellResult::Done(x), CellResult::Done(y)) => {
+                assert_eq!(x.counters, y.counters, "{label} cell {k}: counters");
+                assert_eq!(x.completed, y.completed, "{label} cell {k}: completed");
+                assert_eq!(
+                    x.per_process, y.per_process,
+                    "{label} cell {k}: per-process"
+                );
+                assert_eq!(
+                    x.termination, y.termination,
+                    "{label} cell {k}: termination"
+                );
+            }
+            _ => panic!("{label} cell {k}: both paths must succeed"),
+        }
+    }
+}
+
+fn run_both_ways(label: &str, cfgs: &[SimConfig]) -> (Vec<CellResult>, Vec<CellResult>) {
+    campaign::set_memoize(false);
+    let full = runner::run_standard_cells(cfgs, SCALE);
+    campaign::set_memoize(true);
+    campaign::reset_memo_stats();
+    let memo = runner::run_standard_cells(cfgs, SCALE);
+    assert_identical(label, &full, &memo);
+    (full, memo)
+}
+
+fn split_cfg(i: L2Side, d: L2Side) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.l2(L2Config::Split { i, d });
+    b.build().expect("valid")
+}
+
+fn side(size_words: u64, access_cycles: u32) -> L2Side {
+    L2Side {
+        size_words,
+        assoc: 1,
+        line_words: 32,
+        access_cycles,
+    }
+}
+
+/// Fig. 7/8 mini-grids (2 sizes × 3 access times per side): the access
+/// time is a timing knob, so each size is one geometry group — the
+/// memoized sweep must run 2 functional passes per side and price the
+/// other 4 cells, byte-identically to 6 full simulations.
+#[test]
+fn fig78_minigrids_price_identically_to_full_simulation() {
+    let _ctx = serialized();
+    let sizes = [16_384, 262_144];
+    let times = [2, 6, 9];
+    for (label, instruction_side) in [("fig7", true), ("fig8", false)] {
+        let cfgs: Vec<SimConfig> = sizes
+            .iter()
+            .flat_map(|&s| times.iter().map(move |&t| (s, t)))
+            .map(|(s, t)| {
+                if instruction_side {
+                    split_cfg(side(s, t), side(262_144, 6))
+                } else {
+                    split_cfg(side(262_144, 6), side(s, t))
+                }
+            })
+            .collect();
+        run_both_ways(label, &cfgs);
+        let stats = campaign::memo_stats();
+        assert_eq!(stats.functional_runs, sizes.len() as u64, "{label}");
+        assert_eq!(
+            stats.priced_cells,
+            (cfgs.len() - sizes.len()) as u64,
+            "{label}"
+        );
+        assert!(stats.reuse_factor() > 2.9, "{label}: {stats:?}");
+    }
+}
+
+/// One Fig. 5 column — a single write policy across every drain-override
+/// access time — is one geometry group: one functional pass, four priced
+/// cells, identical results. Also exercises the parallel group path
+/// (jobs = 2), which must not change a byte either.
+#[test]
+fn fig5_drain_column_prices_identically_and_survives_parallelism() {
+    let _ctx = serialized();
+    let cfgs: Vec<SimConfig> = [2u32, 4, 6, 8, 10]
+        .iter()
+        .map(|&access| {
+            let mut b = SimConfig::builder();
+            b.policy(WritePolicy::WriteOnly).l2_drain_access(access);
+            b.build().expect("valid")
+        })
+        .collect();
+    let (full, _) = run_both_ways("fig5", &cfgs);
+    let stats = campaign::memo_stats();
+    assert_eq!(stats.functional_runs, 1);
+    assert_eq!(stats.priced_cells, 4);
+
+    pool::set_jobs(2);
+    let parallel = runner::run_standard_cells(&cfgs, SCALE);
+    pool::set_jobs(1);
+    assert_identical("fig5-jobs2", &full, &parallel);
+}
+
+/// Fault-injection and diffcheck configurations are unmemoizable (their
+/// behaviour depends on cycle-level timing), so the grouping path must
+/// classify them as singletons and run them as full simulations — with
+/// results identical whether memoization is nominally on or off.
+#[test]
+fn fault_and_diffcheck_configs_bypass_memoization() {
+    let _ctx = serialized();
+    let mut faulty = SimConfig::baseline();
+    faulty.fault.rates = FaultRates::uniform(1e-3);
+    let mut b = SimConfig::baseline().to_builder();
+    b.diffcheck(DiffCheckConfig::on());
+    let checked = b.build().expect("valid");
+
+    for cfg in [&faulty, &checked] {
+        assert_eq!(
+            functional_fingerprint(cfg),
+            None,
+            "timing-dependent configs must refuse a geometry key"
+        );
+    }
+
+    let cfgs = vec![faulty, checked];
+    run_both_ways("bypass", &cfgs);
+    let stats = campaign::memo_stats();
+    assert_eq!(
+        stats.priced_cells, 0,
+        "unmemoizable cells must never be priced"
+    );
+    assert_eq!(stats.functional_runs, 2);
+}

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod addr;
+pub mod arena;
 pub mod bench_model;
 pub mod data;
 pub mod event;

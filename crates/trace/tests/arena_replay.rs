@@ -1,0 +1,98 @@
+//! Arena-replay identity: an [`arena`] cursor must yield an event stream
+//! byte-identical to direct streaming generation — events, batch
+//! boundaries, CPU-stall annotations, partial-word flags and syscall
+//! markers — for every benchmark model at multiple scales.
+
+use gaas_trace::arena;
+use gaas_trace::bench_model::suite;
+use gaas_trace::gen::TraceGenerator;
+use gaas_trace::{Pid, Trace, TraceEvent};
+
+// The larger scale clears gcc's ≈22 k-instruction syscall interval so the
+// replay identity also covers syscall markers.
+const SCALES: [f64; 2] = [1e-4, 1e-3];
+
+fn drain_per_event(t: &mut dyn Trace) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    while let Some(ev) = <dyn Trace>::next(t) {
+        out.push(ev);
+    }
+    out
+}
+
+/// Drains through `next_batch` with a deliberately odd batch size so
+/// arena chunk boundaries cannot hide behind generator batch boundaries.
+fn drain_batched(t: &mut dyn Trace, batch: usize) -> Vec<TraceEvent> {
+    let mut out = Vec::new();
+    loop {
+        let before = out.len();
+        let n = t.next_batch(&mut out, batch);
+        assert_eq!(out.len() - before, n, "next_batch must append exactly n");
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn arena_cursor_is_byte_identical_to_direct_generation() {
+    let mut stalls_seen = false;
+    let mut syscalls_seen = false;
+    for spec in &suite() {
+        for (si, &scale) in SCALES.iter().enumerate() {
+            let pid = Pid::new(si as u8);
+            let direct = drain_per_event(&mut TraceGenerator::new(spec, pid, scale));
+            let replay = drain_per_event(&mut *arena::cursor(spec, pid, scale));
+            assert_eq!(
+                direct, replay,
+                "{} at scale {scale}: per-event replay diverged",
+                spec.name
+            );
+            stalls_seen |= direct.iter().any(|e| e.stall_cycles > 0);
+            syscalls_seen |= direct.iter().any(|e| e.syscall);
+        }
+    }
+    // The identity above only proves something about the annotations if
+    // the streams actually carry them.
+    assert!(
+        stalls_seen,
+        "suite streams should contain stall annotations"
+    );
+    assert!(
+        syscalls_seen,
+        "suite streams should contain syscall markers"
+    );
+}
+
+#[test]
+fn arena_batches_concatenate_identically_to_direct_batches() {
+    for spec in &suite() {
+        let pid = Pid::new(7);
+        let scale = SCALES[0];
+        let direct = drain_batched(&mut TraceGenerator::new(spec, pid, scale), 257);
+        let replay = drain_batched(&mut *arena::cursor(spec, pid, scale), 257);
+        assert_eq!(
+            direct, replay,
+            "{}: batched replay diverged at batch size 257",
+            spec.name
+        );
+        // Mixed draining (a few single events, then batches) must continue
+        // from the same position.
+        let mut mixed_src = arena::cursor(spec, pid, scale);
+        let mut mixed = Vec::new();
+        for _ in 0..3 {
+            mixed.extend(mixed_src.next());
+        }
+        mixed.extend(drain_batched(&mut *mixed_src, 64));
+        assert_eq!(direct, mixed, "{}: mixed draining diverged", spec.name);
+    }
+}
+
+#[test]
+fn cursor_names_match_benchmark_names() {
+    for spec in &suite() {
+        let c = arena::cursor(spec, Pid::new(0), SCALES[0]);
+        assert_eq!(c.name(), spec.name);
+    }
+}
