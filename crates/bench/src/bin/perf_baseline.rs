@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH]
+//!               [--kernel-only] [--reference PATH]
 //!
 //! --scale S    workload scale for the per-figure wall-clocks
 //!              (default GAAS_BENCH_SCALE or 2e-3)
@@ -11,6 +12,13 @@
 //! --samples K  timed repetitions per kernel measurement; best-of-K is
 //!              reported (default 3)
 //! --out PATH   where to write the JSON report (default BENCH_sim.json)
+//! --kernel-only  measure only the kernel and telemetry-overhead sections
+//!              (skips figures and the sweep passes; CI's overhead gate
+//!              uses this for a fast, low-noise comparison)
+//! --reference PATH  gate against a prior report: exit 1 if this build's
+//!              batched (telemetry-disabled) throughput falls more than
+//!              3% below the reference's — the disabled-telemetry
+//!              zero-cost contract
 //! ```
 //!
 //! The report (`BENCH_sim.json`) records:
@@ -21,23 +29,31 @@
 //!   reproduces the seed kernel's one-virtual-call-per-event pattern, plus
 //!   the ratio between them and a fixed reference throughput measured at
 //!   the growth seed;
+//! * **telemetry** — the same batched kernel with
+//!   [`TelemetryConfig::on`]: enabled-mode overhead
+//!   (`enabled_over_disabled`), and the `--reference` gate result for the
+//!   disabled mode (the hooks behind the cached enable flag must stay
+//!   within 3% of the pre-telemetry throughput);
 //! * **figures** — wall-clock seconds to regenerate each paper figure at
 //!   table scale (with two-phase sweep memoization on, its default);
 //! * **sweep** — a geometry-diverse 16-cell sweep (4 L2-D geometries × 4
 //!   access times) measured three ways: serial full simulation
 //!   (memoization off, jobs 1), parallel full simulation (memoization
-//!   off, `--jobs N` — the raw pool scaling, ≈ 1.0 on a single-core
-//!   host), and the memoized two-phase path at `--jobs N`. The headline
-//!   `speedup` is serial-full vs. memoized-parallel: the work-reduction
-//!   win (4 functional passes instead of 16), which holds even with one
-//!   core;
+//!   off, `--jobs N`), and the memoized two-phase path at `--jobs N`.
+//!   `nproc` is recorded, and on a single-core host `pool_scaling_raw` is
+//!   reported as `null` with a note instead of a fake ≈1.0 "speedup" —
+//!   one core cannot demonstrate pool scaling. The headline `speedup` is
+//!   serial-full vs. memoized-parallel: the work-reduction win (4
+//!   functional passes instead of 16), which holds even with one core;
 //! * **arena** — trace-arena generation/reuse counters and hit rate over
 //!   the whole run;
 //! * **memo** — functional runs vs. priced cells in the measured sweep
 //!   and the resulting reuse factor;
 //! * **determinism** — whether batched-vs-unbatched,
-//!   parallel-vs-serial and memoized-vs-full runs produced identical
-//!   counters (they must; any violation exits 1).
+//!   telemetry-vs-disabled, parallel-vs-serial and memoized-vs-full runs
+//!   produced identical counters (they must; any violation exits 1).
+//!
+//! [`TelemetryConfig::on`]: gaas_sim::config::TelemetryConfig::on
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -46,7 +62,7 @@ use gaas_bench::table_scale;
 use gaas_experiments::{
     ablations, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
 };
-use gaas_sim::config::{L2Config, L2Side, SimConfig};
+use gaas_sim::config::{L2Config, L2Side, SimConfig, TelemetryConfig};
 use gaas_sim::{sim, workload, SimResult};
 use gaas_trace::bench_model::suite;
 use gaas_trace::{arena, Trace, UnbatchedTrace};
@@ -57,6 +73,27 @@ use gaas_trace::{arena, Trace, UnbatchedTrace};
 /// on others, compare `batched` against `unbatched` instead.
 const SEED_EVENTS_PER_SEC: f64 = 20.69e6;
 
+/// Maximum fraction the disabled-telemetry batched throughput may fall
+/// below a `--reference` report before the gate fails.
+const MAX_DISABLED_OVERHEAD: f64 = 0.03;
+
+/// The sweep-engine measurements (skipped under `--kernel-only`).
+struct SweepReport {
+    cells: usize,
+    geometry_groups: usize,
+    timing_variants: usize,
+    serial_secs: f64,
+    jobs: usize,
+    parallel_full_secs: f64,
+    /// `None` on a single-core host (no honest scaling figure exists).
+    pool_scaling: Option<f64>,
+    memoized_secs: f64,
+    speedup: f64,
+    memo: campaign::MemoStats,
+    sweep_deterministic: bool,
+    memo_deterministic: bool,
+}
+
 fn main() {
     let mut scale = table_scale();
     let mut jobs = std::thread::available_parallelism()
@@ -64,6 +101,8 @@ fn main() {
         .unwrap_or(1);
     let mut samples = 3usize;
     let mut out_path = "BENCH_sim.json".to_string();
+    let mut kernel_only = false;
+    let mut reference_path: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -73,6 +112,10 @@ fn main() {
             "--jobs" => jobs = parse(it.next(), "--jobs"),
             "--samples" => samples = parse(it.next(), "--samples"),
             "--out" => out_path = it.next().unwrap_or_else(|| usage("--out")).clone(),
+            "--kernel-only" => kernel_only = true,
+            "--reference" => {
+                reference_path = Some(it.next().unwrap_or_else(|| usage("--reference")).clone());
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument '{other}'")),
         }
@@ -89,7 +132,8 @@ fn main() {
 
     eprintln!(
         "[perf_baseline: scale {scale}, kernel scale {kernel_scale}, jobs {jobs}, \
-         samples {samples}, {cores} core(s)]"
+         samples {samples}, {cores} core(s){}]",
+        if kernel_only { ", kernel only" } else { "" }
     );
 
     // --- Kernel: batched vs. unbatched events/second. -------------------
@@ -122,31 +166,262 @@ fn main() {
         }
     );
 
+    // --- Telemetry: enabled-mode overhead and the disabled-mode gate. ---
+    let telem_cfg = {
+        let mut b = cfg.to_builder();
+        b.telemetry(TelemetryConfig::on());
+        b.build().expect("valid config")
+    };
+    let (telem_secs, telem_res) = best_of(samples, || {
+        sim::run(telem_cfg.clone(), workload::standard(kernel_scale)).expect("valid config")
+    });
+    let telem_eps = events as f64 / telem_secs;
+    let telem_deterministic = telem_res.counters == batched_res.counters;
+    let reference_eps = reference_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read --reference {path}: {e}");
+            std::process::exit(2);
+        });
+        reference_batched_eps(&text).unwrap_or_else(|| {
+            eprintln!("error: --reference {path} has no kernel.batched.events_per_sec");
+            std::process::exit(2);
+        })
+    });
+    let reference_ratio = reference_eps.map(|r| batched_eps / r);
+    let reference_passed = reference_ratio.map(|r| r >= 1.0 - MAX_DISABLED_OVERHEAD);
+    eprintln!(
+        "[telemetry: enabled {:.2} Me/s ({:.3}x of disabled), counters {}{}]",
+        telem_eps / 1e6,
+        telem_eps / batched_eps,
+        if telem_deterministic {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        match (reference_ratio, reference_passed) {
+            (Some(r), Some(ok)) => format!(
+                ", disabled vs reference {:.3}x ({})",
+                r,
+                if ok { "within 3%" } else { "GATE FAILED" }
+            ),
+            _ => String::new(),
+        }
+    );
+
     // --- Figures: wall-clock to regenerate each at table scale. ---------
     let mut figures: Vec<(&str, f64)> = Vec::new();
-    macro_rules! time_figure {
-        ($name:literal, $body:expr) => {{
-            let t0 = Instant::now();
-            std::hint::black_box($body);
-            let secs = t0.elapsed().as_secs_f64();
-            eprintln!("[{}: {:.2}s]", $name, secs);
-            figures.push(($name, secs));
-        }};
-    }
-    time_figure!("fig2", fig2::run(scale));
-    time_figure!("fig3", fig3::run(scale));
-    time_figure!("fig4", fig4::run(scale));
-    time_figure!("fig5", fig5::run(scale));
-    time_figure!("fig6", fig6::run(scale));
-    time_figure!("fig7", fig78::run(fig78::Side::Instruction, scale));
-    time_figure!("fig8", fig78::run(fig78::Side::Data, scale));
-    time_figure!("fig9", fig9::run(scale));
-    time_figure!("fig10", fig10::run(scale));
-    time_figure!("sec5", sec5::run(scale));
-    time_figure!("sec8", sec8::run(scale));
-    time_figure!("ablations", ablations::run(scale));
+    let mut sweep: Option<SweepReport> = None;
+    if !kernel_only {
+        macro_rules! time_figure {
+            ($name:literal, $body:expr) => {{
+                let t0 = Instant::now();
+                std::hint::black_box($body);
+                let secs = t0.elapsed().as_secs_f64();
+                eprintln!("[{}: {:.2}s]", $name, secs);
+                figures.push(($name, secs));
+            }};
+        }
+        time_figure!("fig2", fig2::run(scale));
+        time_figure!("fig3", fig3::run(scale));
+        time_figure!("fig4", fig4::run(scale));
+        time_figure!("fig5", fig5::run(scale));
+        time_figure!("fig6", fig6::run(scale));
+        time_figure!("fig7", fig78::run(fig78::Side::Instruction, scale));
+        time_figure!("fig8", fig78::run(fig78::Side::Data, scale));
+        time_figure!("fig9", fig9::run(scale));
+        time_figure!("fig10", fig10::run(scale));
+        time_figure!("sec5", sec5::run(scale));
+        time_figure!("sec8", sec8::run(scale));
+        time_figure!("ablations", ablations::run(scale));
 
-    // --- Sweep engine: a geometry-diverse sweep, three ways. ------------
+        sweep = Some(measure_sweep(kernel_scale, jobs, cores));
+    }
+    let arena_stats = arena::stats();
+
+    // --- Emit the JSON report. ------------------------------------------
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": 3,");
+    let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
+    let _ = writeln!(j, "  \"scale\": {scale},");
+    let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
+    let _ = writeln!(j, "  \"nproc\": {cores},");
+    let _ = writeln!(j, "  \"samples\": {samples},");
+    let _ = writeln!(j, "  \"kernel_only\": {kernel_only},");
+    let _ = writeln!(j, "  \"kernel\": {{");
+    let _ = writeln!(j, "    \"events\": {events},");
+    let _ = writeln!(
+        j,
+        "    \"batched\": {{ \"seconds_best\": {batched_secs:.6}, \"events_per_sec\": {batched_eps:.1} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"unbatched\": {{ \"seconds_best\": {unbatched_secs:.6}, \"events_per_sec\": {unbatched_eps:.1} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"batched_over_unbatched\": {:.4},",
+        batched_eps / unbatched_eps
+    );
+    let _ = writeln!(
+        j,
+        "    \"seed_reference_events_per_sec\": {SEED_EVENTS_PER_SEC:.1},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"speedup_vs_seed_reference\": {:.4}",
+        batched_eps / SEED_EVENTS_PER_SEC
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"telemetry\": {{");
+    let _ = writeln!(j, "    \"disabled_events_per_sec\": {batched_eps:.1},");
+    let _ = writeln!(
+        j,
+        "    \"enabled\": {{ \"seconds_best\": {telem_secs:.6}, \"events_per_sec\": {telem_eps:.1} }},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"enabled_over_disabled\": {:.4},",
+        telem_eps / batched_eps
+    );
+    let _ = writeln!(
+        j,
+        "    \"max_disabled_overhead_frac\": {MAX_DISABLED_OVERHEAD},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"reference_events_per_sec\": {},",
+        opt_num(reference_eps, 1)
+    );
+    let _ = writeln!(
+        j,
+        "    \"disabled_vs_reference\": {},",
+        opt_num(reference_ratio, 4)
+    );
+    let _ = writeln!(
+        j,
+        "    \"reference_gate_passed\": {}",
+        reference_passed.map_or("null".into(), |b| b.to_string())
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"figures\": [");
+    for (i, (name, secs)) in figures.iter().enumerate() {
+        let comma = if i + 1 < figures.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{name}\", \"seconds\": {secs:.4} }}{comma}"
+        );
+    }
+    let _ = writeln!(j, "  ],");
+    match &sweep {
+        Some(s) => {
+            let _ = writeln!(j, "  \"sweep\": {{");
+            let _ = writeln!(j, "    \"cells\": {},", s.cells);
+            let _ = writeln!(j, "    \"geometry_groups\": {},", s.geometry_groups);
+            let _ = writeln!(
+                j,
+                "    \"timing_variants_per_group\": {},",
+                s.timing_variants
+            );
+            let _ = writeln!(j, "    \"serial_full_seconds\": {:.4},", s.serial_secs);
+            let _ = writeln!(j, "    \"jobs\": {},", s.jobs);
+            let _ = writeln!(
+                j,
+                "    \"parallel_full_seconds\": {:.4},",
+                s.parallel_full_secs
+            );
+            let _ = writeln!(
+                j,
+                "    \"pool_scaling_raw\": {},",
+                opt_num(s.pool_scaling, 4)
+            );
+            if s.pool_scaling.is_none() {
+                let _ = writeln!(
+                    j,
+                    "    \"pool_scaling_note\": \"single-core host (nproc 1): a parallel \
+                     pass cannot speed up, so no scaling figure is reported\","
+                );
+            }
+            let _ = writeln!(
+                j,
+                "    \"memoized_parallel_seconds\": {:.4},",
+                s.memoized_secs
+            );
+            let _ = writeln!(j, "    \"speedup\": {:.4}", s.speedup);
+            let _ = writeln!(j, "  }},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"sweep\": null,");
+        }
+    }
+    let _ = writeln!(j, "  \"arena\": {{");
+    let _ = writeln!(j, "    \"generated\": {},", arena_stats.generated);
+    let _ = writeln!(j, "    \"reused\": {},", arena_stats.reused);
+    let _ = writeln!(j, "    \"hit_rate\": {:.4}", arena_stats.hit_rate());
+    let _ = writeln!(j, "  }},");
+    match &sweep {
+        Some(s) => {
+            let _ = writeln!(j, "  \"memo\": {{");
+            let _ = writeln!(j, "    \"functional_runs\": {},", s.memo.functional_runs);
+            let _ = writeln!(j, "    \"priced_cells\": {},", s.memo.priced_cells);
+            let _ = writeln!(j, "    \"reuse_factor\": {:.4}", s.memo.reuse_factor());
+            let _ = writeln!(j, "  }},");
+        }
+        None => {
+            let _ = writeln!(j, "  \"memo\": null,");
+        }
+    }
+    let sweep_deterministic = sweep.as_ref().map_or(true, |s| s.sweep_deterministic);
+    let memo_deterministic = sweep.as_ref().map_or(true, |s| s.memo_deterministic);
+    let _ = writeln!(j, "  \"determinism\": {{");
+    let _ = writeln!(
+        j,
+        "    \"batched_equals_unbatched\": {kernel_deterministic},"
+    );
+    let _ = writeln!(
+        j,
+        "    \"telemetry_equals_disabled\": {telem_deterministic},"
+    );
+    let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic},");
+    let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic}");
+    let _ = writeln!(j, "  }}");
+    let _ = writeln!(j, "}}");
+
+    if let Err(e) = std::fs::write(&out_path, &j) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("[wrote {out_path}]");
+
+    if !kernel_deterministic || !telem_deterministic || !sweep_deterministic || !memo_deterministic
+    {
+        eprintln!("error: determinism violation — see the report");
+        std::process::exit(1);
+    }
+    if reference_passed == Some(false) {
+        eprintln!(
+            "error: disabled-telemetry throughput {:.2} Me/s is more than {}% below the \
+             reference {:.2} Me/s",
+            batched_eps / 1e6,
+            MAX_DISABLED_OVERHEAD * 100.0,
+            reference_eps.unwrap_or(0.0) / 1e6
+        );
+        std::process::exit(1);
+    }
+    if let Some(s) = &sweep {
+        if s.speedup <= 1.5 {
+            eprintln!(
+                "warning: memoized sweep speedup {:.2}x did not exceed 1.5x \
+                 (expected ~{}x from work reduction alone)",
+                s.speedup,
+                s.cells / s.geometry_groups
+            );
+        }
+    }
+}
+
+/// The geometry-diverse sweep measured three ways (see the module docs).
+fn measure_sweep(kernel_scale: f64, jobs: usize, cores: usize) -> SweepReport {
     // 4 L2-D geometries × 4 access times, so the memoized path has real
     // grouping to exploit (4 functional passes for 16 cells). The old
     // sweep varied only the TLB miss penalty — a single geometry, which
@@ -183,8 +458,9 @@ fn main() {
     let serial = runner::run_standard_many(&sweep_cfgs, kernel_scale);
     let serial_secs = t0.elapsed().as_secs_f64();
 
-    // Pass B — parallel full simulation: the raw pool scaling, honest
-    // about the host (on one core this is ≈ 1.0 by construction).
+    // Pass B — parallel full simulation: the raw pool scaling. Honest
+    // about the host: with one core there is no scaling to measure, so
+    // the figure is withheld rather than reported as a fake ≈1.0x.
     pool::set_jobs(jobs);
     let t0 = Instant::now();
     let parallel = runner::run_standard_many(&sweep_cfgs, kernel_scale);
@@ -207,16 +483,17 @@ fn main() {
     };
     let sweep_deterministic = identical(&serial, &parallel);
     let memo_deterministic = identical(&serial, &memoized);
-    let pool_scaling = serial_secs / parallel_full_secs;
+    let pool_scaling = (cores > 1).then(|| serial_secs / parallel_full_secs);
     let speedup = serial_secs / memoized_secs;
     eprintln!(
         "[sweep: {} cells ({} geometries x {} access times), serial full {serial_secs:.2}s, \
-         --jobs {jobs} full {parallel_full_secs:.2}s (pool scaling {pool_scaling:.2}x on \
-         {cores} core(s)), --jobs {jobs} memoized {memoized_secs:.2}s, speedup {speedup:.2}x, \
+         --jobs {jobs} full {parallel_full_secs:.2}s (pool scaling {} on {cores} core(s)), \
+         --jobs {jobs} memoized {memoized_secs:.2}s, speedup {speedup:.2}x, \
          {} functional + {} priced, counters {}/{}]",
         sweep_cfgs.len(),
         geometries.len(),
         access_times.len(),
+        pool_scaling.map_or("n/a (single core)".into(), |s| format!("{s:.2}x")),
         memo.functional_runs,
         memo.priced_cells,
         if sweep_deterministic {
@@ -230,103 +507,42 @@ fn main() {
             "memoized DIVERGED"
         }
     );
-    let arena_stats = arena::stats();
+    SweepReport {
+        cells: sweep_cfgs.len(),
+        geometry_groups: geometries.len(),
+        timing_variants: access_times.len(),
+        serial_secs,
+        jobs,
+        parallel_full_secs,
+        pool_scaling,
+        memoized_secs,
+        speedup,
+        memo,
+        sweep_deterministic,
+        memo_deterministic,
+    }
+}
 
-    // --- Emit the JSON report. ------------------------------------------
-    let mut j = String::new();
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": 2,");
-    let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
-    let _ = writeln!(j, "  \"scale\": {scale},");
-    let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
-    let _ = writeln!(j, "  \"cores\": {cores},");
-    let _ = writeln!(j, "  \"samples\": {samples},");
-    let _ = writeln!(j, "  \"kernel\": {{");
-    let _ = writeln!(j, "    \"events\": {events},");
-    let _ = writeln!(
-        j,
-        "    \"batched\": {{ \"seconds_best\": {batched_secs:.6}, \"events_per_sec\": {batched_eps:.1} }},"
-    );
-    let _ = writeln!(
-        j,
-        "    \"unbatched\": {{ \"seconds_best\": {unbatched_secs:.6}, \"events_per_sec\": {unbatched_eps:.1} }},"
-    );
-    let _ = writeln!(
-        j,
-        "    \"batched_over_unbatched\": {:.4},",
-        batched_eps / unbatched_eps
-    );
-    let _ = writeln!(
-        j,
-        "    \"seed_reference_events_per_sec\": {SEED_EVENTS_PER_SEC:.1},"
-    );
-    let _ = writeln!(
-        j,
-        "    \"speedup_vs_seed_reference\": {:.4}",
-        batched_eps / SEED_EVENTS_PER_SEC
-    );
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"figures\": [");
-    for (i, (name, secs)) in figures.iter().enumerate() {
-        let comma = if i + 1 < figures.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"name\": \"{name}\", \"seconds\": {secs:.4} }}{comma}"
-        );
+/// Formats an optional number as JSON: the value at `decimals` places, or
+/// `null`.
+fn opt_num(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.decimals$}"),
+        None => "null".to_string(),
     }
-    let _ = writeln!(j, "  ],");
-    let _ = writeln!(j, "  \"sweep\": {{");
-    let _ = writeln!(j, "    \"cells\": {},", sweep_cfgs.len());
-    let _ = writeln!(j, "    \"geometry_groups\": {},", geometries.len());
-    let _ = writeln!(
-        j,
-        "    \"timing_variants_per_group\": {},",
-        access_times.len()
-    );
-    let _ = writeln!(j, "    \"serial_full_seconds\": {serial_secs:.4},");
-    let _ = writeln!(j, "    \"jobs\": {jobs},");
-    let _ = writeln!(j, "    \"parallel_full_seconds\": {parallel_full_secs:.4},");
-    let _ = writeln!(j, "    \"pool_scaling_raw\": {pool_scaling:.4},");
-    let _ = writeln!(j, "    \"memoized_parallel_seconds\": {memoized_secs:.4},");
-    let _ = writeln!(j, "    \"speedup\": {speedup:.4}");
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"arena\": {{");
-    let _ = writeln!(j, "    \"generated\": {},", arena_stats.generated);
-    let _ = writeln!(j, "    \"reused\": {},", arena_stats.reused);
-    let _ = writeln!(j, "    \"hit_rate\": {:.4}", arena_stats.hit_rate());
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"memo\": {{");
-    let _ = writeln!(j, "    \"functional_runs\": {},", memo.functional_runs);
-    let _ = writeln!(j, "    \"priced_cells\": {},", memo.priced_cells);
-    let _ = writeln!(j, "    \"reuse_factor\": {:.4}", memo.reuse_factor());
-    let _ = writeln!(j, "  }},");
-    let _ = writeln!(j, "  \"determinism\": {{");
-    let _ = writeln!(
-        j,
-        "    \"batched_equals_unbatched\": {kernel_deterministic},"
-    );
-    let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic},");
-    let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic}");
-    let _ = writeln!(j, "  }}");
-    let _ = writeln!(j, "}}");
+}
 
-    if let Err(e) = std::fs::write(&out_path, &j) {
-        eprintln!("error: cannot write {out_path}: {e}");
-        std::process::exit(2);
-    }
-    eprintln!("[wrote {out_path}]");
-
-    if !kernel_deterministic || !sweep_deterministic || !memo_deterministic {
-        eprintln!("error: determinism violation — see the report");
-        std::process::exit(1);
-    }
-    if speedup <= 1.5 {
-        eprintln!(
-            "warning: memoized sweep speedup {speedup:.2}x did not exceed 1.5x \
-             (expected ~{}x from work reduction alone)",
-            sweep_cfgs.len() / geometries.len()
-        );
-    }
+/// Extracts `kernel.batched.events_per_sec` from a prior report without a
+/// JSON parser dependency: the first `"events_per_sec"` after the first
+/// `"batched"` key (the report's own stable emission order).
+fn reference_batched_eps(text: &str) -> Option<f64> {
+    let tail = &text[text.find("\"batched\"")?..];
+    let rest = &tail[tail.find("\"events_per_sec\"")? + "\"events_per_sec\"".len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Wraps every trace so each `next_batch` yields at most one event (the
@@ -362,6 +578,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH]");
+    eprintln!(
+        "usage: perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH] \
+         [--kernel-only] [--reference PATH]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -146,6 +146,11 @@ impl MemorySystem {
     pub fn dirty_misses(&self) -> u64 {
         self.dirty_misses
     }
+
+    /// All demand misses serviced so far (clean + dirty).
+    pub fn total_misses(&self) -> u64 {
+        self.clean_misses + self.dirty_misses
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,11 @@ impl Tlb {
         self.misses
     }
 
+    /// All accesses recorded so far (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Miss ratio over all accesses (0 when unused).
     pub fn miss_ratio(&self) -> f64 {
         let total = self.hits + self.misses;

@@ -57,6 +57,8 @@ pub struct WriteBuffer {
     last_completion: u64,
     /// Total entries ever enqueued (for stats).
     enqueued: u64,
+    /// High-water mark of queued entries (for stats).
+    peak: usize,
 }
 
 impl WriteBuffer {
@@ -72,6 +74,7 @@ impl WriteBuffer {
             entries: VecDeque::with_capacity(depth),
             last_completion: 0,
             enqueued: 0,
+            peak: 0,
         }
     }
 
@@ -152,6 +155,7 @@ impl WriteBuffer {
         self.entries.push_back(WbEntry { addr, completes_at });
         self.last_completion = completes_at;
         self.enqueued += 1;
+        self.peak = self.peak.max(self.entries.len());
         completes_at
     }
 
@@ -174,6 +178,12 @@ impl WriteBuffer {
     /// Total entries ever enqueued.
     pub fn total_enqueued(&self) -> u64 {
         self.enqueued
+    }
+
+    /// High-water mark of simultaneously queued entries over the
+    /// buffer's lifetime (how close the workload came to filling it).
+    pub fn peak_depth(&self) -> usize {
+        self.peak
     }
 
     /// Completion time of the most recently enqueued entry (0 before any

@@ -351,6 +351,46 @@ impl DiffCheckConfig {
     }
 }
 
+/// Configuration of the telemetry subsystem (counters, spans, windowed
+/// CPI stacks; see `gaas-telemetry` and DESIGN.md §11).
+///
+/// The default is *off*: the simulator caches the flag once at
+/// construction (like the fault/diffcheck gates) and the hot path pays
+/// one predictable never-taken branch, so disabled runs are
+/// byte-identical to a build without telemetry at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch for counter/span/window recording.
+    pub enabled: bool,
+    /// Windowed CPI-stack granularity in retired instructions (the
+    /// functional clock drives window boundaries, so windows are
+    /// deterministic).
+    pub window_instructions: u64,
+    /// Ring-buffer capacity of the span recorder; once full, the oldest
+    /// spans are evicted and counted as dropped.
+    pub span_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            window_instructions: 100_000,
+            span_capacity: 65_536,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Enabled telemetry with the default window and span capacity.
+    pub fn on() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
 /// Error returned by [`SimConfigBuilder::build`] for inconsistent
 /// configurations.
 #[derive(Debug, Clone, PartialEq)]
@@ -386,6 +426,9 @@ pub enum ConfigError {
     /// A seeded canary corruption without the oracle enabled would corrupt
     /// simulator state with nothing watching for it.
     SeededBugWithoutOracle,
+    /// Telemetry enabled with a zero instruction window (the windowed
+    /// CPI stack needs a positive granularity).
+    ZeroTelemetryWindow,
 }
 
 impl fmt::Display for ConfigError {
@@ -435,6 +478,12 @@ impl fmt::Display for ConfigError {
                     f,
                     "a seeded canary corruption requires the differential oracle \
                      (nothing else would detect it)"
+                )
+            }
+            ConfigError::ZeroTelemetryWindow => {
+                write!(
+                    f,
+                    "telemetry window must be a positive instruction count"
                 )
             }
         }
@@ -506,6 +555,8 @@ pub struct SimConfig {
     pub checkpoint_interval: u64,
     /// Lockstep golden-model differential oracle (default: off).
     pub diffcheck: DiffCheckConfig,
+    /// Telemetry: counters, spans, windowed CPI stacks (default: off).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -527,6 +578,7 @@ impl SimConfig {
             instruction_budget: None,
             checkpoint_interval: 0,
             diffcheck: DiffCheckConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -562,6 +614,7 @@ impl SimConfig {
             instruction_budget: None,
             checkpoint_interval: 0,
             diffcheck: DiffCheckConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -637,6 +690,9 @@ impl SimConfig {
         }
         if self.diffcheck.seeded_bug.is_some() && !self.diffcheck.enabled {
             return Err(ConfigError::SeededBugWithoutOracle);
+        }
+        if self.telemetry.enabled && self.telemetry.window_instructions == 0 {
+            return Err(ConfigError::ZeroTelemetryWindow);
         }
         Ok(())
     }
@@ -842,6 +898,12 @@ impl SimConfigBuilder {
     /// Sets the differential-oracle configuration.
     pub fn diffcheck(&mut self, d: DiffCheckConfig) -> &mut Self {
         self.cfg.diffcheck = d;
+        self
+    }
+
+    /// Sets the telemetry configuration.
+    pub fn telemetry(&mut self, t: TelemetryConfig) -> &mut Self {
+        self.cfg.telemetry = t;
         self
     }
 

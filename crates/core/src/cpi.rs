@@ -143,6 +143,71 @@ impl Counters {
         )
     }
 
+    /// Field-wise sum `self + other` — the inverse of [`Counters::since`],
+    /// used to re-aggregate windowed deltas (e.g. checking that the
+    /// windows plus the tail reproduce the full-run counters).
+    #[must_use]
+    pub fn accum(&self, other: &Counters) -> Counters {
+        macro_rules! a {
+            ($($f:ident),* $(,)?) => {
+                Counters { $($f: self.$f + other.$f),* }
+            };
+        }
+        a!(
+            instructions,
+            loads,
+            stores,
+            syscall_switches,
+            slice_switches,
+            l1i_misses,
+            l1d_read_misses,
+            l1d_write_misses,
+            l2i_accesses,
+            l2i_misses,
+            l2d_accesses,
+            l2d_misses,
+            l2_drain_writes,
+            l2_drain_misses,
+            l2_drain_busy_cycles,
+            itlb_misses,
+            dtlb_misses,
+            cpu_stall_cycles,
+            l1i_miss_cycles,
+            l1d_miss_cycles,
+            l1_write_cycles,
+            wb_wait_cycles,
+            l2i_miss_cycles,
+            l2d_miss_cycles,
+            dirty_buffer_wait_cycles,
+            tlb_miss_cycles,
+            recovery_cycles,
+            faults_injected,
+            faults_silent,
+            faults_corrected,
+            fault_refetches,
+            machine_checks,
+        )
+    }
+
+    /// Labeled *integer-cycle* components in Fig. 4's stacking order,
+    /// summing to [`Counters::total_cycles`] exactly (the windowed
+    /// CPI-stack exporter divides by instructions only at presentation
+    /// time, so per-window stacks stay exact).
+    pub fn stack_components(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("base+stalls", self.instructions + self.cpu_stall_cycles),
+            ("L1-I miss", self.l1i_miss_cycles),
+            ("L1-D miss", self.l1d_miss_cycles),
+            ("L1 writes", self.l1_write_cycles),
+            ("WB", self.wb_wait_cycles),
+            ("L2-I miss", self.l2i_miss_cycles),
+            ("L2-D miss", self.l2d_miss_cycles),
+            ("dirty buf", self.dirty_buffer_wait_cycles),
+            ("TLB", self.tlb_miss_cycles),
+            ("recovery", self.recovery_cycles),
+        ]
+    }
+
     /// Sum of all stall-cycle components (everything above the 1.0 base).
     pub fn stall_cycles(&self) -> u64 {
         self.cpu_stall_cycles
@@ -475,6 +540,64 @@ mod tests {
         let expected = (c.total_cycles() / 4) as f64 / c.total_cycles() as f64;
         assert!((c.l2_drain_utilization() - expected).abs() < 1e-12);
         assert_eq!(Counters::new().l2_drain_utilization(), 0.0);
+    }
+
+    #[test]
+    fn accum_is_the_inverse_of_since() {
+        let a = sample();
+        let mut b = sample();
+        b.instructions = 2500;
+        b.wb_wait_cycles = 99;
+        b.faults_injected = 7;
+        let sum = a.accum(&b);
+        assert_eq!(sum.since(&a), b);
+        assert_eq!(sum.since(&b), a);
+        assert_eq!(sum.total_cycles(), a.total_cycles() + b.total_cycles());
+    }
+
+    #[test]
+    fn stack_components_sum_to_total_cycles() {
+        let mut c = sample();
+        c.recovery_cycles = 11;
+        let sum: u64 = c.stack_components().iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, c.total_cycles());
+        // Same labels, same order as the f64 breakdown.
+        let labels: Vec<&str> = c.stack_components().iter().map(|&(n, _)| n).collect();
+        let blabels: Vec<&str> = c.breakdown().components().iter().map(|&(n, _)| n).collect();
+        assert_eq!(labels, blabels);
+    }
+
+    /// Breakdown arithmetic on *real* runs: for each write policy the
+    /// per-component CPI contributions must sum to the total CPI, and the
+    /// integer stack must balance the cycle count exactly.
+    #[test]
+    fn breakdown_components_sum_to_cpi_across_policies() {
+        use crate::config::SimConfig;
+        use crate::{workload, Simulator, WritePolicy};
+        for policy in [
+            WritePolicy::WriteBack,
+            WritePolicy::WriteOnly,
+            WritePolicy::Subblock,
+        ] {
+            let mut b = SimConfig::builder();
+            b.policy(policy);
+            let cfg = b.build().expect("valid");
+            let sim = Simulator::new(cfg).expect("valid config");
+            let result = sim
+                .run(workload::subset(3, 1e-4))
+                .expect("fault-free run succeeds");
+            let c = &result.counters;
+            let bd = c.breakdown();
+            let cpi = c.total_cycles() as f64 / c.instructions as f64;
+            let sum: f64 = bd.components().iter().map(|(_, v)| v).sum();
+            assert!(
+                (sum - cpi).abs() < 1e-9,
+                "{policy:?}: components sum {sum} != CPI {cpi}"
+            );
+            assert!((bd.total() - cpi).abs() < 1e-9, "{policy:?}");
+            let cycle_sum: u64 = c.stack_components().iter().map(|&(_, v)| v).sum();
+            assert_eq!(cycle_sum, c.total_cycles(), "{policy:?}: integer stack");
+        }
     }
 
     #[test]

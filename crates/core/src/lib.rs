@@ -61,14 +61,16 @@ pub mod workload;
 
 pub use config::{
     ConcurrencyConfig, ConfigError, DiffCheckConfig, FaultConfig, L1Config, L2Config, L2Side,
-    MachineCheckPolicy, MpConfig, SeededBug, SeededBugSpec, SimConfig, SimConfigBuilder, WbBypass,
-    WriteBufferConfig,
+    MachineCheckPolicy, MpConfig, SeededBug, SeededBugSpec, SimConfig, SimConfigBuilder,
+    TelemetryConfig, WbBypass, WriteBufferConfig,
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
 pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};
 pub use profile::{functional_fingerprint, price_profile, FunctionalProfile};
 pub use sched::SchedSnapshot;
-pub use sim::{run, CancelToken, Checkpoint, SimError, SimResult, Simulator, Termination};
+pub use sim::{
+    run, CancelToken, Checkpoint, SimError, SimResult, Simulator, TelemetryReport, Termination,
+};
 
 // Re-export the substrate vocabulary so downstream users need only this
 // crate for common tasks.

@@ -360,7 +360,8 @@ fn hash_l2_side(h: &mut Fnv, s: &L2Side) {
 /// Returns `None` for configurations that must not be memoized at all:
 /// fault injection (stochastic state corruption driven by access order
 /// *and* recovery costs), the differential oracle (must observe the real
-/// engine), and checkpointing (checkpoints carry timing-clock cycles).
+/// engine), checkpointing (checkpoints carry timing-clock cycles), and
+/// telemetry (spans and windowed CPI stacks only exist in a timed run).
 ///
 /// # Classification (every field, exhaustively)
 ///
@@ -368,7 +369,7 @@ fn hash_l2_side(h: &mut Fnv, s: &L2Side) {
 /// |---|---|
 /// | functional | `l1i`, `l1d`, `policy`, `l2` shape (organization, sizes, assocs, line sizes), `mp`, `page_colors`, `instruction_budget` |
 /// | timing | L2 `access_cycles`, `write_buffer`, `concurrency`, `memory`, `tlb_miss_penalty`, `l2_drain_access_override` |
-/// | disqualifying | `fault` (when enabled), `diffcheck` (when enabled), `checkpoint_interval` (when nonzero) |
+/// | disqualifying | `fault` (when enabled), `diffcheck` (when enabled), `checkpoint_interval` (when nonzero), `telemetry` (when enabled) |
 ///
 /// The destructuring below is deliberately exhaustive (no `..`): adding a
 /// field to [`SimConfig`] fails to compile until it is classified here,
@@ -391,11 +392,14 @@ pub fn functional_fingerprint(cfg: &SimConfig) -> Option<u64> {
         instruction_budget,
         checkpoint_interval,
         diffcheck,
+        telemetry,
     } = cfg;
 
     // Disqualifiers: behaviours that couple functional state to timing or
-    // to per-run stochastic machinery.
-    if fault.enabled() || diffcheck.enabled || *checkpoint_interval != 0 {
+    // to per-run stochastic machinery. Telemetry is disqualifying because
+    // the pricer cannot synthesize the spans and per-window stacks a real
+    // timed run would have produced.
+    if fault.enabled() || diffcheck.enabled || *checkpoint_interval != 0 || telemetry.enabled {
         return None;
     }
 

@@ -201,6 +201,13 @@ impl Scheduler {
         self.slice_switches
     }
 
+    /// All context switches taken so far (voluntary + time-slice); the
+    /// telemetry layer polls this between instructions to turn switch
+    /// count changes into scheduler events.
+    pub fn total_switches(&self) -> u64 {
+        self.syscall_switches + self.slice_switches
+    }
+
     /// Names of benchmarks that have terminated, in completion order.
     pub fn completed(&self) -> &[String] {
         &self.completed

@@ -34,6 +34,7 @@ use gaas_cache::fault::{
     resolve, FaultEffect, FaultEvent, FaultInjector, ProtectionMap, Structure,
 };
 use gaas_cache::{CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer};
+use gaas_telemetry::{Component, CounterId, Registry, Span, SpanRecorder};
 use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
 
 use crate::config::{ConfigError, L2Config, MachineCheckPolicy, SeededBug, SimConfig, WbBypass};
@@ -235,6 +236,79 @@ struct FaultState {
 /// accelerator, not an architectural structure).
 const TCACHE_WAYS: usize = 256;
 
+/// Live telemetry state (present only when telemetry is enabled, so the
+/// untelemetered path stays bit-identical to a build without it). All
+/// recording is passive: it never charges cycles and never touches the
+/// fault injector's PRNG.
+struct TelemetryState {
+    reg: Registry,
+    spans: SpanRecorder,
+    /// Last observed scheduler switch total, for switch-event detection.
+    last_switches: u64,
+    // Pre-registered counter handles, so hot-path bumps are one indexed
+    // add with no name lookup.
+    c_l2_lookup_i: CounterId,
+    c_l2_lookup_d: CounterId,
+    c_mem_refill_i: CounterId,
+    c_mem_refill_d: CounterId,
+    c_wb_enqueue: CounterId,
+    c_wb_full_stall: CounterId,
+    c_wb_read_wait: CounterId,
+    c_tlb_walk_i: CounterId,
+    c_tlb_walk_d: CounterId,
+    c_sched_switch: CounterId,
+    c_fault_event: CounterId,
+    c_oracle_divergence: CounterId,
+}
+
+impl TelemetryState {
+    fn new(span_capacity: usize) -> Self {
+        let mut reg = Registry::new();
+        let c_l2_lookup_i = reg.counter("l2.lookup.i");
+        let c_l2_lookup_d = reg.counter("l2.lookup.d");
+        let c_mem_refill_i = reg.counter("mem.refill.i");
+        let c_mem_refill_d = reg.counter("mem.refill.d");
+        let c_wb_enqueue = reg.counter("wb.enqueue");
+        let c_wb_full_stall = reg.counter("wb.full_stall");
+        let c_wb_read_wait = reg.counter("wb.read_wait");
+        let c_tlb_walk_i = reg.counter("tlb.walk.i");
+        let c_tlb_walk_d = reg.counter("tlb.walk.d");
+        let c_sched_switch = reg.counter("sched.switch");
+        let c_fault_event = reg.counter("fault.event");
+        let c_oracle_divergence = reg.counter("oracle.divergence");
+        TelemetryState {
+            reg,
+            spans: SpanRecorder::new(span_capacity),
+            last_switches: 0,
+            c_l2_lookup_i,
+            c_l2_lookup_d,
+            c_mem_refill_i,
+            c_mem_refill_d,
+            c_wb_enqueue,
+            c_wb_full_stall,
+            c_wb_read_wait,
+            c_tlb_walk_i,
+            c_tlb_walk_d,
+            c_sched_switch,
+            c_fault_event,
+            c_oracle_divergence,
+        }
+    }
+}
+
+/// Everything the telemetry layer recorded over one run: the counter
+/// registry, the retained span timeline (timing-clock cycles), and how
+/// many spans the bounded recorder had to drop.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// All registered counters and histograms.
+    pub registry: Registry,
+    /// Retained spans in recording order.
+    pub spans: Vec<Span>,
+    /// Spans evicted because the ring buffer was full.
+    pub spans_dropped: u64,
+}
+
 /// Reference constants the functional clock advances by. They mirror the
 /// paper's base architecture (6-cycle L2 access, 143/237-cycle memory
 /// penalties) but are deliberately *fixed*, not read from the
@@ -321,6 +395,11 @@ pub struct Simulator {
     /// Functional-outcome recorder (`None` = normal run; installed by
     /// [`Simulator::run_profiled`] for the two-phase sweep memoizer).
     rec: Option<Box<ProfileRecorder>>,
+    /// Telemetry state (`None` = telemetry off, exact fast path).
+    telem: Option<Box<TelemetryState>>,
+    /// Cached `telem.is_some()`: every hot-path hook is one predictable
+    /// branch, mirroring the `fault_on`/`diff_on` gates.
+    telem_on: bool,
 }
 
 impl Simulator {
@@ -383,9 +462,16 @@ impl Simulator {
             None
         };
 
+        let telem = if cfg.telemetry.enabled {
+            Some(Box::new(TelemetryState::new(cfg.telemetry.span_capacity)))
+        } else {
+            None
+        };
+
         let page_colors = cfg.page_colors;
         let diff_on = diff.is_some();
         let fault_on = fault.is_some();
+        let telem_on = telem.is_some();
         Ok(Simulator {
             cfg,
             now: 0,
@@ -416,6 +502,8 @@ impl Simulator {
             diff_on,
             cancel: None,
             rec: None,
+            telem,
+            telem_on,
         })
     }
 
@@ -495,9 +583,42 @@ impl Simulator {
         warmup_instructions: u64,
         window_instructions: u64,
     ) -> Result<(SimResult, Vec<Counters>), SimError> {
-        let (result, windows, _) =
+        let (result, windows, _, _) =
             self.run_sampled_rec(traces, warmup_instructions, window_instructions)?;
         Ok((result, windows))
+    }
+
+    /// Runs a workload with telemetry recording, returning the result,
+    /// the windowed counter deltas (window size from
+    /// [`TelemetryConfig::window_instructions`](crate::config::TelemetryConfig)),
+    /// and the recorded [`TelemetryReport`].
+    ///
+    /// With telemetry disabled in the configuration this degenerates to
+    /// [`Simulator::run_warmed`] plus an empty report.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run_warmed`].
+    pub fn run_telemetry(
+        self,
+        traces: Vec<Box<dyn Trace>>,
+        warmup_instructions: u64,
+    ) -> Result<(SimResult, Vec<Counters>, TelemetryReport), SimError> {
+        let window = if self.cfg.telemetry.enabled {
+            self.cfg.telemetry.window_instructions
+        } else {
+            0
+        };
+        let (result, windows, _, telem) =
+            self.run_sampled_rec(traces, warmup_instructions, window)?;
+        let report = telem
+            .map(|t| TelemetryReport {
+                spans_dropped: t.spans.dropped(),
+                spans: t.spans.spans(),
+                registry: t.reg,
+            })
+            .unwrap_or_default();
+        Ok((result, windows, report))
     }
 
     /// Runs a workload with a [`ProfileRecorder`] attached, returning the
@@ -524,7 +645,7 @@ impl Simulator {
         let fkey = functional_fingerprint(&self.cfg)
             .expect("run_profiled requires a memoizable configuration");
         self.rec = Some(Box::new(ProfileRecorder::new()));
-        let (result, _, rec) = self.run_sampled_rec(traces, warmup_instructions, 0)?;
+        let (result, _, rec, _) = self.run_sampled_rec(traces, warmup_instructions, 0)?;
         let profile =
             rec.expect("recorder installed above")
                 .finish(fkey, warmup_instructions, &result);
@@ -537,7 +658,15 @@ impl Simulator {
         traces: Vec<Box<dyn Trace>>,
         warmup_instructions: u64,
         window_instructions: u64,
-    ) -> Result<(SimResult, Vec<Counters>, Option<Box<ProfileRecorder>>), SimError> {
+    ) -> Result<
+        (
+            SimResult,
+            Vec<Counters>,
+            Option<Box<ProfileRecorder>>,
+            Option<Box<TelemetryState>>,
+        ),
+        SimError,
+    > {
         let mut sched = Scheduler::new(traces, self.cfg.mp.level, self.cfg.mp.time_slice_cycles);
         let mut warm_snapshot: Option<Counters> = None;
         let mut windows = Vec::new();
@@ -577,6 +706,10 @@ impl Simulator {
                 self.step_data(&data);
             }
             sched.post_instruction(self.fnow, instr.ifetch.syscall);
+            if self.telem_on {
+                let switches = sched.total_switches();
+                self.telem_sched_tick(switches);
+            }
             if self.pending_mc.is_some() {
                 let fault = self.pending_mc.take().expect("just checked");
                 return Err(SimError::MachineCheck {
@@ -645,6 +778,9 @@ impl Simulator {
             .filter(|(_, p)| p.instructions > 0 || p.loads > 0 || p.stores > 0)
             .map(|(i, p)| (gaas_trace::Pid::new(i as u8), *p))
             .collect();
+        if self.telem_on {
+            self.telem_finalize();
+        }
         let result = SimResult {
             config: self.cfg.clone(),
             counters,
@@ -653,7 +789,7 @@ impl Simulator {
             termination,
             checkpoints,
         };
-        Ok((result, windows, self.rec.take()))
+        Ok((result, windows, self.rec.take(), self.telem.take()))
     }
 
     /// Processes a single event outside a scheduled workload (single-process
@@ -762,7 +898,171 @@ impl Simulator {
     /// Takes a pending divergence as the run-terminating error.
     fn take_divergence(&mut self) -> Option<SimError> {
         let report = self.diff.as_mut()?.take_report()?;
+        if self.telem_on {
+            self.telem_oracle_divergence();
+        }
         Some(SimError::Divergence(Box::new(report)))
+    }
+
+    // ---- telemetry hooks ----
+    //
+    // Every hook site is gated on the cached `telem_on` flag (the
+    // `fault_on`/`diff_on` pattern), and the note bodies are `#[cold]`
+    // `#[inline(never)]` so the disabled hot path carries only one
+    // predictable never-taken branch per site. Recording is passive —
+    // no cycles charged, no PRNG touched — so disabled-mode results are
+    // byte-identical by construction.
+
+    /// Notes an L2 instruction-side lookup that hit (an L1-I refill).
+    #[cold]
+    #[inline(never)]
+    fn telem_l2_lookup_i(&mut self, start: u64, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_l2_lookup_i);
+        t.spans.record("refill.l1i", Component::L2, start, dur);
+    }
+
+    /// Notes an L2 data-side lookup that hit (an L1-D refill).
+    #[cold]
+    #[inline(never)]
+    fn telem_l2_lookup_d(&mut self, start: u64, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_l2_lookup_d);
+        t.spans.record("refill.l1d", Component::L2, start, dur);
+    }
+
+    /// Notes an instruction-side L2 miss serviced from main memory.
+    #[cold]
+    #[inline(never)]
+    fn telem_mem_refill_i(&mut self, start: u64, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_mem_refill_i);
+        t.reg.observe("mem.refill.i.cycles", dur);
+        t.spans.record("refill.l2i", Component::Memory, start, dur);
+    }
+
+    /// Notes a data-side L2 miss serviced from main memory.
+    #[cold]
+    #[inline(never)]
+    fn telem_mem_refill_d(&mut self, start: u64, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_mem_refill_d);
+        t.reg.observe("mem.refill.d.cycles", dur);
+        t.spans.record("refill.l2d", Component::Memory, start, dur);
+    }
+
+    /// Notes a read miss waiting on previously pending buffered writes.
+    #[cold]
+    #[inline(never)]
+    fn telem_wb_wait(&mut self, start: u64, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_wb_read_wait);
+        t.reg.observe("wb.read_wait.cycles", dur);
+        t.spans.record("wb.wait", Component::Wb, start, dur);
+    }
+
+    /// Notes one write entering the buffer: the CPU-visible full-buffer
+    /// stall (if any) and the drain occupancy it schedules.
+    #[cold]
+    #[inline(never)]
+    fn telem_wb_enqueue(&mut self, start: u64, stall: u64, busy_from: u64, completes: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_wb_enqueue);
+        if stall > 0 {
+            t.reg.inc(t.c_wb_full_stall);
+            t.spans.record("wb.full-stall", Component::Wb, start, stall);
+        }
+        if completes > busy_from {
+            t.spans
+                .record("wb.drain", Component::Wb, busy_from, completes - busy_from);
+        }
+    }
+
+    /// Notes a TLB miss walk (`i_side` selects the TLB) of `dur` cycles.
+    #[cold]
+    #[inline(never)]
+    fn telem_tlb_walk(&mut self, i_side: bool, dur: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(if i_side {
+            t.c_tlb_walk_i
+        } else {
+            t.c_tlb_walk_d
+        });
+        t.spans.record(
+            if i_side { "tlb.walk.i" } else { "tlb.walk.d" },
+            Component::Tlb,
+            self.now,
+            dur,
+        );
+    }
+
+    /// Notes scheduler progress: compares the switch total against the
+    /// last observed one and emits an instant event per new switch.
+    #[cold]
+    #[inline(never)]
+    fn telem_sched_tick(&mut self, switches: u64) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        if switches != t.last_switches {
+            t.reg.add(t.c_sched_switch, switches - t.last_switches);
+            t.spans.instant("sched.switch", Component::Sched, self.now);
+            t.last_switches = switches;
+        }
+    }
+
+    /// Notes a resolved fault-injection event as an instant span.
+    #[cold]
+    #[inline(never)]
+    fn telem_fault(&mut self, effect: FaultEffect) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_fault_event);
+        let name = match effect {
+            FaultEffect::Silent => "fault.silent",
+            FaultEffect::Correct => "fault.corrected",
+            FaultEffect::Refetch => "fault.refetch",
+            FaultEffect::MachineCheck => "fault.machine-check",
+        };
+        t.spans.instant(name, Component::Fault, self.now);
+    }
+
+    /// Notes an oracle divergence as an instant span.
+    #[cold]
+    #[inline(never)]
+    fn telem_oracle_divergence(&mut self) {
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        t.reg.inc(t.c_oracle_divergence);
+        t.spans
+            .instant("oracle.divergence", Component::Oracle, self.now);
+    }
+
+    /// End-of-run snapshot of structure-level statistics into the
+    /// registry (final occupancies, TLB traffic, buffer high-water mark)
+    /// so the summary table reflects state the counters alone cannot.
+    #[cold]
+    #[inline(never)]
+    fn telem_finalize(&mut self) {
+        let (l2i_occ, l2d_occ) = match &self.l2 {
+            L2Arrays::Unified(a) => (a.occupancy() as u64, a.occupancy() as u64),
+            L2Arrays::Split { i, d } => (i.occupancy() as u64, d.occupancy() as u64),
+        };
+        let rows = [
+            ("l1i.occupancy", self.l1i.occupancy() as u64),
+            ("l1d.occupancy", self.l1d.array().occupancy() as u64),
+            ("l2i.occupancy", l2i_occ),
+            ("l2d.occupancy", l2d_occ),
+            ("itlb.accesses", self.itlb.accesses()),
+            ("dtlb.accesses", self.dtlb.accesses()),
+            ("wb.peak_depth", self.wb.peak_depth() as u64),
+            ("wb.total_enqueued", self.wb.total_enqueued()),
+            (
+                "mem.demand_misses",
+                self.mem_d.total_misses() + self.mem_i.total_misses(),
+            ),
+        ];
+        let t = self.telem.as_deref_mut().expect("telem_on implies state");
+        for (name, v) in rows {
+            let id = t.reg.counter(name);
+            t.reg.add(id, v);
+        }
     }
 
     // ---- L2 helpers ----
@@ -820,6 +1120,9 @@ impl Simulator {
             if let Some(r) = self.rec.as_deref_mut() {
                 r.set_i_outcome(1);
             }
+            if self.telem_on {
+                self.telem_l2_lookup_i(start, hit_cost);
+            }
             self.l1i.fill(paddr);
             return hit_cost + self.fault_on_l2_hit(paddr, dirty, true);
         }
@@ -838,6 +1141,9 @@ impl Simulator {
         } else {
             self.mem_d.service_miss(start, dirty_victim)
         };
+        if self.telem_on {
+            self.telem_mem_refill_i(start, svc.stall_cycles);
+        }
         // Attribute up to the L2-hit-equivalent cost to the L1 component and
         // the excess to the L2 component. An exotic configuration can make
         // the memory penalty smaller than the hit cost; clamp so the
@@ -862,6 +1168,9 @@ impl Simulator {
             if let Some(r) = self.rec.as_deref_mut() {
                 r.set_d_outcome(1);
             }
+            if self.telem_on {
+                self.telem_l2_lookup_d(start, hit_cost);
+            }
             return hit_cost + self.fault_on_l2_hit(line_base, dirty, false);
         }
         self.counters.l2d_misses += 1;
@@ -875,6 +1184,9 @@ impl Simulator {
             r.set_d_outcome(if dirty_victim { 3 } else { 2 });
         }
         let svc = self.mem_d.service_miss(start, dirty_victim);
+        if self.telem_on {
+            self.telem_mem_refill_d(start, svc.stall_cycles);
+        }
         // Same clamped attribution as the instruction side.
         let service = svc.stall_cycles - svc.dirty_buffer_wait;
         let l1_share = service.min(hit_cost);
@@ -909,6 +1221,9 @@ impl Simulator {
         };
         let wait = until - start;
         self.counters.wb_wait_cycles += wait;
+        if self.telem_on && wait > 0 {
+            self.telem_wb_wait(start, wait);
+        }
         wait
     }
 
@@ -933,6 +1248,9 @@ impl Simulator {
             extra,
         );
         self.counters.l2_drain_busy_cycles += completes - busy_from;
+        if self.telem_on {
+            self.telem_wb_enqueue(start, stall, busy_from, completes);
+        }
         stall + self.fault_on_wb_write()
     }
 
@@ -982,6 +1300,9 @@ impl Simulator {
     /// charges `recovery_cycles`, and arms the configured machine-check
     /// response. Returns the stall cycles the faulting access absorbs.
     fn apply_fault(&mut self, ev: FaultEvent, effect: FaultEffect, refetch_cost: u64) -> u64 {
+        if self.telem_on {
+            self.telem_fault(effect);
+        }
         match effect {
             FaultEffect::Silent => {
                 self.counters.faults_silent += 1;
@@ -1162,6 +1483,9 @@ impl Simulator {
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
+            if self.telem_on {
+                self.telem_tlb_walk(true, p);
+            }
         }
         let paddr = self.translate(ev.addr);
 
@@ -1228,6 +1552,9 @@ impl Simulator {
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
+            if self.telem_on {
+                self.telem_tlb_walk(false, p);
+            }
         }
         let paddr = self.translate(ev.addr);
 
@@ -1292,6 +1619,9 @@ impl Simulator {
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
+            if self.telem_on {
+                self.telem_tlb_walk(false, p);
+            }
         }
         let paddr = self.translate(ev.addr);
 

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]
+//!       [--telemetry DIR] [--list-cells]
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             sec5 sec8 perbench ablations budget threec warmup
 //!             | all (default) | check (PASS/FAIL shape verification)
 //!             | diffcheck (lockstep golden-model oracle smoke sweep)
+//!             | telemetry (instrumented fig7 cell + trace/CPI-stack export)
 //! --scale S      workload scale (default 0.01 = 1% of the 2.4G-ref suite)
 //! --quick        shorthand for --scale 0.002
 //! --jobs N       run sweep cells on N worker threads (default 1 = serial;
@@ -14,14 +16,21 @@
 //! --journal PATH journal every sweep cell to a JSON checkpoint at PATH
 //! --resume       with --journal: skip cells already journaled (a killed
 //!                run picks up where it left off, byte-identical tables)
+//! --telemetry DIR  export telemetry artifacts (Chrome trace JSON, windowed
+//!                CPI stacks, counter summary) to DIR; alone it implies the
+//!                `telemetry` experiment
+//! --list-cells   print the geometry-group assignment (functional
+//!                fingerprint -> member cells) of the selected sweeps
+//!                (fig5/fig7/fig8) without running anything
 //! ```
 
 use std::time::Instant;
 
 use gaas_experiments::{
     ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, pool,
-    runner, sec5, sec8, table1, threec, verify, warmup,
+    runner, sec5, sec8, table1, telemetry, threec, verify, warmup,
 };
+use gaas_sim::config::SimConfig;
 
 const ALL: [&str; 17] = [
     "table1",
@@ -49,6 +58,8 @@ fn main() {
     let mut selected: Vec<String> = Vec::new();
     let mut journal: Option<String> = None;
     let mut resume = false;
+    let mut telemetry_dir: Option<String> = None;
+    let mut list_cells = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,16 +90,38 @@ fn main() {
                 journal = Some(v.clone());
             }
             "--resume" => resume = true,
+            "--telemetry" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("missing directory for --telemetry"));
+                telemetry_dir = Some(v.clone());
+            }
+            "--list-cells" => list_cells = true,
             "--help" | "-h" => usage(""),
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             "check" => selected.push("check".to_string()),
             "diffcheck" => selected.push("diffcheck".to_string()),
+            "telemetry" => selected.push("telemetry".to_string()),
             name if ALL.contains(&name) => selected.push(name.to_string()),
             other => usage(&format!("unknown experiment '{other}'")),
         }
     }
+    if list_cells {
+        if selected.is_empty() {
+            selected.extend(["fig5", "fig7", "fig8"].map(String::from));
+        }
+        for name in &selected {
+            print_cell_groups(name);
+        }
+        return;
+    }
     if selected.is_empty() {
-        selected.extend(ALL.iter().map(|s| s.to_string()));
+        if telemetry_dir.is_some() {
+            // `repro --telemetry DIR` alone runs the instrumented cell.
+            selected.push("telemetry".to_string());
+        } else {
+            selected.extend(ALL.iter().map(|s| s.to_string()));
+        }
     }
     selected.dedup();
     if resume && journal.is_none() {
@@ -176,6 +209,27 @@ fn main() {
                     std::process::exit(1);
                 }
             },
+            "telemetry" => {
+                let dir = telemetry_dir.clone().unwrap_or_else(|| "telemetry".into());
+                match telemetry::run(scale, std::path::Path::new(&dir)) {
+                    Ok(run) => {
+                        println!("## Telemetry export — fig7 cell, cpi {:.4}", run.cpi);
+                        println!(
+                            "  {} windows, {} spans ({} dropped)",
+                            run.windows, run.spans, run.spans_dropped
+                        );
+                        for f in &run.files {
+                            println!("  wrote {}", f.display());
+                        }
+                        println!();
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        finish_campaign();
+                        std::process::exit(1);
+                    }
+                }
+            }
             "budget" => {
                 let budgets = budget::run();
                 println!("{}", budget::table(&budgets));
@@ -190,6 +244,64 @@ fn main() {
     finish_campaign();
 }
 
+/// Prints the geometry-group assignment of one sweep: each group's
+/// functional fingerprint and member cells, exactly as the memoized
+/// campaign would batch them (`--list-cells`).
+fn print_cell_groups(name: &str) {
+    let (labels, cfgs): (Vec<String>, Vec<SimConfig>) = match name {
+        "fig5" => {
+            let (points, cfgs) = fig5::cell_configs();
+            (
+                points
+                    .iter()
+                    .map(|(p, t)| format!("{}/T{t}", p.label()))
+                    .collect(),
+                cfgs,
+            )
+        }
+        "fig7" | "fig8" => {
+            let side = if name == "fig7" {
+                fig78::Side::Instruction
+            } else {
+                fig78::Side::Data
+            };
+            let mut labels = Vec::new();
+            let mut cfgs = Vec::new();
+            for &size in &fig78::SIZES {
+                for &access in &fig78::ACCESS_TIMES {
+                    labels.push(format!("{}KW/T{access}", size / 1024));
+                    cfgs.push(fig78::cell_config(side, size, access));
+                }
+            }
+            (labels, cfgs)
+        }
+        other => {
+            eprintln!("[--list-cells: '{other}' is not a grouped sweep; skipped]");
+            return;
+        }
+    };
+    let groups = campaign::group_preview(&cfgs);
+    println!(
+        "## {name} — {} cells in {} geometry groups (memoization {})",
+        cfgs.len(),
+        groups.len(),
+        if campaign::memoize_enabled() {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    for (g, (fp, members)) in groups.iter().enumerate() {
+        let fp = match fp {
+            Some(k) => format!("{k:016x}"),
+            None => "  (unmemoizable)".into(),
+        };
+        let names: Vec<&str> = members.iter().map(|&i| labels[i].as_str()).collect();
+        println!("  group {g:>2} {fp}  {}", names.join(" "));
+    }
+    println!();
+}
+
 fn finish_campaign() {
     if let Some(stats) = campaign::deactivate() {
         eprintln!("[campaign: {stats}]");
@@ -202,7 +314,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]\n\
-         experiments: {} | all | check | diffcheck",
+         \x20            [--telemetry DIR] [--list-cells]\n\
+         experiments: {} | all | check | diffcheck | telemetry",
         ALL.join(" ")
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

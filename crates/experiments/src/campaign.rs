@@ -113,6 +113,53 @@ pub fn memo_stats() -> MemoStats {
     }
 }
 
+/// One group's resolution record in the memoization trace (see
+/// [`set_memo_trace`]). The trace answers "which cells were priced and
+/// which were simulated?" — the telemetry summary renders it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoTraceEntry {
+    /// Batch sequence number (each [`run_cells`] call is one batch).
+    pub batch: u64,
+    /// Functional fingerprint shared by the group's members, or `None`
+    /// for an unmemoizable singleton (fault injection, diffcheck,
+    /// checkpointing, telemetry — or memoization disabled).
+    pub fingerprint: Option<u64>,
+    /// Member cell indices within the batch, in submission order; the
+    /// first member is the functional lead.
+    pub members: Vec<usize>,
+    /// True when the non-lead members were priced from the lead's
+    /// profile; false when every member ran as a full simulation
+    /// (singleton, memoization off, or group fallback).
+    pub priced: bool,
+}
+
+/// Process-wide switch recording a [`MemoTraceEntry`] per group (off by
+/// default — the trace is only collected for telemetry runs).
+static MEMO_TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The recorded trace, drained by [`take_memo_trace`].
+static MEMO_TRACE: Mutex<Vec<MemoTraceEntry>> = Mutex::new(Vec::new());
+
+/// Batch sequence numbers for trace entries.
+static BATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Enables or disables memoization tracing process-wide. Enabling starts
+/// a fresh trace (any prior entries are discarded).
+pub fn set_memo_trace(on: bool) {
+    if on {
+        let mut t = MEMO_TRACE.lock().unwrap_or_else(|e| e.into_inner());
+        t.clear();
+        BATCH_COUNTER.store(0, Ordering::Relaxed);
+    }
+    MEMO_TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Takes (and clears) the memoization trace recorded since
+/// [`set_memo_trace`]`(true)`, in batch/group submission order.
+pub fn take_memo_trace() -> Vec<MemoTraceEntry> {
+    std::mem::take(&mut *MEMO_TRACE.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
 /// Zeroes the memoization work counters (callers reset before a sweep
 /// they intend to report on).
 pub fn reset_memo_stats() {
@@ -692,6 +739,7 @@ fn run_members_individually(
         .iter()
         .map(|&i| {
             FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
+            pool::telemetry_count("campaign.functional_runs", 1);
             run_isolated(&cfgs[i], scale, opts)
         })
         .collect()
@@ -705,15 +753,22 @@ fn run_members_individually(
 /// or typed error anywhere in the group — falls back to running every
 /// member individually, so memoization can only change wall-clock, never
 /// results or failure granularity.
+/// Also reports whether the non-lead members were *priced* from the
+/// lead's profile (`true` only on the successful memoized path), so
+/// [`run_cells`] can record an accurate [`MemoTraceEntry`].
 fn run_group(
     cfgs: &[SimConfig],
     members: &[usize],
     scale: f64,
     opts: &CellOptions,
-) -> Vec<CellResult> {
+) -> (Vec<CellResult>, bool) {
     if members.len() == 1 {
-        return run_members_individually(cfgs, members, scale, opts);
+        return (run_members_individually(cfgs, members, scale, opts), false);
     }
+    let fallback = |cfgs, members, scale, opts| {
+        pool::telemetry_count("campaign.group_fallbacks", 1);
+        (run_members_individually(cfgs, members, scale, opts), false)
+    };
     let (tx, rx) = mpsc::channel();
     let worker_cfgs: Vec<SimConfig> = members.iter().map(|&i| cfgs[i].clone()).collect();
     let cancel = CancelToken::new();
@@ -738,24 +793,29 @@ fn run_group(
         });
     let handle = match spawned {
         Ok(h) => h,
-        Err(_) => return run_members_individually(cfgs, members, scale, opts),
+        Err(_) => return fallback(cfgs, members, scale, opts),
     };
     match rx.recv_timeout(opts.timeout) {
         Ok(Ok(Ok(results))) => {
             let _ = handle.join();
             FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
             PRICED_CELLS.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
-            results
-                .into_iter()
-                .map(|r| CellResult::Done(Box::new(r)))
-                .collect()
+            pool::telemetry_count("campaign.functional_runs", 1);
+            pool::telemetry_count("campaign.priced_cells", members.len() as u64 - 1);
+            (
+                results
+                    .into_iter()
+                    .map(|r| CellResult::Done(Box::new(r)))
+                    .collect(),
+                true,
+            )
         }
         Ok(Ok(Err(_))) | Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
             // A typed error or panic anywhere in the group: re-run each
             // member individually so the failure lands on exactly the
             // cell(s) that own it, with per-cell retry semantics.
             let _ = handle.join();
-            run_members_individually(cfgs, members, scale, opts)
+            fallback(cfgs, members, scale, opts)
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             cancel.cancel();
@@ -765,9 +825,44 @@ fn run_group(
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
             }
-            run_members_individually(cfgs, members, scale, opts)
+            fallback(cfgs, members, scale, opts)
         }
     }
+}
+
+/// Groups `todo` cell indices by functional fingerprint in
+/// first-occurrence order. Unmemoizable configs (and everything when
+/// `memoize` is off) get `(None, singleton)` groups.
+fn group_by_fingerprint(
+    cfgs: &[SimConfig],
+    todo: &[usize],
+    memoize: bool,
+) -> Vec<(Option<u64>, Vec<usize>)> {
+    let mut groups: Vec<(Option<u64>, Vec<usize>)> = Vec::new();
+    let mut by_key: HashMap<u64, usize> = HashMap::new();
+    for &i in todo {
+        match functional_fingerprint(&cfgs[i]).filter(|_| memoize) {
+            Some(key) => match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].1.push(i),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(groups.len());
+                    groups.push((Some(key), vec![i]));
+                }
+            },
+            None => groups.push((None, vec![i])),
+        }
+    }
+    groups
+}
+
+/// Previews the geometry-group assignment [`run_cells`] would use for
+/// `cfgs` — `(fingerprint, member indices)` pairs in submission order —
+/// without running anything. Journal state is ignored (the preview
+/// assumes every cell is pending); the current [`memoize_enabled`]
+/// setting is honoured.
+pub fn group_preview(cfgs: &[SimConfig]) -> Vec<(Option<u64>, Vec<usize>)> {
+    let todo: Vec<usize> = (0..cfgs.len()).collect();
+    group_by_fingerprint(cfgs, &todo, memoize_enabled())
 }
 
 /// Runs a batch of cells over the process-wide worker pool
@@ -815,35 +910,36 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
     // Group the remaining cells by functional fingerprint (first
     // occurrence fixes each group's position, so the unit sequence is
     // deterministic). Unmemoizable configs get singleton groups.
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut by_key: HashMap<u64, usize> = HashMap::new();
-    let memoize = memoize_enabled();
-    for &i in &todo {
-        match functional_fingerprint(&cfgs[i]).filter(|_| memoize) {
-            Some(key) => match by_key.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(groups.len());
-                    groups.push(vec![i]);
-                }
-            },
-            None => groups.push(vec![i]),
-        }
-    }
+    let groups = group_by_fingerprint(cfgs, &todo, memoize_enabled());
     let executed = pool::run_ordered(
         pool::jobs(),
         groups.len(),
-        |g| run_group(cfgs, &groups[g], scale, &opts),
-        |g, group_results: &Vec<CellResult>| {
+        |g| run_group(cfgs, &groups[g].1, scale, &opts),
+        |g, (group_results, _): &(Vec<CellResult>, bool)| {
             if let Some(campaign) = active().as_mut() {
-                for (&i, res) in groups[g].iter().zip(group_results) {
+                for (&i, res) in groups[g].1.iter().zip(group_results) {
                     campaign.record(&cfgs[i], scale, res);
                 }
             }
         },
     );
-    for (g, group_results) in executed.into_iter().enumerate() {
-        for (&i, res) in groups[g].iter().zip(group_results) {
+    let trace_on = MEMO_TRACE_ENABLED.load(Ordering::Relaxed);
+    let batch = if trace_on {
+        BATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+    } else {
+        0
+    };
+    for (g, (group_results, priced)) in executed.into_iter().enumerate() {
+        if trace_on {
+            let mut t = MEMO_TRACE.lock().unwrap_or_else(|e| e.into_inner());
+            t.push(MemoTraceEntry {
+                batch,
+                fingerprint: groups[g].0,
+                members: groups[g].1.clone(),
+                priced,
+            });
+        }
+        for (&i, res) in groups[g].1.iter().zip(group_results) {
             results[i] = Some(res);
         }
     }
@@ -853,7 +949,7 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
         .collect()
 }
 
-mod json {
+pub(crate) mod json {
     //! A deliberately tiny JSON subset — exactly what the journal needs.
     //!
     //! The one load-bearing choice: integers are kept *lexical* as `u64`
@@ -1084,11 +1180,28 @@ mod json {
                             other => return Err(format!("unknown escape '\\{}'", other as char)),
                         }
                     }
+                    b if b < 0x80 => {
+                        s.push(b as char);
+                        self.pos += 1;
+                    }
                     _ => {
                         // Consume one UTF-8 scalar (the journal writer
-                        // emits raw UTF-8 above 0x1F).
-                        let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
-                        let c = text.chars().next().ok_or("unterminated string")?;
+                        // emits raw UTF-8 above 0x1F). Validate at most
+                        // one scalar's worth of bytes, not the whole
+                        // remaining document.
+                        let head = &rest[..rest.len().min(4)];
+                        let c = match std::str::from_utf8(head) {
+                            Ok(text) => text.chars().next().ok_or("unterminated string")?,
+                            Err(e) if e.valid_up_to() > 0 => {
+                                // Safe: the prefix up to valid_up_to is valid UTF-8.
+                                std::str::from_utf8(&head[..e.valid_up_to()])
+                                    .map_err(|_| "invalid UTF-8")?
+                                    .chars()
+                                    .next()
+                                    .ok_or("unterminated string")?
+                            }
+                            Err(_) => return Err("invalid UTF-8".into()),
+                        };
                         s.push(c);
                         self.pos += c.len_utf8();
                     }

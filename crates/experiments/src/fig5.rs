@@ -34,10 +34,10 @@ pub struct Row {
     pub wb_cpi: f64,
 }
 
-/// Runs the 4 × 5 sweep on the base architecture. A cell that fails
-/// every isolation attempt is reported to stderr and skipped; the tables
-/// render it as a gap.
-pub fn run(scale: f64) -> Vec<Row> {
+/// The `(policy, access)` points and matching configurations of the
+/// 4 × 5 sweep, in submission order. Public so `--list-cells` can
+/// preview the geometry grouping without running the sweep.
+pub fn cell_configs() -> (Vec<(WritePolicy, u32)>, Vec<SimConfig>) {
     let mut points = Vec::new();
     let mut cfgs = Vec::new();
     for policy in WritePolicy::all() {
@@ -48,6 +48,14 @@ pub fn run(scale: f64) -> Vec<Row> {
             cfgs.push(b.build().expect("valid"));
         }
     }
+    (points, cfgs)
+}
+
+/// Runs the 4 × 5 sweep on the base architecture. A cell that fails
+/// every isolation attempt is reported to stderr and skipped; the tables
+/// render it as a gap.
+pub fn run(scale: f64) -> Vec<Row> {
+    let (points, cfgs) = cell_configs();
     let mut rows = Vec::new();
     for (res, (policy, access)) in run_standard_cells(&cfgs, scale).into_iter().zip(points) {
         match res {

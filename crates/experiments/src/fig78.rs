@@ -53,7 +53,11 @@ fn base_side() -> L2Side {
     }
 }
 
-fn config_for(side: Side, size_words: u64, access: u32) -> SimConfig {
+/// The configuration of one (size, access) cell of a surface: the varied
+/// side at `size_words`/`access`, the other side held at the base
+/// 256 KW / 6 cycles. Public so the telemetry pipeline and `--list-cells`
+/// can name exactly the cells this sweep runs.
+pub fn cell_config(side: Side, size_words: u64, access: u32) -> SimConfig {
     let varied = L2Side {
         size_words,
         assoc: 1,
@@ -87,7 +91,7 @@ pub fn run_with_axes(side: Side, scale: f64, sizes: &[u64], times: &[u32]) -> Ve
     for &size in sizes {
         for &access in times {
             points.push((size, access));
-            cfgs.push(config_for(side, size, access));
+            cfgs.push(cell_config(side, size, access));
         }
     }
     run_standard_many(&cfgs, scale)
@@ -159,11 +163,11 @@ mod tests {
 
     #[test]
     fn config_for_places_varied_side() {
-        let c = config_for(Side::Data, 65_536, 3);
+        let c = cell_config(Side::Data, 65_536, 3);
         assert_eq!(c.l2.d_side().size_words, 65_536);
         assert_eq!(c.l2.d_side().access_cycles, 3);
         assert_eq!(c.l2.i_side().size_words, 262_144);
-        let c = config_for(Side::Instruction, 8_192, 1);
+        let c = cell_config(Side::Instruction, 8_192, 1);
         assert_eq!(c.l2.i_side().access_cycles, 1);
     }
 }

@@ -51,13 +51,14 @@ pub mod sec5;
 pub mod sec8;
 pub mod table1;
 pub mod tablefmt;
+pub mod telemetry;
 pub mod threec;
 pub mod verify;
 pub mod warmup;
 
 pub use campaign::{
-    memo_stats, memoize_enabled, reset_memo_stats, set_memoize, CampaignStats, CellOptions,
-    CellResult, MemoStats,
+    group_preview, memo_stats, memoize_enabled, reset_memo_stats, set_memo_trace, set_memoize,
+    take_memo_trace, CampaignStats, CellOptions, CellResult, MemoStats, MemoTraceEntry,
 };
 pub use runner::{
     run_standard, run_standard_cell, run_standard_cells, run_standard_many, run_standard_raw,

@@ -171,3 +171,54 @@ fn fault_and_diffcheck_configs_bypass_memoization() {
     );
     assert_eq!(stats.functional_runs, 2);
 }
+
+/// `--list-cells` is [`campaign::group_preview`]: its group counts must
+/// match what the memoized sweep actually does — one group per geometry
+/// for the Fig. 7/8 grids and Fig. 5 policies, `None`-keyed singletons
+/// for unmemoizable configs, all singletons with memoization off.
+#[test]
+fn group_preview_matches_memoized_sweep_expectations() {
+    let _ctx = serialized();
+
+    // Fig. 7 full grid: one group per size, each holding every access time.
+    let mut fig7 = Vec::new();
+    for &s in &gaas_experiments::fig78::SIZES {
+        for &t in &gaas_experiments::fig78::ACCESS_TIMES {
+            fig7.push(gaas_experiments::fig78::cell_config(
+                gaas_experiments::fig78::Side::Instruction,
+                s,
+                t,
+            ));
+        }
+    }
+    let groups = campaign::group_preview(&fig7);
+    assert_eq!(groups.len(), gaas_experiments::fig78::SIZES.len());
+    for (fp, members) in &groups {
+        assert!(fp.is_some(), "geometry groups carry a fingerprint");
+        assert_eq!(members.len(), gaas_experiments::fig78::ACCESS_TIMES.len());
+    }
+
+    // Fig. 5 full sweep: one group per write policy (drain access is a
+    // timing knob), so 4 groups of 5 — matching the drain-column test
+    // above (1 functional + 4 priced per policy).
+    let (_, fig5) = gaas_experiments::fig5::cell_configs();
+    let groups = campaign::group_preview(&fig5);
+    assert_eq!(groups.len(), 4);
+    assert!(groups.iter().all(|(fp, m)| fp.is_some() && m.len() == 5));
+
+    // Unmemoizable configs preview as None-keyed singletons even when
+    // they share identical settings.
+    let mut faulty = SimConfig::baseline();
+    faulty.fault.rates = FaultRates::uniform(1e-3);
+    let pair = vec![faulty.clone(), faulty];
+    let groups = campaign::group_preview(&pair);
+    assert_eq!(groups.len(), 2);
+    assert!(groups.iter().all(|(fp, m)| fp.is_none() && m.len() == 1));
+
+    // With memoization off, everything previews as singletons.
+    campaign::set_memoize(false);
+    let groups = campaign::group_preview(&fig7);
+    assert_eq!(groups.len(), fig7.len());
+    assert!(groups.iter().all(|(fp, m)| fp.is_none() && m.len() == 1));
+    campaign::set_memoize(true);
+}

@@ -1,0 +1,333 @@
+//! Fixed-slot counter and histogram registry.
+//!
+//! Counters are plain `u64` slots addressed by a [`CounterId`] handle
+//! obtained once at registration time, so the hot-path cost of a bump is
+//! one indexed add — no hashing, no locking, no atomics. The simulator
+//! kernel is single-threaded; parallel sweeps give each pool worker its
+//! own `Registry` and merge them *by name* at the end, which makes the
+//! merged totals independent of worker scheduling.
+
+use std::fmt::Write as _;
+
+/// Handle to a registered counter; index into the registry's slot array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Log2-bucketed histogram of `u64` samples (bucket `i` holds values `v`
+/// with `bit_length(v) == i`, i.e. bucket 0 is exactly `0`, bucket 1 is
+/// `1`, bucket 2 is `2..=3`, and so on). 65 buckets cover the full
+/// `u64` range; min/max/sum/count are tracked exactly.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum as f64 / self.count as f64)
+    }
+
+    /// Occupied buckets as `(bucket_floor, count)` pairs, ascending.
+    /// `bucket_floor` is the smallest value the bucket can hold.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+            .collect()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Fixed-slot registry of named counters and histograms.
+///
+/// Registration order is the iteration order, so two registries built by
+/// the same code path (e.g. two pool workers running the same
+/// instrumented kernel) have identical layouts and can be merged slot
+/// by slot; [`Registry::merge_from`] nevertheless matches *by name* so
+/// that merging registries with different registration histories is
+/// still deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+    hist_names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+}
+
+impl Registry {
+    /// Create an empty registry (const, so a registry can live in a
+    /// `static Mutex` without lazy initialization).
+    pub const fn new() -> Self {
+        Registry {
+            names: Vec::new(),
+            values: Vec::new(),
+            hist_names: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// Register (or look up) a counter by name and return its handle.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.names.iter().position(|&n| n == name) {
+            return CounterId(i);
+        }
+        self.names.push(name);
+        self.values.push(0);
+        CounterId(self.names.len() - 1)
+    }
+
+    /// Add `delta` to a counter. One indexed add — safe for hot paths.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0] += delta;
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.values[id.0] += 1;
+    }
+
+    /// Current value of a counter.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.values[id.0]
+    }
+
+    /// Look up a counter's value by name.
+    pub fn value_of(&self, name: &str) -> Option<u64> {
+        self.names
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// All counters as `(name, value)` in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.names.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no counters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Register (or look up) a histogram by name and record one sample.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        let i = match self.hist_names.iter().position(|&n| n == name) {
+            Some(i) => i,
+            None => {
+                self.hist_names.push(name);
+                self.hists.push(Histogram::default());
+                self.hist_names.len() - 1
+            }
+        };
+        self.hists[i].record(v);
+    }
+
+    /// All histograms as `(name, histogram)` in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.hist_names.iter().copied().zip(self.hists.iter())
+    }
+
+    /// Fold another registry into this one, matching counters and
+    /// histograms by name (names unknown here are appended). Because
+    /// addition commutes, merging any permutation of worker registries
+    /// yields the same totals.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (name, v) in other.counters() {
+            let id = self.counter(name);
+            self.values[id.0] += v;
+        }
+        for (name, h) in other.histograms() {
+            let i = match self.hist_names.iter().position(|&n| n == name) {
+                Some(i) => i,
+                None => {
+                    self.hist_names.push(name);
+                    self.hists.push(Histogram::default());
+                    self.hist_names.len() - 1
+                }
+            };
+            self.hists[i].merge_from(h);
+        }
+    }
+
+    /// Render all counters (and histogram summaries) as an aligned
+    /// two-column text table, one row per counter, sorted by name.
+    pub fn summary_table(&self) -> String {
+        let mut rows: Vec<(String, String)> = self
+            .counters()
+            .map(|(n, v)| (n.to_string(), v.to_string()))
+            .collect();
+        for (n, h) in self.histograms() {
+            rows.push((
+                format!("{n} (hist)"),
+                match (h.min(), h.max()) {
+                    (Some(lo), Some(hi)) => format!(
+                        "n={} sum={} min={} max={} mean={:.2}",
+                        h.count(),
+                        h.sum(),
+                        lo,
+                        hi,
+                        h.mean().unwrap_or(0.0)
+                    ),
+                    _ => "n=0".to_string(),
+                },
+            ));
+        }
+        rows.sort();
+        let w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (n, v) in rows {
+            let _ = writeln!(out, "{n:<w$}  {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let mut r = Registry::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        r.inc(a);
+        r.add(b, 41);
+        r.inc(b);
+        assert_eq!(r.get(a), 1);
+        assert_eq!(r.get(b), 42);
+        assert_eq!(r.value_of("b"), Some(42));
+        assert_eq!(r.value_of("missing"), None);
+        // Re-registering the same name returns the same slot.
+        assert_eq!(r.counter("a"), a);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_by_name_and_commutative() {
+        let mut x = Registry::new();
+        let xa = x.counter("a");
+        x.add(xa, 5);
+        x.observe("lat", 3);
+
+        let mut y = Registry::new();
+        // Different registration order on purpose.
+        let yb = y.counter("b");
+        let ya = y.counter("a");
+        y.add(yb, 7);
+        y.add(ya, 10);
+        y.observe("lat", 9);
+
+        let mut m1 = Registry::new();
+        m1.merge_from(&x);
+        m1.merge_from(&y);
+        let mut m2 = Registry::new();
+        m2.merge_from(&y);
+        m2.merge_from(&x);
+
+        for m in [&m1, &m2] {
+            assert_eq!(m.value_of("a"), Some(15));
+            assert_eq!(m.value_of("b"), Some(7));
+            let (_, h) = m.histograms().next().unwrap();
+            assert_eq!(h.count(), 2);
+            assert_eq!(h.sum(), 12);
+            assert_eq!(h.min(), Some(3));
+            assert_eq!(h.max(), Some(9));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1024, 1)]
+        );
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+    }
+
+    #[test]
+    fn summary_table_is_sorted_and_aligned() {
+        let mut r = Registry::new();
+        let z = r.counter("zeta");
+        let a = r.counter("alpha");
+        r.add(z, 1);
+        r.add(a, 2);
+        let t = r.summary_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("alpha"));
+        assert!(lines[1].starts_with("zeta"));
+    }
+}

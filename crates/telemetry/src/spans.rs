@@ -1,0 +1,131 @@
+//! Bounded ring-buffer span recorder.
+//!
+//! Spans are stamped with the *functional clock* — simulated cycles —
+//! so a recorded timeline is a deterministic function of the simulated
+//! program, not of host speed. The buffer is bounded: once full, the
+//! oldest spans are overwritten and a drop counter is bumped, so
+//! recording cost stays O(1) per span and memory stays fixed no matter
+//! how long the run is.
+
+use crate::Component;
+
+/// One recorded scope: `[start, start + dur)` in simulated cycles on a
+/// component's track. Instant events are spans with `dur == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Static label (e.g. `"refill.l1i"`, `"wb.drain"`).
+    pub name: &'static str,
+    /// Track the span belongs to.
+    pub component: Component,
+    /// Start time in simulated cycles.
+    pub start: u64,
+    /// Duration in simulated cycles (0 for instant events).
+    pub dur: u64,
+}
+
+/// Fixed-capacity ring buffer of [`Span`]s, oldest-evicted.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    buf: Vec<Span>,
+    capacity: usize,
+    /// Next write position when the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl SpanRecorder {
+    /// Create a recorder holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SpanRecorder {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record a scope of `dur` cycles starting at `start`.
+    #[inline]
+    pub fn record(&mut self, name: &'static str, component: Component, start: u64, dur: u64) {
+        let span = Span {
+            name,
+            component,
+            start,
+            dur,
+        };
+        if self.buf.len() < self.capacity {
+            self.buf.push(span);
+        } else {
+            self.buf[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Record an instant event (zero-duration span) at `at`.
+    #[inline]
+    pub fn instant(&mut self, name: &'static str, component: Component, at: u64) {
+        self.record(name, component, at, 0);
+    }
+
+    /// Number of spans evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retained spans in recording order (oldest retained first).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_full() {
+        let mut r = SpanRecorder::new(4);
+        for i in 0..3u64 {
+            r.record("s", Component::L2, i * 10, 5);
+        }
+        assert_eq!(r.dropped(), 0);
+        let spans = r.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].start, 0);
+        assert_eq!(spans[2].start, 20);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut r = SpanRecorder::new(3);
+        for i in 0..5u64 {
+            r.record("s", Component::Wb, i, 1);
+        }
+        assert_eq!(r.dropped(), 2);
+        let starts: Vec<u64> = r.spans().iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn instant_is_zero_duration() {
+        let mut r = SpanRecorder::new(2);
+        r.instant("fault", Component::Fault, 99);
+        let s = r.spans()[0];
+        assert_eq!(s.dur, 0);
+        assert_eq!(s.start, 99);
+    }
+}

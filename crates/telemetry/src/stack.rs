@@ -1,0 +1,161 @@
+//! Windowed CPI stacks.
+//!
+//! A [`WindowRow`] is one fixed-size instruction window's cycle
+//! accounting: total cycles plus a per-component split that sums to the
+//! total *exactly* (everything is integer simulated cycles; CPI values
+//! are derived by division only at presentation time). That integer
+//! discipline is what lets the cycle-weighted average of the windows
+//! reproduce the end-of-run CPI to within ordinary f64 rounding.
+
+use std::fmt::Write as _;
+
+/// One instruction window's cycle attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Zero-based window index in run order.
+    pub index: usize,
+    /// Instructions retired in this window.
+    pub instructions: u64,
+    /// Total cycles consumed by this window.
+    pub cycles: u64,
+    /// Per-component cycle split; components sum to `cycles`.
+    pub components: Vec<(&'static str, u64)>,
+}
+
+impl WindowRow {
+    /// Window CPI: `cycles / instructions`.
+    pub fn cpi(&self) -> f64 {
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Sum of the per-component cycles (equals `cycles` when the split
+    /// is complete; exposed so exporters and tests can assert it).
+    pub fn component_cycles(&self) -> u64 {
+        self.components.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// Cycle-weighted average CPI over a set of windows:
+/// `Σ cycles / Σ instructions`. Because both sums are integers, this is
+/// the exact CPI of the union of the windows.
+pub fn weighted_cpi(rows: &[WindowRow]) -> f64 {
+    let cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    let instructions: u64 = rows.iter().map(|r| r.instructions).sum();
+    cycles as f64 / instructions as f64
+}
+
+/// Render windows as CSV. Columns: `window,instructions,cycles,cpi`,
+/// then one integer cycle column per component (taken from the first
+/// row's component labels; all rows must share the same layout). A
+/// component's CPI contribution is its cycle column divided by the
+/// `instructions` column, so contributions sum to `cpi` exactly.
+pub fn stack_csv(rows: &[WindowRow]) -> String {
+    let mut out = String::new();
+    out.push_str("window,instructions,cycles,cpi");
+    if let Some(first) = rows.first() {
+        for (name, _) in &first.components {
+            let _ = write!(out, ",{}", name.replace(',', ";"));
+        }
+    }
+    out.push('\n');
+    for r in rows {
+        let _ = write!(
+            out,
+            "{},{},{},{}",
+            r.index,
+            r.instructions,
+            r.cycles,
+            r.cpi()
+        );
+        for &(_, c) in &r.components {
+            let _ = write!(out, ",{c}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render windows as a JSON array of objects mirroring [`stack_csv`]:
+/// each object has `window`, `instructions`, `cycles`, `cpi`, and a
+/// `components` object of integer cycle counts.
+pub fn stack_json(rows: &[WindowRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"window\":{},\"instructions\":{},\"cycles\":{},\"cpi\":{},\
+             \"components\":{{",
+            r.index,
+            r.instructions,
+            r.cycles,
+            r.cpi()
+        );
+        for (j, &(name, c)) in r.components.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", name.replace('"', ""), c);
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(index: usize, instructions: u64, split: &[(&'static str, u64)]) -> WindowRow {
+        WindowRow {
+            index,
+            instructions,
+            cycles: split.iter().map(|&(_, c)| c).sum(),
+            components: split.to_vec(),
+        }
+    }
+
+    #[test]
+    fn weighted_average_is_exact_union_cpi() {
+        let rows = vec![
+            row(0, 100, &[("base", 100), ("l1i", 37)]),
+            row(1, 100, &[("base", 100), ("l1i", 3)]),
+            row(2, 50, &[("base", 50), ("l1i", 10)]),
+        ];
+        // 300 cycles over 250 instructions.
+        assert_eq!(weighted_cpi(&rows), 300.0 / 250.0);
+        for r in &rows {
+            assert_eq!(r.component_cycles(), r.cycles);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrips_integers() {
+        let rows = vec![row(0, 1000, &[("base", 1000), ("wb", 234)])];
+        let csv = stack_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "window,instructions,cycles,cpi,base,wb"
+        );
+        let data: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(data[1], "1000");
+        assert_eq!(data[2], "1234");
+        assert_eq!(data[4], "1000");
+        assert_eq!(data[5], "234");
+        let cpi: f64 = data[3].parse().unwrap();
+        assert!((cpi - 1.234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape() {
+        let rows = vec![row(3, 10, &[("base", 10)])];
+        let json = stack_json(&rows);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"window\":3"));
+        assert!(json.contains("\"components\":{\"base\":10}"));
+    }
+}
