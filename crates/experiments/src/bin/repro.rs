@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]
-//!       [--telemetry DIR] [--list-cells]
+//!       [--telemetry DIR] [--list-cells] [--no-sync]
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             sec5 sec8 perbench ablations budget threec warmup
@@ -13,9 +13,14 @@
 //! --quick        shorthand for --scale 0.002
 //! --jobs N       run sweep cells on N worker threads (default 1 = serial;
 //!                tables are byte-identical at any job count)
-//! --journal PATH journal every sweep cell to a JSON checkpoint at PATH
+//! --journal PATH journal every sweep cell to a checksummed, append-only
+//!                checkpoint at PATH (fsync'd per record; one corrupt
+//!                record only ever loses itself)
 //! --resume       with --journal: skip cells already journaled (a killed
 //!                run picks up where it left off, byte-identical tables)
+//! --no-sync      skip the per-commit fsync of journal and telemetry
+//!                artifacts (faster, but a power cut can lose the tail;
+//!                a plain process crash still loses nothing)
 //! --telemetry DIR  export telemetry artifacts (Chrome trace JSON, windowed
 //!                CPI stacks, counter summary) to DIR; alone it implies the
 //!                `telemetry` experiment
@@ -97,6 +102,9 @@ fn main() {
                 telemetry_dir = Some(v.clone());
             }
             "--list-cells" => list_cells = true,
+            "--no-sync" => {
+                gaas_experiments::durability::set_durable_sync(false);
+            }
             "--help" | "-h" => usage(""),
             "all" => selected.extend(ALL.iter().map(|s| s.to_string())),
             "check" => selected.push("check".to_string()),
@@ -314,7 +322,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]\n\
-         \x20            [--telemetry DIR] [--list-cells]\n\
+         \x20            [--telemetry DIR] [--list-cells] [--no-sync]\n\
          experiments: {} | all | check | diffcheck | telemetry",
         ALL.join(" ")
     );

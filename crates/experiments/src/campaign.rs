@@ -1,9 +1,9 @@
-//! Crash-resilient campaign running: per-cell isolation and a resumable
-//! JSON journal.
+//! Crash-resilient campaign running: per-cell isolation, quarantine, and
+//! a resumable checksummed journal.
 //!
 //! A figure sweep is a *campaign* of independent cells (one configuration
 //! × scale each). Historically one panicking or wedged cell lost the
-//! whole sweep; this module gives every cell three layers of protection:
+//! whole sweep; this module gives every cell four layers of protection:
 //!
 //! 1. **isolation** — the cell runs on its own thread behind
 //!    `catch_unwind`, so a panic degrades to a per-cell
@@ -16,15 +16,35 @@
 //! 3. **bounded retry** — panics and timeouts are retried up to
 //!    [`CellOptions::attempts`] times; *typed* simulation errors
 //!    (invalid config, machine check, oracle divergence) are
-//!    deterministic and fail immediately.
+//!    deterministic and fail immediately;
+//! 4. **quarantine** — a cell that exhausts its retry budget on the
+//!    *retryable* class (panic/timeout) is journaled as quarantined with
+//!    its reason, so every later run — same process or a resumed one —
+//!    skips it instead of burning the retry budget again.
 //!
 //! With a campaign [`activate`]d, every cell additionally journals its
-//! result to a JSON checkpoint file (written atomically: temp file +
-//! rename) keyed by a fingerprint of the *full* configuration debug form
+//! result, keyed by a fingerprint of the *full* configuration debug form
 //! plus the workload scale. Re-running after a crash with the journal
-//! present skips completed cells — including failed ones — and produces
-//! byte-identical tables, because counters round-trip through the journal
-//! losslessly (lexical `u64` parsing, no float coercion).
+//! present skips completed cells — including failed and quarantined ones
+//! — and produces byte-identical tables, because counters round-trip
+//! through the journal losslessly (lexical `u64` parsing, no float
+//! coercion).
+//!
+//! ## Journal format (version 2)
+//!
+//! The journal is **append-only**: a `GAASJRN2` header line, then one
+//! record per line framed as `{len:08x} {crc:08x} {payload}` — payload
+//! length and CRC32 over the payload bytes, payload a one-line JSON
+//! object `{"key": …, "entry": …}`. Later records for a key override
+//! earlier ones. The framing makes damage *local*: a torn tail, a
+//! flipped bit, or a short read loses exactly the record(s) it touches,
+//! and the salvage parser ([`inspect_journal`] exposes it) recovers
+//! every other record. Version-1 journals (a single JSON document) are
+//! still read, with the same per-record salvage. All journal I/O goes
+//! through [`crate::durability`] — `fsync` on commit behind the
+//! `durable_sync` knob, atomic rewrites with bounded retry — and is
+//! exercised against the seeded fault injection in [`crate::chaos`] by
+//! the `crash_soak` binary.
 //!
 //! The journal stores counters, completion lists and per-process stats —
 //! everything a table renders — but not checkpoints (progress markers are
@@ -47,8 +67,10 @@ use gaas_sim::{
     ProcCounters, SimError, SimResult, Termination,
 };
 
+use gaas_trace::crc::crc32;
+
 use self::json::Json;
-use crate::{pool, runner};
+use crate::{chaos, durability, pool, runner};
 
 /// How long a timed-out cell gets to acknowledge cooperative
 /// cancellation before it is detached as truly wedged.
@@ -249,6 +271,14 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// wall-clock timeout and bounded retry. Never panics, never blocks past
 /// `opts.timeout * opts.attempts`.
 pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResult {
+    run_isolated_tagged(cfg, scale, opts).0
+}
+
+/// [`run_isolated`], additionally reporting whether a failure exhausted
+/// the *retryable* class (panic/timeout) — the campaign quarantines
+/// exactly those, since re-running them would burn the whole retry
+/// budget again; typed errors stay plain failures.
+fn run_isolated_tagged(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> (CellResult, bool) {
     let mut attempts = 0;
     loop {
         attempts += 1;
@@ -260,6 +290,7 @@ pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResu
             .name("campaign-cell".into())
             .spawn(move || {
                 let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                    chaos::poison_check(config_fingerprint(&worker_cfg));
                     runner::run_standard_raw_cancellable(worker_cfg, scale, Some(worker_cancel))
                 }));
                 let _ = tx.send(out);
@@ -267,24 +298,30 @@ pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResu
         let handle = match spawned {
             Ok(h) => h,
             Err(e) => {
-                return CellResult::Failed {
-                    error: format!("could not spawn cell worker: {e}"),
-                    attempts,
-                }
+                return (
+                    CellResult::Failed {
+                        error: format!("could not spawn cell worker: {e}"),
+                        attempts,
+                    },
+                    false,
+                )
             }
         };
         let retryable_error = match rx.recv_timeout(opts.timeout) {
             Ok(Ok(Ok(result))) => {
                 let _ = handle.join();
-                return CellResult::Done(Box::new(result));
+                return (CellResult::Done(Box::new(result)), false);
             }
             Ok(Ok(Err(sim_err))) => {
                 // Typed errors are deterministic: retrying reproduces them.
                 let _ = handle.join();
-                return CellResult::Failed {
-                    error: sim_err.to_string(),
-                    attempts,
-                };
+                return (
+                    CellResult::Failed {
+                        error: sim_err.to_string(),
+                        attempts,
+                    },
+                    false,
+                );
             }
             Ok(Err(payload)) => {
                 let _ = handle.join();
@@ -314,10 +351,13 @@ pub fn run_isolated(cfg: &SimConfig, scale: f64, opts: &CellOptions) -> CellResu
             }
         };
         if attempts >= opts.attempts {
-            return CellResult::Failed {
-                error: retryable_error,
-                attempts,
-            };
+            return (
+                CellResult::Failed {
+                    error: retryable_error,
+                    attempts,
+                },
+                true,
+            );
         }
     }
 }
@@ -489,7 +529,16 @@ impl StoredResult {
 #[derive(Debug, Clone)]
 enum JournalEntry {
     Done(Box<StoredResult>),
-    Failed { error: String, attempts: u32 },
+    Failed {
+        error: String,
+        attempts: u32,
+    },
+    /// The cell exhausted its retry budget on panics/timeouts; later
+    /// runs skip it (with the journaled reason) instead of retrying.
+    Quarantined {
+        error: String,
+        attempts: u32,
+    },
 }
 
 impl JournalEntry {
@@ -501,6 +550,11 @@ impl JournalEntry {
             ]),
             JournalEntry::Failed { error, attempts } => Json::Obj(vec![
                 ("status".into(), Json::Str("failed".into())),
+                ("error".into(), Json::Str(error.clone())),
+                ("attempts".into(), Json::Int(*attempts as u64)),
+            ]),
+            JournalEntry::Quarantined { error, attempts } => Json::Obj(vec![
+                ("status".into(), Json::Str("quarantined".into())),
                 ("error".into(), Json::Str(error.clone())),
                 ("attempts".into(), Json::Int(*attempts as u64)),
             ]),
@@ -516,6 +570,10 @@ impl JournalEntry {
                 error: v.get("error")?.as_str()?.to_string(),
                 attempts: v.get("attempts")?.as_u64()? as u32,
             }),
+            "quarantined" => Some(JournalEntry::Quarantined {
+                error: v.get("error")?.as_str()?.to_string(),
+                attempts: v.get("attempts")?.as_u64()? as u32,
+            }),
             _ => None,
         }
     }
@@ -526,10 +584,14 @@ impl JournalEntry {
 pub struct CampaignStats {
     /// Cells executed in this process.
     pub executed: u64,
-    /// Cells reused from the journal (both done and failed).
+    /// Cells reused from the journal (done, failed, and quarantined).
     pub reused: u64,
-    /// Cells currently recorded as failed.
+    /// Cells currently recorded as failed (quarantined ones included).
     pub failed: u64,
+    /// Cells currently recorded as quarantined (a subset of `failed`).
+    pub quarantined: u64,
+    /// Corrupt journal records dropped by the salvage parser at open.
+    pub salvaged_drops: u64,
 }
 
 impl fmt::Display for CampaignStats {
@@ -538,12 +600,28 @@ impl fmt::Display for CampaignStats {
             f,
             "{} executed, {} reused from journal, {} failed",
             self.executed, self.reused, self.failed
-        )
+        )?;
+        if self.quarantined > 0 {
+            write!(f, " ({} quarantined)", self.quarantined)?;
+        }
+        if self.salvaged_drops > 0 {
+            write!(f, ", {} corrupt record(s) dropped", self.salvaged_drops)?;
+        }
+        Ok(())
     }
 }
 
+/// Header line of a version-2 (append-only, per-record-checksummed)
+/// journal file.
+const JOURNAL_HEADER: &str = "GAASJRN2\n";
+
+/// Current journal format version.
+const JOURNAL_VERSION: u32 = 2;
+
 /// A resumable campaign: cell results keyed by config fingerprint,
-/// journaled to `path` after every cell.
+/// journaled to `path` after every cell (appended with per-record CRC32
+/// framing; compacted by atomic rewrite when the on-disk tail is not
+/// known to be clean).
 #[derive(Debug)]
 pub struct Campaign {
     path: PathBuf,
@@ -551,6 +629,12 @@ pub struct Campaign {
     opts: CellOptions,
     executed: u64,
     reused: u64,
+    salvaged_drops: u64,
+    /// True when the on-disk file is clean version-2 with a
+    /// record-aligned tail, so the next record can simply append. False
+    /// (fresh campaign, legacy format, salvage drops, or a failed
+    /// append) forces a full atomic rewrite on the next record.
+    appendable: bool,
 }
 
 impl Campaign {
@@ -561,20 +645,30 @@ impl Campaign {
     /// # Errors
     ///
     /// Returns the I/O error if `resume` is set and the journal exists
-    /// but cannot be read. A *corrupt* journal is not an error: it is
-    /// ignored with a warning (crash resilience beats strictness).
+    /// but cannot be read. A *corrupt* journal is not an error: every
+    /// parseable record is salvaged and only the damaged ones are
+    /// dropped, with a warning (crash resilience beats strictness).
     pub fn open(path: impl AsRef<Path>, resume: bool, opts: CellOptions) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut cells = BTreeMap::new();
+        let mut appendable = false;
+        let mut salvaged_drops = 0;
         if resume && path.exists() {
-            let text = std::fs::read_to_string(&path)?;
-            match parse_journal(&text) {
-                Some(loaded) => cells = loaded,
-                None => eprintln!(
-                    "campaign: journal {} is unreadable; starting fresh",
-                    path.display()
-                ),
+            let bytes = durability::read(&path)?;
+            let text = String::from_utf8_lossy(&bytes);
+            let load = parse_journal(&text);
+            salvaged_drops = load.dropped;
+            if load.dropped > 0 {
+                pool::telemetry_count("campaign.journal_records_salvaged", load.cells.len() as u64);
+                eprintln!(
+                    "campaign: journal {}: salvaged {} record(s), dropped {} corrupt",
+                    path.display(),
+                    load.cells.len(),
+                    load.dropped
+                );
             }
+            appendable = load.version == JOURNAL_VERSION && load.dropped == 0;
+            cells = load.cells;
         }
         Ok(Campaign {
             path,
@@ -582,6 +676,8 @@ impl Campaign {
             opts,
             executed: 0,
             reused: 0,
+            salvaged_drops,
+            appendable,
         })
     }
 
@@ -595,26 +691,54 @@ impl Campaign {
                 error: error.clone(),
                 attempts: *attempts,
             },
+            JournalEntry::Quarantined { error, attempts } => CellResult::Failed {
+                error: format!("quarantined: {error}"),
+                attempts: *attempts,
+            },
         })
     }
 
-    /// Journals one executed cell result (written atomically right away,
-    /// so a crash after any cell loses nothing).
-    fn record(&mut self, cfg: &SimConfig, scale: f64, res: &CellResult) {
+    /// Journals one executed cell result (committed durably right away,
+    /// so a crash after any cell loses nothing). `retryable` marks a
+    /// failure that exhausted the panic/timeout retry budget — those are
+    /// quarantined: journaled with their reason and skipped by every
+    /// later run instead of retried.
+    fn record(&mut self, cfg: &SimConfig, scale: f64, res: &CellResult, retryable: bool) {
         self.executed += 1;
         let entry = match res {
             CellResult::Done(r) => JournalEntry::Done(Box::new(StoredResult::from_result(r))),
+            CellResult::Failed { error, attempts } if retryable => {
+                pool::telemetry_count("campaign.cells_quarantined", 1);
+                JournalEntry::Quarantined {
+                    error: error.clone(),
+                    attempts: *attempts,
+                }
+            }
             CellResult::Failed { error, attempts } => JournalEntry::Failed {
                 error: error.clone(),
                 attempts: *attempts,
             },
         };
-        self.cells.insert(cell_key(cfg, scale), entry);
-        if let Err(e) = self.save() {
-            eprintln!(
-                "campaign: could not write journal {}: {e}",
-                self.path.display()
-            );
+        let key = cell_key(cfg, scale);
+        let line = record_line(&key, &entry);
+        self.cells.insert(key, entry);
+        let wrote = if self.appendable {
+            durability::append(&self.path, line.as_bytes())
+        } else {
+            self.rewrite_full()
+        };
+        match wrote {
+            Ok(()) => self.appendable = true,
+            Err(e) => {
+                // A failed append may have left a torn tail; stop
+                // appending and compact on the next record (the entry is
+                // safe in memory, and a torn tail only costs itself).
+                self.appendable = false;
+                eprintln!(
+                    "campaign: could not write journal {}: {e}",
+                    self.path.display()
+                );
+            }
         }
     }
 
@@ -623,8 +747,8 @@ impl Campaign {
         if let Some(res) = self.lookup(cfg, scale) {
             return res;
         }
-        let res = run_isolated(cfg, scale, &self.opts);
-        self.record(cfg, scale, &res);
+        let (res, retryable) = run_isolated_tagged(cfg, scale, &self.opts);
+        self.record(cfg, scale, &res, retryable);
         res
     }
 
@@ -633,51 +757,258 @@ impl Campaign {
         &self.path
     }
 
+    /// Keys and journaled reasons of the quarantined cells, in key order.
+    pub fn quarantined(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .filter_map(|(k, e)| match e {
+                JournalEntry::Quarantined { error, .. } => Some((k.clone(), error.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Progress so far.
     pub fn stats(&self) -> CampaignStats {
+        let mut failed = 0;
+        let mut quarantined = 0;
+        for e in self.cells.values() {
+            match e {
+                JournalEntry::Failed { .. } => failed += 1,
+                JournalEntry::Quarantined { .. } => {
+                    failed += 1;
+                    quarantined += 1;
+                }
+                JournalEntry::Done(_) => {}
+            }
+        }
         CampaignStats {
             executed: self.executed,
             reused: self.reused,
-            failed: self
-                .cells
-                .values()
-                .filter(|e| matches!(e, JournalEntry::Failed { .. }))
-                .count() as u64,
+            failed,
+            quarantined,
+            salvaged_drops: self.salvaged_drops,
         }
     }
 
-    /// Atomic journal write: temp file in the same directory, then
-    /// rename — a kill mid-write can never tear the journal.
-    fn save(&self) -> io::Result<()> {
-        let cells = Json::Obj(
-            self.cells
-                .iter()
-                .map(|(k, v)| (k.clone(), v.to_json()))
-                .collect(),
-        );
-        let root = Json::Obj(vec![
-            ("version".into(), Json::Int(1)),
-            ("cells".into(), cells),
-        ]);
-        let mut text = String::new();
-        root.write(&mut text);
-        text.push('\n');
-        let tmp = self.path.with_extension("journal.tmp");
-        std::fs::write(&tmp, text)?;
-        std::fs::rename(&tmp, &self.path)
+    /// Compacts the journal: header plus one framed record per cell,
+    /// committed atomically (temp + fsync + rename + dir fsync) with
+    /// bounded retry against transient rename failures.
+    fn rewrite_full(&self) -> io::Result<()> {
+        let mut text = String::from(JOURNAL_HEADER);
+        for (k, v) in &self.cells {
+            text.push_str(&record_line(k, v));
+        }
+        durability::retrying("journal rewrite", || {
+            durability::write_atomic(&self.path, text.as_bytes())
+        })
     }
 }
 
-fn parse_journal(text: &str) -> Option<BTreeMap<String, JournalEntry>> {
-    let root = json::parse(text).ok()?;
-    if root.get("version")?.as_u64()? != 1 {
+/// Encodes one journal record line: `{len:08x} {crc:08x} {payload}\n`
+/// with the CRC32 over the payload bytes.
+fn record_line(key: &str, entry: &JournalEntry) -> String {
+    let payload = {
+        let v = Json::Obj(vec![
+            ("key".into(), Json::Str(key.to_string())),
+            ("entry".into(), entry.to_json()),
+        ]);
+        let mut s = String::new();
+        v.write(&mut s);
+        s
+    };
+    format!(
+        "{:08x} {:08x} {payload}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Decodes one journal record line, or `None` if any framing check
+/// fails: malformed prefix, length mismatch, CRC mismatch, or an
+/// undecodable payload. A torn or bit-flipped record always lands here —
+/// never in a silently wrong entry.
+fn parse_record_line(line: &str) -> Option<(String, JournalEntry)> {
+    let bytes = line.as_bytes();
+    if bytes.len() < 18 || bytes[8] != b' ' || bytes[17] != b' ' {
         return None;
     }
-    let mut cells = BTreeMap::new();
-    for (k, v) in root.get("cells")?.as_obj()? {
-        cells.insert(k.clone(), JournalEntry::from_json(v)?);
+    let len = usize::from_str_radix(std::str::from_utf8(&bytes[..8]).ok()?, 16).ok()?;
+    let crc = u32::from_str_radix(std::str::from_utf8(&bytes[9..17]).ok()?, 16).ok()?;
+    let payload = &bytes[18..];
+    if payload.len() != len || crc32(payload) != crc {
+        return None;
     }
-    Some(cells)
+    let v = json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+    let key = v.get("key")?.as_str()?.to_string();
+    let entry = JournalEntry::from_json(v.get("entry")?)?;
+    Some((key, entry))
+}
+
+/// Result of salvage-parsing a journal: the surviving cells, the format
+/// version found on disk, and how many corrupt records were dropped.
+struct JournalLoad {
+    cells: BTreeMap<String, JournalEntry>,
+    version: u32,
+    dropped: u64,
+}
+
+/// Salvage parser: recovers every parseable record from `text`, dropping
+/// (and counting) only the damaged ones. Dispatches on the version-2
+/// header line; anything else is tried as a legacy version-1 JSON
+/// document with the same per-cell salvage.
+fn parse_journal(text: &str) -> JournalLoad {
+    if let Some(body) = text.strip_prefix(JOURNAL_HEADER) {
+        return parse_journal_v2(body);
+    }
+    if text == JOURNAL_HEADER.trim_end() {
+        // A header torn exactly at the newline: an empty clean journal,
+        // but the tail is not record-aligned — treat as one drop so the
+        // next write compacts.
+        return JournalLoad {
+            cells: BTreeMap::new(),
+            version: JOURNAL_VERSION,
+            dropped: 1,
+        };
+    }
+    parse_journal_v1(text)
+}
+
+fn parse_journal_v2(body: &str) -> JournalLoad {
+    let mut cells = BTreeMap::new();
+    let mut dropped = 0u64;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_record_line(line) {
+            // Later records override earlier ones (append-only updates).
+            Some((key, entry)) => {
+                cells.insert(key, entry);
+            }
+            None => dropped += 1,
+        }
+    }
+    JournalLoad {
+        cells,
+        version: JOURNAL_VERSION,
+        dropped,
+    }
+}
+
+fn parse_journal_v1(text: &str) -> JournalLoad {
+    let mut cells = BTreeMap::new();
+    let mut dropped = 0u64;
+    let Ok(root) = json::parse(text) else {
+        // Not parseable as a whole document: nothing to salvage from a
+        // legacy journal (version-2 framing exists precisely to avoid
+        // this all-or-nothing cliff).
+        let lines = text.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        return JournalLoad {
+            cells,
+            version: 0,
+            dropped: lines.max(1),
+        };
+    };
+    let version = root.get("version").and_then(Json::as_u64).unwrap_or(0) as u32;
+    if version != 1 {
+        return JournalLoad {
+            cells,
+            version,
+            dropped: 1,
+        };
+    }
+    match root.get("cells").and_then(Json::as_obj) {
+        Some(obj) => {
+            for (k, v) in obj {
+                match JournalEntry::from_json(v) {
+                    // A legacy cell that decodes is kept; one that does
+                    // not loses only itself.
+                    Some(e) => {
+                        cells.insert(k.clone(), e);
+                    }
+                    None => dropped += 1,
+                }
+            }
+        }
+        None => dropped += 1,
+    }
+    JournalLoad {
+        cells,
+        version,
+        dropped,
+    }
+}
+
+/// Status summary of one surviving journal record (see
+/// [`inspect_journal`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// Completed cell with a full stored result.
+    Done,
+    /// Deterministic (typed) failure.
+    Failed,
+    /// Quarantined after exhausting the retry budget, with the journaled
+    /// reason.
+    Quarantined(String),
+}
+
+/// Offline summary of a journal file: the records the salvage parser
+/// recovers plus how many it had to drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalInspection {
+    /// Format version found on disk (2 current, 1 legacy JSON, 0
+    /// unrecognized).
+    pub version: u32,
+    /// Surviving records in key order: cell key → status.
+    pub records: Vec<(String, RecordStatus)>,
+    /// Corrupt records dropped by the salvage parser.
+    pub dropped: u64,
+}
+
+impl JournalInspection {
+    /// Keys of the quarantined records with their journaled reasons.
+    pub fn quarantined(&self) -> Vec<(&str, &str)> {
+        self.records
+            .iter()
+            .filter_map(|(k, s)| match s {
+                RecordStatus::Quarantined(reason) => Some((k.as_str(), reason.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Reads and salvage-parses a journal without opening a campaign — the
+/// inspection surface used by `crash_soak` and the robustness tests.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be read at all (a *corrupt*
+/// file still inspects; damage shows up in
+/// [`dropped`](JournalInspection::dropped)).
+pub fn inspect_journal(path: impl AsRef<Path>) -> io::Result<JournalInspection> {
+    let bytes = durability::read(path.as_ref())?;
+    let text = String::from_utf8_lossy(&bytes);
+    let load = parse_journal(&text);
+    Ok(JournalInspection {
+        version: load.version,
+        records: load
+            .cells
+            .iter()
+            .map(|(k, e)| {
+                let status = match e {
+                    JournalEntry::Done(_) => RecordStatus::Done,
+                    JournalEntry::Failed { .. } => RecordStatus::Failed,
+                    JournalEntry::Quarantined { error, .. } => {
+                        RecordStatus::Quarantined(error.clone())
+                    }
+                };
+                (k.clone(), status)
+            })
+            .collect(),
+        dropped: load.dropped,
+    })
 }
 
 /// The process-wide active campaign consulted by
@@ -728,19 +1059,20 @@ pub fn dispatch(cfg: &SimConfig, scale: f64) -> CellResult {
 
 /// Runs every member of a group as its own full isolated simulation (the
 /// non-memoized path: singleton groups, memoization off, and the
-/// fallback after any group failure).
+/// fallback after any group failure). Each result carries its
+/// retryable-failure tag for the quarantine decision.
 fn run_members_individually(
     cfgs: &[SimConfig],
     members: &[usize],
     scale: f64,
     opts: &CellOptions,
-) -> Vec<CellResult> {
+) -> Vec<(CellResult, bool)> {
     members
         .iter()
         .map(|&i| {
             FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
             pool::telemetry_count("campaign.functional_runs", 1);
-            run_isolated(&cfgs[i], scale, opts)
+            run_isolated_tagged(&cfgs[i], scale, opts)
         })
         .collect()
 }
@@ -761,7 +1093,7 @@ fn run_group(
     members: &[usize],
     scale: f64,
     opts: &CellOptions,
-) -> (Vec<CellResult>, bool) {
+) -> (Vec<(CellResult, bool)>, bool) {
     if members.len() == 1 {
         return (run_members_individually(cfgs, members, scale, opts), false);
     }
@@ -777,6 +1109,10 @@ fn run_group(
         .name("campaign-group".into())
         .spawn(move || {
             let out = panic::catch_unwind(AssertUnwindSafe(|| {
+                // Poisoned members panic here; the fallback re-runs each
+                // member individually so quarantine lands on exactly the
+                // poisoned cell(s).
+                chaos::poison_check(config_fingerprint(&worker_cfgs[0]));
                 let (lead, profile) = runner::run_standard_profiled_cancellable(
                     worker_cfgs[0].clone(),
                     scale,
@@ -785,6 +1121,7 @@ fn run_group(
                 let mut results = Vec::with_capacity(worker_cfgs.len());
                 results.push(lead);
                 for cfg in &worker_cfgs[1..] {
+                    chaos::poison_check(config_fingerprint(cfg));
                     results.push(price_profile(cfg, &profile)?);
                 }
                 Ok::<Vec<SimResult>, SimError>(results)
@@ -805,7 +1142,7 @@ fn run_group(
             (
                 results
                     .into_iter()
-                    .map(|r| CellResult::Done(Box::new(r)))
+                    .map(|r| (CellResult::Done(Box::new(r)), false))
                     .collect(),
                 true,
             )
@@ -915,10 +1252,10 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
         pool::jobs(),
         groups.len(),
         |g| run_group(cfgs, &groups[g].1, scale, &opts),
-        |g, (group_results, _): &(Vec<CellResult>, bool)| {
+        |g, (group_results, _): &(Vec<(CellResult, bool)>, bool)| {
             if let Some(campaign) = active().as_mut() {
-                for (&i, res) in groups[g].1.iter().zip(group_results) {
-                    campaign.record(&cfgs[i], scale, res);
+                for (&i, (res, retryable)) in groups[g].1.iter().zip(group_results) {
+                    campaign.record(&cfgs[i], scale, res, *retryable);
                 }
             }
         },
@@ -939,7 +1276,7 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
                 priced,
             });
         }
-        for (&i, res) in groups[g].1.iter().zip(group_results) {
+        for (&i, (res, _)) in groups[g].1.iter().zip(group_results) {
             results[i] = Some(res);
         }
     }
@@ -1370,6 +1707,137 @@ mod tests {
             }
             CellResult::Done(_) => panic!("invalid config cannot succeed"),
         }
+    }
+
+    #[test]
+    fn record_line_frames_and_round_trips() {
+        let entry = JournalEntry::Failed {
+            error: "a \"quoted\"\nreason".into(),
+            attempts: 3,
+        };
+        let line = record_line("cafe-0123", &entry);
+        assert!(line.ends_with('\n'), "record lines are newline-terminated");
+        assert_eq!(line.matches('\n').count(), 1, "payload stays one line");
+        let (key, back) = parse_record_line(line.trim_end()).expect("decodes");
+        assert_eq!(key, "cafe-0123");
+        match back {
+            JournalEntry::Failed { error, attempts } => {
+                assert_eq!(error, "a \"quoted\"\nreason");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_entry_round_trips_through_json() {
+        let entry = JournalEntry::Quarantined {
+            error: "panicked: oh no".into(),
+            attempts: 2,
+        };
+        let mut text = String::new();
+        entry.to_json().write(&mut text);
+        match JournalEntry::from_json(&json::parse(&text).expect("parses")).expect("decodes") {
+            JournalEntry::Quarantined { error, attempts } => {
+                assert_eq!(error, "panicked: oh no");
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_byte_in_one_record_loses_only_that_record() {
+        let entries: Vec<(String, JournalEntry)> = (0..4)
+            .map(|i| {
+                (
+                    format!("key-{i:02}"),
+                    JournalEntry::Failed {
+                        error: format!("reason {i}"),
+                        attempts: 1,
+                    },
+                )
+            })
+            .collect();
+        let mut text = String::from(JOURNAL_HEADER);
+        let mut offsets = Vec::new();
+        for (k, e) in &entries {
+            offsets.push(text.len());
+            text.push_str(&record_line(k, e));
+        }
+        offsets.push(text.len());
+        // Flip one bit in the middle of record 2's payload.
+        let mut bytes = text.clone().into_bytes();
+        let target = (offsets[2] + offsets[3]) / 2;
+        bytes[target] ^= 0x04;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let load = parse_journal(&mutated);
+        assert_eq!(load.dropped, 1, "exactly one record is lost");
+        assert_eq!(load.cells.len(), entries.len() - 1);
+        assert!(!load.cells.contains_key("key-02"), "the mutated one");
+        for i in [0usize, 1, 3] {
+            assert!(load.cells.contains_key(&format!("key-{i:02}")), "key {i}");
+        }
+    }
+
+    #[test]
+    fn truncated_tail_loses_only_the_torn_record() {
+        let mut text = String::from(JOURNAL_HEADER);
+        for i in 0..3 {
+            text.push_str(&record_line(
+                &format!("key-{i}"),
+                &JournalEntry::Failed {
+                    error: "x".into(),
+                    attempts: 1,
+                },
+            ));
+        }
+        let torn = &text[..text.len() - 7]; // mid-way through record 2
+        let load = parse_journal(torn);
+        assert_eq!(load.dropped, 1);
+        assert_eq!(load.cells.len(), 2);
+        assert!(!load.cells.contains_key("key-2"));
+    }
+
+    #[test]
+    fn later_records_override_earlier_ones() {
+        let mut text = String::from(JOURNAL_HEADER);
+        text.push_str(&record_line(
+            "key-a",
+            &JournalEntry::Failed {
+                error: "first".into(),
+                attempts: 1,
+            },
+        ));
+        text.push_str(&record_line(
+            "key-a",
+            &JournalEntry::Quarantined {
+                error: "second".into(),
+                attempts: 2,
+            },
+        ));
+        let load = parse_journal(&text);
+        assert_eq!(load.dropped, 0);
+        assert_eq!(load.cells.len(), 1);
+        match load.cells.get("key-a").expect("present") {
+            JournalEntry::Quarantined { error, .. } => assert_eq!(error, "second"),
+            other => panic!("append-only update did not win: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_journal_salvages_per_cell() {
+        // A handcrafted version-1 document: one good cell, one with a
+        // mangled entry. The good one must survive.
+        let text = r#"{"version":1,"cells":{
+            "good-key":{"status":"failed","error":"typed","attempts":1},
+            "bad-key":{"status":"failed","error":42}
+        }}"#;
+        let load = parse_journal(text);
+        assert_eq!(load.version, 1);
+        assert_eq!(load.dropped, 1);
+        assert_eq!(load.cells.len(), 1);
+        assert!(load.cells.contains_key("good-key"));
     }
 
     #[test]

@@ -36,6 +36,8 @@
 pub mod ablations;
 pub mod budget;
 pub mod campaign;
+pub mod chaos;
+pub mod durability;
 pub mod fig10;
 pub mod fig2;
 pub mod fig3;
@@ -57,8 +59,9 @@ pub mod verify;
 pub mod warmup;
 
 pub use campaign::{
-    group_preview, memo_stats, memoize_enabled, reset_memo_stats, set_memo_trace, set_memoize,
-    take_memo_trace, CampaignStats, CellOptions, CellResult, MemoStats, MemoTraceEntry,
+    group_preview, inspect_journal, memo_stats, memoize_enabled, reset_memo_stats, set_memo_trace,
+    set_memoize, take_memo_trace, CampaignStats, CellOptions, CellResult, JournalInspection,
+    MemoStats, MemoTraceEntry, RecordStatus,
 };
 pub use runner::{
     run_standard, run_standard_cell, run_standard_cells, run_standard_many, run_standard_raw,

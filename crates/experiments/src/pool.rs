@@ -63,8 +63,12 @@ fn flush_worker_telemetry() {
 }
 
 /// Takes (and clears) the merged pool telemetry registry — every counter
-/// bumped via [`telemetry_count`] by any worker since the last take.
+/// bumped via [`telemetry_count`] by any worker since the last take. The
+/// calling thread's own local registry is folded in first, so counts
+/// bumped outside any worker (journal salvage at campaign open, `on_done`
+/// journaling) are never stranded thread-locally.
 pub fn take_telemetry() -> Registry {
+    flush_worker_telemetry();
     std::mem::take(&mut *lock(&POOL_REGISTRY))
 }
 
@@ -143,6 +147,9 @@ where
             results[i] = Some(r);
         }
     });
+    // `on_done` runs on the calling thread and may bump telemetry (the
+    // campaign journal does); flush it like any worker.
+    flush_worker_telemetry();
     results
         .into_iter()
         .enumerate()

@@ -36,6 +36,7 @@ use gaas_sim::{workload, Counters, SimError, Simulator};
 use gaas_telemetry::{chrome_trace_json, stack_csv, stack_json, weighted_cpi, WindowRow};
 
 use crate::campaign::{self, json, MemoTraceEntry};
+use crate::durability;
 use crate::fig78::{self, Side};
 use crate::pool;
 
@@ -271,7 +272,9 @@ pub fn run(scale: f64, dir: &Path) -> Result<TelemetryRun, TelemetryError> {
         ("summary.txt", summary),
     ] {
         let path = dir.join(name);
-        fs::write(&path, contents)?;
+        // Durable atomic commit (temp + fsync + rename): a crash mid-export
+        // leaves the previous artifact intact, never a half-written one.
+        durability::write_atomic(&path, contents.as_bytes())?;
         files.push(path);
     }
 

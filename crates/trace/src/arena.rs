@@ -24,6 +24,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::addr::{Pid, VirtAddr, PID_SHIFT};
 use crate::bench_model::BenchmarkSpec;
+use crate::crc::Crc32;
 use crate::event::{AccessKind, Trace, TraceEvent};
 use crate::gen::TraceGenerator;
 
@@ -82,11 +83,18 @@ fn unpack(raw: u64, meta: u16) -> TraceEvent {
 }
 
 /// One materialized event stream (structure-of-arrays packed encoding).
+///
+/// The stream is checksummed at generation time ([`Crc32`] over the
+/// packed words) so long-lived arenas can be audited for in-memory
+/// corruption — the software analogue of the parity bits the paper puts
+/// on its GaAs SRAM arrays. [`verify`] re-walks every resident stream.
 #[derive(Debug)]
 struct ArenaData {
     name: String,
     addrs: Vec<u64>,
     meta: Vec<u16>,
+    /// CRC32 of the packed stream, computed once at materialization.
+    crc: u32,
 }
 
 impl ArenaData {
@@ -106,12 +114,30 @@ impl ArenaData {
                 meta.push(m);
             }
         }
+        let crc = stream_crc(&addrs, &meta);
         ArenaData {
             name: spec.name.to_string(),
             addrs,
             meta,
+            crc,
         }
     }
+
+    /// True when the packed stream still matches its generation-time
+    /// checksum.
+    fn intact(&self) -> bool {
+        stream_crc(&self.addrs, &self.meta) == self.crc
+    }
+}
+
+/// CRC32 over the packed stream words in index order.
+fn stream_crc(addrs: &[u64], meta: &[u16]) -> u32 {
+    let mut h = Crc32::new();
+    for (a, m) in addrs.iter().zip(meta) {
+        h.update(&a.to_le_bytes());
+        h.update(&m.to_le_bytes());
+    }
+    h.finish()
 }
 
 type ArenaKey = (&'static str, u64, u8, u64);
@@ -173,6 +199,43 @@ pub fn clear() {
     r.traces.lock().unwrap_or_else(|e| e.into_inner()).clear();
     r.generated.store(0, Ordering::Relaxed);
     r.reused.store(0, Ordering::Relaxed);
+}
+
+/// Result of an arena integrity audit (see [`verify`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ArenaAudit {
+    /// Streams whose checksum was re-verified.
+    pub checked: u64,
+    /// Names of streams whose packed words no longer match their
+    /// generation-time checksum (in-memory corruption).
+    pub corrupt: Vec<String>,
+}
+
+impl ArenaAudit {
+    /// True when every resident stream verified clean.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// Re-checksums every resident stream against its generation-time CRC32
+/// and reports any that no longer match. Chaos campaigns run this after
+/// a soak to prove the shared arena was not silently corrupted while
+/// dozens of crash/resume cycles replayed it.
+pub fn verify() -> ArenaAudit {
+    let r = registry();
+    let streams: Vec<Arc<ArenaData>> = {
+        let traces = r.traces.lock().unwrap_or_else(|e| e.into_inner());
+        traces.values().cloned().collect()
+    };
+    let mut audit = ArenaAudit::default();
+    for data in streams {
+        audit.checked += 1;
+        if !data.intact() {
+            audit.corrupt.push(data.name.clone());
+        }
+    }
+    audit
 }
 
 /// Estimated packed footprint of one scaled stream, in bytes.
@@ -312,6 +375,29 @@ mod tests {
         assert!(estimated_bytes(&spec, 1.0) > ARENA_TRACE_BYTE_CAP);
         let mut t = cursor(&spec, Pid::new(0), 1.0);
         assert!(t.next().is_some());
+    }
+
+    #[test]
+    fn audit_verifies_resident_streams() {
+        let spec = suite()[2].clone();
+        let scale = 1.3e-4; // unlikely to collide with other tests' keys
+        let _ = cursor(&spec, Pid::new(5), scale);
+        let audit = verify();
+        assert!(audit.checked >= 1);
+        assert!(
+            audit.clean(),
+            "fresh streams must verify: {:?}",
+            audit.corrupt
+        );
+    }
+
+    #[test]
+    fn audit_detects_corrupted_stream() {
+        let spec = suite()[3].clone();
+        let mut data = ArenaData::generate(&spec, Pid::new(0), 1e-4);
+        assert!(data.intact());
+        data.addrs[0] ^= 1 << 7;
+        assert!(!data.intact(), "a flipped bit must fail the checksum");
     }
 
     #[test]

@@ -3,22 +3,33 @@
 //! Lets workloads be captured once and replayed (the paper pipes `pixie`
 //! output through file descriptors; we offer files as the moral
 //! equivalent for fixtures and debugging). The format is versioned and
-//! self-describing:
+//! self-describing; since version 2 it is also **checksummed**, so bit
+//! corruption anywhere in the stream — not just truncation — is detected
+//! rather than silently misparsed (cf. the parity/ECC theme of the
+//! paper's own SRAM arrays):
 //!
 //! ```text
-//! magic "GTRC" | version u32 LE | event count u64 LE | events...
+//! magic "GTRC" | version u32 LE | event count u64 LE | events... | crc32 u32 LE
 //! event: tag u8 | stall u8 | addr u64 LE
 //! tag bits: [1:0] kind (0=IFetch, 1=Load, 2=Store), [2] partial, [3] syscall
 //! ```
+//!
+//! The trailing CRC32 ([`crate::crc`]) covers every preceding byte,
+//! header included. Version-1 files (no footer) are still read; writers
+//! always emit version 2.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use crate::addr::VirtAddr;
+use crate::crc::Crc32;
 use crate::event::{AccessKind, Trace, TraceEvent};
 
 const MAGIC: [u8; 4] = *b"GTRC";
-const VERSION: u32 = 1;
+/// Current (written) format version: checksum footer present.
+const VERSION: u32 = 2;
+/// Legacy format version: no footer; still accepted by readers.
+const LEGACY_VERSION: u32 = 1;
 
 /// Error raised when reading a malformed trace file.
 #[derive(Debug)]
@@ -31,8 +42,17 @@ pub enum ReadTraceError {
     BadVersion(u32),
     /// An event record carried an invalid kind tag.
     BadKind(u8),
-    /// The stream ended before the declared event count was read.
+    /// The stream ended before the declared event count (or the version-2
+    /// footer) was read.
     Truncated,
+    /// The version-2 checksum footer did not match the stream contents:
+    /// the file is bit-corrupt.
+    BadChecksum {
+        /// CRC32 stored in the footer.
+        stored: u32,
+        /// CRC32 computed over the bytes actually read.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for ReadTraceError {
@@ -43,6 +63,10 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             ReadTraceError::BadKind(k) => write!(f, "invalid event kind tag {k}"),
             ReadTraceError::Truncated => write!(f, "trace file truncated"),
+            ReadTraceError::BadChecksum { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: footer {stored:08x}, stream {computed:08x} (bit corruption)"
+            ),
         }
     }
 }
@@ -81,7 +105,7 @@ fn decode_tag(tag: u8) -> Result<(AccessKind, bool, bool), ReadTraceError> {
     Ok((kind, tag & 0b100 != 0, tag & 0b1000 != 0))
 }
 
-/// Writes `events` to `writer` in GTRC format.
+/// Writes `events` to `writer` in GTRC version-2 format (checksummed).
 ///
 /// A `&mut` reference to a writer can be passed where a writer is expected.
 ///
@@ -103,23 +127,31 @@ fn decode_tag(tag: u8) -> Result<(AccessKind, bool, bool), ReadTraceError> {
 /// # }
 /// ```
 pub fn write_trace<W: Write>(mut writer: W, events: &[TraceEvent]) -> io::Result<()> {
-    writer.write_all(&MAGIC)?;
-    writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(events.len() as u64).to_le_bytes())?;
+    let mut crc = Crc32::new();
+    let mut put = |writer: &mut W, bytes: &[u8]| -> io::Result<()> {
+        crc.update(bytes);
+        writer.write_all(bytes)
+    };
+    put(&mut writer, &MAGIC)?;
+    put(&mut writer, &VERSION.to_le_bytes())?;
+    put(&mut writer, &(events.len() as u64).to_le_bytes())?;
     for ev in events {
-        writer.write_all(&[encode_tag(ev), ev.stall_cycles])?;
-        writer.write_all(&ev.addr.raw().to_le_bytes())?;
+        put(&mut writer, &[encode_tag(ev), ev.stall_cycles])?;
+        put(&mut writer, &ev.addr.raw().to_le_bytes())?;
     }
-    Ok(())
+    let digest = crc.finish();
+    writer.write_all(&digest.to_le_bytes())
 }
 
-/// Reads a complete GTRC trace from `reader`.
+/// Reads a complete GTRC trace from `reader` (version 1 or 2; the
+/// version-2 checksum footer is verified).
 ///
 /// A `&mut` reference to a reader can be passed where a reader is expected.
 ///
 /// # Errors
 ///
-/// Returns [`ReadTraceError`] on I/O failure or malformed input.
+/// Returns [`ReadTraceError`] on I/O failure, malformed input, or (for
+/// version-2 streams) a checksum mismatch.
 pub fn read_trace<R: Read>(reader: R) -> Result<Vec<TraceEvent>, ReadTraceError> {
     let mut r = TraceReader::new(reader)?;
     let mut events = Vec::with_capacity(r.remaining().min(1 << 24) as usize);
@@ -142,11 +174,16 @@ fn raw_to_addr(raw: u64) -> VirtAddr {
 /// materializing the whole trace (full-scale traces run to billions of
 /// events). Malformed records end the stream; check
 /// [`TraceReader::error`] after exhaustion to distinguish clean EOF from
-/// corruption.
+/// corruption. For version-2 streams the checksum footer is verified
+/// when the final event has been read; a mismatch surfaces as
+/// [`ReadTraceError::BadChecksum`] through the same channel.
 #[derive(Debug)]
 pub struct TraceReader<R> {
     reader: R,
     remaining: u64,
+    version: u32,
+    crc: Crc32,
+    footer_checked: bool,
     error: Option<ReadTraceError>,
 }
 
@@ -157,22 +194,29 @@ impl<R: Read> TraceReader<R> {
     ///
     /// Returns [`ReadTraceError`] when the header is malformed.
     pub fn new(mut reader: R) -> Result<Self, ReadTraceError> {
+        let mut crc = Crc32::new();
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if magic != MAGIC {
             return Err(ReadTraceError::BadMagic);
         }
+        crc.update(&magic);
         let mut v = [0u8; 4];
         reader.read_exact(&mut v)?;
         let version = u32::from_le_bytes(v);
-        if version != VERSION {
+        if version != VERSION && version != LEGACY_VERSION {
             return Err(ReadTraceError::BadVersion(version));
         }
+        crc.update(&v);
         let mut c = [0u8; 8];
         reader.read_exact(&mut c)?;
+        crc.update(&c);
         Ok(TraceReader {
             reader,
             remaining: u64::from_le_bytes(c),
+            version,
+            crc,
+            footer_checked: false,
             error: None,
         })
     }
@@ -186,13 +230,40 @@ impl<R: Read> TraceReader<R> {
     pub fn error(&self) -> Option<&ReadTraceError> {
         self.error.as_ref()
     }
+
+    /// Reads and verifies the version-2 footer once all events are
+    /// consumed (no-op for legacy streams).
+    fn check_footer(&mut self) {
+        if self.footer_checked || self.version == LEGACY_VERSION {
+            return;
+        }
+        self.footer_checked = true;
+        let mut f = [0u8; 4];
+        if let Err(e) = self.reader.read_exact(&mut f) {
+            self.error = Some(if e.kind() == io::ErrorKind::UnexpectedEof {
+                ReadTraceError::Truncated
+            } else {
+                ReadTraceError::Io(e)
+            });
+            return;
+        }
+        let stored = u32::from_le_bytes(f);
+        let computed = self.crc.finish();
+        if stored != computed {
+            self.error = Some(ReadTraceError::BadChecksum { stored, computed });
+        }
+    }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
     type Item = TraceEvent;
 
     fn next(&mut self) -> Option<TraceEvent> {
-        if self.remaining == 0 || self.error.is_some() {
+        if self.error.is_some() {
+            return None;
+        }
+        if self.remaining == 0 {
+            self.check_footer();
             return None;
         }
         let mut rec = [0u8; 10];
@@ -204,6 +275,7 @@ impl<R: Read> Iterator for TraceReader<R> {
             });
             return None;
         }
+        self.crc.update(&rec);
         let (kind, partial_word, syscall) = match decode_tag(rec[0]) {
             Ok(t) => t,
             Err(e) => {
@@ -283,6 +355,20 @@ mod tests {
         ]
     }
 
+    /// Encodes `events` in the legacy (version 1, footer-less) layout.
+    fn legacy_bytes(events: &[TraceEvent]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&LEGACY_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(events.len() as u64).to_le_bytes());
+        for ev in events {
+            buf.push(encode_tag(ev));
+            buf.push(ev.stall_cycles);
+            buf.extend_from_slice(&ev.addr.raw().to_le_bytes());
+        }
+        buf
+    }
+
     #[test]
     fn round_trip_preserves_events() {
         let events = sample_events();
@@ -290,6 +376,18 @@ mod tests {
         write_trace(&mut buf, &events).expect("write");
         let back = read_trace(buf.as_slice()).expect("read");
         assert_eq!(back, events);
+    }
+
+    #[test]
+    fn legacy_version_still_reads() {
+        let events = sample_events();
+        let buf = legacy_bytes(&events);
+        let back = read_trace(buf.as_slice()).expect("legacy read");
+        assert_eq!(back, events);
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        let streamed: Vec<_> = r.by_ref().collect();
+        assert_eq!(streamed, events);
+        assert!(r.error().is_none(), "legacy streams have no footer");
     }
 
     #[test]
@@ -316,6 +414,43 @@ mod tests {
         buf.truncate(buf.len() - 5);
         let err = read_trace(buf.as_slice()).unwrap_err();
         assert!(matches!(err, ReadTraceError::Truncated));
+    }
+
+    #[test]
+    fn missing_footer_rejected() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        buf.truncate(buf.len() - 4); // exactly the footer
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Truncated));
+    }
+
+    #[test]
+    fn flipped_bit_rejected_as_corruption() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        // Flip one address bit in the middle of an event record: the
+        // record still decodes, so only the checksum can catch it.
+        let idx = 4 + 4 + 8 + 4; // header + one full event + into addr
+        buf[idx] ^= 0x10;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ReadTraceError::BadChecksum { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn corrupt_footer_rejected() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadChecksum { .. }));
     }
 
     #[test]
@@ -366,11 +501,25 @@ mod tests {
         let events = sample_events();
         let mut buf = Vec::new();
         write_trace(&mut buf, &events).expect("write");
-        buf.truncate(buf.len() - 5);
+        buf.truncate(buf.len() - 4 - 5); // footer plus part of the last event
         let mut r = TraceReader::new(buf.as_slice()).expect("header");
         let streamed: Vec<_> = r.by_ref().collect();
         assert_eq!(streamed.len(), events.len() - 1);
         assert!(matches!(r.error(), Some(ReadTraceError::Truncated)));
+    }
+
+    #[test]
+    fn streaming_reader_verifies_footer_exactly_once() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &events).expect("write");
+        let mut r = TraceReader::new(buf.as_slice()).expect("header");
+        let n = r.by_ref().count();
+        assert_eq!(n, events.len());
+        assert!(r.error().is_none());
+        // Exhausting again must not re-read or invent errors.
+        assert!(r.next().is_none());
+        assert!(r.error().is_none());
     }
 
     #[test]
@@ -388,6 +537,10 @@ mod tests {
             ReadTraceError::BadVersion(2),
             ReadTraceError::BadKind(3),
             ReadTraceError::Truncated,
+            ReadTraceError::BadChecksum {
+                stored: 1,
+                computed: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

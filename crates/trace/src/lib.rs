@@ -17,7 +17,9 @@
 //! * [`instr`] / [`data`] — the instruction-fetch and data-reference
 //!   locality models;
 //! * [`gen`] — the deterministic streaming [`gen::TraceGenerator`];
-//! * [`file`](mod@crate::file) — a compact binary trace format for capture/replay;
+//! * [`file`](mod@crate::file) — a compact binary trace format for
+//!   capture/replay, checksummed against bit corruption;
+//! * [`crc`] — the vendored CRC32 shared by every durable on-disk format;
 //! * [`stats`] — trace characterization (regenerates Table 1 columns);
 //! * [`synthetic`] — diagnostic access patterns with known cache behaviour;
 //! * [`rng`] — the vendored deterministic PRNG every stochastic component
@@ -38,6 +40,7 @@
 pub mod addr;
 pub mod arena;
 pub mod bench_model;
+pub mod crc;
 pub mod data;
 pub mod event;
 pub mod file;

@@ -8,11 +8,30 @@
 //! written atomically after every cell.
 
 use gaas_experiments::campaign::{self, Campaign, CellOptions};
-use gaas_experiments::{fig2, tablefmt};
+use gaas_experiments::{chaos, fig2, tablefmt};
 use gaas_sim::config::SimConfig;
 use gaas_sim::WritePolicy;
 
 const SCALE: f64 = 5e-5;
+
+/// With `GAAS_CHAOS_SEED=N` in the environment, the whole suite runs
+/// under the chaos shim with a recoverable-fault-only profile (transient
+/// rename failures, well inside the durability layer's retry budget).
+/// Every assertion below must hold unchanged — storage faults may cost
+/// retries, never results. CI's `chaos-smoke` job sets the seed.
+fn chaos_from_env() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        if let Ok(seed) = std::env::var("GAAS_CHAOS_SEED") {
+            let seed: u64 = seed.parse().expect("GAAS_CHAOS_SEED must be a u64");
+            let mut cfg = chaos::ChaosConfig::quiet(seed);
+            cfg.fail_rename_pct = 10;
+            cfg.scope = Some(std::env::temp_dir());
+            chaos::install(cfg);
+            eprintln!("[campaign_resume: chaos shim active, seed {seed}]");
+        }
+    });
+}
 
 fn sweep_configs() -> Vec<SimConfig> {
     let mut cfgs = Vec::new();
@@ -43,6 +62,7 @@ fn render(results: &[(usize, Option<f64>)]) -> String {
 
 #[test]
 fn interrupted_campaign_resumes_byte_identical() {
+    chaos_from_env();
     let journal = tmp_journal("interrupt");
     let _ = std::fs::remove_file(&journal);
     let cfgs = sweep_configs();
@@ -88,6 +108,7 @@ fn interrupted_campaign_resumes_byte_identical() {
 
 #[test]
 fn journal_reload_is_lossless_across_reopen() {
+    chaos_from_env();
     let journal = tmp_journal("reload");
     let _ = std::fs::remove_file(&journal);
     let cfg = SimConfig::baseline();
@@ -108,6 +129,7 @@ fn journal_reload_is_lossless_across_reopen() {
 
 #[test]
 fn global_campaign_routes_a_real_figure_sweep() {
+    chaos_from_env();
     let journal = tmp_journal("global");
     let _ = std::fs::remove_file(&journal);
 
