@@ -149,6 +149,7 @@ fn main() {
     chaos::install(ChaosConfig {
         seed,
         fail_rename_pct: 15,
+        fail_fsync_pct: 5,
         bit_flip_pct: 8,
         short_read_pct: 5,
         defer_append_pct: 0,

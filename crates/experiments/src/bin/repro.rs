@@ -3,6 +3,7 @@
 //! ```text
 //! repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]
 //!       [--telemetry DIR] [--list-cells] [--no-sync]
+//! repro serve ...        delegate to the gaas-serve sweep daemon
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!             sec5 sec8 perbench ablations budget threec warmup
@@ -32,8 +33,8 @@
 use std::time::Instant;
 
 use gaas_experiments::{
-    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, perbench, pool,
-    runner, sec5, sec8, table1, telemetry, threec, verify, warmup,
+    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, interrupt,
+    perbench, pool, runner, sec5, sec8, table1, telemetry, threec, verify, warmup,
 };
 use gaas_sim::config::SimConfig;
 
@@ -59,6 +60,14 @@ const ALL: [&str; 17] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "serve") {
+        delegate_serve(&args[1..]);
+    }
+    // Graceful SIGINT/SIGTERM: the handler raises one flag, the campaign
+    // skips not-yet-started groups, and the main loop below winds down
+    // with the journal flushed through its normal fsync'd appends — no
+    // mid-append death, no reliance on salvage.
+    interrupt::install();
     let mut scale = gaas_experiments::DEFAULT_SCALE;
     let mut selected: Vec<String> = Vec::new();
     let mut journal: Option<String> = None;
@@ -248,8 +257,48 @@ fn main() {
             _ => unreachable!("validated above"),
         }
         eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        if interrupt::interrupted() {
+            eprintln!("[interrupted: journal flushed; cells not yet started were skipped]");
+            match &journal {
+                Some(path) => eprintln!("[resume with: repro ... --journal {path} --resume]"),
+                None => eprintln!(
+                    "[no journal was active; re-run with --journal PATH --resume to checkpoint]"
+                ),
+            }
+            finish_campaign();
+            // Conventional exit status for death-by-SIGINT (128 + 2).
+            std::process::exit(130);
+        }
     }
     finish_campaign();
+}
+
+/// `repro serve ...` delegates to the sibling `gaas-serve` binary (the
+/// daemon lives in its own crate, which depends on this one — the
+/// delegation avoids a dependency cycle while keeping one entry point).
+fn delegate_serve(args: &[String]) -> ! {
+    let serve = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            Some(
+                exe.parent()?
+                    .join(format!("gaas-serve{}", std::env::consts::EXE_SUFFIX)),
+            )
+        })
+        .filter(|p| p.exists());
+    let Some(serve) = serve else {
+        eprintln!(
+            "error: gaas-serve binary not found next to repro; build it with `cargo build --release -p gaas-serve`"
+        );
+        std::process::exit(2);
+    };
+    match std::process::Command::new(&serve).args(args).status() {
+        Ok(status) => std::process::exit(status.code().unwrap_or(1)),
+        Err(e) => {
+            eprintln!("error: cannot exec {}: {e}", serve.display());
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Prints the geometry-group assignment of one sweep: each group's
@@ -323,6 +372,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [EXPERIMENT ...] [--scale S] [--quick] [--jobs N] [--journal PATH] [--resume]\n\
          \x20            [--telemetry DIR] [--list-cells] [--no-sync]\n\
+         \x20      repro serve ...   (delegates to the gaas-serve sweep daemon)\n\
          experiments: {} | all | check | diffcheck | telemetry",
         ALL.join(" ")
     );

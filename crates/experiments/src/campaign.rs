@@ -57,9 +57,9 @@ use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
@@ -67,14 +67,68 @@ use gaas_sim::{
     ProcCounters, SimError, SimResult, Termination,
 };
 
-use gaas_trace::crc::crc32;
-
-use self::json::Json;
-use crate::{chaos, durability, pool, runner};
+use crate::json::{self, Json};
+use crate::{chaos, durability, frames, interrupt, pool, profile_cache, runner};
 
 /// How long a timed-out cell gets to acknowledge cooperative
 /// cancellation before it is detached as truly wedged.
 const CANCEL_GRACE: Duration = Duration::from_secs(2);
+
+/// Failure text for cells skipped because an interrupt (SIGINT/SIGTERM,
+/// or the serve daemon's shutdown) was received before they started.
+/// Results carrying this text are *transient*: they are never journaled,
+/// so a `--resume` re-runs them.
+pub const INTERRUPT_SKIP: &str = "skipped: interrupted before start";
+
+/// Failure text for cells skipped because the sweep deadline
+/// ([`set_sweep_deadline`]) passed before they started. Transient, like
+/// [`INTERRUPT_SKIP`]: never journaled, re-run on resume.
+pub const DEADLINE_SKIP: &str = "skipped: sweep deadline exceeded";
+
+/// Process-wide soft deadline for the *current* sweep, polled between
+/// groups by [`run_cells`] workers.
+static SWEEP_DEADLINE: Mutex<Option<Instant>> = Mutex::new(None);
+
+/// Sets (or clears, with `None`) the process-wide sweep deadline. Groups
+/// starting after the deadline are skipped with [`DEADLINE_SKIP`];
+/// groups already running have their cell timeout clamped to the time
+/// remaining, so the whole sweep winds down cooperatively close to the
+/// deadline rather than at `deadline + timeout`.
+pub fn set_sweep_deadline(deadline: Option<Instant>) {
+    *SWEEP_DEADLINE.lock().unwrap_or_else(|e| e.into_inner()) = deadline;
+}
+
+fn sweep_deadline() -> Option<Instant> {
+    *SWEEP_DEADLINE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True for results that must **not** be journaled: interrupt and
+/// deadline skips are transient (a resume should re-run those cells),
+/// unlike real failures, which are durable outcomes worth remembering.
+pub fn is_transient_skip(res: &CellResult) -> bool {
+    matches!(res, CellResult::Failed { error, .. }
+        if error == INTERRUPT_SKIP || error == DEADLINE_SKIP)
+}
+
+/// Skipped-cell results for a whole group (transient — see
+/// [`is_transient_skip`]).
+fn transient_skip(members: &[usize], reason: &str) -> (Vec<(CellResult, bool)>, bool) {
+    (
+        members
+            .iter()
+            .map(|_| {
+                (
+                    CellResult::Failed {
+                        error: reason.to_string(),
+                        attempts: 0,
+                    },
+                    false,
+                )
+            })
+            .collect(),
+        false,
+    )
+}
 
 /// Process-wide switch for the two-phase memoized sweep path (on by
 /// default). When off, [`run_cells`] runs every cell as a full isolated
@@ -805,23 +859,15 @@ impl Campaign {
     }
 }
 
-/// Encodes one journal record line: `{len:08x} {crc:08x} {payload}\n`
-/// with the CRC32 over the payload bytes.
+/// Encodes one journal record line through the shared
+/// [`frames`](crate::frames) framing (`{len:08x} {crc:08x} {payload}\n`).
 fn record_line(key: &str, entry: &JournalEntry) -> String {
-    let payload = {
-        let v = Json::Obj(vec![
-            ("key".into(), Json::Str(key.to_string())),
-            ("entry".into(), entry.to_json()),
-        ]);
-        let mut s = String::new();
-        v.write(&mut s);
-        s
-    };
-    format!(
-        "{:08x} {:08x} {payload}\n",
-        payload.len(),
-        crc32(payload.as_bytes())
-    )
+    let payload = Json::Obj(vec![
+        ("key".into(), Json::Str(key.to_string())),
+        ("entry".into(), entry.to_json()),
+    ])
+    .to_text();
+    frames::frame_line(&payload)
 }
 
 /// Decodes one journal record line, or `None` if any framing check
@@ -829,17 +875,7 @@ fn record_line(key: &str, entry: &JournalEntry) -> String {
 /// undecodable payload. A torn or bit-flipped record always lands here —
 /// never in a silently wrong entry.
 fn parse_record_line(line: &str) -> Option<(String, JournalEntry)> {
-    let bytes = line.as_bytes();
-    if bytes.len() < 18 || bytes[8] != b' ' || bytes[17] != b' ' {
-        return None;
-    }
-    let len = usize::from_str_radix(std::str::from_utf8(&bytes[..8]).ok()?, 16).ok()?;
-    let crc = u32::from_str_radix(std::str::from_utf8(&bytes[9..17]).ok()?, 16).ok()?;
-    let payload = &bytes[18..];
-    if payload.len() != len || crc32(payload) != crc {
-        return None;
-    }
-    let v = json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+    let v = json::parse(frames::parse_line(line)?).ok()?;
     let key = v.get("key")?.as_str()?.to_string();
     let entry = JournalEntry::from_json(v.get("entry")?)?;
     Some((key, entry))
@@ -1085,16 +1121,52 @@ fn run_members_individually(
 /// or typed error anywhere in the group — falls back to running every
 /// member individually, so memoization can only change wall-clock, never
 /// results or failure granularity.
-/// Also reports whether the non-lead members were *priced* from the
-/// lead's profile (`true` only on the successful memoized path), so
-/// [`run_cells`] can record an accurate [`MemoTraceEntry`].
+/// Also reports whether the members were *priced* from a profile
+/// (`true` on the successful memoized path and on a cross-request
+/// profile-cache hit), so [`run_cells`] can record an accurate
+/// [`MemoTraceEntry`].
+///
+/// **Cross-request cache**: when the [`profile_cache`] is enabled and
+/// the group has a functional fingerprint, a cache hit prices *every*
+/// member — including the lead, which by the functional-clock
+/// construction is an identity — from the cached profile, and a miss
+/// takes the profiled path even for singleton groups so the recorded
+/// profile can serve later requests. Any failure still falls back to
+/// individual full runs, so the cache can only change wall-clock, never
+/// results.
 fn run_group(
     cfgs: &[SimConfig],
     members: &[usize],
+    fingerprint: Option<u64>,
     scale: f64,
     opts: &CellOptions,
 ) -> (Vec<(CellResult, bool)>, bool) {
-    if members.len() == 1 {
+    if interrupt::interrupted() {
+        return transient_skip(members, INTERRUPT_SKIP);
+    }
+    let mut effective = *opts;
+    if let Some(deadline) = sweep_deadline() {
+        match deadline.checked_duration_since(Instant::now()) {
+            Some(left) if left > Duration::ZERO => {
+                effective.timeout = effective.timeout.min(left);
+            }
+            _ => return transient_skip(members, DEADLINE_SKIP),
+        }
+    }
+    let opts = &effective;
+    let cache_on = profile_cache::enabled() && fingerprint.is_some();
+    let cached = fingerprint.and_then(|key| profile_cache::lookup(key, scale));
+    if cache_on {
+        pool::telemetry_count(
+            if cached.is_some() {
+                "campaign.profile_cache_hits"
+            } else {
+                "campaign.profile_cache_misses"
+            },
+            1,
+        );
+    }
+    if members.len() == 1 && !cache_on {
         return (run_members_individually(cfgs, members, scale, opts), false);
     }
     let fallback = |cfgs, members, scale, opts| {
@@ -1105,6 +1177,8 @@ fn run_group(
     let worker_cfgs: Vec<SimConfig> = members.iter().map(|&i| cfgs[i].clone()).collect();
     let cancel = CancelToken::new();
     let worker_cancel = cancel.clone();
+    let worker_cached = cached;
+    let worker_key = fingerprint;
     let spawned = thread::Builder::new()
         .name("campaign-group".into())
         .spawn(move || {
@@ -1112,19 +1186,32 @@ fn run_group(
                 // Poisoned members panic here; the fallback re-runs each
                 // member individually so quarantine lands on exactly the
                 // poisoned cell(s).
+                if let Some(profile) = &worker_cached {
+                    // Cross-request cache hit: price every member.
+                    let mut results = Vec::with_capacity(worker_cfgs.len());
+                    for cfg in &worker_cfgs {
+                        chaos::poison_check(config_fingerprint(cfg));
+                        results.push(price_profile(cfg, profile.as_ref())?);
+                    }
+                    return Ok::<(Vec<SimResult>, bool), SimError>((results, true));
+                }
                 chaos::poison_check(config_fingerprint(&worker_cfgs[0]));
                 let (lead, profile) = runner::run_standard_profiled_cancellable(
                     worker_cfgs[0].clone(),
                     scale,
                     Some(worker_cancel),
                 )?;
+                let profile = Arc::new(profile);
+                if let Some(key) = worker_key {
+                    profile_cache::insert(key, scale, &profile);
+                }
                 let mut results = Vec::with_capacity(worker_cfgs.len());
                 results.push(lead);
                 for cfg in &worker_cfgs[1..] {
                     chaos::poison_check(config_fingerprint(cfg));
-                    results.push(price_profile(cfg, &profile)?);
+                    results.push(price_profile(cfg, profile.as_ref())?);
                 }
-                Ok::<Vec<SimResult>, SimError>(results)
+                Ok((results, false))
             }));
             let _ = tx.send(out);
         });
@@ -1133,18 +1220,23 @@ fn run_group(
         Err(_) => return fallback(cfgs, members, scale, opts),
     };
     match rx.recv_timeout(opts.timeout) {
-        Ok(Ok(Ok(results))) => {
+        Ok(Ok(Ok((results, from_cache)))) => {
             let _ = handle.join();
-            FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
-            PRICED_CELLS.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
-            pool::telemetry_count("campaign.functional_runs", 1);
-            pool::telemetry_count("campaign.priced_cells", members.len() as u64 - 1);
+            if from_cache {
+                PRICED_CELLS.fetch_add(members.len() as u64, Ordering::Relaxed);
+                pool::telemetry_count("campaign.priced_cells", members.len() as u64);
+            } else {
+                FUNCTIONAL_RUNS.fetch_add(1, Ordering::Relaxed);
+                PRICED_CELLS.fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
+                pool::telemetry_count("campaign.functional_runs", 1);
+                pool::telemetry_count("campaign.priced_cells", members.len() as u64 - 1);
+            }
             (
                 results
                     .into_iter()
                     .map(|r| (CellResult::Done(Box::new(r)), false))
                     .collect(),
-                true,
+                from_cache || members.len() > 1,
             )
         }
         Ok(Ok(Err(_))) | Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -1251,10 +1343,16 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
     let executed = pool::run_ordered(
         pool::jobs(),
         groups.len(),
-        |g| run_group(cfgs, &groups[g].1, scale, &opts),
+        |g| run_group(cfgs, &groups[g].1, groups[g].0, scale, &opts),
         |g, (group_results, _): &(Vec<(CellResult, bool)>, bool)| {
             if let Some(campaign) = active().as_mut() {
                 for (&i, (res, retryable)) in groups[g].1.iter().zip(group_results) {
+                    // Interrupt/deadline skips are transient: journaling
+                    // them would make a resume reuse the skip as a
+                    // durable failure instead of re-running the cell.
+                    if is_transient_skip(res) {
+                        continue;
+                    }
                     campaign.record(&cfgs[i], scale, res, *retryable);
                 }
             }
@@ -1284,340 +1382,6 @@ pub fn run_cells(cfgs: &[SimConfig], scale: f64) -> Vec<CellResult> {
         .into_iter()
         .map(|r| r.expect("every cell resolved"))
         .collect()
-}
-
-pub(crate) mod json {
-    //! A deliberately tiny JSON subset — exactly what the journal needs.
-    //!
-    //! The one load-bearing choice: integers are kept *lexical* as `u64`
-    //! ([`Json::Int`]) instead of coercing through `f64`, so 64-bit cycle
-    //! counters round-trip exactly and resumed tables are byte-identical.
-
-    pub enum Json {
-        Null,
-        Bool(bool),
-        Int(u64),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Json>),
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        pub fn get(&self, key: &str) -> Option<&Json> {
-            match self {
-                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Json::Int(n) => Some(*n),
-                _ => None,
-            }
-        }
-
-        #[cfg(test)] // the journal schema itself is all-integer
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Json::Num(x) => Some(*x),
-                Json::Int(n) => Some(*n as f64),
-                _ => None,
-            }
-        }
-
-        pub fn as_bool(&self) -> Option<bool> {
-            match self {
-                Json::Bool(b) => Some(*b),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Json::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_arr(&self) -> Option<&[Json]> {
-            match self {
-                Json::Arr(v) => Some(v),
-                _ => None,
-            }
-        }
-
-        pub fn as_obj(&self) -> Option<&[(String, Json)]> {
-            match self {
-                Json::Obj(v) => Some(v),
-                _ => None,
-            }
-        }
-
-        pub fn write(&self, out: &mut String) {
-            match self {
-                Json::Null => out.push_str("null"),
-                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-                Json::Int(n) => out.push_str(&n.to_string()),
-                Json::Num(x) => out.push_str(&format!("{x:?}")),
-                Json::Str(s) => write_string(s, out),
-                Json::Arr(items) => {
-                    out.push('[');
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        item.write(out);
-                    }
-                    out.push(']');
-                }
-                Json::Obj(fields) => {
-                    out.push('{');
-                    for (i, (k, v)) in fields.iter().enumerate() {
-                        if i > 0 {
-                            out.push(',');
-                        }
-                        write_string(k, out);
-                        out.push(':');
-                        v.write(out);
-                    }
-                    out.push('}');
-                }
-            }
-        }
-    }
-
-    fn write_string(s: &str, out: &mut String) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-            {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, b: u8) -> Result<(), String> {
-            if self.peek() == Some(b) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!(
-                    "expected '{}' at byte {}, found {:?}",
-                    b as char,
-                    self.pos,
-                    self.peek().map(|c| c as char)
-                ))
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(value)
-            } else {
-                Err(format!("invalid literal at byte {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Json, String> {
-            match self.peek() {
-                Some(b'n') => self.literal("null", Json::Null),
-                Some(b't') => self.literal("true", Json::Bool(true)),
-                Some(b'f') => self.literal("false", Json::Bool(false)),
-                Some(b'"') => Ok(Json::Str(self.string()?)),
-                Some(b'[') => self.array(),
-                Some(b'{') => self.object(),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                other => Err(format!(
-                    "unexpected {:?} at byte {}",
-                    other.map(|c| c as char),
-                    self.pos
-                )),
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut s = String::new();
-            loop {
-                let rest = &self.bytes[self.pos..];
-                let Some(&b) = rest.first() else {
-                    return Err("unterminated string".into());
-                };
-                match b {
-                    b'"' => {
-                        self.pos += 1;
-                        return Ok(s);
-                    }
-                    b'\\' => {
-                        let esc = rest.get(1).copied().ok_or("truncated escape")?;
-                        self.pos += 2;
-                        match esc {
-                            b'"' => s.push('"'),
-                            b'\\' => s.push('\\'),
-                            b'/' => s.push('/'),
-                            b'n' => s.push('\n'),
-                            b'r' => s.push('\r'),
-                            b't' => s.push('\t'),
-                            b'b' => s.push('\u{8}'),
-                            b'f' => s.push('\u{c}'),
-                            b'u' => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos..self.pos + 4)
-                                    .ok_or("truncated \\u escape")?;
-                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                                let code =
-                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                                self.pos += 4;
-                                s.push(char::from_u32(code).ok_or("surrogate \\u escape")?);
-                            }
-                            other => return Err(format!("unknown escape '\\{}'", other as char)),
-                        }
-                    }
-                    b if b < 0x80 => {
-                        s.push(b as char);
-                        self.pos += 1;
-                    }
-                    _ => {
-                        // Consume one UTF-8 scalar (the journal writer
-                        // emits raw UTF-8 above 0x1F). Validate at most
-                        // one scalar's worth of bytes, not the whole
-                        // remaining document.
-                        let head = &rest[..rest.len().min(4)];
-                        let c = match std::str::from_utf8(head) {
-                            Ok(text) => text.chars().next().ok_or("unterminated string")?,
-                            Err(e) if e.valid_up_to() > 0 => {
-                                // Safe: the prefix up to valid_up_to is valid UTF-8.
-                                std::str::from_utf8(&head[..e.valid_up_to()])
-                                    .map_err(|_| "invalid UTF-8")?
-                                    .chars()
-                                    .next()
-                                    .ok_or("unterminated string")?
-                            }
-                            Err(_) => return Err("invalid UTF-8".into()),
-                        };
-                        s.push(c);
-                        self.pos += c.len_utf8();
-                    }
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Json, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while self.peek().is_some_and(|b| {
-                b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
-            }) {
-                self.pos += 1;
-            }
-            let text =
-                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "invalid number")?;
-            // Lexical u64 first: exact round-trip for 64-bit counters.
-            if let Ok(n) = text.parse::<u64>() {
-                return Ok(Json::Int(n));
-            }
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("invalid number '{text}'"))
-        }
-
-        fn array(&mut self) -> Result<Json, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn object(&mut self) -> Result<Json, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let value = self.value()?;
-                fields.push((key, value));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]

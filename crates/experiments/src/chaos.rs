@@ -50,6 +50,9 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Percent chance a rename fails transiently with `EIO`.
     pub fail_rename_pct: u8,
+    /// Percent chance an `fsync` fails with `EIO` (the write itself
+    /// landed in the page cache; durability is what's lost).
+    pub fail_fsync_pct: u8,
     /// Percent chance one bit of a write payload is flipped.
     pub bit_flip_pct: u8,
     /// Percent chance a read returns only a prefix.
@@ -72,6 +75,7 @@ impl ChaosConfig {
         ChaosConfig {
             seed,
             fail_rename_pct: 0,
+            fail_fsync_pct: 0,
             bit_flip_pct: 0,
             short_read_pct: 0,
             defer_append_pct: 0,
@@ -90,6 +94,8 @@ pub struct FaultCounts {
     pub bit_flips: u64,
     /// Renames failed transiently.
     pub failed_renames: u64,
+    /// `fsync` calls failed transiently.
+    pub fsync_failures: u64,
     /// Reads returning only a prefix.
     pub short_reads: u64,
     /// Appends parked in the simulated page cache.
@@ -106,6 +112,7 @@ impl FaultCounts {
         self.torn_writes
             + self.bit_flips
             + self.failed_renames
+            + self.fsync_failures
             + self.short_reads
             + self.deferred_appends
             + self.lost_appends
@@ -398,6 +405,41 @@ pub fn plan_rename(path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Gates an `fsync` of `path` (file or parent directory).
+///
+/// # Errors
+///
+/// Returns a transient `EIO`-shaped error on an injected fsync failure,
+/// or [`crash_error`] when the process is dead (or dies at this op).
+pub fn plan_sync(path: &Path) -> std::io::Result<()> {
+    if !is_active() {
+        return Ok(());
+    }
+    let mut guard = state();
+    let Some(s) = guard.as_mut().filter(|s| s.in_scope(path)) else {
+        return Ok(());
+    };
+    if s.gate()? {
+        // Process died at the sync point: the data may or may not be on
+        // media — exactly the ambiguity a failed fsync leaves behind.
+        return Err(crash_error());
+    }
+    if s.roll(s.cfg.fail_fsync_pct) {
+        count_fault(&mut s.counts, |c| &mut c.fsync_failures);
+        return Err(std::io::Error::other("chaos: injected fsync failure"));
+    }
+    Ok(())
+}
+
+/// Serializes tests that install the process-wide shim (shared between
+/// the chaos and durability test modules, which live in one test
+/// binary and would otherwise race on the global state).
+#[cfg(test)]
+pub(crate) fn test_serial() -> MutexGuard<'static, ()> {
+    static TEST_SERIAL: Mutex<()> = Mutex::new(());
+    TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Post-processes a completed read of `path`: may truncate the returned
 /// bytes (short read) and folds in any page-cached pending appends
 /// (visible to the live process, lost on crash).
@@ -436,10 +478,8 @@ mod tests {
     use super::*;
 
     /// The shim is process-wide; these tests must not overlap.
-    static SERIAL: Mutex<()> = Mutex::new(());
-
     fn serial() -> MutexGuard<'static, ()> {
-        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+        test_serial()
     }
 
     fn scoped(seed: u64, tag: &str) -> (ChaosConfig, PathBuf) {

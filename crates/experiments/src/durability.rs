@@ -48,8 +48,9 @@ pub fn durable_sync() -> bool {
     DURABLE_SYNC.load(Ordering::Acquire)
 }
 
-fn sync_file(f: &File) -> std::io::Result<()> {
+fn sync_file(f: &File, path: &Path) -> std::io::Result<()> {
     if durable_sync() {
+        chaos::plan_sync(path)?;
         f.sync_all()?;
     }
     Ok(())
@@ -102,7 +103,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     if let Some(data) = &plan.data {
         let mut f = File::create(&tmp)?;
         f.write_all(data)?;
-        sync_file(&f)?;
+        sync_file(&f, path)?;
     }
     if plan.then_crash {
         // The process died after (partially) writing the temp file and
@@ -130,7 +131,7 @@ pub fn append(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         let created = !path.exists();
         let mut f = OpenOptions::new().create(true).append(true).open(path)?;
         f.write_all(data)?;
-        sync_file(&f)?;
+        sync_file(&f, path)?;
         if created {
             sync_parent_dir(path);
         }
@@ -237,5 +238,91 @@ mod tests {
         .unwrap_err();
         assert_eq!(tries.load(Ordering::Relaxed), RETRY_ATTEMPTS);
         assert_eq!(err.to_string(), "permanent");
+    }
+
+    /// Installs a scoped chaos shim over a fresh temp dir and returns
+    /// the dir. Caller holds the serial guard.
+    fn chaotic_dir(tag: &str, tweak: impl FnOnce(&mut chaos::ChaosConfig)) -> PathBuf {
+        let dir = tmp_dir(tag);
+        // Fresh dir per run: stale artifacts from a previous test
+        // process must not satisfy (or confuse) assertions.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cfg = chaos::ChaosConfig::quiet(0xD0_0D + tag.len() as u64);
+        cfg.scope = Some(dir.clone());
+        tweak(&mut cfg);
+        chaos::install(cfg);
+        dir
+    }
+
+    #[test]
+    fn rename_failure_that_never_clears_exhausts_the_retry_budget() {
+        let _serial = chaos::test_serial();
+        let dir = chaotic_dir("rename-exhaust", |cfg| cfg.fail_rename_pct = 100);
+        let path = dir.join("table.txt");
+        let tries = AtomicU32::new(0);
+        let err = retrying("commit", || {
+            tries.fetch_add(1, Ordering::Relaxed);
+            write_atomic(&path, b"doomed")
+        })
+        .unwrap_err();
+        let counts = chaos::uninstall();
+        assert_eq!(
+            tries.load(Ordering::Relaxed),
+            RETRY_ATTEMPTS,
+            "a transient-looking failure that never clears must consume the whole budget"
+        );
+        assert_eq!(counts.failed_renames, RETRY_ATTEMPTS as u64);
+        assert!(err.to_string().contains("rename failure"), "{err}");
+        assert!(
+            !path.exists(),
+            "failed commits must leave the target untouched"
+        );
+    }
+
+    #[test]
+    fn fsync_failure_propagates_from_write_and_append() {
+        let _serial = chaos::test_serial();
+        let dir = chaotic_dir("fsync-prop", |cfg| cfg.fail_fsync_pct = 100);
+        assert!(durable_sync(), "test requires the sync path");
+        let atomic = dir.join("table.txt");
+        let err = write_atomic(&atomic, b"v1").unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert!(
+            !atomic.exists(),
+            "fsync failure must abort before the rename"
+        );
+        let journal = dir.join("journal");
+        let err = append(&journal, b"rec\n").unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        let counts = chaos::uninstall();
+        assert_eq!(counts.fsync_failures, 2);
+    }
+
+    #[test]
+    fn crash_in_a_poisoned_parent_dir_is_terminal_not_retried() {
+        let _serial = chaos::test_serial();
+        // The parent directory is "poisoned": the very first I/O
+        // operation under it kills the process. The retry wrapper must
+        // treat the crash as terminal — a dead process doesn't get to
+        // try again — instead of burning the rest of the budget.
+        let dir = chaotic_dir("crash-terminal", |cfg| cfg.crash_after_ops = Some(1));
+        let path = dir.join("table.txt");
+        let tries = AtomicU32::new(0);
+        let err = retrying("commit", || {
+            tries.fetch_add(1, Ordering::Relaxed);
+            write_atomic(&path, b"doomed")
+        })
+        .unwrap_err();
+        assert!(chaos::crashed(), "the scheduled crash must have fired");
+        let counts = chaos::uninstall();
+        assert_eq!(
+            tries.load(Ordering::Relaxed),
+            1,
+            "an injected crash is terminal, never retried"
+        );
+        assert_eq!(counts.crashes, 1);
+        assert!(err.to_string().contains("crash"), "{err}");
+        assert!(!path.exists(), "the dying write must not commit");
     }
 }

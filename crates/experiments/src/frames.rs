@@ -1,0 +1,113 @@
+//! Checksummed record framing shared by every append-only journal.
+//!
+//! One record is one line: `{len:08x} {crc:08x} {payload}\n` — payload
+//! length and CRC32 over the payload bytes, payload itself a single line
+//! of UTF-8 (the journals put one compact JSON object there). The
+//! framing makes damage *local*: a torn tail, a flipped bit, or a short
+//! read loses exactly the record(s) it touches, and [`salvage`] recovers
+//! every other record.
+//!
+//! Both the campaign cell journal (`GAASJRN2`) and the serve daemon's
+//! job journal (`GAASSRV1`) are built on this module; the header line is
+//! the only format difference.
+
+use gaas_trace::crc::crc32;
+
+/// Encodes one record line: `{len:08x} {crc:08x} {payload}\n` with the
+/// CRC32 over the payload bytes. The payload must not contain `\n`
+/// (journal payloads are one-line JSON; the writer escapes newlines).
+pub fn frame_line(payload: &str) -> String {
+    format!(
+        "{:08x} {:08x} {payload}\n",
+        payload.len(),
+        crc32(payload.as_bytes())
+    )
+}
+
+/// Decodes one record line (without its trailing newline), returning the
+/// payload, or `None` if any framing check fails: malformed prefix,
+/// length mismatch, or CRC mismatch. A torn or bit-flipped record always
+/// lands here — never in a silently wrong payload.
+pub fn parse_line(line: &str) -> Option<&str> {
+    let bytes = line.as_bytes();
+    if bytes.len() < 18 || bytes[8] != b' ' || bytes[17] != b' ' {
+        return None;
+    }
+    let len = usize::from_str_radix(std::str::from_utf8(&bytes[..8]).ok()?, 16).ok()?;
+    let crc = u32::from_str_radix(std::str::from_utf8(&bytes[9..17]).ok()?, 16).ok()?;
+    let payload = &bytes[18..];
+    if payload.len() != len || crc32(payload) != crc {
+        return None;
+    }
+    std::str::from_utf8(payload).ok()
+}
+
+/// Result of salvage-parsing a framed journal body: the surviving
+/// payloads in file order and how many damaged records were dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Salvage<'a> {
+    /// Surviving record payloads, in on-disk order.
+    pub payloads: Vec<&'a str>,
+    /// Records dropped because a framing check failed.
+    pub dropped: u64,
+}
+
+/// Salvage parser over a journal *body* (the bytes after the header
+/// line): recovers every parseable record, dropping (and counting) only
+/// the damaged ones. Empty lines are ignored.
+pub fn salvage(body: &str) -> Salvage<'_> {
+    let mut payloads = Vec::new();
+    let mut dropped = 0u64;
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Some(payload) => payloads.push(payload),
+            None => dropped += 1,
+        }
+    }
+    Salvage { payloads, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_parse_round_trip() {
+        let line = frame_line(r#"{"k":"v"}"#);
+        assert!(line.ends_with('\n'));
+        assert_eq!(parse_line(line.trim_end()), Some(r#"{"k":"v"}"#));
+    }
+
+    #[test]
+    fn any_single_byte_mutation_is_detected() {
+        let line = frame_line("payload with some length");
+        let trimmed = line.trim_end();
+        for i in 0..trimmed.len() {
+            let mut bytes = trimmed.as_bytes().to_vec();
+            bytes[i] ^= 0x10;
+            if let Ok(mutated) = std::str::from_utf8(&bytes) {
+                assert_ne!(
+                    parse_line(mutated),
+                    Some("payload with some length"),
+                    "mutation at byte {i} must not decode to the original"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_keeps_good_records_and_counts_bad() {
+        let mut body = String::new();
+        body.push_str(&frame_line("one"));
+        body.push_str("08 garbage line\n");
+        body.push_str(&frame_line("two"));
+        let torn = frame_line("three");
+        body.push_str(&torn[..torn.len() - 3]); // torn tail
+        let s = salvage(&body);
+        assert_eq!(s.payloads, vec!["one", "two"]);
+        assert_eq!(s.dropped, 2);
+    }
+}

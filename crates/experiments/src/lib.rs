@@ -46,8 +46,12 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig78;
 pub mod fig9;
+pub mod frames;
+pub mod interrupt;
+pub mod json;
 pub mod perbench;
 pub mod pool;
+pub mod profile_cache;
 pub mod runner;
 pub mod sec5;
 pub mod sec8;

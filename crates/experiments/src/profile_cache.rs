@@ -1,0 +1,266 @@
+//! Service-level cross-request memo cache over functional profiles.
+//!
+//! The two-phase sweep already memoizes *within* one [`run_cells`]
+//! batch: geometry-identical cells share one functional pass. A
+//! long-lived daemon sees the same geometries again across *requests* —
+//! overlapping sweeps from different clients — so this module keeps the
+//! recorded [`FunctionalProfile`]s in a process-wide cache keyed by
+//! `(functional_fingerprint, scale bits)`.
+//!
+//! Resource pressure sheds the cache before it sheds requests (the
+//! degradation ladder of DESIGN §13): the cache holds a strict byte
+//! budget, evicts least-recently-used profiles to make room, refuses
+//! profiles that alone exceed the budget, and when disabled (budget 0)
+//! the campaign path falls back to exactly the pre-cache behaviour.
+//! Pricing a cell from a cached profile is byte-identical to simulating
+//! it — the same invariant the in-batch memoization is gated on — so the
+//! cache can only change wall-clock, never table bytes.
+//!
+//! [`run_cells`]: crate::campaign::run_cells
+//! [`FunctionalProfile`]: gaas_sim::FunctionalProfile
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use gaas_sim::FunctionalProfile;
+
+/// One cached functional pass.
+struct Entry {
+    profile: Arc<FunctionalProfile>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The cache proper; `None` inside [`STATE`] means disabled.
+struct Cache {
+    budget_bytes: usize,
+    bytes: usize,
+    tick: u64,
+    map: HashMap<(u64, u64), Entry>,
+    stats: CacheStats,
+}
+
+static STATE: Mutex<Option<Cache>> = Mutex::new(None);
+
+fn state() -> std::sync::MutexGuard<'static, Option<Cache>> {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Observable cache counters (monotonic since [`enable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live profile.
+    pub hits: u64,
+    /// Lookups that found nothing (or an evicted profile).
+    pub misses: u64,
+    /// Profiles admitted into the cache.
+    pub insertions: u64,
+    /// Profiles evicted to make room under the byte budget.
+    pub evictions: u64,
+    /// Profiles refused because they alone exceed the byte budget —
+    /// each refusal is one group degrading to an unmemoized run path.
+    pub oversize_rejects: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of the cache for telemetry/stats endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Counter values since [`enable`].
+    pub stats: CacheStats,
+    /// Profiles currently resident.
+    pub entries: usize,
+    /// Bytes currently resident.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+}
+
+/// Enables the cache with a fresh state and the given byte budget. A
+/// budget of zero disables the cache entirely (equivalent to
+/// [`disable`]).
+pub fn enable(budget_bytes: usize) {
+    let mut guard = state();
+    *guard = if budget_bytes == 0 {
+        None
+    } else {
+        Some(Cache {
+            budget_bytes,
+            bytes: 0,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        })
+    };
+}
+
+/// Disables the cache and drops every resident profile.
+pub fn disable() {
+    *state() = None;
+}
+
+/// True when the cache is enabled (a byte budget is in force).
+pub fn enabled() -> bool {
+    state().is_some()
+}
+
+/// Looks up the functional profile for `(fingerprint, scale)`, bumping
+/// its recency on a hit. `None` when disabled or absent.
+pub fn lookup(fingerprint: u64, scale: f64) -> Option<Arc<FunctionalProfile>> {
+    let mut guard = state();
+    let cache = guard.as_mut()?;
+    cache.tick += 1;
+    let tick = cache.tick;
+    match cache.map.get_mut(&(fingerprint, scale.to_bits())) {
+        Some(entry) => {
+            entry.last_used = tick;
+            cache.stats.hits += 1;
+            Some(Arc::clone(&entry.profile))
+        }
+        None => {
+            cache.stats.misses += 1;
+            None
+        }
+    }
+}
+
+/// Admits a freshly recorded profile, evicting least-recently-used
+/// entries until it fits the byte budget. A profile that alone exceeds
+/// the budget is refused (counted in
+/// [`CacheStats::oversize_rejects`]) — the caller simply keeps running
+/// unmemoized, which is the graceful-degradation contract. No-op when
+/// the cache is disabled or the key is already resident.
+pub fn insert(fingerprint: u64, scale: f64, profile: &Arc<FunctionalProfile>) {
+    let mut guard = state();
+    let Some(cache) = guard.as_mut() else {
+        return;
+    };
+    let key = (fingerprint, scale.to_bits());
+    if cache.map.contains_key(&key) {
+        return;
+    }
+    let bytes = profile.size_bytes();
+    if bytes > cache.budget_bytes {
+        cache.stats.oversize_rejects += 1;
+        return;
+    }
+    while cache.bytes + bytes > cache.budget_bytes {
+        // Evict the least-recently-used entry. Ties (same tick) cannot
+        // happen — every lookup/insert bumps the clock — but break them
+        // by key for determinism anyway.
+        let Some(victim) = cache
+            .map
+            .iter()
+            .min_by_key(|(k, e)| (e.last_used, **k))
+            .map(|(k, _)| *k)
+        else {
+            break;
+        };
+        if let Some(evicted) = cache.map.remove(&victim) {
+            cache.bytes -= evicted.bytes;
+            cache.stats.evictions += 1;
+        }
+    }
+    cache.tick += 1;
+    let tick = cache.tick;
+    cache.map.insert(
+        key,
+        Entry {
+            profile: Arc::clone(profile),
+            bytes,
+            last_used: tick,
+        },
+    );
+    cache.bytes += bytes;
+    cache.stats.insertions += 1;
+}
+
+/// A snapshot of the cache state, or `None` when disabled.
+pub fn snapshot() -> Option<CacheSnapshot> {
+    let guard = state();
+    let cache = guard.as_ref()?;
+    Some(CacheSnapshot {
+        stats: cache.stats,
+        entries: cache.map.len(),
+        bytes: cache.bytes,
+        budget_bytes: cache.budget_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaas_sim::config::SimConfig;
+    use gaas_sim::functional_fingerprint;
+
+    fn recorded_profile() -> (u64, Arc<FunctionalProfile>) {
+        let cfg = SimConfig::baseline();
+        let key = functional_fingerprint(&cfg).expect("baseline is memoizable");
+        let (_, profile) =
+            crate::runner::run_standard_profiled_cancellable(cfg, 5e-5, None).expect("runs");
+        (key, Arc::new(profile))
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_disable() {
+        let (key, profile) = recorded_profile();
+        enable(64 << 20);
+        assert!(lookup(key, 5e-5).is_none(), "cold cache misses");
+        insert(key, 5e-5, &profile);
+        assert!(lookup(key, 5e-5).is_some(), "warm cache hits");
+        assert!(lookup(key, 7e-5).is_none(), "scale is part of the key");
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.stats.hits, 1);
+        assert_eq!(snap.stats.misses, 2);
+        assert_eq!(snap.stats.insertions, 1);
+        assert!(snap.bytes > 0);
+        disable();
+        assert!(lookup(key, 5e-5).is_none(), "disabled cache never hits");
+        assert!(snapshot().is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let (key, profile) = recorded_profile();
+        let one = profile.size_bytes();
+        // Room for exactly two resident profiles.
+        enable(2 * one + one / 2);
+        insert(key, 1e-5, &profile);
+        insert(key, 2e-5, &profile);
+        // Touch the first so the second is the LRU victim.
+        assert!(lookup(key, 1e-5).is_some());
+        insert(key, 3e-5, &profile);
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.stats.evictions, 1);
+        assert_eq!(snap.entries, 2);
+        assert!(snap.bytes <= snap.budget_bytes);
+        assert!(lookup(key, 1e-5).is_some(), "recently used survives");
+        assert!(lookup(key, 2e-5).is_none(), "LRU entry was evicted");
+        assert!(lookup(key, 3e-5).is_some(), "newest entry resident");
+        disable();
+    }
+
+    #[test]
+    fn oversize_profile_is_refused_not_inserted() {
+        let (key, profile) = recorded_profile();
+        enable(profile.size_bytes() / 2);
+        insert(key, 5e-5, &profile);
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.stats.oversize_rejects, 1);
+        assert_eq!(snap.entries, 0);
+        assert_eq!(snap.bytes, 0);
+        assert!(lookup(key, 5e-5).is_none());
+        disable();
+    }
+}

@@ -35,9 +35,10 @@ use gaas_sim::config::TelemetryConfig;
 use gaas_sim::{workload, Counters, SimError, Simulator};
 use gaas_telemetry::{chrome_trace_json, stack_csv, stack_json, weighted_cpi, WindowRow};
 
-use crate::campaign::{self, json, MemoTraceEntry};
+use crate::campaign::{self, MemoTraceEntry};
 use crate::durability;
 use crate::fig78::{self, Side};
+use crate::json;
 use crate::pool;
 
 /// L2-I size (words) of the instrumented Fig. 7 cell.

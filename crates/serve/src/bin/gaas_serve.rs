@@ -1,0 +1,145 @@
+//! `gaas-serve` — the sweep-service daemon (and its one-shot client).
+//!
+//! Daemon mode (the default, also reachable as `repro serve …`):
+//!
+//! ```text
+//! gaas-serve [--dir DIR] [--port N] [--queue-cap N] [--jobs N]
+//!            [--cache-budget-mb N] [--cell-timeout-secs N]
+//!            [--default-deadline-ms N]
+//! ```
+//!
+//! Binds 127.0.0.1 (OS-assigned port unless `--port`), writes the bound
+//! address to `DIR/serve.addr`, replays `DIR/jobs.journal`, and serves
+//! until a `shutdown` op or SIGINT/SIGTERM. See [`gaas_serve::net`] for
+//! the protocol.
+//!
+//! Client mode (used by CI's serve-smoke job):
+//!
+//! ```text
+//! gaas-serve client ADDR JSON-REQUEST
+//! ```
+//!
+//! sends one request line to `ADDR` (either `host:port` or a path to a
+//! `serve.addr` file) and prints the one response line to stdout.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gaas_experiments::{interrupt, pool};
+use gaas_serve::engine::{ServeConfig, ServerCore};
+use gaas_serve::net;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gaas-serve [--dir DIR] [--port N] [--queue-cap N] [--jobs N]\n\
+         \x20                 [--cache-budget-mb N] [--cell-timeout-secs N]\n\
+         \x20                 [--default-deadline-ms N]\n\
+         \x20      gaas-serve client ADDR JSON-REQUEST"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "client") {
+        return run_client(&args[1..]);
+    }
+    run_daemon(&args)
+}
+
+fn run_client(args: &[String]) -> ExitCode {
+    let [addr, request] = args else {
+        return usage();
+    };
+    // Accept a serve.addr file path in place of a literal address.
+    let addr = match std::fs::read_to_string(addr) {
+        Ok(text) => text.trim().to_string(),
+        Err(_) => addr.clone(),
+    };
+    match net::client_roundtrip(&addr, request) {
+        Ok(response) => {
+            println!("{response}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gaas-serve client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_daemon(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig::new("serve-data");
+    let mut port = 0u16;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, ExitCode> {
+            it.next().cloned().ok_or_else(|| {
+                eprintln!("gaas-serve: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--dir" => match value("--dir") {
+                Ok(v) => cfg.dir = v.into(),
+                Err(code) => return code,
+            },
+            "--port" => match value("--port").map(|v| v.parse::<u16>()) {
+                Ok(Ok(v)) => port = v,
+                _ => return usage(),
+            },
+            "--queue-cap" => match value("--queue-cap").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) if v > 0 => cfg.queue_cap = v,
+                _ => return usage(),
+            },
+            "--jobs" => match value("--jobs").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) if v > 0 => pool::set_jobs(v),
+                _ => return usage(),
+            },
+            "--cache-budget-mb" => match value("--cache-budget-mb").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) => cfg.cache_budget_bytes = v << 20,
+                _ => return usage(),
+            },
+            "--cell-timeout-secs" => match value("--cell-timeout-secs").map(|v| v.parse::<u64>()) {
+                Ok(Ok(v)) if v > 0 => cfg.cell_timeout = Duration::from_secs(v),
+                _ => return usage(),
+            },
+            "--default-deadline-ms" => {
+                match value("--default-deadline-ms").map(|v| v.parse::<u64>()) {
+                    Ok(Ok(v)) => cfg.default_deadline_ms = Some(v),
+                    _ => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+    interrupt::install();
+    let dir = cfg.dir.clone();
+    let core = match ServerCore::open(cfg) {
+        Ok(core) => Arc::new(core),
+        Err(e) => {
+            eprintln!("gaas-serve: cannot open service state: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = core.stats();
+    if stats.replayed > 0 {
+        eprintln!(
+            "[gaas-serve] recovery: re-enqueued {} in-flight job(s) from the journal",
+            stats.replayed
+        );
+    }
+    let result = net::serve(&core, &dir, port);
+    // Graceful stop: finish (or wind down) the in-flight job, flush
+    // journals, then exit.
+    eprintln!("[gaas-serve] shutting down (draining in-flight job)");
+    core.shutdown();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gaas-serve: listener error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The daemon's durable jobs journal (`GAASSRV1`).
+//!
+//! One append-only file records every job's lifecycle on the same
+//! checksummed framing as the campaign cell journal
+//! ([`gaas_experiments::frames`]): an `accepted` record carrying the
+//! canonical spec, then exactly one terminal record — `done`, `failed`
+//! (with its reason), or `cancelled`. Restart replays the file: jobs
+//! with an `accepted` record and no terminal record were in flight when
+//! the process died and are re-enqueued in acceptance order; their
+//! per-job cell journals make the re-run resume instead of restart.
+//!
+//! Framing damage is salvaged per record, exactly like the cell
+//! journal: a torn tail or flipped bit loses one record, never the
+//! file. A lost `accepted` record loses that job (the client sees an
+//! unknown id and resubmits — admission was never acknowledged durably);
+//! a lost terminal record re-runs the job, which is idempotent because
+//! results are deterministic and artifacts commit atomically.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gaas_experiments::json::{self, Json};
+use gaas_experiments::{durability, frames};
+
+/// Header line of a jobs journal.
+pub const JOBS_HEADER: &str = "GAASSRV1\n";
+
+/// One lifecycle event of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// The job passed admission; `spec` is the canonical spec JSON.
+    Accepted {
+        /// Canonical spec text (re-parsed on replay).
+        spec: String,
+    },
+    /// The job completed and its table artifact is committed.
+    Done,
+    /// The job failed; the reason is the client-visible explanation.
+    Failed {
+        /// Why the job failed (panic text, deadline, spec-level error).
+        reason: String,
+    },
+    /// The job was cancelled before or during execution.
+    Cancelled {
+        /// What triggered the cancellation.
+        reason: String,
+    },
+}
+
+impl JobEvent {
+    /// True for the three terminal events.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobEvent::Accepted { .. })
+    }
+
+    fn tag(&self) -> &'static str {
+        match self {
+            JobEvent::Accepted { .. } => "accepted",
+            JobEvent::Done => "done",
+            JobEvent::Failed { .. } => "failed",
+            JobEvent::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Monotone sequence number (acceptance order across restarts).
+    pub seq: u64,
+    /// Job id (`j0001`, `j0002`, …).
+    pub job: String,
+    /// The event.
+    pub event: JobEvent,
+}
+
+fn record_payload(rec: &JobRecord) -> String {
+    let mut fields = vec![
+        ("seq".to_string(), Json::Int(rec.seq)),
+        ("job".to_string(), Json::Str(rec.job.clone())),
+        ("event".to_string(), Json::Str(rec.event.tag().to_string())),
+    ];
+    match &rec.event {
+        JobEvent::Accepted { spec } => {
+            // The spec is embedded as a JSON *value*, not a string, so
+            // the journal stays greppable and the replay parse is the
+            // same code path as the wire parse.
+            let spec_json = json::parse(spec).unwrap_or(Json::Null);
+            fields.push(("spec".into(), spec_json));
+        }
+        JobEvent::Done => {}
+        JobEvent::Failed { reason } | JobEvent::Cancelled { reason } => {
+            fields.push(("reason".into(), Json::Str(reason.clone())));
+        }
+    }
+    Json::Obj(fields).to_text()
+}
+
+fn parse_payload(payload: &str) -> Option<JobRecord> {
+    let v = json::parse(payload).ok()?;
+    let seq = v.get("seq")?.as_u64()?;
+    let job = v.get("job")?.as_str()?.to_string();
+    let event = match v.get("event")?.as_str()? {
+        "accepted" => JobEvent::Accepted {
+            spec: v.get("spec")?.to_text(),
+        },
+        "done" => JobEvent::Done,
+        "failed" => JobEvent::Failed {
+            reason: v.get("reason")?.as_str()?.to_string(),
+        },
+        "cancelled" => JobEvent::Cancelled {
+            reason: v.get("reason")?.as_str()?.to_string(),
+        },
+        _ => return None,
+    };
+    Some(JobRecord { seq, job, event })
+}
+
+/// The result of opening (and salvage-replaying) a jobs journal.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every surviving record in file order.
+    pub records: Vec<JobRecord>,
+    /// Records dropped by a failed framing check.
+    pub dropped: u64,
+}
+
+/// The append handle for a jobs journal.
+#[derive(Debug)]
+pub struct JobsLog {
+    path: PathBuf,
+}
+
+impl JobsLog {
+    /// Opens (creating if absent) the journal at `path` and replays its
+    /// surviving records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading or creating the file. Framing
+    /// damage is *not* an error — damaged records are dropped and
+    /// counted.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(JobsLog, Replay)> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        match durability::read(&path) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let body = match text.strip_prefix(JOBS_HEADER.trim_end()) {
+                    Some(rest) => rest,
+                    None => {
+                        // Unrecognized header: treat the whole file as
+                        // damaged body — per-record salvage recovers
+                        // nothing framed differently, by design.
+                        dropped += 1;
+                        &text
+                    }
+                };
+                let salvage = frames::salvage(body);
+                dropped += salvage.dropped;
+                for payload in salvage.payloads {
+                    match parse_payload(payload) {
+                        Some(rec) => records.push(rec),
+                        None => dropped += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                durability::retrying("jobs journal header", || {
+                    durability::append(&path, JOBS_HEADER.as_bytes())
+                })?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok((JobsLog { path }, Replay { records, dropped }))
+    }
+
+    /// Appends one record durably (fsync'd, bounded retry).
+    ///
+    /// # Errors
+    ///
+    /// The last I/O error once the retry budget is exhausted (an
+    /// injected chaos crash is terminal immediately).
+    pub fn append(&self, rec: &JobRecord) -> io::Result<()> {
+        let line = frames::frame_line(&record_payload(rec));
+        durability::retrying("jobs journal append", || {
+            durability::append(&self.path, line.as_bytes())
+        })
+    }
+
+    /// The journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gaas-serve-jobs-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("jobs.journal")
+    }
+
+    fn sample_records() -> Vec<JobRecord> {
+        vec![
+            JobRecord {
+                seq: 1,
+                job: "j0001".into(),
+                event: JobEvent::Accepted {
+                    spec: r#"{"scale":0.001,"cells":[{}]}"#.into(),
+                },
+            },
+            JobRecord {
+                seq: 2,
+                job: "j0002".into(),
+                event: JobEvent::Accepted {
+                    spec: r#"{"scale":0.002,"cells":[{},{}]}"#.into(),
+                },
+            },
+            JobRecord {
+                seq: 3,
+                job: "j0001".into(),
+                event: JobEvent::Done,
+            },
+            JobRecord {
+                seq: 4,
+                job: "j0002".into(),
+                event: JobEvent::Failed {
+                    reason: "deadline exceeded".into(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_journal() {
+        let prev = durability::set_durable_sync(false);
+        let path = tmp("roundtrip");
+        let (log, replay) = JobsLog::open(&path).expect("open fresh");
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.dropped, 0);
+        for rec in &sample_records() {
+            log.append(rec).expect("append");
+        }
+        let (_, replay) = JobsLog::open(&path).expect("reopen");
+        assert_eq!(replay.records, sample_records());
+        assert_eq!(replay.dropped, 0);
+        durability::set_durable_sync(prev);
+    }
+
+    #[test]
+    fn a_torn_tail_loses_one_record_only() {
+        let prev = durability::set_durable_sync(false);
+        let path = tmp("torn");
+        let (log, _) = JobsLog::open(&path).expect("open");
+        for rec in &sample_records() {
+            log.append(rec).expect("append");
+        }
+        // Tear the last record's tail, as a crash mid-append would.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, bytes).unwrap();
+        let (_, replay) = JobsLog::open(&path).expect("reopen");
+        assert_eq!(replay.records, sample_records()[..3].to_vec());
+        assert_eq!(replay.dropped, 1);
+        durability::set_durable_sync(prev);
+    }
+
+    #[test]
+    fn accepted_spec_survives_verbatim_enough_to_reparse() {
+        let spec = r#"{"name":"x","scale":0.5,"cells":[{"l2_access":4}]}"#;
+        let rec = JobRecord {
+            seq: 9,
+            job: "j0009".into(),
+            event: JobEvent::Accepted { spec: spec.into() },
+        };
+        let payload = record_payload(&rec);
+        let back = parse_payload(&payload).expect("parses");
+        let JobEvent::Accepted { spec: back_spec } = &back.event else {
+            panic!("wrong event");
+        };
+        let a = crate::spec::parse(spec).expect("original parses");
+        let b = crate::spec::parse(back_spec).expect("replayed parses");
+        assert_eq!(a.cfgs, b.cfgs);
+        assert_eq!(a.scale, b.scale);
+    }
+}

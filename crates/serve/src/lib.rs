@@ -1,0 +1,30 @@
+//! Sweep-as-a-service: a fault-tolerant campaign daemon.
+//!
+//! `gaas-serve` wraps the campaign engine
+//! ([`gaas_experiments::campaign`]) in a long-lived service: clients
+//! submit sweep requests (JSON specs over a local TCP socket, one line
+//! per message), the daemon runs them on the worker pool, and results
+//! are durable table artifacts addressed by job handle.
+//!
+//! The crate splits into four layers:
+//!
+//! - [`spec`] — the strict wire format of a sweep request.
+//! - [`jobs`] — the durable jobs journal (`GAASSRV1`) that makes
+//!   admission acknowledgements and terminal outcomes crash-safe.
+//! - [`engine`] — [`engine::ServerCore`]: bounded admission with
+//!   backpressure, the supervised executor, per-request deadlines,
+//!   cooperative cancellation, crash recovery, and the degradation
+//!   ladder (shed cache, then admission, then work — in that order).
+//! - [`net`] — the line-JSON TCP front end and the one-shot client.
+//!
+//! Robustness posture is inherited from the rest of the repo: every
+//! durable write is atomic and fsync-gated through
+//! [`gaas_experiments::durability`], every journal uses checksummed
+//! framing with per-record salvage, and the whole stack runs under the
+//! storage-chaos shim — `serve_soak` kills the daemon mid-request and
+//! requires byte-identical results or journaled failures, never silence.
+
+pub mod engine;
+pub mod jobs;
+pub mod net;
+pub mod spec;

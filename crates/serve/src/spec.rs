@@ -1,0 +1,315 @@
+//! Sweep-request specs: the wire format a client submits.
+//!
+//! A spec is one JSON object describing a config-space sweep in the
+//! campaign cell vocabulary — the same knobs `repro`'s figure sweeps
+//! turn, so a request like "fig7's 64 KW column" is a handful of cells:
+//!
+//! ```json
+//! {"name":"l2i-64kw","scale":0.0001,"deadline_ms":60000,
+//!  "cells":[{"l2_split":true,"l2_size":65536,"l2_access":2},
+//!           {"l2_split":true,"l2_size":65536,"l2_access":4}]}
+//! ```
+//!
+//! Parsing is **strict**: unknown fields are rejected (a typoed knob
+//! must fail loudly, not silently simulate the baseline), `scale` must
+//! be in `(0, 1]`, and the cell count is capped at [`MAX_CELLS`] — the
+//! admission queue bounds jobs, this bounds the memory one job can pin.
+
+use gaas_experiments::json::{self, Json};
+use gaas_sim::config::{L2Config, L2Side, SimConfig};
+use gaas_sim::WritePolicy;
+
+/// Upper bound on cells per request (keeps one request's parsed spec,
+/// journal entry, and result table all small and bounded).
+pub const MAX_CELLS: usize = 1024;
+
+/// A parsed, validated sweep request.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Client-chosen label (shows up in status output; not unique).
+    pub name: String,
+    /// Workload scale in `(0, 1]` (1.0 = the paper's ~2.4G references).
+    pub scale: f64,
+    /// Per-request deadline in milliseconds from acceptance, if any.
+    pub deadline_ms: Option<u64>,
+    /// The simulation configuration of each cell, in request order.
+    pub cfgs: Vec<SimConfig>,
+    /// Canonical compact JSON of the spec, as journaled for replay.
+    pub canonical: String,
+}
+
+/// Parses and validates a spec from its JSON text.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation: syntax,
+/// unknown field, missing/invalid `scale` or `cells`, or an invalid
+/// simulation configuration.
+pub fn parse(text: &str) -> Result<SweepSpec, String> {
+    let v = json::parse(text).map_err(|e| format!("spec is not valid JSON: {e}"))?;
+    from_json(&v)
+}
+
+/// Parses and validates a spec from an already-decoded JSON value.
+///
+/// # Errors
+///
+/// Same contract as [`parse`].
+pub fn from_json(v: &Json) -> Result<SweepSpec, String> {
+    let fields = v.as_obj().ok_or("spec must be a JSON object")?;
+    let mut name = "sweep".to_string();
+    let mut scale = None;
+    let mut deadline_ms = None;
+    let mut cells = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            "name" => {
+                name = value
+                    .as_str()
+                    .ok_or("spec field 'name' must be a string")?
+                    .to_string();
+            }
+            "scale" => {
+                let s = value
+                    .as_f64()
+                    .ok_or("spec field 'scale' must be a number")?;
+                if !(s.is_finite() && s > 0.0 && s <= 1.0) {
+                    return Err(format!("spec field 'scale' must be in (0, 1], got {s}"));
+                }
+                scale = Some(s);
+            }
+            "deadline_ms" => {
+                deadline_ms = Some(
+                    value
+                        .as_u64()
+                        .ok_or("spec field 'deadline_ms' must be a non-negative integer")?,
+                );
+            }
+            "cells" => {
+                cells = Some(
+                    value
+                        .as_arr()
+                        .ok_or("spec field 'cells' must be an array")?,
+                );
+            }
+            other => return Err(format!("unknown spec field '{other}'")),
+        }
+    }
+    let scale = scale.ok_or("spec field 'scale' is required")?;
+    let cells = cells.ok_or("spec field 'cells' is required")?;
+    if cells.is_empty() {
+        return Err("spec field 'cells' must not be empty".into());
+    }
+    if cells.len() > MAX_CELLS {
+        return Err(format!(
+            "spec has {} cells; the per-request limit is {MAX_CELLS}",
+            cells.len()
+        ));
+    }
+    let cfgs = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| parse_cell(cell).map_err(|e| format!("cells[{i}]: {e}")))
+        .collect::<Result<Vec<SimConfig>, String>>()?;
+    let mut canon = Json::Obj(vec![
+        ("name".into(), Json::Str(name.clone())),
+        ("scale".into(), Json::Num(scale)),
+    ]);
+    if let (Json::Obj(out), Some(ms)) = (&mut canon, deadline_ms) {
+        out.push(("deadline_ms".into(), Json::Int(ms)));
+    }
+    if let Json::Obj(out) = &mut canon {
+        // Cells are re-emitted verbatim (already validated above), so
+        // the canonical form round-trips through the journal exactly.
+        out.push((
+            "cells".into(),
+            Json::Arr(cells.iter().map(reencode).collect()),
+        ));
+    }
+    Ok(SweepSpec {
+        name,
+        scale,
+        deadline_ms,
+        cfgs,
+        canonical: canon.to_text(),
+    })
+}
+
+/// Re-encodes a parsed JSON value structurally (used to canonicalize the
+/// journaled spec: insertion order and lexical integers are preserved by
+/// the tiny JSON module, so parse → reencode is stable).
+fn reencode(v: &Json) -> Json {
+    match v {
+        Json::Null => Json::Null,
+        Json::Bool(b) => Json::Bool(*b),
+        Json::Int(n) => Json::Int(*n),
+        Json::Num(x) => Json::Num(*x),
+        Json::Str(s) => Json::Str(s.clone()),
+        Json::Arr(items) => Json::Arr(items.iter().map(reencode).collect()),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .map(|(k, val)| (k.clone(), reencode(val)))
+                .collect(),
+        ),
+    }
+}
+
+fn as_u64_field(value: &Json, name: &str) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("field '{name}' must be a non-negative integer"))
+}
+
+fn as_u32_field(value: &Json, name: &str) -> Result<u32, String> {
+    let n = as_u64_field(value, name)?;
+    u32::try_from(n).map_err(|_| format!("field '{name}' is out of range"))
+}
+
+/// Builds one cell's [`SimConfig`] from its JSON object. Every field is
+/// optional; omitted knobs keep the base-architecture defaults.
+fn parse_cell(cell: &Json) -> Result<SimConfig, String> {
+    let fields = cell.as_obj().ok_or("each cell must be a JSON object")?;
+    let mut b = SimConfig::builder();
+    // L2 geometry is assembled from its parts after the scan.
+    let mut l2_size: Option<u64> = None;
+    let mut l2_assoc: Option<u32> = None;
+    let mut l2_access: Option<u32> = None;
+    let mut l2_split = false;
+    for (key, value) in fields {
+        match key.as_str() {
+            "policy" => {
+                let p = value.as_str().ok_or("field 'policy' must be a string")?;
+                b.policy(match p {
+                    "write_back" => WritePolicy::WriteBack,
+                    "write_miss_invalidate" => WritePolicy::WriteMissInvalidate,
+                    "write_only" => WritePolicy::WriteOnly,
+                    "subblock" => WritePolicy::Subblock,
+                    other => {
+                        return Err(format!(
+                            "unknown policy '{other}' (expected write_back, \
+                             write_miss_invalidate, write_only, or subblock)"
+                        ))
+                    }
+                });
+            }
+            "l1_size" => {
+                b.l1_size(as_u64_field(value, key)?);
+            }
+            "l1_line" => {
+                b.l1_line(as_u32_field(value, key)?);
+            }
+            "l1_assoc" => {
+                b.l1_assoc(as_u32_field(value, key)?);
+            }
+            "l2_size" => l2_size = Some(as_u64_field(value, key)?),
+            "l2_assoc" => l2_assoc = Some(as_u32_field(value, key)?),
+            "l2_access" => l2_access = Some(as_u32_field(value, key)?),
+            "l2_split" => {
+                l2_split = value
+                    .as_bool()
+                    .ok_or("field 'l2_split' must be a boolean")?;
+            }
+            "l2_drain_access" => {
+                b.l2_drain_access(as_u32_field(value, key)?);
+            }
+            "mp_level" => {
+                let n = as_u64_field(value, key)?;
+                b.mp_level(usize::try_from(n).map_err(|_| "field 'mp_level' is out of range")?);
+            }
+            "time_slice" => {
+                b.time_slice(as_u64_field(value, key)?);
+            }
+            "tlb_miss_penalty" => {
+                b.tlb_miss_penalty(as_u32_field(value, key)?);
+            }
+            "page_colors" => {
+                b.page_colors(as_u64_field(value, key)?);
+            }
+            other => return Err(format!("unknown cell field '{other}'")),
+        }
+    }
+    if l2_size.is_some() || l2_assoc.is_some() || l2_access.is_some() || l2_split {
+        let size = l2_size.unwrap_or(262_144);
+        let assoc = l2_assoc.unwrap_or(1);
+        let access = l2_access.unwrap_or(6);
+        let l2 = if l2_split {
+            L2Config::split_even(size, assoc, access)
+        } else {
+            L2Config::Unified(L2Side {
+                size_words: size,
+                assoc,
+                line_words: 32,
+                access_cycles: access,
+            })
+        };
+        b.l2(l2);
+    }
+    b.build().map_err(|e| format!("invalid configuration: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_parses_with_defaults() {
+        let spec = parse(r#"{"scale":0.001,"cells":[{}]}"#).expect("parses");
+        assert_eq!(spec.name, "sweep");
+        assert_eq!(spec.cfgs.len(), 1);
+        assert_eq!(spec.cfgs[0], SimConfig::baseline());
+        assert!(spec.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn knobs_reach_the_config() {
+        let spec = parse(
+            r#"{"name":"x","scale":0.5,"deadline_ms":1000,
+                "cells":[{"policy":"write_only","l2_split":true,"l2_size":65536,
+                          "l2_access":4,"mp_level":2}]}"#,
+        )
+        .expect("parses");
+        let cfg = &spec.cfgs[0];
+        assert_eq!(cfg.policy, WritePolicy::WriteOnly);
+        assert!(cfg.l2.is_split());
+        assert_eq!(cfg.l2.i_side().size_words, 32_768);
+        assert_eq!(cfg.l2.i_side().access_cycles, 4);
+        assert_eq!(spec.deadline_ms, Some(1000));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_loudly() {
+        let err = parse(r#"{"scale":0.1,"cells":[{"l2_szie":1024}]}"#).unwrap_err();
+        assert!(err.contains("unknown cell field 'l2_szie'"), "{err}");
+        let err = parse(r#"{"scale":0.1,"cells":[{}],"priority":9}"#).unwrap_err();
+        assert!(err.contains("unknown spec field 'priority'"), "{err}");
+    }
+
+    #[test]
+    fn scale_and_cells_are_validated() {
+        assert!(parse(r#"{"cells":[{}]}"#).unwrap_err().contains("scale"));
+        assert!(parse(r#"{"scale":0.0,"cells":[{}]}"#)
+            .unwrap_err()
+            .contains("(0, 1]"));
+        assert!(parse(r#"{"scale":1.5,"cells":[{}]}"#)
+            .unwrap_err()
+            .contains("(0, 1]"));
+        assert!(parse(r#"{"scale":0.1,"cells":[]}"#)
+            .unwrap_err()
+            .contains("empty"));
+        assert!(parse(r#"{"scale":0.1}"#).unwrap_err().contains("cells"));
+    }
+
+    #[test]
+    fn canonical_form_round_trips() {
+        let text = r#"{"scale":0.001,"cells":[{"l2_drain_access":8},{}]}"#;
+        let spec = parse(text).expect("parses");
+        let again = parse(&spec.canonical).expect("canonical re-parses");
+        assert_eq!(
+            again.canonical, spec.canonical,
+            "canonicalization is stable"
+        );
+        assert_eq!(again.cfgs, spec.cfgs);
+        assert_eq!(again.scale, spec.scale);
+    }
+}

@@ -90,6 +90,16 @@ impl SpanRecorder {
         out.extend_from_slice(&self.buf[..self.head]);
         out
     }
+
+    /// Clears the recorder back to its post-construction state (same
+    /// capacity, no spans, zero drop count). Long-lived processes roll
+    /// the recorder at job boundaries so one job's spans never leak into
+    /// the next job's export.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +128,24 @@ mod tests {
         assert_eq!(r.dropped(), 2);
         let starts: Vec<u64> = r.spans().iter().map(|s| s.start).collect();
         assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state_with_same_capacity() {
+        let mut r = SpanRecorder::new(3);
+        for i in 0..5u64 {
+            r.record("s", Component::L2, i, 1);
+        }
+        assert_eq!(r.dropped(), 2);
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        // Capacity survives: the 4th span evicts again.
+        for i in 0..4u64 {
+            r.record("s", Component::L2, i, 1);
+        }
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
