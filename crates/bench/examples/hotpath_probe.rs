@@ -1,0 +1,156 @@
+//! Component-cost probe for the simulator hot path.
+//!
+//! Times the pieces the kernel benchmark's per-event cost is built from —
+//! trace generation, arena cursor drain, TLB loop, tag-plane loop, full
+//! simulation — so optimization work targets the real sinks instead of
+//! guesses. Run with `cargo run --release -p gaas-bench --example
+//! hotpath_probe [scale]`.
+
+use std::time::Instant;
+
+use gaas_cache::{CacheArray, CacheGeometry, Tlb};
+use gaas_sim::{sim, workload, SimConfig};
+use gaas_trace::{arena, PhysAddr, Trace};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0005);
+
+    // 1. Arena cursor drain: generation amortized away by the registry.
+    let mut total_events = 0u64;
+    // Warm the arena (generation pass).
+    for t in workload::standard(scale) {
+        let mut t = t;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            t.next_batch(&mut buf, 4096);
+            if buf.is_empty() {
+                break;
+            }
+            total_events += buf.len() as u64;
+        }
+    }
+    let start = Instant::now();
+    let mut checksum = 0u64;
+    for t in workload::standard(scale) {
+        let mut t = t;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            t.next_batch(&mut buf, 4096);
+            if buf.is_empty() {
+                break;
+            }
+            for e in &buf {
+                checksum = checksum.wrapping_add(e.addr.raw());
+            }
+        }
+    }
+    let drain = start.elapsed();
+    println!(
+        "arena drain : {:7.2} Me/s  ({} events, checksum {:x})",
+        total_events as f64 / drain.as_secs_f64() / 1e6,
+        total_events,
+        checksum & 0xffff
+    );
+
+    // 2. TLB-only loop over the same address stream.
+    let mut itlb = Tlb::instruction();
+    let mut hits = 0u64;
+    let start = Instant::now();
+    for t in workload::standard(scale) {
+        let mut t = t;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            t.next_batch(&mut buf, 4096);
+            if buf.is_empty() {
+                break;
+            }
+            for e in &buf {
+                hits += itlb.access(e.addr) as u64;
+            }
+        }
+    }
+    let tlb_t = start.elapsed();
+    println!(
+        "tlb loop    : {:7.2} Me/s  (drain + tlb; hits {})",
+        total_events as f64 / tlb_t.as_secs_f64() / 1e6,
+        hits
+    );
+
+    // 3. Tag-plane loop: L1-I geometry touch/fill over the same stream.
+    let mut arr = CacheArray::new(CacheGeometry::new(4096, 4, 1).expect("valid"));
+    let mut arr_hits = 0u64;
+    let start = Instant::now();
+    for t in workload::standard(scale) {
+        let mut t = t;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            t.next_batch(&mut buf, 4096);
+            if buf.is_empty() {
+                break;
+            }
+            for e in &buf {
+                let pa = PhysAddr::new(e.addr.raw() & 0x3fff_ffff);
+                if arr.touch(pa).is_some() {
+                    arr_hits += 1;
+                } else {
+                    arr.fill(pa);
+                }
+            }
+        }
+    }
+    let arr_t = start.elapsed();
+    println!(
+        "array loop  : {:7.2} Me/s  (drain + l1 touch/fill; hits {})",
+        total_events as f64 / arr_t.as_secs_f64() / 1e6,
+        arr_hits
+    );
+
+    // 4. Steps only: drive the simulator directly from drained batches,
+    // bypassing the scheduler/instruction-delivery layer (different
+    // interleaving than a real run; a cost probe, not a result).
+    let mut sim = gaas_sim::sim::Simulator::new(SimConfig::baseline()).expect("valid config");
+    let start = Instant::now();
+    for t in workload::standard(scale) {
+        let mut t = t;
+        let mut buf = Vec::with_capacity(4096);
+        loop {
+            buf.clear();
+            t.next_batch(&mut buf, 4096);
+            if buf.is_empty() {
+                break;
+            }
+            for e in &buf {
+                sim.step(e);
+            }
+        }
+    }
+    let steps_t = start.elapsed();
+    println!(
+        "steps only  : {:7.2} Me/s  (drain + step(), no scheduler)",
+        total_events as f64 / steps_t.as_secs_f64() / 1e6,
+    );
+
+    // 5. Full simulator, batched (the kernel benchmark's number).
+    let cfg = SimConfig::baseline();
+    let start = Instant::now();
+    let res = sim::run(cfg, workload::standard(scale)).expect("valid config");
+    let full = start.elapsed();
+    let events = res.counters.instructions + res.counters.loads + res.counters.stores;
+    println!(
+        "full sim    : {:7.2} Me/s  ({} events)",
+        events as f64 / full.as_secs_f64() / 1e6,
+        events
+    );
+    let stats = arena::stats();
+    println!(
+        "arena       : generated {} reused {}",
+        stats.generated, stats.reused
+    );
+}

@@ -24,8 +24,9 @@
 //! The report (`BENCH_sim.json`) records:
 //!
 //! * **kernel** — events/second through the full simulator at kernel
-//!   scale, both with the batched trace path (256-event refills, one
-//!   virtual call per batch) and with the [`UnbatchedTrace`] adapter that
+//!   scale, both with the batched trace path (4096-event refills, each
+//!   decoding one whole arena block, one virtual call per batch) and with
+//!   the [`UnbatchedTrace`] adapter that
 //!   reproduces the seed kernel's one-virtual-call-per-event pattern, plus
 //!   the ratio between them and a fixed reference throughput measured at
 //!   the growth seed;
@@ -45,8 +46,8 @@
 //!   one core cannot demonstrate pool scaling. The headline `speedup` is
 //!   serial-full vs. memoized-parallel: the work-reduction win (4
 //!   functional passes instead of 16), which holds even with one core;
-//! * **arena** — trace-arena generation/reuse counters and hit rate over
-//!   the whole run;
+//! * **arena** — trace-arena generation/reuse/bypass counters, hit rate,
+//!   residency, and the v3 compression ratio over the whole run;
 //! * **memo** — functional runs vs. priced cells in the measured sweep
 //!   and the resulting reuse factor;
 //! * **determinism** — whether batched-vs-unbatched,
@@ -241,7 +242,7 @@ fn main() {
     // --- Emit the JSON report. ------------------------------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": 3,");
+    let _ = writeln!(j, "  \"schema\": 4,");
     let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
     let _ = writeln!(j, "  \"scale\": {scale},");
     let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
@@ -357,7 +358,30 @@ fn main() {
     let _ = writeln!(j, "  \"arena\": {{");
     let _ = writeln!(j, "    \"generated\": {},", arena_stats.generated);
     let _ = writeln!(j, "    \"reused\": {},", arena_stats.reused);
-    let _ = writeln!(j, "    \"hit_rate\": {:.4}", arena_stats.hit_rate());
+    let _ = writeln!(j, "    \"hit_rate\": {:.4},", arena_stats.hit_rate());
+    let _ = writeln!(j, "    \"bypassed\": {},", arena_stats.bypassed);
+    let _ = writeln!(j, "    \"bypass_events\": {},", arena_stats.bypass_events);
+    let _ = writeln!(
+        j,
+        "    \"resident_streams\": {},",
+        arena_stats.resident_streams
+    );
+    let _ = writeln!(
+        j,
+        "    \"resident_events\": {},",
+        arena_stats.resident_events
+    );
+    let _ = writeln!(j, "    \"packed_bytes\": {},", arena_stats.packed_bytes);
+    let _ = writeln!(
+        j,
+        "    \"compressed_bytes\": {},",
+        arena_stats.compressed_bytes
+    );
+    let _ = writeln!(
+        j,
+        "    \"compression_ratio\": {:.4}",
+        arena_stats.compression_ratio()
+    );
     let _ = writeln!(j, "  }},");
     match &sweep {
         Some(s) => {

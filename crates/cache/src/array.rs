@@ -1,4 +1,4 @@
-//! Generic set-associative cache array.
+//! Generic set-associative cache array over a bit-packed tag plane.
 //!
 //! [`CacheArray`] is the structural core shared by every cache in the study:
 //! the 4 KW direct-mapped primary caches, the 16 KW–1024 KW unified/split
@@ -8,10 +8,57 @@
 //! direct-mapped). Timing is deliberately *not* modelled here — the
 //! simulator charges cycles; the array answers pure hit/miss/eviction
 //! questions.
+//!
+//! # Memory layout
+//!
+//! The array stores no per-line structs. Each set owns one contiguous
+//! stripe of the tag `plane`, `2 * assoc` words long:
+//!
+//! ```text
+//! plane[set*stride ..] = [ tag w0 | tag w1 | .. | lru w0 | lru w1 | .. ]
+//! ```
+//!
+//! so an N-way probe reads `assoc` adjacent words and the hit's LRU
+//! promotion writes into the *same* stripe — for the study's geometries
+//! (`assoc <= 4`) a hit plus promote touches a single 64-byte host cache
+//! line. Tags hold the line-aligned base word address directly
+//! ([`INVALID_TAG`] marks an empty way; real physical word addresses
+//! never reach it), so no tag reconstruction is needed on hit.
+//!
+//! The rarely-written payload bits (dirty / write-only / subblock valid)
+//! live in a separate per-line `meta` word, only pulled in when a policy
+//! actually inspects or mutates them via [`LineRef`].
+//!
+//! The probe itself is branchless in the way dimension: each way's tag
+//! compare contributes one bit to a hit mask
+//! (`mask |= (tag == base) << way`) and `trailing_zeros` selects the
+//! matching way, in the style of bit-sliced address decoders. Invalid
+//! ways keep an LRU stamp of 0, below every live timestamp (the clock
+//! starts at 1), so victim selection is a single min-scan with no
+//! validity branch: "first invalid way, else LRU way" falls out of
+//! "first minimum".
+//!
+//! The pre-PR scalar implementation is preserved unchanged as
+//! [`reference::RefCacheArray`] and the two are cross-checked
+//! access-for-access by the `packed_vs_reference` differential fuzz test.
 
 use std::fmt;
 
 use gaas_trace::PhysAddr;
+
+pub mod reference;
+
+/// Tag value of an empty way. Line base addresses are word addresses of
+/// the simulated 32-bit machine (`< 2^40` even with the PID prefix), so
+/// they can never collide with it.
+const INVALID_TAG: u64 = u64::MAX;
+
+/// Meta-word bit holding the dirty flag.
+const META_DIRTY: u64 = 1 << 32;
+/// Meta-word bit holding the write-only mark.
+const META_WRITE_ONLY: u64 = 1 << 33;
+/// Meta-word bits holding the 32 subblock valid bits.
+const META_SUBBLOCK: u64 = (1 << 32) - 1;
 
 /// Validated geometry of a cache: total size, line length, associativity
 /// (all in words, all powers of two).
@@ -144,13 +191,16 @@ impl CacheGeometry {
     }
 }
 
-/// State of one cache line.
+/// Architectural snapshot of one resident cache line.
+///
+/// Returned by value from [`CacheArray::peek`], [`CacheArray::peek_set`],
+/// [`CacheArray::iter`] and [`CacheArray::invalidate`]; the packed array
+/// has no per-line struct to hand out references to. In-place mutation
+/// goes through [`LineRef`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Line {
     /// Line-aligned base word address of the cached line.
     pub base: PhysAddr,
-    /// Tag/data valid.
-    pub valid: bool,
     /// Line modified relative to the next level (write-back), or — for
     /// write-through policies with the dirty-bit bypass scheme (§9) — "this
     /// line has been written since allocation".
@@ -160,19 +210,83 @@ pub struct Line {
     pub write_only: bool,
     /// Per-word valid bits for subblock placement (bit *i* = word *i*).
     pub subblock_valid: u32,
-    /// LRU timestamp (larger = more recently used).
-    lru: u64,
 }
 
-impl Line {
-    fn invalid() -> Self {
+/// Mutable handle onto one resident line's payload bits.
+///
+/// Handed out by [`CacheArray::touch`] and [`CacheArray::peek_mut`];
+/// reads and writes go straight to the line's packed meta word.
+#[derive(Debug)]
+pub struct LineRef<'a> {
+    base: PhysAddr,
+    meta: &'a mut u64,
+}
+
+impl LineRef<'_> {
+    /// Line-aligned base word address of the cached line.
+    #[inline]
+    pub fn base(&self) -> PhysAddr {
+        self.base
+    }
+
+    /// The dirty/written flag (see [`Line::dirty`]).
+    #[inline]
+    pub fn dirty(&self) -> bool {
+        *self.meta & META_DIRTY != 0
+    }
+
+    /// Sets or clears the dirty/written flag.
+    #[inline]
+    pub fn set_dirty(&mut self, v: bool) {
+        if v {
+            *self.meta |= META_DIRTY;
+        } else {
+            *self.meta &= !META_DIRTY;
+        }
+    }
+
+    /// The write-only mark (see [`Line::write_only`]).
+    #[inline]
+    pub fn write_only(&self) -> bool {
+        *self.meta & META_WRITE_ONLY != 0
+    }
+
+    /// Sets or clears the write-only mark.
+    #[inline]
+    pub fn set_write_only(&mut self, v: bool) {
+        if v {
+            *self.meta |= META_WRITE_ONLY;
+        } else {
+            *self.meta &= !META_WRITE_ONLY;
+        }
+    }
+
+    /// The per-word subblock valid bits (see [`Line::subblock_valid`]).
+    #[inline]
+    pub fn subblock_valid(&self) -> u32 {
+        (*self.meta & META_SUBBLOCK) as u32
+    }
+
+    /// Replaces the subblock valid bits.
+    #[inline]
+    pub fn set_subblock_valid(&mut self, v: u32) {
+        *self.meta = (*self.meta & !META_SUBBLOCK) | v as u64;
+    }
+
+    /// ORs `bits` into the subblock valid bits.
+    #[inline]
+    pub fn or_subblock(&mut self, bits: u32) {
+        *self.meta |= bits as u64;
+    }
+
+    /// Copies the line out as a [`Line`] snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> Line {
         Line {
-            base: PhysAddr::new(0),
-            valid: false,
-            dirty: false,
-            write_only: false,
-            subblock_valid: 0,
-            lru: 0,
+            base: self.base,
+            dirty: self.dirty(),
+            write_only: self.write_only(),
+            subblock_valid: self.subblock_valid(),
         }
     }
 }
@@ -188,7 +302,60 @@ pub struct Evicted {
     pub write_only: bool,
 }
 
-/// A set-associative cache array with LRU replacement.
+/// Builds the hit-way bitmask for one set's tag stripe: bit *w* is set
+/// iff way *w* holds `base`. Specialized per associativity so the
+/// compiler fully unrolls the study's 1-, 2- and 4-way shapes into
+/// straight-line compare/or code with no loop or early-out branch.
+#[inline(always)]
+fn hit_mask(tags: &[u64], base: u64) -> u32 {
+    match tags.len() {
+        1 => (tags[0] == base) as u32,
+        2 => (tags[0] == base) as u32 | ((tags[1] == base) as u32) << 1,
+        4 => {
+            (tags[0] == base) as u32
+                | ((tags[1] == base) as u32) << 1
+                | ((tags[2] == base) as u32) << 2
+                | ((tags[3] == base) as u32) << 3
+        }
+        8 => {
+            (tags[0] == base) as u32
+                | ((tags[1] == base) as u32) << 1
+                | ((tags[2] == base) as u32) << 2
+                | ((tags[3] == base) as u32) << 3
+                | ((tags[4] == base) as u32) << 4
+                | ((tags[5] == base) as u32) << 5
+                | ((tags[6] == base) as u32) << 6
+                | ((tags[7] == base) as u32) << 7
+        }
+        _ => {
+            let mut m = 0u32;
+            for (w, &t) in tags.iter().enumerate() {
+                m |= ((t == base) as u32) << w;
+            }
+            m
+        }
+    }
+}
+
+/// Index of the minimum element of `lru` (first minimum on ties),
+/// matching `Iterator::min_by_key` over way order. Invalid ways hold 0,
+/// below every live timestamp, so this is also the "first invalid way,
+/// else LRU way" victim rule in one scan.
+#[inline(always)]
+fn min_lru_way(lru: &[u64]) -> usize {
+    let mut victim = 0usize;
+    let mut best = lru[0];
+    for (w, &ts) in lru.iter().enumerate().skip(1) {
+        if ts < best {
+            best = ts;
+            victim = w;
+        }
+    }
+    victim
+}
+
+/// A set-associative cache array with LRU replacement over a bit-packed
+/// tag plane (see the module docs for the layout).
 ///
 /// # Examples
 ///
@@ -208,17 +375,31 @@ pub struct Evicted {
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     geom: CacheGeometry,
-    lines: Vec<Line>,
+    /// `geom.assoc()` as usize, kept flat for hot-path indexing.
+    assoc: usize,
+    /// Interleaved per-set stripes: `[tags[assoc] | lru[assoc]]`.
+    plane: Vec<u64>,
+    /// One payload word per line (`set * assoc + way`): subblock valid
+    /// bits in the low half, dirty and write-only flags above them.
+    meta: Vec<u64>,
     clock: u64,
 }
 
 impl CacheArray {
     /// Creates an empty (all-invalid) array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        let n = (geom.n_sets() * geom.assoc() as u64) as usize;
+        let assoc = geom.assoc() as usize;
+        let n_lines = geom.n_sets() as usize * assoc;
+        let mut plane = vec![0u64; 2 * n_lines];
+        for set in 0..geom.n_sets() as usize {
+            let s = set * 2 * assoc;
+            plane[s..s + assoc].fill(INVALID_TAG);
+        }
         CacheArray {
             geom,
-            lines: vec![Line::invalid(); n],
+            assoc,
+            plane,
+            meta: vec![0u64; n_lines],
             clock: 0,
         }
     }
@@ -228,49 +409,69 @@ impl CacheArray {
         &self.geom
     }
 
-    #[inline]
-    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
-        let a = self.geom.assoc() as usize;
-        let start = set as usize * a;
-        start..start + a
+    /// Offset of `set`'s stripe in the tag plane.
+    #[inline(always)]
+    fn stripe(&self, set: usize) -> usize {
+        set * 2 * self.assoc
     }
 
-    /// Looks up `addr` without updating LRU state. Returns the index of the
-    /// matching line in the internal array.
-    #[inline]
-    fn probe_idx(&self, addr: PhysAddr) -> Option<usize> {
-        let base = self.geom.line_base(addr);
-        let set = self.geom.set_of(addr);
-        if self.geom.assoc() == 1 {
+    /// Looks up `addr` without updating LRU state; returns `(set, way)`.
+    #[inline(always)]
+    fn probe_pos(&self, addr: PhysAddr) -> Option<(usize, usize)> {
+        let base = addr.word() & !self.geom.line_mask;
+        debug_assert_ne!(base, INVALID_TAG, "address collides with the tag sentinel");
+        let set = ((addr.word() >> self.geom.line_shift) & self.geom.set_mask) as usize;
+        let s = self.stripe(set);
+        if self.assoc == 1 {
             // Direct-mapped fast path: exactly one candidate way.
-            let i = set as usize;
-            let l = &self.lines[i];
-            return (l.valid && l.base == base).then_some(i);
+            return (self.plane[s] == base).then_some((set, 0));
         }
-        self.set_range(set)
-            .find(|&i| self.lines[i].valid && self.lines[i].base == base)
+        let m = hit_mask(&self.plane[s..s + self.assoc], base);
+        if m == 0 {
+            None
+        } else {
+            Some((set, m.trailing_zeros() as usize))
+        }
+    }
+
+    /// Copies `(set, way)` out as a [`Line`] snapshot.
+    #[inline]
+    fn line_at(&self, set: usize, way: usize) -> Line {
+        let s = self.stripe(set);
+        let meta = self.meta[set * self.assoc + way];
+        Line {
+            base: PhysAddr::new(self.plane[s + way]),
+            dirty: meta & META_DIRTY != 0,
+            write_only: meta & META_WRITE_ONLY != 0,
+            subblock_valid: (meta & META_SUBBLOCK) as u32,
+        }
     }
 
     /// True when `addr`'s line is resident (tag match, valid), regardless of
     /// write-only or subblock state. Does not update LRU.
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        self.probe_idx(addr).is_some()
+        self.probe_pos(addr).is_some()
     }
 
     /// Returns a copy of the resident line for `addr`, if any. Does not
     /// update LRU.
     pub fn peek(&self, addr: PhysAddr) -> Option<Line> {
-        self.probe_idx(addr).map(|i| self.lines[i])
+        self.probe_pos(addr)
+            .map(|(set, way)| self.line_at(set, way))
     }
 
     /// Looks up `addr`; on a tag match, marks the line most-recently-used
-    /// and returns a mutable reference to it.
+    /// and returns a mutable handle onto it.
     #[inline]
-    pub fn touch(&mut self, addr: PhysAddr) -> Option<&mut Line> {
-        let idx = self.probe_idx(addr)?;
+    pub fn touch(&mut self, addr: PhysAddr) -> Option<LineRef<'_>> {
+        let (set, way) = self.probe_pos(addr)?;
         self.clock += 1;
-        self.lines[idx].lru = self.clock;
-        Some(&mut self.lines[idx])
+        let s = self.stripe(set);
+        self.plane[s + self.assoc + way] = self.clock;
+        Some(LineRef {
+            base: PhysAddr::new(self.plane[s + way]),
+            meta: &mut self.meta[set * self.assoc + way],
+        })
     }
 
     /// Allocates a line for `addr` (replacing the LRU way if the set is
@@ -281,81 +482,93 @@ impl CacheArray {
     /// If `addr`'s line is already resident, the resident line is reset to
     /// that same state and no eviction occurs.
     pub fn fill(&mut self, addr: PhysAddr) -> Option<Evicted> {
-        let base = self.geom.line_base(addr);
-        let full_mask = self.geom.full_subblock_mask();
+        let base = addr.word() & !self.geom.line_mask;
+        let full = self.geom.full_subblock_mask() as u64;
         self.clock += 1;
         let clock = self.clock;
+        let set = ((addr.word() >> self.geom.line_shift) & self.geom.set_mask) as usize;
+        let s = self.stripe(set);
+        let a = self.assoc;
 
-        if let Some(idx) = self.probe_idx(addr) {
-            let line = &mut self.lines[idx];
-            line.dirty = false;
-            line.write_only = false;
-            line.subblock_valid = full_mask;
-            line.lru = clock;
+        let m = hit_mask(&self.plane[s..s + a], base);
+        if m != 0 {
+            let way = m.trailing_zeros() as usize;
+            self.plane[s + a + way] = clock;
+            self.meta[set * a + way] = full;
             return None;
         }
 
-        let set = self.geom.set_of(addr);
-        let range = self.set_range(set);
-        // Prefer an invalid way; otherwise evict the LRU way.
-        let victim = range
-            .clone()
-            .find(|&i| !self.lines[i].valid)
-            .unwrap_or_else(|| {
-                range
-                    .min_by_key(|&i| self.lines[i].lru)
-                    .expect("set has at least one way")
-            });
-
-        let old = self.lines[victim];
-        let evicted = old.valid.then_some(Evicted {
-            base: old.base,
-            dirty: old.dirty,
-            write_only: old.write_only,
+        let victim = min_lru_way(&self.plane[s + a..s + 2 * a]);
+        let old_tag = self.plane[s + victim];
+        let old_meta = self.meta[set * a + victim];
+        let evicted = (old_tag != INVALID_TAG).then_some(Evicted {
+            base: PhysAddr::new(old_tag),
+            dirty: old_meta & META_DIRTY != 0,
+            write_only: old_meta & META_WRITE_ONLY != 0,
         });
-        self.lines[victim] = Line {
-            base,
-            valid: true,
-            dirty: false,
-            write_only: false,
-            subblock_valid: full_mask,
-            lru: clock,
-        };
+        self.plane[s + victim] = base;
+        self.plane[s + a + victim] = clock;
+        self.meta[set * a + victim] = full;
         evicted
     }
 
     /// Invalidates `addr`'s line if resident; returns the line that was
     /// invalidated.
     pub fn invalidate(&mut self, addr: PhysAddr) -> Option<Line> {
-        let idx = self.probe_idx(addr)?;
-        let old = self.lines[idx];
-        self.lines[idx] = Line::invalid();
+        let (set, way) = self.probe_pos(addr)?;
+        let old = self.line_at(set, way);
+        let s = self.stripe(set);
+        self.plane[s + way] = INVALID_TAG;
+        self.plane[s + self.assoc + way] = 0;
+        self.meta[set * self.assoc + way] = 0;
         Some(old)
     }
 
     /// Invalidates every line (not used by the architecture — PID tags make
     /// flushes unnecessary — but provided for experiments and tests).
     pub fn invalidate_all(&mut self) {
-        for l in &mut self.lines {
-            *l = Line::invalid();
+        let a = self.assoc;
+        for set in 0..self.geom.n_sets() as usize {
+            let s = set * 2 * a;
+            self.plane[s..s + a].fill(INVALID_TAG);
+            self.plane[s + a..s + 2 * a].fill(0);
         }
+        self.meta.fill(0);
     }
 
     /// Iterates over the valid lines of the set that `addr` indexes
-    /// (at most `assoc` lines).
-    pub fn peek_set(&self, addr: PhysAddr) -> impl Iterator<Item = &Line> {
-        let set = self.geom.set_of(addr);
-        self.lines[self.set_range(set)].iter().filter(|l| l.valid)
+    /// (at most `assoc` lines), as snapshots.
+    pub fn peek_set(&self, addr: PhysAddr) -> impl Iterator<Item = Line> + '_ {
+        let set = self.geom.set_of(addr) as usize;
+        let s = self.stripe(set);
+        (0..self.assoc)
+            .filter(move |&w| self.plane[s + w] != INVALID_TAG)
+            .map(move |w| self.line_at(set, w))
     }
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        let a = self.assoc;
+        (0..self.geom.n_sets() as usize)
+            .map(|set| {
+                let s = set * 2 * a;
+                self.plane[s..s + a]
+                    .iter()
+                    .filter(|&&t| t != INVALID_TAG)
+                    .count()
+            })
+            .sum()
     }
 
-    /// Iterates over all valid lines (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = &Line> {
-        self.lines.iter().filter(|l| l.valid)
+    /// Iterates over all valid lines (unspecified order), as snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = Line> + '_ {
+        let a = self.assoc;
+        (0..self.geom.n_sets() as usize).flat_map(move |set| {
+            let s = set * 2 * a;
+            (0..a)
+                .filter(move |&w| self.plane[s + w] != INVALID_TAG)
+                .map(move |w| self.line_at(set, w))
+        })
     }
 
     /// Mutable lookup of `addr`'s resident line *without* touching LRU
@@ -365,9 +578,13 @@ impl CacheArray {
     /// a dirty bit in place and assert the oracle notices) and for
     /// invariant-checking tools; normal cache operation always goes
     /// through [`CacheArray::touch`] / [`CacheArray::fill`].
-    pub fn peek_mut(&mut self, addr: PhysAddr) -> Option<&mut Line> {
-        let idx = self.probe_idx(addr)?;
-        Some(&mut self.lines[idx])
+    pub fn peek_mut(&mut self, addr: PhysAddr) -> Option<LineRef<'_>> {
+        let (set, way) = self.probe_pos(addr)?;
+        let s = self.stripe(set);
+        Some(LineRef {
+            base: PhysAddr::new(self.plane[s + way]),
+            meta: &mut self.meta[set * self.assoc + way],
+        })
     }
 
     /// Snapshot of every valid line's architectural state — `(base word,
@@ -495,7 +712,7 @@ mod tests {
     fn fill_resident_line_resets_state_without_eviction() {
         let mut c = dm_16w_4l();
         c.fill(pa(0));
-        c.touch(pa(0)).expect("resident").dirty = true;
+        c.touch(pa(0)).expect("resident").set_dirty(true);
         assert_eq!(c.fill(pa(2)), None, "same line refill");
         assert!(!c.peek(pa(0)).expect("resident").dirty);
     }
@@ -505,9 +722,9 @@ mod tests {
         let mut c = dm_16w_4l();
         c.fill(pa(0));
         {
-            let l = c.touch(pa(0)).expect("resident");
-            l.dirty = true;
-            l.write_only = true;
+            let mut l = c.touch(pa(0)).expect("resident");
+            l.set_dirty(true);
+            l.set_write_only(true);
         }
         let ev = c.fill(pa(16)).expect("eviction");
         assert!(ev.dirty && ev.write_only);
@@ -551,6 +768,45 @@ mod tests {
         assert!(c.touch(pa(0)).is_none());
         c.fill(pa(0));
         assert!(c.touch(pa(0)).is_some());
+    }
+
+    #[test]
+    fn line_ref_accessors_round_trip() {
+        let mut c = dm_16w_4l();
+        c.fill(pa(8));
+        {
+            let mut l = c.peek_mut(pa(8)).expect("resident");
+            assert_eq!(l.base(), pa(8));
+            assert!(!l.dirty() && !l.write_only());
+            assert_eq!(l.subblock_valid(), 0b1111);
+            l.set_dirty(true);
+            l.set_write_only(true);
+            l.set_subblock_valid(0b0010);
+            l.or_subblock(0b0100);
+            assert_eq!(l.snapshot().subblock_valid, 0b0110);
+        }
+        let snap = c.peek(pa(8)).expect("resident");
+        assert!(snap.dirty && snap.write_only);
+        assert_eq!(snap.subblock_valid, 0b0110);
+        // Clearing flags never disturbs the subblock bits.
+        {
+            let mut l = c.peek_mut(pa(8)).expect("resident");
+            l.set_dirty(false);
+            l.set_write_only(false);
+        }
+        let snap = c.peek(pa(8)).expect("resident");
+        assert!(!snap.dirty && !snap.write_only);
+        assert_eq!(snap.subblock_valid, 0b0110);
+    }
+
+    #[test]
+    fn peek_set_yields_resident_lines() {
+        let mut c = CacheArray::new(CacheGeometry::new(16, 4, 2).expect("valid"));
+        c.fill(pa(0));
+        c.fill(pa(8)); // same set
+        let mut bases: Vec<u64> = c.peek_set(pa(0)).map(|l| l.base.word()).collect();
+        bases.sort_unstable();
+        assert_eq!(bases, vec![0, 8]);
     }
 
     #[test]

@@ -144,8 +144,8 @@ impl L1DataCache {
         let hit = match self.array.touch(addr) {
             Some(line) => match self.policy {
                 WritePolicy::WriteBack | WritePolicy::WriteMissInvalidate => true,
-                WritePolicy::WriteOnly => !line.write_only,
-                WritePolicy::Subblock => line.subblock_valid & (1 << word) != 0,
+                WritePolicy::WriteOnly => !line.write_only(),
+                WritePolicy::Subblock => line.subblock_valid() & (1 << word) != 0,
             },
             None => false,
         };
@@ -198,8 +198,8 @@ impl L1DataCache {
 
     #[inline]
     fn store_write_back(&mut self, addr: PhysAddr) -> StoreOutcome {
-        if let Some(line) = self.array.touch(addr) {
-            line.dirty = true;
+        if let Some(mut line) = self.array.touch(addr) {
+            line.set_dirty(true);
             // Write hit: 2 cycles (tag checked before the write commits).
             return StoreOutcome {
                 hit: true,
@@ -213,8 +213,8 @@ impl L1DataCache {
         // Write miss: 1 cycle in the cache + write-allocate.
         let base = self.array.geometry().line_base(addr);
         let evicted = self.array.fill(addr);
-        if let Some(line) = self.array.touch(addr) {
-            line.dirty = true;
+        if let Some(mut line) = self.array.touch(addr) {
+            line.set_dirty(true);
         }
         StoreOutcome {
             hit: false,
@@ -229,8 +229,8 @@ impl L1DataCache {
     #[inline]
     fn store_wmi(&mut self, addr: PhysAddr) -> StoreOutcome {
         let word_addr = addr;
-        if let Some(line) = self.array.touch(addr) {
-            line.dirty = true; // "written" mark for the §9 dirty-bit scheme
+        if let Some(mut line) = self.array.touch(addr) {
+            line.set_dirty(true); // "written" mark for the §9 dirty-bit scheme
             return StoreOutcome {
                 hit: true,
                 extra_cycle: false,
@@ -256,8 +256,8 @@ impl L1DataCache {
 
     #[inline]
     fn store_write_only(&mut self, addr: PhysAddr) -> StoreOutcome {
-        if let Some(line) = self.array.touch(addr) {
-            line.dirty = true;
+        if let Some(mut line) = self.array.touch(addr) {
+            line.set_dirty(true);
             // Hits complete in one cycle whether or not the line is
             // write-only (subsequent writes to a write-only line hit).
             return StoreOutcome {
@@ -271,9 +271,9 @@ impl L1DataCache {
         }
         // Miss: update the tag and mark the line write-only (second cycle).
         let evicted = self.array.fill(addr);
-        let line = self.array.touch(addr).expect("line was just filled");
-        line.write_only = true;
-        line.dirty = true;
+        let mut line = self.array.touch(addr).expect("line was just filled");
+        line.set_write_only(true);
+        line.set_dirty(true);
         StoreOutcome {
             hit: false,
             extra_cycle: true,
@@ -286,13 +286,13 @@ impl L1DataCache {
 
     fn store_subblock(&mut self, addr: PhysAddr, partial_word: bool) -> StoreOutcome {
         let word = self.array.geometry().word_in_line(addr);
-        if let Some(line) = self.array.touch(addr) {
+        if let Some(mut line) = self.array.touch(addr) {
             // Tag hit: one cycle; word writes set their valid bit,
             // partial-word writes leave the bits unchanged.
             if !partial_word {
-                line.subblock_valid |= 1 << word;
+                line.or_subblock(1 << word);
             }
-            line.dirty = true;
+            line.set_dirty(true);
             return StoreOutcome {
                 hit: true,
                 extra_cycle: false,
@@ -306,9 +306,9 @@ impl L1DataCache {
         // cycle; a word-write turns on its own valid bit and clears the
         // rest, a partial-word write leaves the line wholly invalid.
         let evicted = self.array.fill(addr);
-        let line = self.array.touch(addr).expect("line was just filled");
-        line.subblock_valid = if partial_word { 0 } else { 1 << word };
-        line.dirty = true;
+        let mut line = self.array.touch(addr).expect("line was just filled");
+        line.set_subblock_valid(if partial_word { 0 } else { 1 << word });
+        line.set_dirty(true);
         StoreOutcome {
             hit: false,
             extra_cycle: true,

@@ -25,9 +25,12 @@ const INVALID_KEY: u64 = u64::MAX;
 
 /// A PID-tagged, set-associative TLB with LRU replacement.
 ///
-/// Entries are stored as flat `(key, lru)` pairs — `key` packs the PID above
-/// the VPN exactly as [`VirtAddr::raw`] does above the page offset — so the
-/// hot hit path is one 16-byte load and one compare per way.
+/// Entries live in a bit-packed plane laid out like the cache tag plane:
+/// each set owns one stripe `[keys[assoc] | lru[assoc]]`, where a key
+/// packs the PID above the VPN exactly as [`VirtAddr::raw`] does above
+/// the page offset. The 2-way hit path is branchless in the way
+/// dimension — both compares feed one hit mask, `trailing_zeros` picks
+/// the way — and a hit plus its LRU promotion touch one 32-byte stripe.
 ///
 /// # Examples
 ///
@@ -45,10 +48,10 @@ const INVALID_KEY: u64 = u64::MAX;
 pub struct Tlb {
     n_sets: u64,
     assoc: u32,
-    /// `(packed key, lru)` per way; `key == INVALID_KEY` = invalid (their
-    /// `lru` stays 0, below every live timestamp, so replacement prefers
-    /// them without a separate validity scan).
-    entries: Vec<(u64, u64)>,
+    /// Interleaved per-set stripes: `[keys[assoc] | lru[assoc]]`. Invalid
+    /// ways hold [`INVALID_KEY`] with `lru == 0`, below every live
+    /// timestamp, so replacement prefers them without a validity scan.
+    plane: Vec<u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -69,10 +72,15 @@ impl Tlb {
         );
         let n_sets = (entries / assoc) as u64;
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        let a = assoc as usize;
+        let mut plane = vec![0u64; 2 * entries as usize];
+        for set in 0..n_sets as usize {
+            plane[set * 2 * a..set * 2 * a + a].fill(INVALID_KEY);
+        }
         Tlb {
             n_sets,
             assoc,
-            entries: vec![(INVALID_KEY, 0); entries as usize],
+            plane,
             clock: 0,
             hits: 0,
             misses: 0,
@@ -89,12 +97,12 @@ impl Tlb {
         Tlb::new(64, 2)
     }
 
-    /// Indexes with the VPN part of a packed key (the PID does not select
-    /// the set, matching the hardware's untranslated index).
-    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+    /// Stripe offset for the set a packed key indexes (the VPN part alone
+    /// selects the set, matching the hardware's untranslated index).
+    #[inline(always)]
+    fn stripe(&self, key: u64) -> usize {
         let set = (key & VPN_MASK & (self.n_sets - 1)) as usize;
-        let a = self.assoc as usize;
-        set * a..set * a + a
+        set * 2 * self.assoc as usize
     }
 
     /// Translates `(pid, vpn)`; returns `true` on a hit. On a miss the
@@ -104,24 +112,42 @@ impl Tlb {
         let key = addr.raw() >> PAGE_SHIFT;
         self.clock += 1;
         let clock = self.clock;
-        let range = self.set_range(key);
-        let ways = &mut self.entries[range];
+        let s = self.stripe(key);
+        let a = self.assoc as usize;
+        let ways = &mut self.plane[s..s + 2 * a];
 
-        for e in ways.iter_mut() {
-            if e.0 == key {
-                e.1 = clock;
-                self.hits += 1;
-                return true;
+        // Branchless hit mask over the key stripe (2-way in hardware and
+        // in every study configuration; the generic arm keeps odd test
+        // geometries honest).
+        let m = match a {
+            1 => (ways[0] == key) as u32,
+            2 => (ways[0] == key) as u32 | ((ways[1] == key) as u32) << 1,
+            _ => {
+                let mut m = 0u32;
+                for (w, &k) in ways[..a].iter().enumerate() {
+                    m |= ((k == key) as u32) << w;
+                }
+                m
             }
+        };
+        if m != 0 {
+            ways[a + m.trailing_zeros() as usize] = clock;
+            self.hits += 1;
+            return true;
         }
         self.misses += 1;
         // Invalid ways keep `lru == 0`, below every live timestamp, so the
-        // minimum-lru way is "first invalid, else LRU" in one pass.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| e.1)
-            .expect("set has at least one way");
-        *victim = (key, clock);
+        // minimum-lru way is "first invalid, else LRU" in one scan.
+        let mut victim = 0usize;
+        let mut best = ways[a];
+        for w in 1..a {
+            if ways[a + w] < best {
+                best = ways[a + w];
+                victim = w;
+            }
+        }
+        ways[victim] = key;
+        ways[a + victim] = clock;
         false
     }
 
@@ -131,7 +157,9 @@ impl Tlb {
             return false; // outside the packable VPN space: never installed
         }
         let key = (u64::from(pid.raw()) << VPN_BITS) | vpn;
-        self.entries[self.set_range(key)].iter().any(|e| e.0 == key)
+        let s = self.stripe(key);
+        let a = self.assoc as usize;
+        self.plane[s..s + a].contains(&key)
     }
 
     /// Hits recorded so far.
@@ -223,6 +251,23 @@ mod tests {
     #[test]
     fn miss_ratio_zero_when_unused() {
         assert_eq!(Tlb::instruction().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn direct_mapped_and_wide_sets_behave() {
+        // Exercise the generic (non-2-way) mask arm.
+        let mut t1 = Tlb::new(4, 1);
+        assert!(!t1.access(va(0, 1)));
+        assert!(t1.access(va(0, 1)));
+        let mut t4 = Tlb::new(16, 4);
+        for vpn in [0u64, 4, 8, 12] {
+            assert!(!t4.access(va(0, vpn))); // all land in set 0
+        }
+        for vpn in [0u64, 4, 8, 12] {
+            assert!(t4.access(va(0, vpn)), "4 ways hold all four");
+        }
+        assert!(!t4.access(va(0, 16)), "fifth mapping evicts LRU (vpn 0)");
+        assert!(!t4.contains(Pid::new(0), 0));
     }
 
     #[test]

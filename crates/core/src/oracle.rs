@@ -819,8 +819,8 @@ mod tests {
                         gold.fill(w);
                     }
                     2 => {
-                        if let Some(l) = fast.touch(PhysAddr::new(w)) {
-                            l.dirty = true;
+                        if let Some(mut l) = fast.touch(PhysAddr::new(w)) {
+                            l.set_dirty(true);
                         }
                         if let Some(l) = gold.touch(w) {
                             l.dirty = true;

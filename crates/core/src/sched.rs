@@ -16,10 +16,13 @@ use std::collections::VecDeque;
 
 use gaas_trace::{AccessKind, Trace, TraceEvent};
 
-/// Events pulled per [`Trace::next_batch`] call. Large enough to amortize
-/// the virtual dispatch to nothing, small enough that per-process buffers
-/// stay cache-resident (256 events × 16 B = 4 KB).
-const TRACE_BATCH: usize = 256;
+/// Events pulled per [`Trace::next_batch`] call. Matches the arena's
+/// compressed-block size (`gaas_trace::codec::BLOCK_EVENTS`) so every
+/// arena refill decodes one whole block straight into this buffer with no
+/// intermediate copy; the 64 KB per-process buffer streams through cache
+/// sequentially. The delivered event stream is independent of this size
+/// by the `next_batch` contract.
+const TRACE_BATCH: usize = 4096;
 
 /// A [`Trace`] consumed through a refillable batch buffer: one virtual
 /// `next_batch` call per [`TRACE_BATCH`] events instead of one `next` per
@@ -297,6 +300,37 @@ impl Scheduler {
                     }
                 }
             }
+        }
+    }
+
+    /// The cycle at which the current process's time slice expires.
+    /// Constant while one process stays installed (it is re-armed on
+    /// installation), so span-draining callers may cache it.
+    #[inline]
+    pub fn slice_end(&self) -> u64 {
+        self.slice_end
+    }
+
+    /// Read-only view of the current process's buffered events and the
+    /// cursor into them: `(events, pos)`. Empty when no process is
+    /// installed. Span-draining callers step directly over this slice
+    /// and report consumption via [`Scheduler::advance`], bypassing the
+    /// per-instruction [`Scheduler::next_instruction`] round-trip.
+    #[inline]
+    pub fn current_span(&self) -> (&[TraceEvent], usize) {
+        match self.current.and_then(|i| self.procs[i].as_ref()) {
+            Some(p) => (&p.events.buf, p.events.pos),
+            None => (&[], 0),
+        }
+    }
+
+    /// Advances the current process's event cursor by `events` consumed
+    /// directly off [`Scheduler::current_span`].
+    #[inline]
+    pub fn advance(&mut self, events: usize) {
+        if let Some(p) = self.current.and_then(|i| self.procs[i].as_mut()) {
+            p.events.pos += events;
+            debug_assert!(p.events.pos <= p.events.buf.len());
         }
     }
 

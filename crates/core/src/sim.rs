@@ -33,7 +33,9 @@ use std::sync::Arc;
 use gaas_cache::fault::{
     resolve, FaultEffect, FaultEvent, FaultInjector, ProtectionMap, Structure,
 };
-use gaas_cache::{CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer};
+use gaas_cache::{
+    CacheArray, L1DataCache, MemorySystem, PageMapper, Tlb, WriteBuffer, WritePolicy,
+};
 use gaas_telemetry::{Component, CounterId, Registry, Span, SpanRecorder};
 use gaas_trace::{AccessKind, PhysAddr, Trace, TraceEvent, VirtAddr, PAGE_SHIFT};
 
@@ -363,6 +365,29 @@ pub struct Simulator {
     /// Per-PID statistics (lazily grown).
     per_proc: Vec<ProcCounters>,
 
+    /// Virtual line of the immediately preceding ifetch (`u64::MAX` =
+    /// none). A fetch to the same line is a guaranteed ITLB + L1-I hit —
+    /// only ifetches touch those structures, and the previous fetch left
+    /// both entries resident — so the uninstrumented path skips the
+    /// probes entirely. Skipping the duplicate LRU touch is exact: the
+    /// touched way already holds its set's maximum timestamp, so every
+    /// future victim choice is unchanged.
+    last_ifetch_vline: u64,
+    /// Virtual page of the immediately preceding data access (load or
+    /// store); a data access to the same page is a guaranteed DTLB hit
+    /// by the same argument.
+    last_data_vpage: u64,
+    /// Virtual line of the immediately preceding load when it left the
+    /// line resident and loadable; cleared on every store (which may
+    /// change line state) — see `load_memo_ok`.
+    last_load_vline: u64,
+    /// log2(line words) for the two L1 sides (memo key construction).
+    i_line_shift: u32,
+    d_line_shift: u32,
+    /// Load-memo soundness gate: subblock placement decides load hits per
+    /// *word*, which a line-granular memo cannot capture.
+    load_memo_ok: bool,
+
     /// Precomputed L1 miss service costs for an L2 hit.
     i_hit_cost: u32,
     d_hit_cost: u32,
@@ -472,6 +497,9 @@ impl Simulator {
         let diff_on = diff.is_some();
         let fault_on = fault.is_some();
         let telem_on = telem.is_some();
+        let i_line_shift = cfg.l1i.line_words.trailing_zeros();
+        let d_line_shift = cfg.l1d.line_words.trailing_zeros();
+        let load_memo_ok = cfg.policy != WritePolicy::Subblock;
         Ok(Simulator {
             cfg,
             now: 0,
@@ -488,6 +516,12 @@ impl Simulator {
             mapper: PageMapper::new(page_colors),
             tcache: vec![(u64::MAX, 0); TCACHE_WAYS],
             per_proc: Vec::new(),
+            last_ifetch_vline: u64::MAX,
+            last_data_vpage: u64::MAX,
+            last_load_vline: u64::MAX,
+            i_line_shift,
+            d_line_shift,
+            load_memo_ok,
             i_hit_cost,
             d_hit_cost,
             ref_i_hit_cost,
@@ -612,10 +646,31 @@ impl Simulator {
         let (result, windows, _, telem) =
             self.run_sampled_rec(traces, warmup_instructions, window)?;
         let report = telem
-            .map(|t| TelemetryReport {
-                spans_dropped: t.spans.dropped(),
-                spans: t.spans.spans(),
-                registry: t.reg,
+            .map(|t| {
+                let mut registry = t.reg;
+                // Process-wide trace-arena health at the end of the run:
+                // reuse vs. regeneration, compressed-size bypasses, and
+                // the v3 compression footprint. Recorded once here, so
+                // the hot path never touches the arena registry lock.
+                let a = gaas_trace::arena::stats();
+                for (name, v) in [
+                    ("arena.generated", a.generated),
+                    ("arena.reused", a.reused),
+                    ("arena.bypassed", a.bypassed),
+                    ("arena.bypass_events", a.bypass_events),
+                    ("arena.resident_streams", a.resident_streams),
+                    ("arena.resident_events", a.resident_events),
+                    ("arena.packed_bytes", a.packed_bytes),
+                    ("arena.compressed_bytes", a.compressed_bytes),
+                ] {
+                    let id = registry.counter(name);
+                    registry.add(id, v);
+                }
+                TelemetryReport {
+                    spans_dropped: t.spans.dropped(),
+                    spans: t.spans.spans(),
+                    registry,
+                }
             })
             .unwrap_or_default();
         Ok((result, windows, report))
@@ -700,56 +755,136 @@ impl Simulator {
         // The scheduler sees the *functional* clock, not the timing clock:
         // time-slice context switches then land on identical instruction
         // boundaries for every timing variant of one cache geometry.
+        //
+        // The loop is specialized on `hooks`: when every instrumentation
+        // layer (fault injection, differential oracle, telemetry,
+        // profile recorder) is off — the common case and the whole
+        // benchmark kernel — the `false` instantiations of the step
+        // functions compile the hook plumbing out entirely. The flags
+        // cannot turn on mid-run, so one check up front covers the run.
+        let hooks = self.hooks_active();
+        // All periodic thresholds collapse into one merged poll: each
+        // fires at an exact instruction count, so checking the minimum
+        // and re-deriving it after a hit preserves boundary semantics.
+        let mut next_poll = next_warm
+            .min(next_window)
+            .min(next_checkpoint)
+            .min(budget_limit)
+            .min(next_cancel_check);
         while let Some(instr) = sched.next_instruction(self.fnow) {
-            self.step_ifetch(&instr.ifetch);
-            if let Some(data) = instr.data {
-                self.step_data(&data);
-            }
-            sched.post_instruction(self.fnow, instr.ifetch.syscall);
-            if self.telem_on {
-                let switches = sched.total_switches();
-                self.telem_sched_tick(switches);
-            }
-            if self.pending_mc.is_some() {
-                let fault = self.pending_mc.take().expect("just checked");
-                return Err(SimError::MachineCheck {
-                    fault,
-                    cycle: self.now,
-                    instructions: self.counters.instructions,
-                });
-            }
-            if self.diff_on {
-                if let Some(err) = self.take_divergence() {
-                    return Err(err);
+            if hooks {
+                self.step_ifetch_impl::<true>(&instr.ifetch);
+                if let Some(data) = instr.data {
+                    self.step_data_impl::<true>(&data);
+                }
+                sched.post_instruction(self.fnow, instr.ifetch.syscall);
+                if self.telem_on {
+                    let switches = sched.total_switches();
+                    self.telem_sched_tick(switches);
+                }
+                if self.pending_mc.is_some() {
+                    let fault = self.pending_mc.take().expect("just checked");
+                    return Err(SimError::MachineCheck {
+                        fault,
+                        cycle: self.now,
+                        instructions: self.counters.instructions,
+                    });
+                }
+                if self.diff_on {
+                    if let Some(err) = self.take_divergence() {
+                        return Err(err);
+                    }
+                }
+            } else {
+                self.step_ifetch_impl::<false>(&instr.ifetch);
+                if let Some(data) = instr.data {
+                    self.step_data_impl::<false>(&data);
+                }
+                sched.post_instruction(self.fnow, instr.ifetch.syscall);
+                // Span drain: step straight over the installed process's
+                // buffered events, checking the same per-instruction
+                // conditions (syscall, slice expiry, merged poll) inline.
+                // `post_instruction` on a non-rotating instruction is a
+                // no-op, so reporting only the rotating one is exact. The
+                // buffer's final event is left for `next_instruction`,
+                // which can peek across a batch refill for its data half.
+                let slice_end = sched.slice_end();
+                loop {
+                    if self.counters.instructions >= next_poll {
+                        break;
+                    }
+                    let (span, start) = sched.current_span();
+                    let end = span.len();
+                    if end - start < 2 {
+                        break;
+                    }
+                    let mut pos = start;
+                    let mut rotated = false;
+                    let mut rotate_syscall = false;
+                    while pos + 1 < end {
+                        let ifetch = span[pos];
+                        pos += 1;
+                        let d = span[pos];
+                        let data = if d.kind.is_data() {
+                            pos += 1;
+                            Some(d)
+                        } else {
+                            None
+                        };
+                        self.step_ifetch_impl::<false>(&ifetch);
+                        if let Some(d) = data {
+                            self.step_data_impl::<false>(&d);
+                        }
+                        if ifetch.syscall || self.fnow >= slice_end {
+                            rotated = true;
+                            rotate_syscall = ifetch.syscall;
+                            break;
+                        }
+                        if self.counters.instructions >= next_poll {
+                            break;
+                        }
+                    }
+                    sched.advance(pos - start);
+                    if rotated {
+                        sched.post_instruction(self.fnow, rotate_syscall);
+                        break;
+                    }
                 }
             }
-            if self.counters.instructions >= next_cancel_check {
-                next_cancel_check = self.counters.instructions + CANCEL_CHECK_INTERVAL;
-                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                    return Err(SimError::Cancelled);
+            if self.counters.instructions >= next_poll {
+                if self.counters.instructions >= next_cancel_check {
+                    next_cancel_check = self.counters.instructions + CANCEL_CHECK_INTERVAL;
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        return Err(SimError::Cancelled);
+                    }
                 }
-            }
-            if self.counters.instructions >= next_warm {
-                warm_snapshot = Some(self.counters);
-                next_warm = u64::MAX;
-            }
-            if self.counters.instructions >= next_window {
-                windows.push(self.counters.since(&window_start));
-                window_start = self.counters;
-                next_window += window_instructions;
-            }
-            if self.counters.instructions >= next_checkpoint {
-                self.last_checkpoint_cycle = self.now;
-                checkpoints.push(Checkpoint {
-                    cycle: self.now,
-                    instructions: self.counters.instructions,
-                    sched: sched.snapshot(),
-                });
-                next_checkpoint += checkpoint_interval;
-            }
-            if self.counters.instructions >= budget_limit {
-                termination = Termination::BudgetExhausted;
-                break;
+                if self.counters.instructions >= next_warm {
+                    warm_snapshot = Some(self.counters);
+                    next_warm = u64::MAX;
+                }
+                if self.counters.instructions >= next_window {
+                    windows.push(self.counters.since(&window_start));
+                    window_start = self.counters;
+                    next_window += window_instructions;
+                }
+                if self.counters.instructions >= next_checkpoint {
+                    self.last_checkpoint_cycle = self.now;
+                    checkpoints.push(Checkpoint {
+                        cycle: self.now,
+                        instructions: self.counters.instructions,
+                        sched: sched.snapshot(),
+                    });
+                    next_checkpoint += checkpoint_interval;
+                }
+                if self.counters.instructions >= budget_limit {
+                    termination = Termination::BudgetExhausted;
+                    break;
+                }
+                next_poll = next_warm
+                    .min(next_window)
+                    .min(next_checkpoint)
+                    .min(budget_limit)
+                    .min(next_cancel_check);
             }
         }
         // One last structural sweep so a divergence in the tail (after the
@@ -795,10 +930,26 @@ impl Simulator {
     /// Processes a single event outside a scheduled workload (single-process
     /// unit testing and calibration).
     pub fn step(&mut self, ev: &TraceEvent) {
-        match ev.kind {
-            AccessKind::IFetch => self.step_ifetch(ev),
-            AccessKind::Load | AccessKind::Store => self.step_data(ev),
+        if self.hooks_active() {
+            match ev.kind {
+                AccessKind::IFetch => self.step_ifetch_impl::<true>(ev),
+                AccessKind::Load | AccessKind::Store => self.step_data_impl::<true>(ev),
+            }
+        } else {
+            match ev.kind {
+                AccessKind::IFetch => self.step_ifetch_impl::<false>(ev),
+                AccessKind::Load | AccessKind::Store => self.step_data_impl::<false>(ev),
+            }
         }
+    }
+
+    /// Whether any instrumentation layer is attached: fault injection,
+    /// the differential oracle, telemetry, or the profile recorder. When
+    /// all are off the `HOOKS = false` step instantiations (with every
+    /// hook compiled out, plus the last-line/last-page memos) are exact.
+    #[inline]
+    fn hooks_active(&self) -> bool {
+        self.fault_on || self.diff_on || self.telem_on || self.rec.is_some()
     }
 
     #[inline]
@@ -868,8 +1019,9 @@ impl Simulator {
         if let Some(kind) = ds.bug_due() {
             let applied = match kind {
                 SeededBug::FlipL1dDirty => match self.l1d.array_mut().peek_mut(paddr) {
-                    Some(line) if ev.kind.is_data() => {
-                        line.dirty = !line.dirty;
+                    Some(mut line) if ev.kind.is_data() => {
+                        let flipped = !line.dirty();
+                        line.set_dirty(flipped);
                         true
                     }
                     _ => false,
@@ -1071,7 +1223,7 @@ impl Simulator {
     /// line was dirty.
     fn l2_touch_i(&mut self, addr: PhysAddr) -> Option<bool> {
         match &mut self.l2 {
-            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => a.touch(addr).map(|l| l.dirty),
+            L2Arrays::Unified(a) | L2Arrays::Split { i: a, .. } => a.touch(addr).map(|l| l.dirty()),
         }
     }
 
@@ -1079,7 +1231,7 @@ impl Simulator {
     /// dirty.
     fn l2_touch_d(&mut self, addr: PhysAddr) -> Option<bool> {
         match &mut self.l2 {
-            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => a.touch(addr).map(|l| l.dirty),
+            L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. } => a.touch(addr).map(|l| l.dirty()),
         }
     }
 
@@ -1104,13 +1256,15 @@ impl Simulator {
     /// Marks the data-side line for `addr` dirty (after a drain write).
     fn l2_dirty_d(&mut self, addr: PhysAddr) {
         let (L2Arrays::Unified(a) | L2Arrays::Split { d: a, .. }) = &mut self.l2;
-        if let Some(line) = a.touch(addr) {
-            line.dirty = true;
+        if let Some(mut line) = a.touch(addr) {
+            line.set_dirty(true);
         }
     }
 
     /// Services an instruction-side L1 miss starting at `start`; returns
     /// total stall cycles, with components attributed.
+    #[cold]
+    #[inline(never)]
     fn service_i_miss(&mut self, start: u64, paddr: PhysAddr) -> u64 {
         self.counters.l2i_accesses += 1;
         let hit_cost = self.i_hit_cost as u64;
@@ -1159,6 +1313,8 @@ impl Simulator {
 
     /// Services a data-side L1 miss (read or write-allocate) starting at
     /// `start`; returns total stall cycles.
+    #[cold]
+    #[inline(never)]
     fn service_d_miss(&mut self, start: u64, line_base: PhysAddr) -> u64 {
         self.counters.l2d_accesses += 1;
         let hit_cost = self.d_hit_cost as u64;
@@ -1459,8 +1615,24 @@ impl Simulator {
     }
 
     #[inline]
-    fn step_ifetch(&mut self, ev: &TraceEvent) {
-        let diff_before = if self.diff_on {
+    fn step_ifetch_impl<const HOOKS: bool>(&mut self, ev: &TraceEvent) {
+        // Uninstrumented fast path: a fetch from the line the previous
+        // fetch ended on is a guaranteed ITLB + L1-I hit (only ifetches
+        // touch either structure), and the hit path consumes the physical
+        // address nowhere, so the probes are skipped outright.
+        let vline = ev.addr.raw() >> self.i_line_shift;
+        if !HOOKS && vline == self.last_ifetch_vline {
+            let cycles = 1 + ev.stall_cycles as u64;
+            self.counters.instructions += 1;
+            self.counters.cpu_stall_cycles += ev.stall_cycles as u64;
+            self.fnow += cycles;
+            self.now += cycles;
+            let p = self.proc_entry(ev.addr.pid());
+            p.instructions += 1;
+            p.cycles += cycles;
+            return;
+        }
+        let diff_before = if HOOKS && self.diff_on {
             Some(self.counters)
         } else {
             None
@@ -1473,24 +1645,30 @@ impl Simulator {
         self.fnow += 1 + ev.stall_cycles as u64;
 
         let itlb_hit = self.itlb.access(ev.addr);
-        if let Some(r) = self.rec.as_deref_mut() {
-            r.begin_instr(ev.addr.pid().raw(), ev.stall_cycles, !itlb_hit);
+        if HOOKS {
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.begin_instr(ev.addr.pid().raw(), ev.stall_cycles, !itlb_hit);
+            }
         }
         if itlb_hit {
-            cycles += self.fault_on_tlb_hit();
+            if HOOKS {
+                cycles += self.fault_on_tlb_hit();
+            }
         } else {
             self.counters.itlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
-            if self.telem_on {
+            if HOOKS && self.telem_on {
                 self.telem_tlb_walk(true, p);
             }
         }
         let paddr = self.translate(ev.addr);
 
         if self.l1i.touch(paddr).is_some() {
-            cycles += self.fault_on_l1i_hit(paddr);
+            if HOOKS {
+                cycles += self.fault_on_l1i_hit(paddr);
+            }
         } else {
             self.counters.l1i_misses += 1;
             missed = true;
@@ -1508,8 +1686,16 @@ impl Simulator {
             cycles += self.service_i_miss(t, paddr);
         }
         self.now += cycles;
-        if let Some(before) = diff_before {
-            self.diff_note(ev, paddr, before);
+        if !HOOKS {
+            // Hit or refill, the line is now resident; arm the memo. The
+            // hooked instantiations never read it (faults and the canary
+            // can invalidate lines behind it).
+            self.last_ifetch_vline = vline;
+        }
+        if HOOKS {
+            if let Some(before) = diff_before {
+                self.diff_note(ev, paddr, before);
+            }
         }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
@@ -1523,17 +1709,29 @@ impl Simulator {
     }
 
     #[inline]
-    fn step_data(&mut self, ev: &TraceEvent) {
+    fn step_data_impl<const HOOKS: bool>(&mut self, ev: &TraceEvent) {
         match ev.kind {
-            AccessKind::Load => self.step_load(ev),
-            AccessKind::Store => self.step_store(ev),
+            AccessKind::Load => self.step_load_impl::<HOOKS>(ev),
+            AccessKind::Store => self.step_store_impl::<HOOKS>(ev),
             AccessKind::IFetch => unreachable!("data step on a fetch"),
         }
     }
 
     #[inline]
-    fn step_load(&mut self, ev: &TraceEvent) {
-        let diff_before = if self.diff_on {
+    fn step_load_impl<const HOOKS: bool>(&mut self, ev: &TraceEvent) {
+        // Uninstrumented fast path: a load from the line the previous
+        // load hit (with no intervening store or load miss — both clear
+        // the memo) is a guaranteed DTLB + L1-D hit with zero charged
+        // cycles; line state cannot have changed in between. Gated off
+        // under subblock placement, where load hits are per-word.
+        let vline = ev.addr.raw() >> self.d_line_shift;
+        if !HOOKS && vline == self.last_load_vline {
+            self.counters.loads += 1;
+            let p = self.proc_entry(ev.addr.pid());
+            p.loads += 1;
+            return;
+        }
+        let diff_before = if HOOKS && self.diff_on {
             Some(self.counters)
         } else {
             None
@@ -1541,35 +1739,56 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.loads += 1;
-        let dtlb_hit = self.dtlb.access(ev.addr);
-        if let Some(r) = self.rec.as_deref_mut() {
-            r.begin_load(!dtlb_hit);
+        let vpage = ev.addr.raw() >> PAGE_SHIFT;
+        // Same page as the previous data access: guaranteed DTLB hit
+        // (only data accesses touch the DTLB; short-circuit skips the
+        // probe, which is LRU-exact for a repeated most-recent key).
+        let dtlb_hit = (!HOOKS && vpage == self.last_data_vpage) || self.dtlb.access(ev.addr);
+        if !HOOKS {
+            self.last_data_vpage = vpage;
+        }
+        if HOOKS {
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.begin_load(!dtlb_hit);
+            }
         }
         if dtlb_hit {
-            cycles += self.fault_on_tlb_hit();
+            if HOOKS {
+                cycles += self.fault_on_tlb_hit();
+            }
         } else {
             self.counters.dtlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
-            if self.telem_on {
+            if HOOKS && self.telem_on {
                 self.telem_tlb_walk(false, p);
             }
         }
         let paddr = self.translate(ev.addr);
 
         let outcome = self.l1d.load(paddr);
+        if !HOOKS {
+            // A hit leaves the line loadable; a miss refills it fully
+            // (clearing any write-only mark), so either way the line is
+            // loadable now. Stores clear the memo.
+            self.last_load_vline = if self.load_memo_ok { vline } else { u64::MAX };
+        }
         if outcome.hit {
-            cycles += self.fault_on_l1d_hit(paddr);
+            if HOOKS {
+                cycles += self.fault_on_l1d_hit(paddr);
+            }
         } else {
             self.counters.l1d_read_misses += 1;
             let line_base = outcome.fetch.expect("miss implies fetch");
-            if let Some(r) = self.rec.as_deref_mut() {
-                r.load_miss(
-                    outcome.replaced_written_line,
-                    outcome.writeback_victim.is_some(),
-                    line_base.word(),
-                );
+            if HOOKS {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.load_miss(
+                        outcome.replaced_written_line,
+                        outcome.writeback_victim.is_some(),
+                        line_base.word(),
+                    );
+                }
             }
             let mut t = self.now + cycles;
             // Wait on *previously pending* writes per the bypass rule; the
@@ -1586,8 +1805,10 @@ impl Simulator {
             cycles += self.service_d_miss(t, line_base);
         }
         self.now += cycles;
-        if let Some(before) = diff_before {
-            self.diff_note(ev, paddr, before);
+        if HOOKS {
+            if let Some(before) = diff_before {
+                self.diff_note(ev, paddr, before);
+            }
         }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;
@@ -1602,8 +1823,8 @@ impl Simulator {
     }
 
     #[inline]
-    fn step_store(&mut self, ev: &TraceEvent) {
-        let diff_before = if self.diff_on {
+    fn step_store_impl<const HOOKS: bool>(&mut self, ev: &TraceEvent) {
+        let diff_before = if HOOKS && self.diff_on {
             Some(self.counters)
         } else {
             None
@@ -1611,34 +1832,47 @@ impl Simulator {
         let mut cycles = 0u64;
         let l2_before = self.counters.l2i_misses + self.counters.l2d_misses;
         self.counters.stores += 1;
-        let dtlb_hit = self.dtlb.access(ev.addr);
+        let vpage = ev.addr.raw() >> PAGE_SHIFT;
+        let dtlb_hit = (!HOOKS && vpage == self.last_data_vpage) || self.dtlb.access(ev.addr);
+        if !HOOKS {
+            self.last_data_vpage = vpage;
+            // Stores change line state (dirty / write-only / valid bits)
+            // and may evict, so the load memo cannot survive one.
+            self.last_load_vline = u64::MAX;
+        }
         if dtlb_hit {
-            cycles += self.fault_on_tlb_hit();
+            if HOOKS {
+                cycles += self.fault_on_tlb_hit();
+            }
         } else {
             self.counters.dtlb_misses += 1;
             let p = self.cfg.tlb_miss_penalty as u64;
             self.counters.tlb_miss_cycles += p;
             cycles += p;
-            if self.telem_on {
+            if HOOKS && self.telem_on {
                 self.telem_tlb_walk(false, p);
             }
         }
         let paddr = self.translate(ev.addr);
 
         let outcome = self.l1d.store(paddr, ev.partial_word);
-        if let Some(r) = self.rec.as_deref_mut() {
-            r.begin_store(
-                !dtlb_hit,
-                outcome.hit,
-                outcome.extra_cycle,
-                outcome.wb_word.is_some(),
-                outcome.fetch.is_some(),
-                outcome.writeback_victim.is_some(),
-                outcome.replaced_written_line,
-            );
+        if HOOKS {
+            if let Some(r) = self.rec.as_deref_mut() {
+                r.begin_store(
+                    !dtlb_hit,
+                    outcome.hit,
+                    outcome.extra_cycle,
+                    outcome.wb_word.is_some(),
+                    outcome.fetch.is_some(),
+                    outcome.writeback_victim.is_some(),
+                    outcome.replaced_written_line,
+                );
+            }
         }
         if outcome.hit {
-            cycles += self.fault_on_l1d_hit(paddr);
+            if HOOKS {
+                cycles += self.fault_on_l1d_hit(paddr);
+            }
         } else {
             self.counters.l1d_write_misses += 1;
         }
@@ -1659,8 +1893,10 @@ impl Simulator {
         // waits on previously pending writes, while the victim this miss
         // displaces drains in the background during the refill.
         if let Some(line_base) = outcome.fetch {
-            if let Some(r) = self.rec.as_deref_mut() {
-                r.push_addr(line_base.word());
+            if HOOKS {
+                if let Some(r) = self.rec.as_deref_mut() {
+                    r.push_addr(line_base.word());
+                }
             }
             let wait = self.wb_wait_for_d_miss(t, line_base, outcome.replaced_written_line);
             cycles += wait;
@@ -1676,8 +1912,10 @@ impl Simulator {
             cycles += stall;
         }
         self.now += cycles;
-        if let Some(before) = diff_before {
-            self.diff_note(ev, paddr, before);
+        if HOOKS {
+            if let Some(before) = diff_before {
+                self.diff_note(ev, paddr, before);
+            }
         }
 
         let l2_after = self.counters.l2i_misses + self.counters.l2d_misses;

@@ -1,0 +1,594 @@
+//! Block-based delta-compressed codec for packed event streams (the v3
+//! encoding).
+//!
+//! The arena's packed structure-of-arrays encoding spends 10 bytes per
+//! event (an 8-byte raw PID-prefixed word address plus a 2-byte meta
+//! word) regardless of content. Real reference streams are dominated by
+//! small **per-kind** address strides — sequential instruction fetch
+//! advances one word at a time, and data references cluster — but
+//! consecutive events interleave fetches with loads and stores, whose
+//! addresses live in different segments. So the v3 encoding keeps one
+//! delta chain **per access kind**: each address is delta-encoded against
+//! the previous address of the same kind. Typical streams shrink 3–4×.
+//!
+//! The per-event layout is a control byte plus fixed-width fields rather
+//! than LEB128 varints, deliberately: the arena replays through this
+//! decoder on the simulator's kernel hot path, and a varint's
+//! byte-at-a-time continuation branches mispredict on real event mixes.
+//! The control byte makes every field width a shift/mask away, so the
+//! decoder's inner loop has **no data-dependent branches**:
+//!
+//! ```text
+//! control: [1:0] kind  [2] partial  [3] syscall
+//!          [5:4] delta width code (1, 2, 4, 8 bytes)
+//!          [6]   stall byte present  [7] reserved, must be 0
+//! then:    stall u8            (iff control bit 6)
+//! then:    delta               (zigzagged, LE, width from code)
+//! ```
+//!
+//! Events are grouped into self-contained **blocks** (up to
+//! [`BLOCK_EVENTS`] events): the delta chains restart at every block
+//! boundary and each block carries its own CRC32, so
+//!
+//! * a streaming decoder needs only one block of scratch space,
+//! * corruption is detected per block rather than per stream, and
+//! * salvage after corruption loses at most the damaged block.
+//!
+//! Wire layout of one block (all integers little-endian):
+//!
+//! ```text
+//! count u32 | payload_len u32 | payload bytes | crc32 u32
+//! ```
+//!
+//! where `crc32` covers `count`, `payload_len`, and `payload`.
+
+use crate::addr::{Pid, VirtAddr, PID_SHIFT};
+use crate::crc::Crc32;
+use crate::event::{AccessKind, TraceEvent};
+
+/// Maximum events per encoded block. One decoded block (≈64 KB of
+/// scratch) amortizes per-block overhead to noise while keeping salvage
+/// granularity and decoder residency small.
+pub const BLOCK_EVENTS: usize = 4096;
+
+/// Bytes of block framing outside the payload: count, payload length,
+/// CRC32.
+pub const BLOCK_OVERHEAD: usize = 12;
+
+/// Upper bound on the encoded size of one event (control byte + stall
+/// byte + 8-byte delta).
+pub const MAX_EVENT_BYTES: usize = 10;
+
+// Meta-word layout (bits):      11……4        3         2        1..0
+//                               stall     syscall   partial    kind
+const KIND_MASK: u16 = 0b11;
+const PARTIAL_BIT: u16 = 1 << 2;
+const SYSCALL_BIT: u16 = 1 << 3;
+const STALL_SHIFT: u16 = 4;
+
+// Control-byte layout (see module docs).
+const CTL_META_MASK: u8 = 0x0f;
+const CTL_WIDTH_SHIFT: u8 = 4;
+const CTL_STALL_BIT: u8 = 0x40;
+const CTL_RESERVED_BIT: u8 = 0x80;
+
+/// Delta byte widths by control-byte width code.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+/// Value masks by width code (low 8·width bits).
+const WIDTH_MASKS: [u64; 4] = [0xff, 0xffff, 0xffff_ffff, u64::MAX];
+
+/// Packs one event into the `(raw address, meta word)` pair every v3
+/// producer (arena materialization, file writer) encodes. The meta word
+/// always fits 12 bits.
+#[inline]
+pub fn pack_event(ev: &TraceEvent) -> (u64, u16) {
+    let kind = match ev.kind {
+        AccessKind::IFetch => 0u16,
+        AccessKind::Load => 1,
+        AccessKind::Store => 2,
+    };
+    let mut meta = kind | ((ev.stall_cycles as u16) << STALL_SHIFT);
+    if ev.partial_word {
+        meta |= PARTIAL_BIT;
+    }
+    if ev.syscall {
+        meta |= SYSCALL_BIT;
+    }
+    (ev.addr.raw(), meta)
+}
+
+/// Inverse of [`pack_event`]. A meta kind of 3 (impossible from
+/// `pack_event`) decodes as `Store`; checked consumers reject it before
+/// calling this.
+#[inline]
+pub fn unpack_event(raw: u64, meta: u16) -> TraceEvent {
+    let kind = match meta & KIND_MASK {
+        0 => AccessKind::IFetch,
+        1 => AccessKind::Load,
+        _ => AccessKind::Store,
+    };
+    let pid = Pid::new((raw >> PID_SHIFT) as u8);
+    let word = raw & ((1u64 << PID_SHIFT) - 1);
+    TraceEvent {
+        kind,
+        addr: VirtAddr::new(pid, word),
+        stall_cycles: (meta >> STALL_SHIFT) as u8,
+        partial_word: meta & PARTIAL_BIT != 0,
+        syscall: meta & SYSCALL_BIT != 0,
+    }
+}
+
+/// Decoding failure for one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// Fewer bytes available than the block frame declares (or than the
+    /// minimal frame needs).
+    Truncated,
+    /// The block checksum does not match its contents.
+    BadChecksum {
+        /// CRC32 stored in the block trailer.
+        stored: u32,
+        /// CRC32 computed over the frame actually read.
+        computed: u32,
+    },
+    /// The payload did not parse to exactly `count` well-formed events.
+    Malformed,
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::Truncated => write!(f, "encoded block truncated"),
+            BlockError::BadChecksum { stored, computed } => write!(
+                f,
+                "block checksum mismatch: stored {stored:08x}, computed {computed:08x}"
+            ),
+            BlockError::Malformed => write!(f, "block payload malformed"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Width code of the narrowest encoding that holds `z`.
+#[inline]
+fn width_code(z: u64) -> u8 {
+    if z <= 0xff {
+        0
+    } else if z <= 0xffff {
+        1
+    } else if z <= 0xffff_ffff {
+        2
+    } else {
+        3
+    }
+}
+
+/// Appends one encoded block holding `addrs`/`meta` (parallel, equal
+/// length, at most [`BLOCK_EVENTS`] entries; meta words must fit 12
+/// bits, as [`pack_event`] guarantees) to `out`. Returns the encoded
+/// size in bytes.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length, are empty, exceed
+/// [`BLOCK_EVENTS`], or contain a meta word above 12 bits.
+pub fn encode_block(out: &mut Vec<u8>, addrs: &[u64], meta: &[u16]) -> usize {
+    assert_eq!(addrs.len(), meta.len(), "parallel arrays");
+    assert!(!addrs.is_empty(), "empty block");
+    assert!(addrs.len() <= BLOCK_EVENTS, "block too large");
+    let start = out.len();
+    out.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // payload_len backpatched below
+    let payload_start = out.len();
+    // One delta chain per access kind (index 3 unused by pack_event but
+    // kept so a meta word's low bits always index in bounds).
+    let mut prev = [0u64; 4];
+    for (&a, &m) in addrs.iter().zip(meta) {
+        assert!(m >> 12 == 0, "meta word exceeds 12 bits");
+        let kind = usize::from(m & KIND_MASK);
+        let z = zigzag(a.wrapping_sub(prev[kind]) as i64);
+        prev[kind] = a;
+        let stall = (m >> STALL_SHIFT) as u8;
+        let code = width_code(z);
+        let mut ctl = (m as u8 & CTL_META_MASK) | (code << CTL_WIDTH_SHIFT);
+        if stall != 0 {
+            ctl |= CTL_STALL_BIT;
+        }
+        out.push(ctl);
+        if stall != 0 {
+            out.push(stall);
+        }
+        out.extend_from_slice(&z.to_le_bytes()[..WIDTHS[usize::from(code)]]);
+    }
+    let payload_len = (out.len() - payload_start) as u32;
+    out[start + 4..start + 8].copy_from_slice(&payload_len.to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&out[start..]);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.len() - start
+}
+
+/// Decoded frame geometry of the block at `bytes[0..]`: `(frame_bytes,
+/// event_count)`. Validates only the frame lengths, not the checksum.
+///
+/// # Errors
+///
+/// [`BlockError::Truncated`] when the declared frame overruns `bytes`.
+pub fn block_extent(bytes: &[u8]) -> Result<(usize, usize), BlockError> {
+    if bytes.len() < BLOCK_OVERHEAD {
+        return Err(BlockError::Truncated);
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    let payload_len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let frame = BLOCK_OVERHEAD
+        .checked_add(payload_len)
+        .ok_or(BlockError::Truncated)?;
+    if bytes.len() < frame {
+        return Err(BlockError::Truncated);
+    }
+    Ok((frame, count))
+}
+
+/// Verifies the checksum and frame geometry of the block at `bytes[0..]`
+/// without decoding the payload. Returns `(frame_bytes, event_count)`.
+///
+/// # Errors
+///
+/// [`BlockError::Truncated`] or [`BlockError::BadChecksum`]; a checksum-
+/// valid frame with an impossible event count is [`BlockError::Malformed`].
+pub fn verify_block(bytes: &[u8]) -> Result<(usize, usize), BlockError> {
+    let (frame, count) = block_extent(bytes)?;
+    let stored = u32::from_le_bytes(bytes[frame - 4..frame].try_into().expect("4 bytes"));
+    let mut crc = Crc32::new();
+    crc.update(&bytes[..frame - 4]);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(BlockError::BadChecksum { stored, computed });
+    }
+    if count == 0 || count > BLOCK_EVENTS {
+        return Err(BlockError::Malformed);
+    }
+    Ok((frame, count))
+}
+
+/// Decodes one event at `payload[*pos..]` with full bounds checking,
+/// returning `(meta, zigzagged delta)` and advancing `pos`.
+#[inline]
+fn decode_one(payload: &[u8], pos: &mut usize) -> Option<(u16, u64)> {
+    let ctl = *payload.get(*pos)?;
+    if ctl & CTL_RESERVED_BIT != 0 {
+        return None;
+    }
+    let mut p = *pos + 1;
+    let stall = if ctl & CTL_STALL_BIT != 0 {
+        let s = *payload.get(p)?;
+        p += 1;
+        s
+    } else {
+        0
+    };
+    let width = WIDTHS[usize::from((ctl >> CTL_WIDTH_SHIFT) & 3)];
+    let bytes = payload.get(p..p + width)?;
+    let mut z = 0u64;
+    for (i, &b) in bytes.iter().enumerate() {
+        z |= u64::from(b) << (8 * i);
+    }
+    *pos = p + width;
+    let meta = u16::from(ctl & CTL_META_MASK) | (u16::from(stall) << STALL_SHIFT);
+    Some((meta, z))
+}
+
+/// Decodes the block at `bytes[0..]`, appending addresses and meta words
+/// to the output vectors. Returns the number of bytes consumed.
+///
+/// The checksum is verified **before** the payload is parsed, so a
+/// corrupt length cannot drive the parser off the frame.
+///
+/// # Errors
+///
+/// [`BlockError`] on truncation, checksum mismatch, or a payload that
+/// does not parse to exactly the declared event count.
+pub fn decode_block(
+    bytes: &[u8],
+    addrs: &mut Vec<u64>,
+    meta: &mut Vec<u16>,
+) -> Result<usize, BlockError> {
+    let (frame, count) = verify_block(bytes)?;
+    let payload = &bytes[8..frame - 4];
+    let mut pos = 0usize;
+    let mut prev = [0u64; 4];
+    addrs.reserve(count);
+    meta.reserve(count);
+    for _ in 0..count {
+        let (m, z) = decode_one(payload, &mut pos).ok_or(BlockError::Malformed)?;
+        let kind = usize::from(m & KIND_MASK);
+        prev[kind] = prev[kind].wrapping_add(unzigzag(z) as u64);
+        addrs.push(prev[kind]);
+        meta.push(m);
+    }
+    if pos != payload.len() {
+        return Err(BlockError::Malformed);
+    }
+    Ok(frame)
+}
+
+/// Decodes the block at `bytes[0..]` straight into [`TraceEvent`]s
+/// **without** re-verifying the checksum. Returns the bytes consumed.
+///
+/// This is the arena's replay hot path: the kernel benchmark refills
+/// through it tens of thousands of times per second, and its input was
+/// encoded by this same process and is audited separately
+/// (`arena::verify` re-hashes every resident stream on demand). The bulk
+/// of the payload decodes through a branch-free inner loop (unaligned
+/// 8-byte loads masked to the control byte's width); the last few events
+/// of a block fall back to the bounds-checked path. Frame geometry,
+/// reserved bits, exact event count, and exact payload consumption are
+/// still validated — corrupt input fails, it just may fail as
+/// [`BlockError::Malformed`] instead of [`BlockError::BadChecksum`].
+/// File readers use [`verify_block`] + this, or [`decode_block`].
+///
+/// # Errors
+///
+/// [`BlockError::Truncated`] or [`BlockError::Malformed`].
+pub fn decode_block_events_unchecked(
+    bytes: &[u8],
+    out: &mut Vec<TraceEvent>,
+) -> Result<usize, BlockError> {
+    let (frame, count) = block_extent(bytes)?;
+    if count == 0 || count > BLOCK_EVENTS {
+        return Err(BlockError::Malformed);
+    }
+    let payload = &bytes[8..frame - 4];
+    let n = payload.len();
+    let mut pos = 0usize;
+    let mut prev = [0u64; 4];
+    let mut bad = 0u8;
+    out.reserve(count);
+    let mut i = 0;
+    // Branch-free bulk loop: safe while a maximal event (control + stall
+    // + 8-byte load window) fits before the payload end.
+    while i < count && pos + MAX_EVENT_BYTES <= n {
+        let ctl = payload[pos];
+        bad |= ctl & CTL_RESERVED_BIT;
+        let has_stall = usize::from(ctl >> 6) & 1;
+        // Read the stall slot unconditionally; mask it out when absent.
+        let stall = payload[pos + 1] & (ctl >> 6).wrapping_neg();
+        let doff = pos + 1 + has_stall;
+        let w = u64::from_le_bytes(payload[doff..doff + 8].try_into().expect("8 bytes"));
+        let code = usize::from((ctl >> CTL_WIDTH_SHIFT) & 3);
+        let z = w & WIDTH_MASKS[code];
+        pos = doff + WIDTHS[code];
+        let kind = usize::from(ctl & 3);
+        prev[kind] = prev[kind].wrapping_add(unzigzag(z) as u64);
+        let meta = u16::from(ctl & CTL_META_MASK) | (u16::from(stall) << STALL_SHIFT);
+        out.push(unpack_event(prev[kind], meta));
+        i += 1;
+    }
+    if bad != 0 {
+        return Err(BlockError::Malformed);
+    }
+    // Tail: the last few events, fully bounds-checked.
+    while i < count {
+        let (m, z) = decode_one(payload, &mut pos).ok_or(BlockError::Malformed)?;
+        let kind = usize::from(m & KIND_MASK);
+        prev[kind] = prev[kind].wrapping_add(unzigzag(z) as u64);
+        out.push(unpack_event(prev[kind], m));
+        i += 1;
+    }
+    if pos != n {
+        return Err(BlockError::Malformed);
+    }
+    Ok(frame)
+}
+
+/// Encodes a whole packed stream into concatenated v3 blocks.
+pub fn encode_stream(addrs: &[u64], meta: &[u16]) -> Vec<u8> {
+    assert_eq!(addrs.len(), meta.len(), "parallel arrays");
+    let mut out = Vec::new();
+    for (a, m) in addrs.chunks(BLOCK_EVENTS).zip(meta.chunks(BLOCK_EVENTS)) {
+        encode_block(&mut out, a, m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> (Vec<u64>, Vec<u16>) {
+        let mut rng = crate::rng::SmallRng::seed_from_u64(seed);
+        let mut addrs = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        let mut a = 0x0300_0000_1000u64;
+        for i in 0..n {
+            // Mostly sequential strides with occasional far jumps — the
+            // shape the delta encoding is built for.
+            a = if i % 97 == 0 {
+                rng.gen_range(0u64..1 << 40)
+            } else {
+                a.wrapping_add(rng.gen_range(0u64..8))
+            };
+            addrs.push(a);
+            meta.push(rng.gen_range(0u32..=0xfff) as u16);
+        }
+        (addrs, meta)
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn width_code_is_minimal_and_sufficient() {
+        for (z, c) in [
+            (0u64, 0u8),
+            (0xff, 0),
+            (0x100, 1),
+            (0xffff, 1),
+            (0x10000, 2),
+            (0xffff_ffff, 2),
+            (0x1_0000_0000, 3),
+            (u64::MAX, 3),
+        ] {
+            assert_eq!(width_code(z), c, "width of {z:#x}");
+            assert_eq!(z & WIDTH_MASKS[usize::from(c)], z, "mask keeps {z:#x}");
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_every_field() {
+        let ev = TraceEvent {
+            kind: AccessKind::Store,
+            addr: VirtAddr::new(Pid::new(9), 0x1234_5678),
+            stall_cycles: 255,
+            partial_word: true,
+            syscall: true,
+        };
+        let (a, m) = pack_event(&ev);
+        assert_eq!(unpack_event(a, m), ev);
+        let plain = TraceEvent::ifetch(VirtAddr::new(Pid::new(0), 7), 3);
+        let (a, m) = pack_event(&plain);
+        assert_eq!(unpack_event(a, m), plain);
+    }
+
+    #[test]
+    fn block_round_trips_multi_block_stream() {
+        let (addrs, meta) = sample(3 * BLOCK_EVENTS + 17, 7);
+        let bytes = encode_stream(&addrs, &meta);
+        let mut da = Vec::new();
+        let mut dm = Vec::new();
+        let mut off = 0;
+        while off < bytes.len() {
+            off += decode_block(&bytes[off..], &mut da, &mut dm).expect("clean block");
+        }
+        assert_eq!(da, addrs);
+        assert_eq!(dm, meta);
+    }
+
+    #[test]
+    fn event_decode_matches_soa_decode() {
+        let (addrs, meta) = sample(2 * BLOCK_EVENTS + 5, 11);
+        let bytes = encode_stream(&addrs, &meta);
+        let mut events = Vec::new();
+        let mut off = 0;
+        while off < bytes.len() {
+            off += decode_block_events_unchecked(&bytes[off..], &mut events).expect("clean");
+        }
+        let expected: Vec<TraceEvent> = addrs
+            .iter()
+            .zip(&meta)
+            .map(|(&a, &m)| unpack_event(a, m))
+            .collect();
+        assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn extreme_deltas_round_trip() {
+        // Alternating address-space extremes force every width code and
+        // exercise the zigzag sign handling in both decode paths.
+        let addrs = vec![0u64, u64::MAX, 0, 1 << 40, 0x80, 0x7f, u64::MAX / 2, 0];
+        let meta = vec![0u16, 1, 2, 0x0ff0, 0xfff, 0, 5, 9];
+        let bytes = encode_stream(&addrs, &meta);
+        let mut da = Vec::new();
+        let mut dm = Vec::new();
+        decode_block(&bytes, &mut da, &mut dm).expect("clean");
+        assert_eq!(da, addrs);
+        assert_eq!(dm, meta);
+        let mut events = Vec::new();
+        decode_block_events_unchecked(&bytes, &mut events).expect("clean");
+        assert_eq!(events.len(), addrs.len());
+        for ((ev, &a), &m) in events.iter().zip(&addrs).zip(&meta) {
+            assert_eq!(*ev, unpack_event(a, m));
+        }
+    }
+
+    #[test]
+    fn sequential_streams_compress_well() {
+        let n = BLOCK_EVENTS;
+        let addrs: Vec<u64> = (0..n as u64).map(|i| 0x1000 + i).collect();
+        let meta = vec![0u16; n];
+        let bytes = encode_stream(&addrs, &meta);
+        // Stall-free stride-1 events encode in two bytes each.
+        assert!(
+            bytes.len() < n * 3,
+            "sequential block should be ≤3 B/event, got {} for {n} events",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let (addrs, meta) = sample(64, 21);
+        let bytes = encode_stream(&addrs, &meta);
+        let mut copy = bytes.clone();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                let mut da = Vec::new();
+                let mut dm = Vec::new();
+                let r = decode_block(&copy, &mut da, &mut dm);
+                assert!(r.is_err(), "flip of bit {bit} in byte {i} must be detected");
+                copy[i] ^= 1 << bit;
+            }
+        }
+        assert_eq!(copy, bytes);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (addrs, meta) = sample(32, 33);
+        let bytes = encode_stream(&addrs, &meta);
+        for cut in 0..bytes.len() {
+            let mut da = Vec::new();
+            let mut dm = Vec::new();
+            assert!(decode_block(&bytes[..cut], &mut da, &mut dm).is_err());
+        }
+    }
+
+    #[test]
+    fn unchecked_decode_still_rejects_truncation() {
+        let (addrs, meta) = sample(100, 5);
+        let bytes = encode_stream(&addrs, &meta);
+        for cut in 0..BLOCK_OVERHEAD {
+            let mut out = Vec::new();
+            assert!(decode_block_events_unchecked(&bytes[..cut], &mut out).is_err());
+        }
+        let mut out = Vec::new();
+        assert!(decode_block_events_unchecked(&bytes[..bytes.len() - 1], &mut out).is_err());
+    }
+
+    #[test]
+    fn unchecked_decode_rejects_reserved_control_bits() {
+        let (addrs, meta) = sample(16, 9);
+        let mut bytes = Vec::new();
+        encode_block(&mut bytes, &addrs, &meta);
+        bytes[8] |= CTL_RESERVED_BIT; // first control byte
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_block_events_unchecked(&bytes, &mut out),
+            Err(BlockError::Malformed)
+        );
+    }
+
+    #[test]
+    fn extent_reports_frame_and_count() {
+        let (addrs, meta) = sample(5, 3);
+        let mut bytes = Vec::new();
+        let frame = encode_block(&mut bytes, &addrs, &meta);
+        assert_eq!(block_extent(&bytes).expect("well-formed"), (frame, 5));
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`instr`] / [`data`] — the instruction-fetch and data-reference
 //!   locality models;
 //! * [`gen`] — the deterministic streaming [`gen::TraceGenerator`];
+//! * [`codec`] — the branchless control-byte delta codec (v3 encoding)
+//!   shared by the arena and the file format: per-block checksums, 2–4×
+//!   smaller streams;
 //! * [`file`](mod@crate::file) — a compact binary trace format for
 //!   capture/replay, checksummed against bit corruption;
 //! * [`crc`] — the vendored CRC32 shared by every durable on-disk format;
@@ -40,6 +43,7 @@
 pub mod addr;
 pub mod arena;
 pub mod bench_model;
+pub mod codec;
 pub mod crc;
 pub mod data;
 pub mod event;

@@ -1,14 +1,21 @@
 //! Property-style robustness tests for the checksummed GTRC format.
 //!
-//! The invariant under test: corruption of a version-2 trace is always
-//! *detected*, never misparsed. We drive it with exhaustive truncation
-//! (every byte boundary) and exhaustive single-bit mutation (every bit
-//! of every byte), plus seeded multi-byte mutations from the vendored
-//! PRNG — no external property-testing dependency.
+//! The invariant under test: corruption of a version-3 trace is always
+//! *detected*, never misparsed — and beyond detection, [`salvage_trace`]
+//! recovers everything except the damaged block. We drive it with
+//! exhaustive truncation (every byte boundary) and exhaustive single-bit
+//! mutation (every bit of every byte) on a single-block file, seeded
+//! multi-byte mutations from the vendored PRNG, and seeded bit flips /
+//! truncations on a multi-block file for the salvage properties — no
+//! external property-testing dependency.
 
-use gaas_trace::file::{read_trace, write_trace, ReadTraceError, TraceReader};
+use gaas_trace::codec::{self, BLOCK_EVENTS};
+use gaas_trace::file::{read_trace, salvage_trace, write_trace, ReadTraceError, TraceReader};
 use gaas_trace::rng::SmallRng;
 use gaas_trace::{Pid, TraceEvent, VirtAddr};
+
+/// Fixed header size: magic + version + event count.
+const HEADER: usize = 16;
 
 /// A deterministic event mix exercising every tag bit, stall values, and
 /// high address bits (so checksum coverage spans the whole record).
@@ -35,6 +42,21 @@ fn encoded(events: &[TraceEvent]) -> Vec<u8> {
     let mut buf = Vec::new();
     write_trace(&mut buf, events).expect("in-memory write cannot fail");
     buf
+}
+
+/// Byte offsets where each encoded block starts, plus the end of the
+/// block region (= start of the tail index).
+fn block_boundaries(buf: &[u8], n_events: usize) -> (Vec<usize>, usize) {
+    let mut starts = Vec::new();
+    let mut off = HEADER;
+    let mut seen = 0usize;
+    while seen < n_events {
+        starts.push(off);
+        let (frame, count) = codec::block_extent(&buf[off..]).expect("intact block");
+        off += frame;
+        seen += count;
+    }
+    (starts, off)
 }
 
 #[test]
@@ -105,20 +127,21 @@ fn seeded_multi_byte_mutations_are_detected() {
 }
 
 #[test]
-fn streaming_reader_flags_corruption_after_the_fact() {
-    // The streaming reader yields events before it can know the footer
-    // is wrong; the contract is that `error()` reports the corruption
-    // once the stream is exhausted — callers must check it.
-    let events = sample_events(14, 16);
+fn streaming_reader_stops_at_the_corrupt_block() {
+    // Version 3 verifies each block's CRC *before* yielding any of its
+    // events, so corruption in block 2 surfaces with block 1 streamed
+    // intact and nothing from the damaged block leaked.
+    let events = sample_events(14, BLOCK_EVENTS + 100);
     let mut buf = encoded(&events);
-    let mid = 16 + 5 * 10 + 3; // header + five events + into the sixth
-    buf[mid] ^= 0x40;
+    let (starts, _) = block_boundaries(&buf, events.len());
+    buf[starts[1] + 20] ^= 0x40; // inside block 2's payload
     let mut r = TraceReader::new(buf.as_slice()).expect("header is intact");
-    let _streamed: Vec<TraceEvent> = r.by_ref().collect();
+    let streamed: Vec<TraceEvent> = r.by_ref().collect();
+    assert_eq!(streamed, events[..BLOCK_EVENTS]);
     assert!(
         matches!(
             r.error(),
-            Some(ReadTraceError::BadChecksum { .. } | ReadTraceError::BadKind(_))
+            Some(ReadTraceError::BadChecksum { .. } | ReadTraceError::BadBlock(_))
         ),
         "corruption must surface through error(): {:?}",
         r.error()
@@ -127,24 +150,128 @@ fn streaming_reader_flags_corruption_after_the_fact() {
 
 #[test]
 fn boundary_truncations_name_the_right_failure() {
-    let events = sample_events(15, 8);
+    let events = sample_events(15, 2 * BLOCK_EVENTS + 9);
     let buf = encoded(&events);
-    let header = 16; // magic + version + count
-                     // Cut exactly at each event boundary: count now overstates events.
-    for k in 0..events.len() {
-        let cut = header + k * 10;
+    let (starts, index_start) = block_boundaries(&buf, events.len());
+    // Cut exactly at each block boundary: count now overstates events.
+    for (k, &cut) in starts.iter().enumerate().skip(1) {
         assert!(
             matches!(
                 read_trace(&buf[..cut]).unwrap_err(),
                 ReadTraceError::Truncated
             ),
-            "cut at event boundary {k}"
+            "cut at block boundary {k}"
         );
     }
-    // Cut exactly before the footer: events all read, checksum missing.
+    // Cut exactly before the tail index: events all read, index missing.
+    assert!(matches!(
+        read_trace(&buf[..index_start]).unwrap_err(),
+        ReadTraceError::Truncated
+    ));
+    // Cut exactly before the file CRC: index reads, footer missing.
     let cut = buf.len() - 4;
     assert!(matches!(
         read_trace(&buf[..cut]).unwrap_err(),
         ReadTraceError::Truncated
     ));
+}
+
+/// Splits `events` into encoded-block-sized chunks.
+fn blocks_of(events: &[TraceEvent]) -> Vec<&[TraceEvent]> {
+    events.chunks(BLOCK_EVENTS).collect()
+}
+
+/// True when `recovered` equals `events` with at most one whole block
+/// removed.
+fn is_original_minus_at_most_one_block(recovered: &[TraceEvent], events: &[TraceEvent]) -> bool {
+    if recovered == events {
+        return true;
+    }
+    let blocks = blocks_of(events);
+    (0..blocks.len()).any(|skip| {
+        let mut candidate = Vec::with_capacity(events.len());
+        for (i, b) in blocks.iter().enumerate() {
+            if i != skip {
+                candidate.extend_from_slice(b);
+            }
+        }
+        recovered == candidate.as_slice()
+    })
+}
+
+#[test]
+fn salvage_after_any_single_bit_flip_loses_at_most_one_block() {
+    let events = sample_events(16, 3 * BLOCK_EVENTS);
+    let buf = encoded(&events);
+    let mut rng = SmallRng::seed_from_u64(0x5A17A6E);
+    let mut copy = buf.clone();
+    for _ in 0..1500 {
+        let i = rng.gen_range(0usize..copy.len());
+        let bit = rng.gen_range(0u32..8) as u8;
+        copy[i] ^= 1 << bit;
+        match salvage_trace(&copy) {
+            Ok((recovered, report)) => {
+                assert!(
+                    is_original_minus_at_most_one_block(&recovered, &events),
+                    "flip of bit {bit} in byte {i}: salvage lost more than one block \
+                     ({} of {} events)",
+                    recovered.len(),
+                    events.len()
+                );
+                if report.used_index {
+                    assert!(
+                        report.blocks_lost <= 1,
+                        "flip of bit {bit} in byte {i}: index salvage reported {} lost blocks",
+                        report.blocks_lost
+                    );
+                }
+            }
+            // Only a flip inside the 8 magic/version bytes may make the
+            // image unrecognizable as a v3 trace.
+            Err(e) => assert!(i < 8, "flip of bit {bit} in byte {i} errored: {e}"),
+        }
+        copy[i] ^= 1 << bit;
+    }
+    assert_eq!(copy, buf, "mutation loop must restore the buffer");
+}
+
+#[test]
+fn salvage_after_any_truncation_keeps_the_intact_prefix() {
+    let events = sample_events(17, 3 * BLOCK_EVENTS);
+    let buf = encoded(&events);
+    let (starts, index_start) = block_boundaries(&buf, events.len());
+    let mut rng = SmallRng::seed_from_u64(0x7A11);
+    let mut cuts: Vec<usize> = (0..400).map(|_| rng.gen_range(HEADER..buf.len())).collect();
+    cuts.extend(starts.iter().copied());
+    cuts.push(index_start);
+    cuts.push(buf.len() - 1);
+    for cut in cuts {
+        let (recovered, report) = salvage_trace(&buf[..cut]).expect("header intact");
+        // Whole blocks that fit entirely before the cut must survive.
+        let complete = starts
+            .iter()
+            .enumerate()
+            .take_while(|&(k, _)| {
+                let end = starts.get(k + 1).copied().unwrap_or(index_start);
+                end <= cut.min(index_start)
+            })
+            .count();
+        let expect = (complete * BLOCK_EVENTS).min(events.len());
+        assert!(
+            recovered.len() >= expect,
+            "cut at {cut}: recovered {} events, expected at least {expect}",
+            recovered.len()
+        );
+        assert_eq!(
+            &recovered[..expect],
+            &events[..expect],
+            "cut at {cut}: surviving prefix must replay verbatim"
+        );
+        assert_eq!(report.events, recovered.len());
+    }
+    // Sanity: the untruncated image salvages completely through the index.
+    let (all, report) = salvage_trace(&buf).expect("intact");
+    assert_eq!(all, events);
+    assert!(report.used_index);
+    assert_eq!(report.blocks_lost, 0);
 }
