@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH]
-//!               [--kernel-only] [--reference PATH]
+//!               [--kernel-only] [--reference PATH] [--copricing-min X]
 //!
 //! --scale S    workload scale for the per-figure wall-clocks
 //!              (default GAAS_BENCH_SCALE or 2e-3)
@@ -12,13 +12,18 @@
 //! --samples K  timed repetitions per kernel measurement; best-of-K is
 //!              reported (default 3)
 //! --out PATH   where to write the JSON report (default BENCH_sim.json)
-//! --kernel-only  measure only the kernel and telemetry-overhead sections
-//!              (skips figures and the sweep passes; CI's overhead gate
-//!              uses this for a fast, low-noise comparison)
+//! --kernel-only  measure only the kernel, telemetry-overhead, and
+//!              co-pricing sections (skips figures and the sweep passes;
+//!              CI's overhead gates use this for a fast, low-noise
+//!              comparison)
 //! --reference PATH  gate against a prior report: exit 1 if this build's
 //!              batched (telemetry-disabled) throughput falls more than
 //!              3% below the reference's — the disabled-telemetry
 //!              zero-cost contract
+//! --copricing-min X  gate on the co-pricer: exit 1 if one co-priced
+//!              pass over the 4-lane kernel group is not at least X times
+//!              faster than pricing the four variants one at a time
+//!              (CI uses 1.5)
 //! ```
 //!
 //! The report (`BENCH_sim.json`) records:
@@ -35,6 +40,12 @@
 //!   (`enabled_over_disabled`), and the `--reference` gate result for the
 //!   disabled mode (the hooks behind the cached enable flag must stay
 //!   within 3% of the pre-telemetry throughput);
+//! * **copricing** — one baseline-geometry functional profile priced as a
+//!   4-variant group both ways: four serial [`price_profile`] replays vs.
+//!   one [`price_profiles`] co-priced streaming pass (N lanes in
+//!   lockstep over a single token decode). Records both wall-clocks, the
+//!   speedup, byte-identity of the results, and the `--copricing-min`
+//!   gate outcome; measured even under `--kernel-only`;
 //! * **figures** — wall-clock seconds to regenerate each paper figure at
 //!   table scale (with two-phase sweep memoization on, its default);
 //! * **sweep** — a geometry-diverse 16-cell sweep (4 L2-D geometries × 4
@@ -48,8 +59,10 @@
 //!   functional passes instead of 16), which holds even with one core;
 //! * **arena** — trace-arena generation/reuse/bypass counters, hit rate,
 //!   residency, and the v3 compression ratio over the whole run;
-//! * **memo** — functional runs vs. priced cells in the measured sweep
-//!   and the resulting reuse factor;
+//! * **memo** — functional runs vs. priced cells in the measured sweep,
+//!   the resulting reuse factor, and the co-pricer's work counters
+//!   (groups co-priced in one pass, lanes, replay passes saved,
+//!   fallbacks to per-variant pricing);
 //! * **determinism** — whether batched-vs-unbatched,
 //!   telemetry-vs-disabled, parallel-vs-serial and memoized-vs-full runs
 //!   produced identical counters (they must; any violation exits 1).
@@ -64,7 +77,7 @@ use gaas_experiments::{
     ablations, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
 };
 use gaas_sim::config::{L2Config, L2Side, SimConfig, TelemetryConfig};
-use gaas_sim::{sim, workload, SimResult};
+use gaas_sim::{price_profile, price_profiles, sim, workload, SimResult, Simulator};
 use gaas_trace::bench_model::suite;
 use gaas_trace::{arena, Trace, UnbatchedTrace};
 
@@ -95,6 +108,17 @@ struct SweepReport {
     memo_deterministic: bool,
 }
 
+/// The co-pricer kernel measurement: one functional profile, one 4-lane
+/// timing group, priced serially and co-priced (always measured, even
+/// under `--kernel-only`).
+struct CopricingReport {
+    lanes: usize,
+    serial_priced_secs: f64,
+    copriced_secs: f64,
+    speedup: f64,
+    identical: bool,
+}
+
 fn main() {
     let mut scale = table_scale();
     let mut jobs = std::thread::available_parallelism()
@@ -104,6 +128,7 @@ fn main() {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut kernel_only = false;
     let mut reference_path: Option<String> = None;
+    let mut copricing_min: Option<f64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -117,12 +142,18 @@ fn main() {
             "--reference" => {
                 reference_path = Some(it.next().unwrap_or_else(|| usage("--reference")).clone());
             }
+            "--copricing-min" => copricing_min = Some(parse(it.next(), "--copricing-min")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
     if !(scale.is_finite() && scale > 0.0 && scale <= 1.0) {
         usage("--scale must be in (0, 1]");
+    }
+    if let Some(m) = copricing_min {
+        if !(m.is_finite() && m > 0.0) {
+            usage("--copricing-min must be a positive number");
+        }
     }
     let jobs = jobs.max(1);
     let samples = samples.max(1);
@@ -209,6 +240,28 @@ fn main() {
         }
     );
 
+    // --- Co-pricing: one streaming pass vs. per-variant replays. --------
+    let copricing = measure_copricing(kernel_scale, samples);
+    let copricing_gate_passed = copricing_min.map(|m| copricing.speedup >= m);
+    eprintln!(
+        "[copricing: {} lanes, serial priced {:.3}s, co-priced {:.3}s, speedup {:.2}x, \
+         results {}{}]",
+        copricing.lanes,
+        copricing.serial_priced_secs,
+        copricing.copriced_secs,
+        copricing.speedup,
+        if copricing.identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        match (copricing_min, copricing_gate_passed) {
+            (Some(m), Some(ok)) =>
+                format!(", gate >= {m}x ({})", if ok { "passed" } else { "FAILED" }),
+            _ => String::new(),
+        }
+    );
+
     // --- Figures: wall-clock to regenerate each at table scale. ---------
     let mut figures: Vec<(&str, f64)> = Vec::new();
     let mut sweep: Option<SweepReport> = None;
@@ -242,7 +295,7 @@ fn main() {
     // --- Emit the JSON report. ------------------------------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": 4,");
+    let _ = writeln!(j, "  \"schema\": 5,");
     let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
     let _ = writeln!(j, "  \"scale\": {scale},");
     let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
@@ -303,6 +356,31 @@ fn main() {
         j,
         "    \"reference_gate_passed\": {}",
         reference_passed.map_or("null".into(), |b| b.to_string())
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"copricing\": {{");
+    let _ = writeln!(j, "    \"lanes\": {},", copricing.lanes);
+    let _ = writeln!(
+        j,
+        "    \"serial_priced_seconds\": {:.6},",
+        copricing.serial_priced_secs
+    );
+    let _ = writeln!(
+        j,
+        "    \"copriced_seconds\": {:.6},",
+        copricing.copriced_secs
+    );
+    let _ = writeln!(j, "    \"speedup\": {:.4},", copricing.speedup);
+    let _ = writeln!(j, "    \"identical\": {},", copricing.identical);
+    let _ = writeln!(
+        j,
+        "    \"min_speedup_gate\": {},",
+        opt_num(copricing_min, 2)
+    );
+    let _ = writeln!(
+        j,
+        "    \"gate_passed\": {}",
+        copricing_gate_passed.map_or("null".into(), |b| b.to_string())
     );
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"figures\": [");
@@ -388,7 +466,24 @@ fn main() {
             let _ = writeln!(j, "  \"memo\": {{");
             let _ = writeln!(j, "    \"functional_runs\": {},", s.memo.functional_runs);
             let _ = writeln!(j, "    \"priced_cells\": {},", s.memo.priced_cells);
-            let _ = writeln!(j, "    \"reuse_factor\": {:.4}", s.memo.reuse_factor());
+            let _ = writeln!(j, "    \"reuse_factor\": {:.4},", s.memo.reuse_factor());
+            let _ = writeln!(j, "    \"copriced_groups\": {},", s.memo.copriced_groups);
+            let _ = writeln!(j, "    \"copriced_lanes\": {},", s.memo.copriced_lanes);
+            let _ = writeln!(
+                j,
+                "    \"replay_passes_saved\": {},",
+                s.memo.replay_passes_saved
+            );
+            let _ = writeln!(
+                j,
+                "    \"copricer_fallbacks\": {},",
+                s.memo.copricer_fallbacks
+            );
+            let _ = writeln!(
+                j,
+                "    \"lanes_per_group\": {:.4}",
+                s.memo.lanes_per_group()
+            );
             let _ = writeln!(j, "  }},");
         }
         None => {
@@ -406,6 +501,11 @@ fn main() {
         j,
         "    \"telemetry_equals_disabled\": {telem_deterministic},"
     );
+    let _ = writeln!(
+        j,
+        "    \"copriced_equals_serial_priced\": {},",
+        copricing.identical
+    );
     let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic},");
     let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic}");
     let _ = writeln!(j, "  }}");
@@ -417,9 +517,22 @@ fn main() {
     }
     eprintln!("[wrote {out_path}]");
 
-    if !kernel_deterministic || !telem_deterministic || !sweep_deterministic || !memo_deterministic
+    if !kernel_deterministic
+        || !telem_deterministic
+        || !sweep_deterministic
+        || !memo_deterministic
+        || !copricing.identical
     {
         eprintln!("error: determinism violation — see the report");
+        std::process::exit(1);
+    }
+    if copricing_gate_passed == Some(false) {
+        eprintln!(
+            "error: co-priced pass is only {:.2}x faster than serial per-variant \
+             pricing (gate requires {:.2}x)",
+            copricing.speedup,
+            copricing_min.unwrap_or(0.0)
+        );
         std::process::exit(1);
     }
     if reference_passed == Some(false) {
@@ -441,6 +554,47 @@ fn main() {
                 s.cells / s.geometry_groups
             );
         }
+    }
+}
+
+/// Prices one baseline-geometry 4-lane timing group (L2 access 2/4/6/8)
+/// from a single functional profile, serially and co-priced, best-of-K
+/// each. The profile is recorded once up front — both timed paths replay
+/// the same token stream, so the comparison isolates the replay cost.
+fn measure_copricing(kernel_scale: f64, samples: usize) -> CopricingReport {
+    let base = SimConfig::baseline();
+    let (_, profile) = Simulator::new(base.clone())
+        .expect("valid config")
+        .run_profiled(workload::standard(kernel_scale), 0)
+        .expect("baseline is memoizable");
+    let lanes: Vec<SimConfig> = [2u32, 4, 6, 8]
+        .iter()
+        .map(|&t| {
+            let mut b = base.to_builder();
+            b.l2_access(t);
+            b.build().expect("valid config")
+        })
+        .collect();
+
+    let (serial_priced_secs, serial) = best_of(samples, || {
+        lanes
+            .iter()
+            .map(|cfg| price_profile(cfg, &profile).expect("replay pricing"))
+            .collect::<Vec<_>>()
+    });
+    let (copriced_secs, co) = best_of(samples, || {
+        price_profiles(&lanes, &profile).expect("co-priced pricing")
+    });
+    let identical = serial.len() == co.len()
+        && serial.iter().zip(&co).all(|(a, b)| {
+            a.counters == b.counters && a.per_process == b.per_process && a.completed == b.completed
+        });
+    CopricingReport {
+        lanes: lanes.len(),
+        serial_priced_secs,
+        copriced_secs,
+        speedup: serial_priced_secs / copriced_secs,
+        identical,
     }
 }
 
@@ -580,7 +734,7 @@ fn unbatched(traces: Vec<Box<dyn Trace>>) -> Vec<Box<dyn Trace>> {
 
 /// Runs `f` `samples` times, returning the best wall-clock and the last
 /// result (all results are identical by the determinism invariant).
-fn best_of(samples: usize, mut f: impl FnMut() -> SimResult) -> (f64, SimResult) {
+fn best_of<T>(samples: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..samples {
@@ -604,7 +758,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: perf_baseline [--scale S] [--jobs N] [--samples K] [--out PATH] \
-         [--kernel-only] [--reference PATH]"
+         [--kernel-only] [--reference PATH] [--copricing-min X]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

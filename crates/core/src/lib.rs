@@ -66,7 +66,7 @@ pub use config::{
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
 pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};
-pub use profile::{functional_fingerprint, price_profile, FunctionalProfile};
+pub use profile::{functional_fingerprint, price_profile, price_profiles, FunctionalProfile};
 pub use sched::SchedSnapshot;
 pub use sim::{
     run, CancelToken, Checkpoint, SimError, SimResult, Simulator, TelemetryReport, Termination,

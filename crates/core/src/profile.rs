@@ -27,13 +27,35 @@
 //! functional outcomes: every timing variant of one geometry executes the
 //! identical instruction interleaving.
 //!
+//! # Multi-variant co-pricing
+//!
+//! A geometry group usually carries several timing variants, and replaying
+//! the token stream once per variant decodes the same ~5.5 M-event stream
+//! N times. [`price_profiles`] collapses that: ONE pass over the token
+//! stream advances N variant *lanes* in lockstep. Each instruction record
+//! is decoded once into locals (stall, TLB bits, outcomes, drain codes,
+//! side-channel addresses) and then applied to every lane; per-lane timing
+//! state is laid out structure-of-arrays (`now`, counters, write-buffer
+//! occupancy planes) so the inner loop is branch-light, and the
+//! write-buffer line probe compares a whole lane window with one
+//! XOR/mask/compare per word ([`gaas_cache::line_member_mask`]). Results
+//! are byte-identical to N independent [`price_profile`] calls.
+//!
+//! The address side channel is stored as codec-v3 blocks
+//! ([`gaas_trace::codec::encode_u64_stream`]) and streamed through a
+//! block-at-a-time cursor during replay — at most one ≤4096-entry batch
+//! buffer is decoded at any moment, consumed by all lanes before the next
+//! block is touched, instead of materializing the whole packed stream per
+//! replay.
+//!
 //! [`functional_fingerprint`] defines the grouping key. It destructures
 //! [`SimConfig`] *exhaustively* — adding a config field without
 //! classifying it as functional, timing, or disqualifying breaks the
 //! build, so the memoizer can never silently group configurations that
 //! differ functionally.
 
-use gaas_cache::{MainMemory, MemorySystem, WriteBuffer, WritePolicy};
+use gaas_cache::{line_member_mask, MainMemory, MemorySystem, WriteBuffer, WritePolicy};
+use gaas_trace::codec::{encode_u64_stream, U64StreamCursor};
 use gaas_trace::{PhysAddr, Pid};
 
 use crate::config::{
@@ -106,8 +128,13 @@ pub struct FunctionalProfile {
     pub warmup: u64,
     /// Packed per-instruction outcome tokens.
     ops: Vec<u8>,
-    /// Physical word addresses for the write-buffer replay.
-    addrs: Vec<u64>,
+    /// Physical word addresses for the write-buffer replay, stored as
+    /// codec-v3 blocks ([`encode_u64_stream`]) and streamed block-at-a-
+    /// time during pricing. Clustered write-buffer/line-base addresses
+    /// delta-compress 2–4× versus the 8 B/entry packed form.
+    addr_blocks: Vec<u8>,
+    /// Number of addresses encoded in `addr_blocks`.
+    addr_count: u64,
     /// Benchmarks in completion order (scheduler outcome, functional).
     pub completed: Vec<String>,
     /// Voluntary-syscall context switches taken.
@@ -119,9 +146,18 @@ pub struct FunctionalProfile {
 }
 
 impl FunctionalProfile {
-    /// Approximate heap footprint in bytes (capacity planning).
+    /// Approximate heap footprint in bytes (capacity planning). The
+    /// address side channel is counted at its compressed size — what the
+    /// profile actually occupies while cached.
     pub fn size_bytes(&self) -> usize {
-        self.ops.len() + 8 * self.addrs.len()
+        self.ops.len() + self.addr_blocks.len()
+    }
+
+    /// Addresses in the side channel (the count behind
+    /// [`Self::size_bytes`]'s compressed `addr` term; 8 bytes each before
+    /// compression).
+    pub fn addr_count(&self) -> u64 {
+        self.addr_count
     }
 
     /// Instructions the profile covers (including warm-up).
@@ -293,7 +329,8 @@ impl ProfileRecorder {
             fkey,
             warmup,
             ops: self.ops,
-            addrs: self.addrs,
+            addr_blocks: encode_u64_stream(&self.addrs),
+            addr_count: self.addrs.len() as u64,
             completed: result.completed.clone(),
             syscall_switches: result.counters.syscall_switches,
             slice_switches: result.counters.slice_switches,
@@ -486,9 +523,8 @@ pub fn price_profile(cfg: &SimConfig, profile: &FunctionalProfile) -> Result<Sim
     let mut p = Pricer {
         cfg,
         ops: &profile.ops,
-        addrs: &profile.addrs,
+        addrs: U64StreamCursor::new(&profile.addr_blocks),
         i: 0,
-        ai: 0,
         now: 0,
         counters: Counters::new(),
         per_proc: Vec::new(),
@@ -523,7 +559,7 @@ pub fn price_profile(cfg: &SimConfig, profile: &FunctionalProfile) -> Result<Sim
         }
     }
     debug_assert_eq!(p.i, p.ops.len(), "ops stream fully consumed");
-    debug_assert_eq!(p.ai, p.addrs.len(), "addrs stream fully consumed");
+    debug_assert!(p.addrs.finished(), "addrs stream fully consumed");
     debug_assert_eq!(
         p.now,
         p.counters.total_cycles(),
@@ -562,9 +598,10 @@ pub fn price_profile(cfg: &SimConfig, profile: &FunctionalProfile) -> Result<Sim
 struct Pricer<'a> {
     cfg: &'a SimConfig,
     ops: &'a [u8],
-    addrs: &'a [u64],
+    /// Streaming decoder over the compressed address side channel: one
+    /// block of scratch at a time, never the whole materialized stream.
+    addrs: U64StreamCursor<'a>,
     i: usize,
-    ai: usize,
     now: u64,
     counters: Counters,
     per_proc: Vec<ProcCounters>,
@@ -586,9 +623,7 @@ impl Pricer<'_> {
     }
 
     fn next_addr(&mut self) -> PhysAddr {
-        let a = self.addrs[self.ai];
-        self.ai += 1;
-        PhysAddr::new(a)
+        PhysAddr::new(self.addrs.next_value().expect("addrs stream underrun"))
     }
 
     fn proc_entry(&mut self) -> &mut ProcCounters {
@@ -821,6 +856,752 @@ impl Pricer<'_> {
     }
 }
 
+// ---- multi-variant co-pricer ----
+
+/// Prices **every** timing variant in `cfgs` against one
+/// [`FunctionalProfile`] in a single pass over the token/address stream,
+/// returning one [`SimResult`] per config, in order — each byte-identical
+/// to what [`price_profile`] (and hence a full simulation) produces.
+///
+/// Where N separate [`price_profile`] calls decode the same token stream
+/// N times, this engine decodes each instruction record once and applies
+/// it to N variant *lanes* advanced in lockstep; see the module docs for
+/// the lane layout. The address side channel streams through one shared
+/// block cursor, so every decoded batch is consumed by all lanes before
+/// the next block is touched.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] when any config fails validation (the
+/// caller falls back to per-variant pricing / full simulation).
+///
+/// # Panics
+///
+/// Panics when any `cfg` is not a timing variant of the profiled
+/// geometry (`functional_fingerprint(cfg) != Some(profile.fkey)`) —
+/// grouping mistakes are programming errors, not recoverable conditions.
+pub fn price_profiles(
+    cfgs: &[SimConfig],
+    profile: &FunctionalProfile,
+) -> Result<Vec<SimResult>, SimError> {
+    for cfg in cfgs {
+        cfg.validate()?;
+        assert_eq!(
+            functional_fingerprint(cfg),
+            Some(profile.fkey),
+            "price_profiles requires timing variants of the profiled geometry"
+        );
+    }
+    if cfgs.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    let mut p = CoPricer::new(cfgs);
+    let mut addrs = U64StreamCursor::new(&profile.addr_blocks);
+    let next_addr =
+        |cur: &mut U64StreamCursor<'_>| PhysAddr::new(cur.next_value().expect("addrs underrun"));
+
+    let ops = &profile.ops[..];
+    let mut warm = false;
+    // Run accumulator for "trivial" records — every cache level hit, so
+    // the cost is lane-independent (or a lane-constant TLB penalty times
+    // a shared count). These records — the vast majority of the stream —
+    // cost a handful of scalar adds each; the per-lane loop runs only on
+    // the flush that precedes a miss, a PID switch, or the warmup
+    // boundary. This is what makes N-lane co-pricing cheaper than N
+    // replays: the scalar pricer pays the full per-event bookkeeping per
+    // lane, the co-pricer pays it per *run*.
+    let mut pend = PendingRun::default();
+    // Architectural instruction count so far (lane-independent), kept
+    // outside the lanes so the warmup boundary check stays scalar.
+    let mut instr_total = 0u64;
+    let mut i = 0usize;
+    while i < ops.len() {
+        let b = ops[i];
+        i += 1;
+        if b & CONTROL == CONTROL {
+            p.flush(&mut pend);
+            p.switch_pid(ops[i]);
+            i += 1;
+            continue;
+        }
+        // Decode the whole instruction record into locals once, then
+        // apply it to every lane (or fold it into the pending run).
+        let mut stall = ((b >> 2) & 0x07) as u64;
+        if stall == STALL_ESCAPE as u64 {
+            stall = ops[i] as u64;
+            i += 1;
+        }
+        let itlb = b & I_TLB_MISS != 0;
+        let i_outcome = b & OUTCOME_MASK;
+        instr_total += 1;
+        match b & CONTROL {
+            KIND_LOAD => {
+                let lb = ops[i];
+                i += 1;
+                let outcome = lb & OUTCOME_MASK;
+                if i_outcome == 0 && outcome == 0 {
+                    pend.ifetch_hit(stall, itlb);
+                    pend.load_hit(lb & LOAD_DTLB != 0);
+                } else {
+                    let (mut line_base, mut victim) = (PhysAddr::new(0), None);
+                    if outcome != 0 {
+                        line_base = next_addr(&mut addrs);
+                        if lb & LOAD_VICTIM != 0 {
+                            let addr = next_addr(&mut addrs);
+                            let code = ops[i];
+                            i += 1;
+                            victim = Some((addr, code));
+                        }
+                    }
+                    let replaced = lb & LOAD_REPLACED != 0;
+                    let dtlb = lb & LOAD_DTLB != 0;
+                    p.flush(&mut pend);
+                    for l in 0..p.n {
+                        p.apply_ifetch(l, stall, itlb, i_outcome);
+                        p.apply_load(l, dtlb, outcome, replaced, line_base, victim);
+                    }
+                }
+            }
+            KIND_STORE => {
+                let sb = ops[i];
+                i += 1;
+                if i_outcome == 0 && sb & (STORE_FETCH | STORE_WB_WORD | STORE_VICTIM) == 0 {
+                    pend.ifetch_hit(stall, itlb);
+                    pend.store_simple(sb);
+                } else {
+                    let (mut outcome, mut replaced) = (0u8, false);
+                    if sb & STORE_FETCH != 0 {
+                        let ext = ops[i];
+                        i += 1;
+                        outcome = ext & OUTCOME_MASK;
+                        replaced = ext & EXT_REPLACED != 0;
+                    }
+                    // Side-channel consumption order mirrors the scalar
+                    // replay: wb word, fetched line base, victim.
+                    let mut wb_word = None;
+                    if sb & STORE_WB_WORD != 0 {
+                        let addr = next_addr(&mut addrs);
+                        let code = ops[i];
+                        i += 1;
+                        wb_word = Some((addr, code));
+                    }
+                    let mut line_base = PhysAddr::new(0);
+                    if sb & STORE_FETCH != 0 {
+                        line_base = next_addr(&mut addrs);
+                    }
+                    let mut victim = None;
+                    if sb & STORE_VICTIM != 0 {
+                        let addr = next_addr(&mut addrs);
+                        let code = ops[i];
+                        i += 1;
+                        victim = Some((addr, code));
+                    }
+                    p.flush(&mut pend);
+                    for l in 0..p.n {
+                        p.apply_ifetch(l, stall, itlb, i_outcome);
+                        p.apply_store(l, sb, outcome, replaced, wb_word, line_base, victim);
+                    }
+                }
+            }
+            _ => {
+                if i_outcome == 0 {
+                    pend.ifetch_hit(stall, itlb);
+                } else {
+                    p.flush(&mut pend);
+                    for l in 0..p.n {
+                        p.apply_ifetch(l, stall, itlb, i_outcome);
+                    }
+                }
+            }
+        }
+        if profile.warmup > 0 && !warm && instr_total == profile.warmup {
+            p.flush(&mut pend);
+            warm = true;
+            p.warm_snapshot = p.counters.clone();
+        }
+    }
+    p.flush(&mut pend);
+    debug_assert_eq!(i, ops.len(), "ops stream fully consumed");
+    debug_assert!(addrs.finished(), "addrs stream fully consumed");
+
+    Ok(p.into_results(cfgs, profile, warm))
+}
+
+/// Accumulated all-hit records awaiting a lane flush (see
+/// [`price_profiles`]): every field is either lane-independent outright
+/// or a shared count scaled by a lane constant at flush time.
+#[derive(Default)]
+struct PendingRun {
+    /// Instruction records in the run.
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    /// Lane-independent cycles: `1 + stall` per ifetch plus the 1-cycle
+    /// write-allocate extras.
+    base_cycles: u64,
+    cpu_stall: u64,
+    itlb: u64,
+    dtlb: u64,
+    /// `STORE_EXTRA` stores (each one `l1_write_cycles` cycle).
+    extra_writes: u64,
+    /// L1-D write misses that neither fetch nor enqueue (write-around
+    /// policies): counted, zero cycles.
+    store_misses: u64,
+}
+
+impl PendingRun {
+    #[inline]
+    fn ifetch_hit(&mut self, stall: u64, itlb: bool) {
+        self.instructions += 1;
+        self.base_cycles += 1 + stall;
+        self.cpu_stall += stall;
+        self.itlb += u64::from(itlb);
+    }
+
+    #[inline]
+    fn load_hit(&mut self, dtlb: bool) {
+        self.loads += 1;
+        self.dtlb += u64::from(dtlb);
+    }
+
+    #[inline]
+    fn store_simple(&mut self, sb: u8) {
+        self.stores += 1;
+        self.dtlb += u64::from(sb & STORE_DTLB != 0);
+        self.store_misses += u64::from(sb & STORE_HIT == 0);
+        let extra = u64::from(sb & STORE_EXTRA != 0);
+        self.extra_writes += extra;
+        self.base_cycles += extra;
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.instructions == 0 && self.loads == 0 && self.stores == 0
+    }
+}
+
+/// Lane-parallel replay state for [`price_profiles`]: the scalar
+/// [`Pricer`]'s fields twinned per lane, structure-of-arrays. The
+/// write buffers of all lanes live in two packed planes (`wb_addr`,
+/// `wb_done`) of `wb_stride` slots per lane — lane `l`'s FIFO ring is
+/// `plane[l * stride ..][slot]` — so the §9 associative-bypass line
+/// probe scans one lane window with [`line_member_mask`] (one
+/// XOR/mask/compare per word, no per-slot branching). Buffer *depth* is
+/// a timing knob, so lanes may use fewer slots than the stride
+/// (`stride = max(depth)` across the group).
+struct CoPricer {
+    n: usize,
+    now: Vec<u64>,
+    counters: Vec<Counters>,
+    warm_snapshot: Vec<Counters>,
+    per_proc: Vec<Vec<ProcCounters>>,
+    cur_pid: usize,
+    // Write-buffer planes + per-lane ring bookkeeping. Completion times
+    // are strictly increasing in enqueue order and lane time never goes
+    // backwards, so retirement pops a ring prefix (head/len), exactly
+    // like the scalar buffer's lazy `advance`.
+    wb_stride: usize,
+    wb_addr: Vec<u64>,
+    wb_done: Vec<u64>,
+    wb_head: Vec<usize>,
+    wb_len: Vec<usize>,
+    wb_last: Vec<u64>,
+    wb_depth: Vec<usize>,
+    mem_d: Vec<MemorySystem>,
+    mem_i: Vec<MemorySystem>,
+    // Per-lane timing constants (the scalar pricer's derived costs).
+    i_hit_cost: Vec<u64>,
+    d_hit_cost: Vec<u64>,
+    d_write_access: Vec<u32>,
+    d_write_stream: Vec<u32>,
+    tlb_penalty: Vec<u64>,
+    bypass: Vec<WbBypass>,
+    concurrent_i_refill: Vec<bool>,
+    split_l2: Vec<bool>,
+    /// `l1d.line_words - 1`; the line length is functional, hence
+    /// identical across lanes, and recorded line bases are line-aligned —
+    /// the two facts [`line_member_mask`] relies on.
+    d_line_mask: u64,
+}
+
+impl CoPricer {
+    fn new(cfgs: &[SimConfig]) -> Self {
+        let n = cfgs.len();
+        let beats = |line_words: u32| line_words.div_ceil(4);
+        let stride = cfgs.iter().map(|c| c.write_buffer.depth).max().unwrap_or(1);
+        let mut p = CoPricer {
+            n,
+            now: vec![0; n],
+            counters: vec![Counters::new(); n],
+            warm_snapshot: Vec::new(),
+            per_proc: vec![Vec::new(); n],
+            cur_pid: 0,
+            wb_stride: stride,
+            wb_addr: vec![0; n * stride],
+            wb_done: vec![0; n * stride],
+            wb_head: vec![0; n],
+            wb_len: vec![0; n],
+            wb_last: vec![0; n],
+            wb_depth: Vec::with_capacity(n),
+            mem_d: Vec::with_capacity(n),
+            mem_i: Vec::with_capacity(n),
+            i_hit_cost: Vec::with_capacity(n),
+            d_hit_cost: Vec::with_capacity(n),
+            d_write_access: Vec::with_capacity(n),
+            d_write_stream: Vec::with_capacity(n),
+            tlb_penalty: Vec::with_capacity(n),
+            bypass: Vec::with_capacity(n),
+            concurrent_i_refill: Vec::with_capacity(n),
+            split_l2: Vec::with_capacity(n),
+            d_line_mask: u64::from(cfgs[0].l1d.line_words) - 1,
+        };
+        for cfg in cfgs {
+            let i_side = cfg.l2.i_side();
+            let d_side = cfg.l2.d_side();
+            p.wb_depth.push(cfg.write_buffer.depth);
+            p.mem_d.push(MemorySystem::new(
+                cfg.memory,
+                cfg.concurrency.l2d_dirty_buffer,
+            ));
+            p.mem_i.push(MemorySystem::new(cfg.memory, false));
+            p.i_hit_cost
+                .push((i_side.access_cycles + beats(cfg.l1i.line_words) - 1) as u64);
+            p.d_hit_cost
+                .push((d_side.access_cycles + beats(cfg.l1d.line_words) - 1) as u64);
+            let access = cfg.l2_drain_access_override.unwrap_or(d_side.access_cycles);
+            p.d_write_access.push(access);
+            p.d_write_stream.push(access.saturating_sub(2).max(1));
+            p.tlb_penalty.push(cfg.tlb_miss_penalty as u64);
+            p.bypass.push(cfg.concurrency.d_read_bypass);
+            p.concurrent_i_refill
+                .push(cfg.concurrency.concurrent_i_refill);
+            p.split_l2.push(cfg.l2.is_split());
+        }
+        p
+    }
+
+    fn switch_pid(&mut self, pid: u8) {
+        self.cur_pid = pid as usize;
+        for pp in &mut self.per_proc {
+            if pp.len() <= self.cur_pid {
+                pp.resize(self.cur_pid + 1, ProcCounters::default());
+            }
+        }
+    }
+
+    /// Applies an accumulated all-hit run to every lane and resets it.
+    /// The whole run belongs to `cur_pid` (runs are flushed on PID
+    /// switches) and precedes any pending miss (runs are flushed before
+    /// the per-lane miss path), so lane time, counters, and the
+    /// per-process entry each advance by one closed-form delta.
+    fn flush(&mut self, pend: &mut PendingRun) {
+        if pend.is_empty() {
+            return;
+        }
+        let tlb_events = pend.itlb + pend.dtlb;
+        for l in 0..self.n {
+            let cycles = pend.base_cycles + tlb_events * self.tlb_penalty[l];
+            {
+                let c = &mut self.counters[l];
+                c.instructions += pend.instructions;
+                c.loads += pend.loads;
+                c.stores += pend.stores;
+                c.cpu_stall_cycles += pend.cpu_stall;
+                c.itlb_misses += pend.itlb;
+                c.dtlb_misses += pend.dtlb;
+                c.tlb_miss_cycles += tlb_events * self.tlb_penalty[l];
+                c.l1_write_cycles += pend.extra_writes;
+                c.l1d_write_misses += pend.store_misses;
+            }
+            self.now[l] += cycles;
+            let pp = self.proc_entry(l);
+            pp.instructions += pend.instructions;
+            pp.loads += pend.loads;
+            pp.stores += pend.stores;
+            pp.cycles += cycles;
+            pp.l1d_misses += pend.store_misses;
+        }
+        *pend = PendingRun::default();
+    }
+
+    // -- write buffer (twin of gaas_cache::WriteBuffer over the planes) --
+
+    #[inline]
+    fn wb_advance(&mut self, l: usize, now: u64) {
+        let base = l * self.wb_stride;
+        let depth = self.wb_depth[l];
+        let mut head = self.wb_head[l];
+        let mut len = self.wb_len[l];
+        while len > 0 && self.wb_done[base + head] <= now {
+            head += 1;
+            if head == depth {
+                head = 0;
+            }
+            len -= 1;
+        }
+        self.wb_head[l] = head;
+        self.wb_len[l] = len;
+    }
+
+    #[inline]
+    fn wb_slot_free_at(&mut self, l: usize, now: u64) -> u64 {
+        self.wb_advance(l, now);
+        if self.wb_len[l] < self.wb_depth[l] {
+            now
+        } else {
+            // Full: the oldest live entry frees the slot.
+            self.wb_done[l * self.wb_stride + self.wb_head[l]]
+        }
+    }
+
+    #[inline]
+    fn wb_empty_at(&mut self, l: usize, now: u64) -> u64 {
+        self.wb_advance(l, now);
+        if self.wb_len[l] == 0 {
+            now
+        } else {
+            // The youngest live entry is the last enqueued one.
+            self.wb_last[l].max(now)
+        }
+    }
+
+    #[inline]
+    fn wb_enqueue(&mut self, l: usize, enq_time: u64, addr: PhysAddr, extra: u32) -> u64 {
+        self.wb_advance(l, enq_time);
+        debug_assert!(self.wb_len[l] < self.wb_depth[l], "enqueue into full wb");
+        let isolated = enq_time + self.d_write_access[l] as u64;
+        let streamed = self.wb_last[l] + self.d_write_stream[l] as u64;
+        let completes = isolated.max(streamed) + extra as u64;
+        let depth = self.wb_depth[l];
+        let mut slot = self.wb_head[l] + self.wb_len[l];
+        if slot >= depth {
+            slot -= depth;
+        }
+        let at = l * self.wb_stride + slot;
+        self.wb_addr[at] = addr.word();
+        self.wb_done[at] = completes;
+        self.wb_len[l] += 1;
+        self.wb_last[l] = completes;
+        completes
+    }
+
+    /// Completion time of the youngest live entry whose address falls in
+    /// the L1-D line at `line_base` — the §9 associative-bypass probe.
+    fn wb_match_line(&mut self, l: usize, now: u64, line_base: PhysAddr) -> Option<u64> {
+        self.wb_advance(l, now);
+        let base = l * self.wb_stride;
+        let depth = self.wb_depth[l];
+        let head = self.wb_head[l];
+        let len = self.wb_len[l];
+        if depth <= 64 {
+            let mask = line_member_mask(
+                &self.wb_addr[base..base + depth],
+                line_base.word(),
+                self.d_line_mask,
+            );
+            for j in (0..len).rev() {
+                let mut slot = head + j;
+                if slot >= depth {
+                    slot -= depth;
+                }
+                if mask >> slot & 1 == 1 {
+                    return Some(self.wb_done[base + slot]);
+                }
+            }
+        } else {
+            // Degenerate deep buffers overflow the 64-bit probe mask;
+            // fall back to scalar compares, youngest first.
+            let keep = !self.d_line_mask;
+            let want = line_base.word();
+            for j in (0..len).rev() {
+                let mut slot = head + j;
+                if slot >= depth {
+                    slot -= depth;
+                }
+                if self.wb_addr[base + slot] & keep == want {
+                    return Some(self.wb_done[base + slot]);
+                }
+            }
+        }
+        None
+    }
+
+    // -- per-lane replay arithmetic (twin of the scalar `Pricer`) --
+
+    fn proc_entry(&mut self, l: usize) -> &mut ProcCounters {
+        let idx = self.cur_pid;
+        let pp = &mut self.per_proc[l];
+        if pp.len() <= idx {
+            pp.resize(idx + 1, ProcCounters::default());
+        }
+        &mut pp[idx]
+    }
+
+    #[inline]
+    fn charge_tlb_miss(&mut self, l: usize, instruction_side: bool, cycles: &mut u64) {
+        if instruction_side {
+            self.counters[l].itlb_misses += 1;
+        } else {
+            self.counters[l].dtlb_misses += 1;
+        }
+        let p = self.tlb_penalty[l];
+        self.counters[l].tlb_miss_cycles += p;
+        *cycles += p;
+    }
+
+    fn apply_ifetch(&mut self, l: usize, stall: u64, itlb: bool, outcome: u8) {
+        let mut cycles = 1 + stall;
+        self.counters[l].instructions += 1;
+        self.counters[l].cpu_stall_cycles += stall;
+        if itlb {
+            self.charge_tlb_miss(l, true, &mut cycles);
+        }
+        let missed = outcome != 0;
+        if missed {
+            self.counters[l].l1i_misses += 1;
+            let mut t = self.now[l] + cycles;
+            if !self.concurrent_i_refill[l] {
+                let empty = self.wb_empty_at(l, t);
+                let wait = empty - t;
+                self.counters[l].wb_wait_cycles += wait;
+                cycles += wait;
+                t = empty;
+            }
+            cycles += self.service_i(l, t, outcome);
+        }
+        self.now[l] += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry(l);
+        p.instructions += 1;
+        p.cycles += cycles;
+        if missed {
+            p.l1i_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+
+    fn service_i(&mut self, l: usize, start: u64, outcome: u8) -> u64 {
+        self.counters[l].l2i_accesses += 1;
+        let hit_cost = self.i_hit_cost[l];
+        if outcome == 1 {
+            self.counters[l].l1i_miss_cycles += hit_cost;
+            return hit_cost;
+        }
+        self.counters[l].l2i_misses += 1;
+        let svc = if self.split_l2[l] {
+            self.mem_i[l].service_miss(start, outcome == 3)
+        } else {
+            self.mem_d[l].service_miss(start, outcome == 3)
+        };
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters[l].l1i_miss_cycles += l1_share;
+        self.counters[l].l2i_miss_cycles += service - l1_share;
+        self.counters[l].dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        svc.stall_cycles
+    }
+
+    fn service_d(&mut self, l: usize, start: u64, outcome: u8) -> u64 {
+        self.counters[l].l2d_accesses += 1;
+        let hit_cost = self.d_hit_cost[l];
+        if outcome == 1 {
+            self.counters[l].l1d_miss_cycles += hit_cost;
+            return hit_cost;
+        }
+        self.counters[l].l2d_misses += 1;
+        let svc = self.mem_d[l].service_miss(start, outcome == 3);
+        let service = svc.stall_cycles - svc.dirty_buffer_wait;
+        let l1_share = service.min(hit_cost);
+        self.counters[l].l1d_miss_cycles += l1_share;
+        self.counters[l].l2d_miss_cycles += service - l1_share;
+        self.counters[l].dirty_buffer_wait_cycles += svc.dirty_buffer_wait;
+        svc.stall_cycles
+    }
+
+    fn wb_wait_for_d_miss(
+        &mut self,
+        l: usize,
+        start: u64,
+        line_base: PhysAddr,
+        replaced: bool,
+    ) -> u64 {
+        let until = match self.bypass[l] {
+            WbBypass::Wait => self.wb_empty_at(l, start),
+            WbBypass::DirtyBit => {
+                if replaced {
+                    self.wb_empty_at(l, start)
+                } else {
+                    start
+                }
+            }
+            WbBypass::Associative => self
+                .wb_match_line(l, start, line_base)
+                .map_or(start, |t| t.max(start)),
+        };
+        let wait = until - start;
+        self.counters[l].wb_wait_cycles += wait;
+        wait
+    }
+
+    fn apply_enqueue(&mut self, l: usize, start: u64, addr: PhysAddr, code: u8) -> u64 {
+        let free_at = self.wb_slot_free_at(l, start);
+        let stall = free_at - start;
+        self.counters[l].wb_wait_cycles += stall;
+        self.counters[l].l2_drain_writes += 1;
+        let extra = if code == 0 {
+            0
+        } else {
+            self.counters[l].l2_drain_misses += 1;
+            self.mem_d[l].service_miss_raw(code == 2).stall_cycles as u32
+        };
+        let busy_from = free_at.max(self.wb_last[l]);
+        let completes = self.wb_enqueue(l, free_at, addr, extra);
+        self.counters[l].l2_drain_busy_cycles += completes - busy_from;
+        stall
+    }
+
+    fn apply_load(
+        &mut self,
+        l: usize,
+        dtlb: bool,
+        outcome: u8,
+        replaced: bool,
+        line_base: PhysAddr,
+        victim: Option<(PhysAddr, u8)>,
+    ) {
+        let mut cycles = 0u64;
+        self.counters[l].loads += 1;
+        if dtlb {
+            self.charge_tlb_miss(l, false, &mut cycles);
+        }
+        if outcome != 0 {
+            self.counters[l].l1d_read_misses += 1;
+            let mut t = self.now[l] + cycles;
+            let wait = self.wb_wait_for_d_miss(l, t, line_base, replaced);
+            cycles += wait;
+            t += wait;
+            if let Some((addr, code)) = victim {
+                let stall = self.apply_enqueue(l, t, addr, code);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d(l, t, outcome);
+        }
+        self.now[l] += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry(l);
+        p.loads += 1;
+        p.cycles += cycles;
+        if outcome != 0 {
+            p.l1d_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_store(
+        &mut self,
+        l: usize,
+        sb: u8,
+        outcome: u8,
+        replaced: bool,
+        wb_word: Option<(PhysAddr, u8)>,
+        line_base: PhysAddr,
+        victim: Option<(PhysAddr, u8)>,
+    ) {
+        let mut cycles = 0u64;
+        self.counters[l].stores += 1;
+        if sb & STORE_DTLB != 0 {
+            self.charge_tlb_miss(l, false, &mut cycles);
+        }
+        let hit = sb & STORE_HIT != 0;
+        if !hit {
+            self.counters[l].l1d_write_misses += 1;
+        }
+        if sb & STORE_EXTRA != 0 {
+            self.counters[l].l1_write_cycles += 1;
+            cycles += 1;
+        }
+        let mut t = self.now[l] + cycles;
+        if let Some((addr, code)) = wb_word {
+            let stall = self.apply_enqueue(l, t, addr, code);
+            cycles += stall;
+            t += stall;
+        }
+        if sb & STORE_FETCH != 0 {
+            let wait = self.wb_wait_for_d_miss(l, t, line_base, replaced);
+            cycles += wait;
+            t += wait;
+            if let Some((addr, code)) = victim {
+                let stall = self.apply_enqueue(l, t, addr, code);
+                cycles += stall;
+                t += stall;
+            }
+            cycles += self.service_d(l, t, outcome);
+        } else if let Some((addr, code)) = victim {
+            cycles += self.apply_enqueue(l, t, addr, code);
+        }
+        self.now[l] += cycles;
+        let l2_missed = outcome >= 2;
+        let p = self.proc_entry(l);
+        p.stores += 1;
+        p.cycles += cycles;
+        if !hit {
+            p.l1d_misses += 1;
+        }
+        if l2_missed {
+            p.l2_misses += 1;
+        }
+    }
+
+    fn into_results(
+        mut self,
+        cfgs: &[SimConfig],
+        profile: &FunctionalProfile,
+        warm: bool,
+    ) -> Vec<SimResult> {
+        let mut out = Vec::with_capacity(self.n);
+        for (l, cfg) in cfgs.iter().enumerate() {
+            debug_assert_eq!(
+                self.now[l],
+                self.counters[l].total_cycles(),
+                "cycle accounting must balance (lane {l})"
+            );
+            self.counters[l].syscall_switches = profile.syscall_switches;
+            self.counters[l].slice_switches = profile.slice_switches;
+            let counters = if warm {
+                self.counters[l].since(&self.warm_snapshot[l])
+            } else {
+                self.counters[l]
+            };
+            let per_process = self.per_proc[l]
+                .iter()
+                .enumerate()
+                .filter(|(_, pc)| pc.instructions > 0 || pc.loads > 0 || pc.stores > 0)
+                .map(|(i, pc)| (Pid::new(i as u8), *pc))
+                .collect();
+            out.push(SimResult {
+                config: cfg.clone(),
+                counters,
+                completed: profile.completed.clone(),
+                per_process,
+                termination: if profile.budget_exhausted {
+                    Termination::BudgetExhausted
+                } else {
+                    Termination::Completed
+                },
+                checkpoints: Vec::new(),
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1048,9 +1829,111 @@ mod tests {
     }
 
     #[test]
+    fn co_pricing_matches_single_pricing_lane_for_lane() {
+        // A 4-variant baseline group mixing every timing axis: access
+        // time, memory penalties, TLB cost, buffer depth, drain override.
+        let base = SimConfig::baseline();
+        let (_, profile) = profile_for(&base);
+        let mut variants = vec![base.clone()];
+        let mut b = base.to_builder();
+        b.l2_access(9).tlb_miss_penalty(20);
+        variants.push(b.build().expect("valid"));
+        let mut b = base.to_builder();
+        b.memory(MainMemory {
+            clean_miss_cycles: 100,
+            dirty_miss_cycles: 180,
+        })
+        .write_buffer(WriteBufferConfig {
+            depth: 2,
+            width_words: 4,
+        });
+        variants.push(b.build().expect("valid"));
+        let mut b = base.to_builder();
+        b.l2_drain_access(4).l2_access(1);
+        variants.push(b.build().expect("valid"));
+
+        let co = price_profiles(&variants, &profile).expect("co-priced");
+        assert_eq!(co.len(), variants.len());
+        for (k, (cfg, co_res)) in variants.iter().zip(&co).enumerate() {
+            let single = price_profile(cfg, &profile).expect("priced");
+            assert_identical(co_res, &single, &format!("lane {k} vs single pricer"));
+            assert_identical(co_res, &direct(cfg), &format!("lane {k} vs direct"));
+        }
+    }
+
+    #[test]
+    fn co_pricing_matches_across_concurrency_modes() {
+        // The §9 switches change which write-buffer probe each lane runs
+        // (wait / dirty-bit / associative SWAR probe) — all three in one
+        // lockstep group, against the optimized split-L2 geometry.
+        let opt = SimConfig::optimized();
+        let (_, profile) = profile_for(&opt);
+        let mut variants = vec![opt.clone()];
+        let mut b = opt.to_builder();
+        b.concurrency(ConcurrencyConfig {
+            concurrent_i_refill: false,
+            d_read_bypass: WbBypass::Wait,
+            l2d_dirty_buffer: false,
+        });
+        variants.push(b.build().expect("valid"));
+        let mut b = opt.to_builder();
+        b.concurrency(ConcurrencyConfig {
+            concurrent_i_refill: true,
+            d_read_bypass: WbBypass::Associative,
+            l2d_dirty_buffer: true,
+        })
+        .l2_access(4);
+        variants.push(b.build().expect("valid"));
+        let co = price_profiles(&variants, &profile).expect("co-priced");
+        for (k, (cfg, co_res)) in variants.iter().zip(&co).enumerate() {
+            assert_identical(
+                co_res,
+                &price_profile(cfg, &profile).expect("priced"),
+                &format!("concurrency lane {k}"),
+            );
+        }
+    }
+
+    #[test]
+    fn co_pricing_single_lane_and_empty_group() {
+        let base = SimConfig::baseline();
+        let (_, profile) = profile_for(&base);
+        let one = price_profiles(std::slice::from_ref(&base), &profile).expect("one lane");
+        assert_identical(
+            &one[0],
+            &price_profile(&base, &profile).expect("priced"),
+            "single lane",
+        );
+        assert!(price_profiles(&[], &profile)
+            .expect("empty group")
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "timing variants")]
+    fn co_pricing_rejects_a_different_geometry() {
+        let (_, profile) = profile_for(&SimConfig::baseline());
+        let mut b = SimConfig::builder();
+        b.l1_line(8);
+        let other = b.build().expect("valid");
+        let _ = price_profiles(&[SimConfig::baseline(), other], &profile);
+    }
+
+    #[test]
+    fn co_pricing_reports_invalid_lane_configs() {
+        let base = SimConfig::baseline();
+        let (_, profile) = profile_for(&base);
+        let mut bad = base.clone();
+        bad.write_buffer.depth = 0;
+        let err = price_profiles(&[base, bad], &profile);
+        assert!(matches!(err, Err(SimError::Config(_))), "got {err:?}");
+    }
+
+    #[test]
     fn profile_reports_size_and_instructions() {
         let (rep, profile) = profile_for(&SimConfig::baseline());
         assert!(profile.size_bytes() > 0);
+        assert!(profile.addr_count() > 0);
         // `instructions()` counts the full run including warm-up; the
         // result counters exclude it.
         assert_eq!(

@@ -63,8 +63,8 @@ use std::time::{Duration, Instant};
 
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
-    config_fingerprint, functional_fingerprint, price_profile, CancelToken, Counters, Pid,
-    ProcCounters, SimError, SimResult, Termination,
+    config_fingerprint, functional_fingerprint, price_profile, price_profiles, CancelToken,
+    Counters, FunctionalProfile, Pid, ProcCounters, SimError, SimResult, Termination,
 };
 
 use crate::json::{self, Json};
@@ -144,6 +144,21 @@ static FUNCTIONAL_RUNS: AtomicU64 = AtomicU64::new(0);
 /// of simulated.
 static PRICED_CELLS: AtomicU64 = AtomicU64::new(0);
 
+/// Geometry groups priced by the multi-variant co-pricer in one
+/// streaming pass ([`gaas_sim::price_profiles`]).
+static CO_PRICED_GROUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Variant lanes advanced by the co-pricer across those groups.
+static CO_PRICED_LANES: AtomicU64 = AtomicU64::new(0);
+
+/// Token-replay passes avoided by co-pricing (lanes − 1 per group: one
+/// shared decode pass instead of one per variant).
+static REPLAY_PASSES_SAVED: AtomicU64 = AtomicU64::new(0);
+
+/// Groups whose co-priced pass failed and fell back to per-variant
+/// single-lane pricing.
+static CO_PRICER_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
 /// Enables or disables sweep memoization process-wide.
 pub fn set_memoize(on: bool) {
     MEMO_ENABLED.store(on, Ordering::Relaxed);
@@ -162,6 +177,14 @@ pub struct MemoStats {
     pub functional_runs: u64,
     /// Cells priced from a memoized profile instead of simulated.
     pub priced_cells: u64,
+    /// Geometry groups priced in one multi-variant streaming pass.
+    pub copriced_groups: u64,
+    /// Variant lanes advanced by the co-pricer across those groups.
+    pub copriced_lanes: u64,
+    /// Token-replay passes avoided by co-pricing (lanes − 1 per group).
+    pub replay_passes_saved: u64,
+    /// Groups that fell back from the co-pricer to per-variant pricing.
+    pub copricer_fallbacks: u64,
 }
 
 impl MemoStats {
@@ -179,6 +202,15 @@ impl MemoStats {
             self.cells() as f64 / self.functional_runs as f64
         }
     }
+
+    /// Mean variant lanes per co-priced group (0.0 when none ran).
+    pub fn lanes_per_group(&self) -> f64 {
+        if self.copriced_groups == 0 {
+            0.0
+        } else {
+            self.copriced_lanes as f64 / self.copriced_groups as f64
+        }
+    }
 }
 
 /// The memoization work counters accumulated so far.
@@ -186,6 +218,10 @@ pub fn memo_stats() -> MemoStats {
     MemoStats {
         functional_runs: FUNCTIONAL_RUNS.load(Ordering::Relaxed),
         priced_cells: PRICED_CELLS.load(Ordering::Relaxed),
+        copriced_groups: CO_PRICED_GROUPS.load(Ordering::Relaxed),
+        copriced_lanes: CO_PRICED_LANES.load(Ordering::Relaxed),
+        replay_passes_saved: REPLAY_PASSES_SAVED.load(Ordering::Relaxed),
+        copricer_fallbacks: CO_PRICER_FALLBACKS.load(Ordering::Relaxed),
     }
 }
 
@@ -241,6 +277,10 @@ pub fn take_memo_trace() -> Vec<MemoTraceEntry> {
 pub fn reset_memo_stats() {
     FUNCTIONAL_RUNS.store(0, Ordering::Relaxed);
     PRICED_CELLS.store(0, Ordering::Relaxed);
+    CO_PRICED_GROUPS.store(0, Ordering::Relaxed);
+    CO_PRICED_LANES.store(0, Ordering::Relaxed);
+    REPLAY_PASSES_SAVED.store(0, Ordering::Relaxed);
+    CO_PRICER_FALLBACKS.store(0, Ordering::Relaxed);
 }
 
 /// Per-cell isolation knobs.
@@ -1097,6 +1137,48 @@ pub fn dispatch(cfg: &SimConfig, scale: f64) -> CellResult {
 /// non-memoized path: singleton groups, memoization off, and the
 /// fallback after any group failure). Each result carries its
 /// retryable-failure tag for the quarantine decision.
+/// Prices every config in `cfgs` from one [`FunctionalProfile`] — the
+/// single pricing path both of [`run_group`]'s memoized branches
+/// (cross-request cache hit; miss after the lead's functional pass) go
+/// through.
+///
+/// The group is priced by **one** co-priced streaming pass
+/// ([`price_profiles`]: one token decode, N variant lanes in lockstep).
+/// If that pass reports an error, the group falls back to per-variant
+/// single-lane pricing ([`price_profile`]) so one bad lane costs only
+/// its own replay; an error there propagates to the caller's
+/// group-level fallback (individual full simulations). Poison checks run
+/// first, per member, so chaos quarantine lands on exactly the poisoned
+/// cell(s).
+fn price_members(
+    cfgs: &[SimConfig],
+    profile: &FunctionalProfile,
+) -> Result<Vec<SimResult>, SimError> {
+    for cfg in cfgs {
+        chaos::poison_check(config_fingerprint(cfg));
+    }
+    if cfgs.is_empty() {
+        return Ok(Vec::new());
+    }
+    match price_profiles(cfgs, profile) {
+        Ok(results) => {
+            let lanes = cfgs.len() as u64;
+            CO_PRICED_GROUPS.fetch_add(1, Ordering::Relaxed);
+            CO_PRICED_LANES.fetch_add(lanes, Ordering::Relaxed);
+            REPLAY_PASSES_SAVED.fetch_add(lanes - 1, Ordering::Relaxed);
+            pool::telemetry_count("campaign.copriced_groups", 1);
+            pool::telemetry_count("campaign.copriced_lanes", lanes);
+            pool::telemetry_count("campaign.replay_passes_saved", lanes - 1);
+            Ok(results)
+        }
+        Err(_) => {
+            CO_PRICER_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+            pool::telemetry_count("campaign.copricer_fallbacks", 1);
+            cfgs.iter().map(|cfg| price_profile(cfg, profile)).collect()
+        }
+    }
+}
+
 fn run_members_individually(
     cfgs: &[SimConfig],
     members: &[usize],
@@ -1187,12 +1269,8 @@ fn run_group(
                 // member individually so quarantine lands on exactly the
                 // poisoned cell(s).
                 if let Some(profile) = &worker_cached {
-                    // Cross-request cache hit: price every member.
-                    let mut results = Vec::with_capacity(worker_cfgs.len());
-                    for cfg in &worker_cfgs {
-                        chaos::poison_check(config_fingerprint(cfg));
-                        results.push(price_profile(cfg, profile.as_ref())?);
-                    }
+                    // Cross-request cache hit: co-price every member.
+                    let results = price_members(&worker_cfgs, profile.as_ref())?;
                     return Ok::<(Vec<SimResult>, bool), SimError>((results, true));
                 }
                 chaos::poison_check(config_fingerprint(&worker_cfgs[0]));
@@ -1205,12 +1283,8 @@ fn run_group(
                 if let Some(key) = worker_key {
                     profile_cache::insert(key, scale, &profile);
                 }
-                let mut results = Vec::with_capacity(worker_cfgs.len());
-                results.push(lead);
-                for cfg in &worker_cfgs[1..] {
-                    chaos::poison_check(config_fingerprint(cfg));
-                    results.push(price_profile(cfg, profile.as_ref())?);
-                }
+                let mut results = price_members(&worker_cfgs[1..], profile.as_ref())?;
+                results.insert(0, lead);
                 Ok((results, false))
             }));
             let _ = tx.send(out);

@@ -179,6 +179,10 @@ pub struct StatsSnapshot {
     pub avg_job_ms: u64,
     /// Cross-request profile cache state (None when disabled).
     pub cache: Option<profile_cache::CacheSnapshot>,
+    /// Memoized-sweep work counters, including the multi-variant
+    /// co-pricer's lane/replay-pass savings (process-wide totals across
+    /// this daemon's jobs).
+    pub memo: campaign::MemoStats,
 }
 
 struct JobSlot {
@@ -539,6 +543,7 @@ impl ServerCore {
             queue_len,
             avg_job_ms,
             cache: profile_cache::snapshot(),
+            memo: campaign::memo_stats(),
         }
     }
 

@@ -17,7 +17,7 @@
 //! | `status` | `job` | `{"ok":true,"job":…,"state":"queued|running|done|failed|cancelled","detail":…,"cells":N}` |
 //! | `result` | `job` | `{"ok":true,"table":"cell00 1.721340\n…"}` |
 //! | `cancel` | `job` | `{"ok":true,"state":"cancelled"}` |
-//! | `stats` | — | `{"ok":true,"accepted":…,"cache":{…}}` |
+//! | `stats` | — | `{"ok":true,"accepted":…,"cache":{…},"copricing":{…}}` |
 //! | `ping` | — | `{"ok":true}` |
 //! | `shutdown` | — | `{"ok":true}`, then the daemon exits |
 //!
@@ -265,6 +265,27 @@ fn stats_response(stats: &StatsSnapshot) -> Json {
             ]),
         ));
     }
+    fields.push((
+        "copricing".into(),
+        Json::Obj(vec![
+            (
+                "copriced_groups".into(),
+                Json::Int(stats.memo.copriced_groups),
+            ),
+            (
+                "copriced_lanes".into(),
+                Json::Int(stats.memo.copriced_lanes),
+            ),
+            (
+                "replay_passes_saved".into(),
+                Json::Int(stats.memo.replay_passes_saved),
+            ),
+            (
+                "copricer_fallbacks".into(),
+                Json::Int(stats.memo.copricer_fallbacks),
+            ),
+        ]),
+    ));
     ok_response(fields)
 }
 

@@ -402,6 +402,97 @@ pub fn encode_stream(addrs: &[u64], meta: &[u16]) -> Vec<u8> {
     out
 }
 
+/// Encodes a bare `u64` value stream (no meta words — every event
+/// carries meta 0, a single kind-0 delta chain) into concatenated v3
+/// blocks. This is the profile side-channel encoding: the memoizer's
+/// `FunctionalProfile` address stream is clustered (write-buffer words,
+/// line bases), so the per-kind delta chain shrinks it the same 2–4× it
+/// shrinks reference streams.
+pub fn encode_u64_stream(vals: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let meta = [0u16; BLOCK_EVENTS];
+    for chunk in vals.chunks(BLOCK_EVENTS) {
+        encode_block(&mut out, chunk, &meta[..chunk.len()]);
+    }
+    out
+}
+
+/// Streaming block-at-a-time decoder over concatenated v3 blocks of a
+/// bare `u64` stream (as produced by [`encode_u64_stream`]).
+///
+/// The cursor bulk-decodes one block (≤ [`BLOCK_EVENTS`] values) into a
+/// **reusable** internal batch buffer and hands values out of it one at
+/// a time, so a replay touches at most ~32 KB of decoded scratch at any
+/// moment instead of materializing the whole packed stream — the
+/// multi-variant co-pricer's lockstep lanes all consume the current
+/// block before the next one is decoded. Each block's CRC32 is verified
+/// as it is entered.
+///
+/// # Panics
+///
+/// [`Self::next_value`] panics on a corrupt or truncated block: the
+/// encoded stream lives in process memory and was produced by
+/// [`encode_u64_stream`] in the same process, so damage here is a logic
+/// error, not an I/O condition. (The campaign's group worker runs
+/// pricing under `catch_unwind` and falls back to full simulation.)
+#[derive(Debug)]
+pub struct U64StreamCursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+    buf: Vec<u64>,
+    meta: Vec<u16>,
+    idx: usize,
+}
+
+impl<'a> U64StreamCursor<'a> {
+    /// Opens a cursor at the head of an [`encode_u64_stream`] byte
+    /// stream.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            off: 0,
+            buf: Vec::new(),
+            meta: Vec::new(),
+            idx: 0,
+        }
+    }
+
+    /// Decodes the next block into the batch buffer. Returns `false` at
+    /// end of stream.
+    #[cold]
+    fn refill(&mut self) -> bool {
+        if self.off >= self.bytes.len() {
+            return false;
+        }
+        self.buf.clear();
+        self.meta.clear();
+        self.idx = 0;
+        let used = decode_block(&self.bytes[self.off..], &mut self.buf, &mut self.meta)
+            .expect("corrupt in-memory u64 stream block");
+        self.off += used;
+        true
+    }
+
+    /// Next value of the stream, decoding the next block when the batch
+    /// buffer runs dry. `None` at end of stream.
+    #[inline]
+    pub fn next_value(&mut self) -> Option<u64> {
+        if self.idx == self.buf.len() && !self.refill() {
+            return None;
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        Some(v)
+    }
+
+    /// True when every value has been handed out.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.idx == self.buf.len() && self.off >= self.bytes.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,5 +681,59 @@ mod tests {
         let mut bytes = Vec::new();
         let frame = encode_block(&mut bytes, &addrs, &meta);
         assert_eq!(block_extent(&bytes).expect("well-formed"), (frame, 5));
+    }
+
+    #[test]
+    fn u64_stream_cursor_round_trips_across_blocks() {
+        // 2.5 blocks worth of values so the cursor exercises at least two
+        // refills plus a partial tail block.
+        let (vals, _) = sample(BLOCK_EVENTS * 2 + BLOCK_EVENTS / 2, 21);
+        let bytes = encode_u64_stream(&vals);
+        let mut cur = U64StreamCursor::new(&bytes);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(!cur.finished(), "finished early at {i}");
+            assert_eq!(cur.next_value(), Some(v), "value {i}");
+        }
+        assert_eq!(cur.next_value(), None);
+        assert!(cur.finished());
+    }
+
+    #[test]
+    fn u64_stream_empty() {
+        let bytes = encode_u64_stream(&[]);
+        assert!(bytes.is_empty());
+        let mut cur = U64StreamCursor::new(&bytes);
+        assert!(cur.finished());
+        assert_eq!(cur.next_value(), None);
+    }
+
+    #[test]
+    fn u64_stream_compresses_clustered_addresses() {
+        // Profile-shaped input: line bases and write-buffer words walking
+        // a few small working sets. Raw packing spends 8 B/value.
+        let mut vals = Vec::new();
+        let mut a = 0x0100_0000u64;
+        for i in 0u64..20_000 {
+            a = a.wrapping_add((i % 7) * 4);
+            vals.push(a);
+        }
+        let bytes = encode_u64_stream(&vals);
+        assert!(
+            bytes.len() * 3 <= vals.len() * 8,
+            "expected >=3x compression, got {} bytes for {} values",
+            bytes.len(),
+            vals.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt in-memory u64 stream block")]
+    fn u64_stream_cursor_panics_on_corruption() {
+        let (vals, _) = sample(100, 5);
+        let mut bytes = encode_u64_stream(&vals);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        let mut cur = U64StreamCursor::new(&bytes);
+        while cur.next_value().is_some() {}
     }
 }
