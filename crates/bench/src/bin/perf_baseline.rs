@@ -46,6 +46,11 @@
 //!   lockstep over a single token decode). Records both wall-clocks, the
 //!   speedup, byte-identity of the results, and the `--copricing-min`
 //!   gate outcome; measured even under `--kernel-only`;
+//! * **coherence** — the CMP engine: a 2-core sharing run's throughput
+//!   and protocol activity (invalidations, cache-to-cache transfers,
+//!   upgrade misses, coherence stall cycles), plus the byte-identity of
+//!   a 1-core CMP run against the single-CPU kernel (gated under
+//!   determinism); measured even under `--kernel-only`;
 //! * **figures** — wall-clock seconds to regenerate each paper figure at
 //!   table scale (with two-phase sweep memoization on, its default);
 //! * **sweep** — a geometry-diverse 16-cell sweep (4 L2-D geometries × 4
@@ -74,10 +79,11 @@ use std::time::Instant;
 
 use gaas_bench::table_scale;
 use gaas_experiments::{
-    ablations, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, pool, runner, sec5, sec8,
+    ablations, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, fig_cmp, pool, runner,
+    sec5, sec8,
 };
 use gaas_sim::config::{L2Config, L2Side, SimConfig, TelemetryConfig};
-use gaas_sim::{price_profile, price_profiles, sim, workload, SimResult, Simulator};
+use gaas_sim::{price_profile, price_profiles, sim, workload, CmpConfig, SimResult, Simulator};
 use gaas_trace::bench_model::suite;
 use gaas_trace::{arena, Trace, UnbatchedTrace};
 
@@ -117,6 +123,22 @@ struct CopricingReport {
     copriced_secs: f64,
     speedup: f64,
     identical: bool,
+}
+
+/// The CMP coherence-engine measurement (always measured, even under
+/// `--kernel-only`): a 2-core sharing run's throughput and protocol
+/// activity, plus the byte-identity of a 1-core CMP run against the
+/// single-CPU kernel — the anchor that makes multi-core numbers
+/// comparable to every other figure in this report.
+struct CoherenceReport {
+    cores: u32,
+    seconds_best: f64,
+    events_per_sec: f64,
+    invalidations: u64,
+    c2c_transfers: u64,
+    upgrade_misses: u64,
+    coherence_stall_cycles: u64,
+    one_core_identical: bool,
 }
 
 fn main() {
@@ -262,6 +284,23 @@ fn main() {
         }
     );
 
+    // --- Coherence: 2-core CMP throughput + the 1-core identity anchor. -
+    let coherence = measure_coherence(kernel_scale, samples);
+    eprintln!(
+        "[coherence: {} cores, {:.3}s, {:.1} Me/s, {} invalidations, {} C2C, \
+         1-core identity {}]",
+        coherence.cores,
+        coherence.seconds_best,
+        coherence.events_per_sec / 1e6,
+        coherence.invalidations,
+        coherence.c2c_transfers,
+        if coherence.one_core_identical {
+            "held"
+        } else {
+            "BROKEN"
+        }
+    );
+
     // --- Figures: wall-clock to regenerate each at table scale. ---------
     let mut figures: Vec<(&str, f64)> = Vec::new();
     let mut sweep: Option<SweepReport> = None;
@@ -287,6 +326,7 @@ fn main() {
         time_figure!("sec5", sec5::run(scale));
         time_figure!("sec8", sec8::run(scale));
         time_figure!("ablations", ablations::run(scale));
+        time_figure!("fig_cmp", fig_cmp::run(scale));
 
         sweep = Some(measure_sweep(kernel_scale, jobs, cores));
     }
@@ -295,7 +335,7 @@ fn main() {
     // --- Emit the JSON report. ------------------------------------------
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": 5,");
+    let _ = writeln!(j, "  \"schema\": 6,");
     let _ = writeln!(j, "  \"tool\": \"perf_baseline\",");
     let _ = writeln!(j, "  \"scale\": {scale},");
     let _ = writeln!(j, "  \"kernel_scale\": {kernel_scale},");
@@ -381,6 +421,28 @@ fn main() {
         j,
         "    \"gate_passed\": {}",
         copricing_gate_passed.map_or("null".into(), |b| b.to_string())
+    );
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"coherence\": {{");
+    let _ = writeln!(j, "    \"cores\": {},", coherence.cores);
+    let _ = writeln!(j, "    \"seconds_best\": {:.6},", coherence.seconds_best);
+    let _ = writeln!(
+        j,
+        "    \"events_per_sec\": {:.1},",
+        coherence.events_per_sec
+    );
+    let _ = writeln!(j, "    \"invalidations\": {},", coherence.invalidations);
+    let _ = writeln!(j, "    \"c2c_transfers\": {},", coherence.c2c_transfers);
+    let _ = writeln!(j, "    \"upgrade_misses\": {},", coherence.upgrade_misses);
+    let _ = writeln!(
+        j,
+        "    \"coherence_stall_cycles\": {},",
+        coherence.coherence_stall_cycles
+    );
+    let _ = writeln!(
+        j,
+        "    \"one_core_identical\": {}",
+        coherence.one_core_identical
     );
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"figures\": [");
@@ -507,7 +569,12 @@ fn main() {
         copricing.identical
     );
     let _ = writeln!(j, "    \"parallel_equals_serial\": {sweep_deterministic},");
-    let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic}");
+    let _ = writeln!(j, "    \"memoized_equals_full\": {memo_deterministic},");
+    let _ = writeln!(
+        j,
+        "    \"one_core_cmp_equals_single_cpu\": {}",
+        coherence.one_core_identical
+    );
     let _ = writeln!(j, "  }}");
     let _ = writeln!(j, "}}");
 
@@ -522,6 +589,7 @@ fn main() {
         || !sweep_deterministic
         || !memo_deterministic
         || !copricing.identical
+        || !coherence.one_core_identical
     {
         eprintln!("error: determinism violation — see the report");
         std::process::exit(1);
@@ -595,6 +663,46 @@ fn measure_copricing(kernel_scale: f64, samples: usize) -> CopricingReport {
         copriced_secs,
         speedup: serial_priced_secs / copriced_secs,
         identical,
+    }
+}
+
+/// Measures the CMP coherence engine: a 2-core run with the `fig_cmp`
+/// sharing knobs (throughput + protocol activity), and the 1-core
+/// byte-identity anchor against the single-CPU kernel.
+fn measure_coherence(kernel_scale: f64, samples: usize) -> CoherenceReport {
+    let events: u64 = suite()
+        .iter()
+        .map(|b| {
+            let n = b.scaled_instructions(kernel_scale) as f64;
+            (n * b.refs_per_instruction()) as u64
+        })
+        .sum();
+    let base = SimConfig::baseline();
+
+    let single = runner::run_standard_raw(base.clone(), kernel_scale).expect("single-CPU run");
+    let anchored = runner::run_standard_cmp(base.clone(), kernel_scale, None).expect("1-core CMP");
+    let one_core_identical = anchored.result.counters == single.counters
+        && anchored.result.per_process == single.per_process
+        && anchored.result.completed == single.completed;
+
+    let mut cfg = base;
+    cfg.cmp = CmpConfig {
+        cores: 2,
+        ..fig_cmp::sharing()
+    };
+    let (seconds_best, two_core) = best_of(samples, || {
+        runner::run_standard_cmp(cfg.clone(), kernel_scale, None).expect("2-core run")
+    });
+    let c = two_core.result.counters;
+    CoherenceReport {
+        cores: 2,
+        seconds_best,
+        events_per_sec: events as f64 / seconds_best,
+        invalidations: c.invalidations,
+        c2c_transfers: c.c2c_transfers,
+        upgrade_misses: c.upgrade_misses,
+        coherence_stall_cycles: c.coherence_stall_cycles,
+        one_core_identical,
     }
 }
 

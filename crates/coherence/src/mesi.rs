@@ -1,0 +1,235 @@
+//! The MESI line-state machine, as a pure transition function.
+//!
+//! Every per-core L1-D line is in one of four states — Modified,
+//! Exclusive, Shared, Invalid — and moves between them on local
+//! references, remote (snooped) references, fills and evictions. The
+//! table lives here as data-free code so the protocol engine
+//! ([`crate::cmp`]) and the tests agree on exactly one source of truth:
+//! the engine drives only legal transitions (checked with
+//! `debug_assert!`), and the unit tests enumerate the full 4 × 7 event
+//! matrix — every legal edge positively, every illegal edge negatively.
+//!
+//! Read misses are modeled as fills ([`MesiEvent::FillExclusive`] /
+//! [`MesiEvent::FillShared`]), so `LocalRead`/`LocalWrite` from
+//! `Invalid` are *illegal* by construction: the engine must fill first.
+//! (A write-miss-invalidate store that never allocates performs no local
+//! transition at all — the line simply stays Invalid while remote copies
+//! are invalidated.)
+
+use std::fmt;
+
+/// State of one line in one core's L1-D cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MesiState {
+    /// Locally written; the only valid copy anywhere (supplies
+    /// cache-to-cache transfers).
+    Modified,
+    /// Clean, and no other core holds a copy (writes upgrade silently).
+    Exclusive,
+    /// Clean, possibly held by other cores (writes need an invalidation
+    /// round).
+    Shared,
+    /// Not present (or invalidated by a remote writer).
+    #[default]
+    Invalid,
+}
+
+impl MesiState {
+    /// One-letter protocol label (`M`/`E`/`S`/`I`).
+    pub fn letter(self) -> char {
+        match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        }
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// An event observed by one line's state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MesiEvent {
+    /// The owning core read the (resident) line.
+    LocalRead,
+    /// The owning core wrote the (resident) line.
+    LocalWrite,
+    /// A read miss filled the line with no other core holding a copy.
+    FillExclusive,
+    /// A read miss filled the line while other cores hold copies.
+    FillShared,
+    /// Another core read the line (snooped bus read).
+    RemoteRead,
+    /// Another core wrote the line (snooped invalidation).
+    RemoteWrite,
+    /// The line was evicted (capacity/conflict victim).
+    Evict,
+}
+
+/// A `(state, event)` pair outside the protocol: the engine never
+/// generates it, and the tests assert it is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The state the line was in.
+    pub state: MesiState,
+    /// The event that is illegal in that state.
+    pub event: MesiEvent,
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal MESI transition: {:?} in {}",
+            self.event, self.state
+        )
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The MESI transition table.
+///
+/// # Errors
+///
+/// Returns [`IllegalTransition`] for the nine `(state, event)` pairs the
+/// protocol cannot produce: filling an already-valid line, and
+/// reading/writing/evicting an invalid one.
+pub fn next_state(state: MesiState, event: MesiEvent) -> Result<MesiState, IllegalTransition> {
+    use MesiEvent as E;
+    use MesiState as S;
+    let illegal = Err(IllegalTransition { state, event });
+    Ok(match (state, event) {
+        // Modified: sole dirty owner.
+        (S::Modified, E::LocalRead | E::LocalWrite) => S::Modified,
+        (S::Modified, E::RemoteRead) => S::Shared, // supplies C2C, demotes
+        (S::Modified, E::RemoteWrite) => S::Invalid,
+        (S::Modified, E::Evict) => S::Invalid,
+        // Exclusive: sole clean owner.
+        (S::Exclusive, E::LocalRead) => S::Exclusive,
+        (S::Exclusive, E::LocalWrite) => S::Modified, // silent upgrade
+        (S::Exclusive, E::RemoteRead) => S::Shared,
+        (S::Exclusive, E::RemoteWrite) => S::Invalid,
+        (S::Exclusive, E::Evict) => S::Invalid,
+        // Shared: one of possibly many clean copies.
+        (S::Shared, E::LocalRead | E::RemoteRead) => S::Shared,
+        (S::Shared, E::LocalWrite) => S::Modified, // upgrade + invalidation round
+        (S::Shared, E::RemoteWrite) => S::Invalid,
+        (S::Shared, E::Evict) => S::Invalid,
+        // Invalid: only fills bring the line back; remote traffic on a
+        // line we do not hold is a snoop miss (no-op).
+        (S::Invalid, E::FillExclusive) => S::Exclusive,
+        (S::Invalid, E::FillShared) => S::Shared,
+        (S::Invalid, E::RemoteRead | E::RemoteWrite) => S::Invalid,
+        // A valid line cannot be filled again, and an invalid line has
+        // nothing to read, write, or evict.
+        (S::Modified | S::Exclusive | S::Shared, E::FillExclusive | E::FillShared)
+        | (S::Invalid, E::LocalRead | E::LocalWrite | E::Evict) => return illegal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MesiEvent as E;
+    use MesiState as S;
+
+    fn legal(from: S, ev: E, to: S) {
+        assert_eq!(next_state(from, ev), Ok(to), "{from} --{ev:?}--> {to}");
+    }
+
+    fn illegal(from: S, ev: E) {
+        assert_eq!(
+            next_state(from, ev),
+            Err(IllegalTransition {
+                state: from,
+                event: ev
+            }),
+            "{from} --{ev:?}--> must be illegal"
+        );
+    }
+
+    #[test]
+    fn modified_transitions() {
+        legal(S::Modified, E::LocalRead, S::Modified);
+        legal(S::Modified, E::LocalWrite, S::Modified);
+        legal(S::Modified, E::RemoteRead, S::Shared);
+        legal(S::Modified, E::RemoteWrite, S::Invalid);
+        legal(S::Modified, E::Evict, S::Invalid);
+    }
+
+    #[test]
+    fn exclusive_transitions() {
+        legal(S::Exclusive, E::LocalRead, S::Exclusive);
+        legal(S::Exclusive, E::LocalWrite, S::Modified);
+        legal(S::Exclusive, E::RemoteRead, S::Shared);
+        legal(S::Exclusive, E::RemoteWrite, S::Invalid);
+        legal(S::Exclusive, E::Evict, S::Invalid);
+    }
+
+    #[test]
+    fn shared_transitions() {
+        legal(S::Shared, E::LocalRead, S::Shared);
+        legal(S::Shared, E::LocalWrite, S::Modified);
+        legal(S::Shared, E::RemoteRead, S::Shared);
+        legal(S::Shared, E::RemoteWrite, S::Invalid);
+        legal(S::Shared, E::Evict, S::Invalid);
+    }
+
+    #[test]
+    fn invalid_transitions() {
+        legal(S::Invalid, E::FillExclusive, S::Exclusive);
+        legal(S::Invalid, E::FillShared, S::Shared);
+        legal(S::Invalid, E::RemoteRead, S::Invalid);
+        legal(S::Invalid, E::RemoteWrite, S::Invalid);
+    }
+
+    #[test]
+    fn refilling_a_valid_line_is_illegal() {
+        for s in [S::Modified, S::Exclusive, S::Shared] {
+            illegal(s, E::FillExclusive);
+            illegal(s, E::FillShared);
+        }
+    }
+
+    #[test]
+    fn touching_an_invalid_line_is_illegal() {
+        illegal(S::Invalid, E::LocalRead);
+        illegal(S::Invalid, E::LocalWrite);
+        illegal(S::Invalid, E::Evict);
+    }
+
+    #[test]
+    fn the_full_matrix_is_covered() {
+        // 4 states x 7 events = 28 pairs: 19 legal, 9 illegal. Guards the
+        // per-state tests above against a silently added event.
+        let states = [S::Modified, S::Exclusive, S::Shared, S::Invalid];
+        let events = [
+            E::LocalRead,
+            E::LocalWrite,
+            E::FillExclusive,
+            E::FillShared,
+            E::RemoteRead,
+            E::RemoteWrite,
+            E::Evict,
+        ];
+        let legal = states
+            .iter()
+            .flat_map(|&s| events.iter().map(move |&e| next_state(s, e)))
+            .filter(Result::is_ok)
+            .count();
+        assert_eq!(legal, 19);
+    }
+
+    #[test]
+    fn illegal_transition_displays_the_pair() {
+        let err = next_state(S::Invalid, E::Evict).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Evict") && msg.contains('I'), "{msg}");
+    }
+}

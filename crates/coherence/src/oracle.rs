@@ -1,0 +1,211 @@
+//! Coherence-invariant oracle for CMP runs.
+//!
+//! The single-CPU simulator's golden-model oracle cross-checks cycle
+//! accounting and structure state; it knows nothing about multiple
+//! cores. This oracle covers the gap with a *version shadow*: every
+//! store to a line bumps a global version number, every fill or store
+//! records the version a core last observed, and the invariants are
+//! checked at the moments the protocol must enforce them:
+//!
+//! * **No stale read** — a load *hit* must observe the line's current
+//!   global version. If a remote core wrote the line since this core
+//!   last filled or wrote it, the copy must have been invalidated and
+//!   the load cannot hit.
+//! * **Single writer, multiple readers (SWMR)** — immediately after a
+//!   store's invalidation round, no remote L1-D may still hold the
+//!   line.
+//! * **Inclusion under invalidation** — an invalidated copy is actually
+//!   gone from the victim core's array.
+//!
+//! The oracle is *passive*: it never charges cycles and never touches
+//! simulated structures, so enabling it cannot perturb results — the
+//! same observe-don't-perturb contract as the single-CPU oracle.
+
+use std::collections::HashMap;
+
+use gaas_trace::PhysAddr;
+
+/// The version shadow and its pending verdict.
+#[derive(Debug)]
+pub struct CoherenceOracle {
+    /// Global write version per line (absent = never written).
+    versions: HashMap<u64, u64>,
+    /// Per-core: the version this core's resident copy reflects.
+    observed: Vec<HashMap<u64, u64>>,
+    checked: u64,
+    violation: Option<Violation>,
+}
+
+/// One detected invariant violation (surfaced as
+/// [`gaas_sim::SimError::Coherence`] by the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Core on which the violation was observed.
+    pub core: u32,
+    /// Which invariant failed, with the evidence.
+    pub detail: String,
+}
+
+impl CoherenceOracle {
+    /// An oracle shadowing `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        CoherenceOracle {
+            versions: HashMap::new(),
+            observed: vec![HashMap::new(); cores],
+            checked: 0,
+            violation: None,
+        }
+    }
+
+    /// Coherence-relevant accesses checked so far.
+    pub fn checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// The first violation, if any invariant tripped.
+    pub fn violation(&self) -> Option<&Violation> {
+        self.violation.as_ref()
+    }
+
+    fn flag(&mut self, core: usize, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                core: core as u32,
+                detail,
+            });
+        }
+    }
+
+    /// Notes that `core` filled `line` from the memory hierarchy (which
+    /// always supplies current data: a remote Modified owner is demoted
+    /// and its data forwarded by the same transaction).
+    pub fn note_fill(&mut self, core: usize, line: PhysAddr) {
+        let v = self.versions.get(&line.word()).copied().unwrap_or(0);
+        self.observed[core].insert(line.word(), v);
+    }
+
+    /// Notes that `core` wrote `line`: the global version advances and
+    /// the writer observes its own write.
+    pub fn note_store(&mut self, core: usize, line: PhysAddr) {
+        let v = self.versions.entry(line.word()).or_insert(0);
+        *v += 1;
+        let v = *v;
+        self.observed[core].insert(line.word(), v);
+        self.checked += 1;
+    }
+
+    /// Notes that `core`'s copy of `line` was invalidated; `still_resident`
+    /// is the array's residency *after* the invalidation (the inclusion
+    /// check: an invalidated copy must actually be gone).
+    pub fn note_invalidate(&mut self, core: usize, line: PhysAddr, still_resident: bool) {
+        self.observed[core].remove(&line.word());
+        if still_resident {
+            self.flag(
+                core,
+                format!(
+                    "inclusion: line {:#x} still resident in core {core}'s L1-D after invalidation",
+                    line.word()
+                ),
+            );
+        }
+    }
+
+    /// Checks a load *hit* by `core` on `line` against the no-stale-read
+    /// invariant.
+    pub fn check_load_hit(&mut self, core: usize, line: PhysAddr) {
+        self.checked += 1;
+        let current = self.versions.get(&line.word()).copied().unwrap_or(0);
+        let seen = self.observed[core].get(&line.word()).copied().unwrap_or(0);
+        if seen != current {
+            self.flag(
+                core,
+                format!(
+                    "stale read: core {core} hit line {:#x} at version {seen}, global version is {current}",
+                    line.word()
+                ),
+            );
+        }
+    }
+
+    /// Checks SWMR after `writer`'s invalidation round: no core in
+    /// `remote_resident` (cores whose L1-D still holds `line`) is legal.
+    pub fn check_swmr(&mut self, writer: usize, line: PhysAddr, remote_resident: &[usize]) {
+        self.checked += 1;
+        if let Some(&offender) = remote_resident.first() {
+            self.flag(
+                writer,
+                format!(
+                    "SWMR: core {writer} wrote line {:#x} but core {offender} still holds a copy",
+                    line.word()
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(w: u64) -> PhysAddr {
+        PhysAddr::new(w)
+    }
+
+    #[test]
+    fn fresh_reads_pass() {
+        let mut o = CoherenceOracle::new(2);
+        o.note_store(0, line(64));
+        o.note_fill(1, line(64));
+        o.check_load_hit(1, line(64));
+        assert!(o.violation().is_none());
+        assert_eq!(o.checked(), 2);
+    }
+
+    #[test]
+    fn stale_read_is_flagged() {
+        let mut o = CoherenceOracle::new(2);
+        o.note_fill(1, line(64)); // core 1 observes version 0
+        o.note_store(0, line(64)); // global version -> 1
+        o.check_load_hit(1, line(64)); // core 1 still hits: stale
+        let v = o.violation().expect("stale read detected");
+        assert_eq!(v.core, 1);
+        assert!(v.detail.contains("stale read"), "{}", v.detail);
+    }
+
+    #[test]
+    fn invalidation_clears_the_observation() {
+        let mut o = CoherenceOracle::new(2);
+        o.note_fill(1, line(64));
+        o.note_store(0, line(64));
+        o.note_invalidate(1, line(64), false);
+        // Core 1 refills before its next hit: fresh again.
+        o.note_fill(1, line(64));
+        o.check_load_hit(1, line(64));
+        assert!(o.violation().is_none());
+    }
+
+    #[test]
+    fn surviving_copy_violates_inclusion() {
+        let mut o = CoherenceOracle::new(2);
+        o.note_invalidate(1, line(64), true);
+        let v = o.violation().expect("inclusion violation detected");
+        assert!(v.detail.contains("inclusion"), "{}", v.detail);
+    }
+
+    #[test]
+    fn remote_copy_after_write_violates_swmr() {
+        let mut o = CoherenceOracle::new(4);
+        o.check_swmr(0, line(64), &[2]);
+        let v = o.violation().expect("SWMR violation detected");
+        assert_eq!(v.core, 0);
+        assert!(v.detail.contains("SWMR"), "{}", v.detail);
+    }
+
+    #[test]
+    fn first_violation_wins() {
+        let mut o = CoherenceOracle::new(2);
+        o.check_swmr(0, line(64), &[1]);
+        o.check_swmr(1, line(128), &[0]);
+        assert!(o.violation().unwrap().detail.contains("0x40"));
+    }
+}

@@ -391,6 +391,75 @@ impl TelemetryConfig {
     }
 }
 
+/// Maximum core count the CMP frontier supports (the sharing trace model
+/// reserves one PID per benchmark per core within the 8-bit PID space,
+/// and the snoop-bus/directory sharer masks are one byte wide).
+pub const MAX_CORES: u32 = 8;
+
+/// Chip-multiprocessor extension: N per-core L1 I/D caches in front of
+/// the shared L2, kept coherent by a MESI invalidation protocol (see
+/// DESIGN.md §16 and the `gaas-coherence` crate).
+///
+/// The default is a single core with sharing off, which is *defined* to
+/// be the paper's single-CPU machine: a 1-core CMP run is byte-identical
+/// to the base simulator (test-enforced), so every CMP result is anchored
+/// to the validated single-CPU model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmpConfig {
+    /// Number of cores sharing the L2 (1 = the paper's single-CPU
+    /// machine; at most [`MAX_CORES`]).
+    pub cores: u32,
+    /// Fraction of each core's data references redirected into the
+    /// shared footprint (`[0, 1]`; 0 disables sharing entirely).
+    pub shared_frac: f64,
+    /// Size of the shared data footprint in words.
+    pub shared_words: u64,
+    /// Shared data references between migrations of a core's hot window
+    /// inside the shared footprint (0 = affinity never migrates). Smaller
+    /// intervals mean more cross-core overlap and invalidation traffic.
+    pub migration_interval: u64,
+    /// Cycles a cache-to-cache transfer (remote Modified owner supplies
+    /// the line) adds to the requester's miss service.
+    pub c2c_transfer_cycles: u32,
+    /// Cycles charged to the writer for each remote copy invalidated.
+    pub invalidate_cycles: u32,
+    /// Cycles each coherence transaction occupies the snoop bus; a core
+    /// stalls while the bus is busy with *other* cores' transactions.
+    pub snoop_bus_cycles: u32,
+}
+
+impl Default for CmpConfig {
+    fn default() -> Self {
+        CmpConfig {
+            cores: 1,
+            shared_frac: 0.0,
+            shared_words: 16_384,
+            migration_interval: 0,
+            c2c_transfer_cycles: 8,
+            invalidate_cycles: 2,
+            snoop_bus_cycles: 3,
+        }
+    }
+}
+
+impl CmpConfig {
+    /// A CMP of `cores` cores with the default sharing knobs (sharing
+    /// off; turn it on via `shared_frac`).
+    pub fn with_cores(cores: u32) -> Self {
+        CmpConfig {
+            cores,
+            ..Default::default()
+        }
+    }
+
+    /// True when this configuration needs the coherence engine: more
+    /// than one core, or any data references directed into the shared
+    /// footprint.
+    pub fn enabled(&self) -> bool {
+        self.cores > 1 || self.shared_frac > 0.0
+    }
+}
+
 /// Error returned by [`SimConfigBuilder::build`] for inconsistent
 /// configurations.
 #[derive(Debug, Clone, PartialEq)]
@@ -429,6 +498,27 @@ pub enum ConfigError {
     /// Telemetry enabled with a zero instruction window (the windowed
     /// CPI stack needs a positive granularity).
     ZeroTelemetryWindow,
+    /// A core count of zero or above [`MAX_CORES`].
+    InvalidCoreCount(u32),
+    /// A shared-footprint fraction outside `[0, 1]` (or not finite).
+    InvalidSharedFraction(f64),
+    /// A positive shared fraction with an empty shared footprint.
+    ZeroSharedFootprint,
+    /// The coherence engine and fault injection are mutually exclusive
+    /// (the MESI directory has no recovery model for corrupted lines).
+    CmpWithFaultInjection,
+    /// The coherence engine does not implement the telemetry hook sites;
+    /// CMP runs report through counters and CPI stacks instead.
+    CmpWithTelemetry,
+    /// The coherence engine does not support mid-run checkpointing.
+    CmpWithCheckpointing,
+    /// Seeded canary bugs target the single-CPU golden model, not the
+    /// coherence oracle.
+    CmpWithSeededBug,
+    /// A coherence-enabled configuration was handed to the single-CPU
+    /// simulator; route it through `gaas-coherence` instead. (Never
+    /// returned by validation — only by `Simulator::new`.)
+    CmpRequiresCoherenceEngine,
 }
 
 impl fmt::Display for ConfigError {
@@ -484,6 +574,34 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "telemetry window must be a positive instruction count"
+                )
+            }
+            ConfigError::InvalidCoreCount(n) => {
+                write!(f, "core count {n} must be between 1 and {MAX_CORES}")
+            }
+            ConfigError::InvalidSharedFraction(r) => {
+                write!(f, "shared-footprint fraction {r} is not in [0, 1]")
+            }
+            ConfigError::ZeroSharedFootprint => {
+                write!(f, "a positive shared fraction needs a nonzero shared footprint")
+            }
+            ConfigError::CmpWithFaultInjection => {
+                write!(f, "the coherence engine cannot run with fault injection enabled")
+            }
+            ConfigError::CmpWithTelemetry => {
+                write!(f, "the coherence engine does not implement telemetry hook sites")
+            }
+            ConfigError::CmpWithCheckpointing => {
+                write!(f, "the coherence engine does not support checkpointing")
+            }
+            ConfigError::CmpWithSeededBug => {
+                write!(f, "seeded canary bugs target the single-CPU oracle, not the CMP path")
+            }
+            ConfigError::CmpRequiresCoherenceEngine => {
+                write!(
+                    f,
+                    "coherence-enabled configurations must run on the gaas-coherence engine, \
+                     not the single-CPU simulator"
                 )
             }
         }
@@ -557,6 +675,9 @@ pub struct SimConfig {
     pub diffcheck: DiffCheckConfig,
     /// Telemetry: counters, spans, windowed CPI stacks (default: off).
     pub telemetry: TelemetryConfig,
+    /// Chip-multiprocessor extension: core count and sharing knobs
+    /// (default: 1 core, sharing off — the paper's single-CPU machine).
+    pub cmp: CmpConfig,
 }
 
 impl SimConfig {
@@ -579,6 +700,7 @@ impl SimConfig {
             checkpoint_interval: 0,
             diffcheck: DiffCheckConfig::default(),
             telemetry: TelemetryConfig::default(),
+            cmp: CmpConfig::default(),
         }
     }
 
@@ -615,6 +737,7 @@ impl SimConfig {
             checkpoint_interval: 0,
             diffcheck: DiffCheckConfig::default(),
             telemetry: TelemetryConfig::default(),
+            cmp: CmpConfig::default(),
         }
     }
 
@@ -694,6 +817,30 @@ impl SimConfig {
         if self.telemetry.enabled && self.telemetry.window_instructions == 0 {
             return Err(ConfigError::ZeroTelemetryWindow);
         }
+        if self.cmp.cores == 0 || self.cmp.cores > MAX_CORES {
+            return Err(ConfigError::InvalidCoreCount(self.cmp.cores));
+        }
+        let frac = self.cmp.shared_frac;
+        if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+            return Err(ConfigError::InvalidSharedFraction(frac));
+        }
+        if frac > 0.0 && self.cmp.shared_words == 0 {
+            return Err(ConfigError::ZeroSharedFootprint);
+        }
+        if self.cmp.enabled() {
+            if self.fault.enabled() {
+                return Err(ConfigError::CmpWithFaultInjection);
+            }
+            if self.telemetry.enabled {
+                return Err(ConfigError::CmpWithTelemetry);
+            }
+            if self.checkpoint_interval != 0 {
+                return Err(ConfigError::CmpWithCheckpointing);
+            }
+            if self.diffcheck.seeded_bug.is_some() {
+                return Err(ConfigError::CmpWithSeededBug);
+            }
+        }
         Ok(())
     }
 }
@@ -754,7 +901,18 @@ impl fmt::Display for SimConfig {
             if c.concurrent_i_refill { "on" } else { "off" },
             c.d_read_bypass,
             if c.l2d_dirty_buffer { "on" } else { "off" }
-        )
+        )?;
+        if self.cmp.enabled() {
+            write!(
+                f,
+                "\nCMP: {} cores, shared {:.0}% of {}KW, migrate/{} refs",
+                self.cmp.cores,
+                self.cmp.shared_frac * 100.0,
+                self.cmp.shared_words / 1024,
+                self.cmp.migration_interval
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -904,6 +1062,13 @@ impl SimConfigBuilder {
     /// Sets the telemetry configuration.
     pub fn telemetry(&mut self, t: TelemetryConfig) -> &mut Self {
         self.cfg.telemetry = t;
+        self
+    }
+
+    /// Sets the chip-multiprocessor configuration (core count and
+    /// sharing knobs).
+    pub fn cmp(&mut self, c: CmpConfig) -> &mut Self {
+        self.cfg.cmp = c;
         self
     }
 

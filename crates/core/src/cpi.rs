@@ -75,6 +75,27 @@ pub struct Counters {
     /// corrections, and checkpoint-restart rollback after machine checks.
     pub recovery_cycles: u64,
 
+    /// Remote L1-D lines invalidated by this core's stores (CMP runs).
+    pub invalidations: u64,
+    /// Cache-to-cache transfers: misses supplied by a remote Modified
+    /// owner instead of the L2/memory path (CMP runs).
+    pub c2c_transfers: u64,
+    /// Upgrade misses: stores that hit a Shared line and had to win
+    /// ownership via an invalidation round (CMP runs).
+    pub upgrade_misses: u64,
+    /// MESI transitions into Modified (stores gaining write ownership).
+    pub mesi_to_m: u64,
+    /// MESI transitions into Exclusive (sole-copy load fills).
+    pub mesi_to_e: u64,
+    /// MESI transitions into Shared (shared load fills and M/E demotions).
+    pub mesi_to_s: u64,
+    /// MESI transitions into Invalid (remote-store invalidations).
+    pub mesi_to_i: u64,
+    /// Cycles stalled on coherence actions: snoop-bus waits, invalidation
+    /// rounds, and cache-to-cache transfer latency (CMP runs; always 0 on
+    /// a single core).
+    pub coherence_stall_cycles: u64,
+
     /// Soft errors injected (all structures).
     pub faults_injected: u64,
     /// Injected faults that went undetected (unprotected structure, or a
@@ -135,6 +156,14 @@ impl Counters {
             dirty_buffer_wait_cycles,
             tlb_miss_cycles,
             recovery_cycles,
+            invalidations,
+            c2c_transfers,
+            upgrade_misses,
+            mesi_to_m,
+            mesi_to_e,
+            mesi_to_s,
+            mesi_to_i,
+            coherence_stall_cycles,
             faults_injected,
             faults_silent,
             faults_corrected,
@@ -181,6 +210,14 @@ impl Counters {
             dirty_buffer_wait_cycles,
             tlb_miss_cycles,
             recovery_cycles,
+            invalidations,
+            c2c_transfers,
+            upgrade_misses,
+            mesi_to_m,
+            mesi_to_e,
+            mesi_to_s,
+            mesi_to_i,
+            coherence_stall_cycles,
             faults_injected,
             faults_silent,
             faults_corrected,
@@ -205,6 +242,7 @@ impl Counters {
             ("dirty buf", self.dirty_buffer_wait_cycles),
             ("TLB", self.tlb_miss_cycles),
             ("recovery", self.recovery_cycles),
+            ("coherence", self.coherence_stall_cycles),
         ]
     }
 
@@ -220,6 +258,7 @@ impl Counters {
             + self.dirty_buffer_wait_cycles
             + self.tlb_miss_cycles
             + self.recovery_cycles
+            + self.coherence_stall_cycles
     }
 
     /// Total execution cycles: one issue cycle per instruction plus stalls.
@@ -285,6 +324,7 @@ impl Counters {
             dirty_buffer: per(self.dirty_buffer_wait_cycles),
             tlb: per(self.tlb_miss_cycles),
             recovery: per(self.recovery_cycles),
+            coherence: per(self.coherence_stall_cycles),
         }
     }
 }
@@ -375,6 +415,9 @@ pub struct CpiBreakdown {
     pub tlb: f64,
     /// Soft-error recovery: refetches, ECC corrections, restart rollback.
     pub recovery: f64,
+    /// Coherence stalls: snoop-bus waits, invalidation rounds, and
+    /// cache-to-cache transfers (CMP runs; 0 on a single core).
+    pub coherence: f64,
 }
 
 impl CpiBreakdown {
@@ -391,6 +434,7 @@ impl CpiBreakdown {
             + self.dirty_buffer
             + self.tlb
             + self.recovery
+            + self.coherence
     }
 
     /// The memory-system contribution to CPI (everything except the base
@@ -424,6 +468,7 @@ impl CpiBreakdown {
             ("dirty buf", self.dirty_buffer),
             ("TLB", self.tlb),
             ("recovery", self.recovery),
+            ("coherence", self.coherence),
         ]
     }
 }
@@ -531,6 +576,33 @@ mod tests {
         assert_eq!(d.recovery_cycles, 50);
         assert_eq!(d.fault_refetches, 3);
         assert_eq!(d.faults_injected, 5);
+    }
+
+    #[test]
+    fn coherence_cycles_flow_through_accounting() {
+        let mut c = sample();
+        c.coherence_stall_cycles = 40;
+        c.invalidations = 6;
+        c.c2c_transfers = 2;
+        c.upgrade_misses = 3;
+        c.mesi_to_m = 9;
+        assert_eq!(c.stall_cycles(), sample().stall_cycles() + 40);
+        let b = c.breakdown();
+        assert!((b.coherence - 0.04).abs() < 1e-12);
+        let cpi = c.total_cycles() as f64 / c.instructions as f64;
+        assert!((b.total() - cpi).abs() < 1e-12);
+        assert!(b
+            .components()
+            .iter()
+            .any(|(name, v)| *name == "coherence" && *v > 0.0));
+        // since()/accum() cover the new fields.
+        let d = c.since(&sample());
+        assert_eq!(d.coherence_stall_cycles, 40);
+        assert_eq!(d.invalidations, 6);
+        assert_eq!(d.c2c_transfers, 2);
+        assert_eq!(d.upgrade_misses, 3);
+        assert_eq!(d.mesi_to_m, 9);
+        assert_eq!(sample().accum(&d), c);
     }
 
     #[test]

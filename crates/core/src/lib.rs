@@ -60,9 +60,9 @@ pub mod sim;
 pub mod workload;
 
 pub use config::{
-    ConcurrencyConfig, ConfigError, DiffCheckConfig, FaultConfig, L1Config, L2Config, L2Side,
-    MachineCheckPolicy, MpConfig, SeededBug, SeededBugSpec, SimConfig, SimConfigBuilder,
-    TelemetryConfig, WbBypass, WriteBufferConfig,
+    CmpConfig, ConcurrencyConfig, ConfigError, DiffCheckConfig, FaultConfig, L1Config, L2Config,
+    L2Side, MachineCheckPolicy, MpConfig, SeededBug, SeededBugSpec, SimConfig, SimConfigBuilder,
+    TelemetryConfig, WbBypass, WriteBufferConfig, MAX_CORES,
 };
 pub use cpi::{Counters, CpiBreakdown, ProcCounters};
 pub use oracle::{config_fingerprint, DivergenceKind, DivergenceReport};

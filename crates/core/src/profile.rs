@@ -406,7 +406,7 @@ fn hash_l2_side(h: &mut Fnv, s: &L2Side) {
 /// |---|---|
 /// | functional | `l1i`, `l1d`, `policy`, `l2` shape (organization, sizes, assocs, line sizes), `mp`, `page_colors`, `instruction_budget` |
 /// | timing | L2 `access_cycles`, `write_buffer`, `concurrency`, `memory`, `tlb_miss_penalty`, `l2_drain_access_override` |
-/// | disqualifying | `fault` (when enabled), `diffcheck` (when enabled), `checkpoint_interval` (when nonzero), `telemetry` (when enabled) |
+/// | disqualifying | `fault` (when enabled), `diffcheck` (when enabled), `checkpoint_interval` (when nonzero), `telemetry` (when enabled), `cmp` (when enabled: multi-core interleaving and coherence traffic make outcomes timing-coupled) |
 ///
 /// The destructuring below is deliberately exhaustive (no `..`): adding a
 /// field to [`SimConfig`] fails to compile until it is classified here,
@@ -430,13 +430,22 @@ pub fn functional_fingerprint(cfg: &SimConfig) -> Option<u64> {
         checkpoint_interval,
         diffcheck,
         telemetry,
+        cmp,
     } = cfg;
 
     // Disqualifiers: behaviours that couple functional state to timing or
     // to per-run stochastic machinery. Telemetry is disqualifying because
     // the pricer cannot synthesize the spans and per-window stacks a real
     // timed run would have produced.
-    if fault.enabled() || diffcheck.enabled || *checkpoint_interval != 0 || telemetry.enabled {
+    if fault.enabled()
+        || diffcheck.enabled
+        || *checkpoint_interval != 0
+        || telemetry.enabled
+        || cmp.enabled()
+    {
+        // `cmp` is disqualifying because the CMP engine interleaves cores
+        // by timing-clock order and charges coherence traffic — outcomes
+        // are not a pure function of one geometry's stream.
         return None;
     }
 

@@ -76,6 +76,18 @@ pub enum SimError {
     /// The run's [`CancelToken`] was triggered; the simulator stopped
     /// cooperatively at the next instruction-batch boundary.
     Cancelled,
+    /// The coherence oracle observed a protocol invariant violation in a
+    /// CMP run (stale read, multiple writers, or a copy surviving its
+    /// invalidation) — produced by the `gaas-coherence` engine, never by
+    /// this single-CPU simulator.
+    Coherence {
+        /// Core on which the violation was observed.
+        core: u32,
+        /// That core's timing-clock cycle at the violation.
+        cycle: u64,
+        /// Which invariant failed, with the evidence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -95,6 +107,14 @@ impl fmt::Display for SimError {
                 write!(f, "cell exceeded its {seconds}s wall-clock budget")
             }
             SimError::Cancelled => write!(f, "run cancelled cooperatively"),
+            SimError::Coherence {
+                core,
+                cycle,
+                detail,
+            } => write!(
+                f,
+                "coherence invariant violated on core {core} at cycle {cycle}: {detail}"
+            ),
         }
     }
 }
@@ -106,7 +126,8 @@ impl std::error::Error for SimError {
             SimError::MachineCheck { .. }
             | SimError::Divergence(_)
             | SimError::Timeout { .. }
-            | SimError::Cancelled => None,
+            | SimError::Cancelled
+            | SimError::Coherence { .. } => None,
         }
     }
 }
@@ -316,9 +337,13 @@ pub struct TelemetryReport {
 /// penalties) but are deliberately *fixed*, not read from the
 /// configuration: the functional clock must be invariant across the
 /// timing axis of a sweep.
-const REF_L2_ACCESS: u64 = 6;
-const REF_MEM_CLEAN: u64 = 143;
-const REF_MEM_DIRTY: u64 = 237;
+pub const REF_L2_ACCESS: u64 = 6;
+/// Functional-clock advance for an L2 miss with a clean victim (see
+/// [`REF_L2_ACCESS`]).
+pub const REF_MEM_CLEAN: u64 = 143;
+/// Functional-clock advance for an L2 miss with a dirty victim (see
+/// [`REF_L2_ACCESS`]).
+pub const REF_MEM_DIRTY: u64 = 237;
 
 /// The trace-driven simulator for one architecture configuration.
 ///
@@ -435,6 +460,12 @@ impl Simulator {
     /// Returns [`ConfigError`] when the configuration is invalid.
     pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        // CMP configurations need the coherence engine's per-core state;
+        // this single-CPU simulator would silently ignore the sharing
+        // knobs, so refuse them outright.
+        if cfg.cmp.enabled() {
+            return Err(ConfigError::CmpRequiresCoherenceEngine);
+        }
         let l1i = CacheArray::new(cfg.l1i.geometry()?);
         let l1d = L1DataCache::new(cfg.l1d.geometry()?, cfg.policy);
         let l2 = match cfg.l2 {

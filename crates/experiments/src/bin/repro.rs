@@ -6,7 +6,7 @@
 //! repro serve ...        delegate to the gaas-serve sweep daemon
 //!
 //! EXPERIMENT: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!             sec5 sec8 perbench ablations budget threec warmup
+//!             sec5 sec8 perbench ablations budget threec warmup fig_cmp
 //!             | all (default) | check (PASS/FAIL shape verification)
 //!             | diffcheck (lockstep golden-model oracle smoke sweep)
 //!             | telemetry (instrumented fig7 cell + trace/CPI-stack export)
@@ -33,12 +33,12 @@
 use std::time::Instant;
 
 use gaas_experiments::{
-    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, interrupt,
-    perbench, pool, runner, sec5, sec8, table1, telemetry, threec, verify, warmup,
+    ablations, budget, campaign, fig10, fig2, fig3, fig4, fig5, fig6, fig78, fig9, fig_cmp,
+    interrupt, perbench, pool, runner, sec5, sec8, table1, telemetry, threec, verify, warmup,
 };
 use gaas_sim::config::SimConfig;
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "table1",
     "fig2",
     "fig3",
@@ -56,6 +56,7 @@ const ALL: [&str; 17] = [
     "budget",
     "threec",
     "warmup",
+    "fig_cmp",
 ];
 
 fn main() {
@@ -201,6 +202,12 @@ fn main() {
             "ablations" => println!("{}", ablations::table(&ablations::run(scale))),
             "threec" => println!("{}", threec::table(&threec::run(scale))),
             "warmup" => println!("{}", warmup::table(&warmup::run(scale, 20))),
+            "fig_cmp" => {
+                let rows = fig_cmp::run(scale);
+                println!("{}", fig_cmp::table(&rows));
+                println!("{}", fig_cmp::table_coherence(&rows));
+                println!("{}", fig_cmp::table_traffic(&rows));
+            }
             "check" => {
                 let checks = verify::run(scale);
                 println!("{}", verify::table(&checks));

@@ -64,7 +64,7 @@ use std::time::{Duration, Instant};
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
     config_fingerprint, functional_fingerprint, price_profile, price_profiles, CancelToken,
-    Counters, FunctionalProfile, Pid, ProcCounters, SimError, SimResult, Termination,
+    CmpConfig, Counters, FunctionalProfile, Pid, ProcCounters, SimError, SimResult, Termination,
 };
 
 use crate::json::{self, Json};
@@ -96,6 +96,35 @@ static SWEEP_DEADLINE: Mutex<Option<Instant>> = Mutex::new(None);
 /// deadline rather than at `deadline + timeout`.
 pub fn set_sweep_deadline(deadline: Option<Instant>) {
     *SWEEP_DEADLINE.lock().unwrap_or_else(|e| e.into_inner()) = deadline;
+}
+
+/// Crosses base configurations with the **core-count sweep dimension**:
+/// every base × every entry of `cores`, carrying `sharing`'s workload
+/// knobs (`shared_frac`, `shared_words`, `migration_interval`, protocol
+/// costs) into each multi-core cell. Single-core cells get
+/// `shared_frac = 0` so they stay on the validated single-CPU engine —
+/// the anchor column of any CMP figure.
+///
+/// Cells come back in `bases[0] × cores, bases[1] × cores, …` order, so
+/// a figure can zip them against its own `(base, cores)` point list.
+pub fn cross_core_counts(
+    bases: &[SimConfig],
+    cores: &[u32],
+    sharing: &CmpConfig,
+) -> Vec<SimConfig> {
+    let mut out = Vec::with_capacity(bases.len() * cores.len());
+    for base in bases {
+        for &n in cores {
+            let mut cfg = base.clone();
+            cfg.cmp = CmpConfig {
+                cores: n,
+                shared_frac: if n > 1 { sharing.shared_frac } else { 0.0 },
+                ..*sharing
+            };
+            out.push(cfg);
+        }
+    }
+    out
 }
 
 fn sweep_deadline() -> Option<Instant> {
@@ -467,9 +496,11 @@ macro_rules! for_each_counter {
             itlb_misses, dtlb_misses, cpu_stall_cycles, l1i_miss_cycles,
             l1d_miss_cycles, l1_write_cycles, wb_wait_cycles,
             l2i_miss_cycles, l2d_miss_cycles, dirty_buffer_wait_cycles,
-            tlb_miss_cycles, recovery_cycles, faults_injected,
-            faults_silent, faults_corrected, fault_refetches,
-            machine_checks)
+            tlb_miss_cycles, recovery_cycles, invalidations,
+            c2c_transfers, upgrade_misses, mesi_to_m, mesi_to_e,
+            mesi_to_s, mesi_to_i, coherence_stall_cycles,
+            faults_injected, faults_silent, faults_corrected,
+            fault_refetches, machine_checks)
     };
 }
 

@@ -24,6 +24,7 @@
 //! | [`budget`] | MCM substrate budgets for the Fig. 1 / Fig. 11 populations |
 //! | [`threec`] | 3C decomposition of L2 misses (why splitting works) |
 //! | [`warmup`] | warm-up transient (windowed miss ratios), the \[BKW90\] point |
+//! | [`fig_cmp`] | CMP frontier — the Fig. 6 L2 organizations with 1-8 cores sharing the L2 |
 //! | [`verify`] | PASS/FAIL shape verification of every headline claim |
 //!
 //! The `repro` binary drives them:
@@ -46,6 +47,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig78;
 pub mod fig9;
+pub mod fig_cmp;
 pub mod frames;
 pub mod interrupt;
 pub mod json;

@@ -11,12 +11,14 @@
 //! * [`run_standard`] — the historical panicking convenience wrapper
 //!   (now routed through the cell layer).
 
+use gaas_coherence::{CmpResult, CmpSimulator};
 use gaas_sim::config::SimConfig;
 use gaas_sim::{
     workload, CancelToken, ConcurrencyConfig, DiffCheckConfig, FunctionalProfile, L2Config,
-    SimError, SimResult, Simulator, WbBypass, WritePolicy,
+    SimError, SimResult, Simulator, Trace, WbBypass, WritePolicy,
 };
 use gaas_trace::bench_model::suite;
+use gaas_trace::{SharingSpec, SharingTrace};
 
 use crate::campaign::{self, CellResult};
 
@@ -58,12 +60,69 @@ pub fn run_standard_raw_cancellable(
     scale: f64,
     cancel: Option<CancelToken>,
 ) -> Result<SimResult, SimError> {
+    if cfg.cmp.enabled() {
+        return run_standard_cmp(cfg, scale, cancel).map(|r| r.result);
+    }
     let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
     let mut sim = Simulator::new(cfg)?;
     if let Some(token) = cancel {
         sim.set_cancel_token(token);
     }
     sim.run_warmed(workload::standard(scale), warmup)
+}
+
+/// Fixed base seed for the standard workload's shared-segment
+/// decoration, so CMP sweeps are reproducible run to run.
+pub const SHARING_SEED: u64 = 0x600D_5EED;
+
+/// The standard suite distributed over `cfg.cmp.cores` cores: benchmark
+/// `i` runs on core `i % cores` (round-robin), and when
+/// `cfg.cmp.shared_frac > 0` every per-core stream is decorated with
+/// shared-segment references ([`SharingTrace`]) under [`SHARING_SEED`].
+pub fn cmp_workloads(cfg: &SimConfig, scale: f64) -> Vec<Vec<Box<dyn Trace>>> {
+    let n = cfg.cmp.cores.max(1) as usize;
+    let mut per_core: Vec<Vec<Box<dyn Trace>>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, trace) in workload::standard(scale).into_iter().enumerate() {
+        let core = i % n;
+        if cfg.cmp.shared_frac > 0.0 {
+            let spec = SharingSpec {
+                shared_frac: cfg.cmp.shared_frac,
+                shared_words: cfg.cmp.shared_words,
+                migration_interval: cfg.cmp.migration_interval,
+                cores: cfg.cmp.cores,
+                seed: SHARING_SEED,
+            };
+            per_core[core].push(Box::new(SharingTrace::new(trace, core as u32, &spec)));
+        } else {
+            per_core[core].push(trace);
+        }
+    }
+    per_core
+}
+
+/// Runs `cfg` over the standard workload through the CMP engine
+/// ([`CmpSimulator`]), returning the merged result plus the per-core
+/// breakdown. Used directly by the CMP figures; plain sweeps reach it
+/// through [`run_standard_raw_cancellable`], which routes any
+/// `cfg.cmp.enabled()` configuration here.
+///
+/// # Errors
+///
+/// As [`run_standard_raw_cancellable`], plus [`SimError::Coherence`]
+/// when the coherence oracle (on whenever `diffcheck.enabled`) observes
+/// an invariant violation.
+pub fn run_standard_cmp(
+    cfg: SimConfig,
+    scale: f64,
+    cancel: Option<CancelToken>,
+) -> Result<CmpResult, SimError> {
+    let warmup = (suite_instructions(scale) as f64 * WARMUP_FRAC) as u64;
+    let workloads = cmp_workloads(&cfg, scale);
+    let mut sim = CmpSimulator::new(cfg)?;
+    if let Some(token) = cancel {
+        sim.set_cancel_token(token);
+    }
+    sim.run_warmed(workloads, warmup)
 }
 
 /// [`run_standard_raw_cancellable`] recording a [`FunctionalProfile`]

@@ -19,7 +19,9 @@
 //! * [`access_time`] — the L1 access-time-vs-size/organization curve;
 //! * [`cycle_time`] — system cycle derivation and ns→cycle conversion;
 //! * [`budget`] — MCM die-area/pin budgets for the Fig. 1 and Fig. 11
-//!   substrate populations.
+//!   substrate populations;
+//! * [`snoop`] — shared snoop/invalidation bus occupancy timing for the
+//!   CMP configurations (per-core L1s over the shared L2).
 //!
 //! ## Example
 //!
@@ -40,10 +42,12 @@ pub mod access_time;
 pub mod budget;
 pub mod cycle_time;
 pub mod interconnect;
+pub mod snoop;
 pub mod sram;
 
 pub use access_time::{l1_access, L1Access, TagPlacement};
 pub use budget::{Component, McmBudget};
 pub use cycle_time::{cycle_stretch, cycles, system_cycle_ns, CPU_CYCLE_NS, CPU_MHZ};
 pub use interconnect::{Net, Substrate};
+pub use snoop::{snoop_net, BusGrant, SnoopBus};
 pub use sram::SramFamily;

@@ -1,0 +1,156 @@
+//! Snoop-bus occupancy timing for the CMP frontier (ROADMAP item 3).
+//!
+//! When 2–8 cores share the L2 over the MCM substrate, every coherence
+//! transaction (invalidation round, cache-to-cache transfer probe) must
+//! cross the shared interconnect. This module models that contention
+//! point the same way `gaas-cache::memory` models the dirty buffer: a
+//! single resource with a busy-until horizon, charging requesters only
+//! for *other* cores' occupancy.
+//!
+//! The electrical grounding comes from [`crate::interconnect`]: a snoop
+//! net spans every die on the module, so its fanout (and hence RC load)
+//! grows with core count — [`snoop_net`] exposes that net so experiment
+//! code can sanity-check that the configured per-transaction cycle cost
+//! is achievable at the paper's 4 ns cycle.
+
+use crate::interconnect::Net;
+
+/// A point-to-multipoint MCM snoop net visiting `cores` dies plus the
+/// shared L2 controller. Used to sanity-check snoop cycle budgets, not
+/// for per-transaction timing (the simulator charges whole cycles).
+pub fn snoop_net(cores: u32) -> Net {
+    // ~12 mm of substrate per die visited on a serpentine broadcast net.
+    Net::mcm(12.0 * (cores + 1) as f64, cores + 1)
+}
+
+/// Result of one bus acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// Cycles the requester stalled waiting for other cores' traffic.
+    pub wait: u64,
+    /// Absolute cycle at which the transaction completes and the bus
+    /// frees.
+    pub done_at: u64,
+}
+
+/// The shared snoop/invalidation bus: one transaction at a time, each
+/// occupying a fixed number of cycles.
+///
+/// Cores run on private timing clocks that are not mutually monotonic,
+/// so the busy horizon is compared with `saturating_sub` (the same
+/// convention as `MemorySystem::service_miss`). A requester is never
+/// charged for *its own* previous occupancy — its private clock already
+/// serialized that — so a single-core configuration that never shares a
+/// line sees zero transactions and zero waits by construction.
+#[derive(Debug, Clone)]
+pub struct SnoopBus {
+    cycles_per_txn: u32,
+    busy_until: u64,
+    owner: Option<u32>,
+    transactions: u64,
+    wait_cycles: u64,
+    busy_cycles: u64,
+}
+
+impl SnoopBus {
+    /// Creates a bus whose transactions each occupy `cycles_per_txn`
+    /// bus cycles.
+    pub fn new(cycles_per_txn: u32) -> Self {
+        SnoopBus {
+            cycles_per_txn,
+            busy_until: 0,
+            owner: None,
+            transactions: 0,
+            wait_cycles: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Acquires the bus for one transaction issued by `core` at absolute
+    /// cycle `now`, returning the stall charged to the requester.
+    pub fn transact(&mut self, core: u32, now: u64) -> BusGrant {
+        let wait = if self.owner == Some(core) {
+            0
+        } else {
+            self.busy_until.saturating_sub(now)
+        };
+        let start = now + wait;
+        let done_at = start + self.cycles_per_txn as u64;
+        self.busy_until = done_at;
+        self.owner = Some(core);
+        self.transactions += 1;
+        self.wait_cycles += wait;
+        self.busy_cycles += self.cycles_per_txn as u64;
+        BusGrant { wait, done_at }
+    }
+
+    /// Total transactions granted.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Total cycles requesters spent waiting on other cores' traffic.
+    pub fn wait_cycles(&self) -> u64 {
+        self.wait_cycles
+    }
+
+    /// Total cycles the bus was occupied.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_grants_immediately() {
+        let mut bus = SnoopBus::new(3);
+        let g = bus.transact(0, 100);
+        assert_eq!(g.wait, 0);
+        assert_eq!(g.done_at, 103);
+        assert_eq!(bus.transactions(), 1);
+        assert_eq!(bus.wait_cycles(), 0);
+        assert_eq!(bus.busy_cycles(), 3);
+    }
+
+    #[test]
+    fn contending_core_waits_for_other_traffic() {
+        let mut bus = SnoopBus::new(3);
+        bus.transact(0, 100); // occupies 100..103
+        let g = bus.transact(1, 101);
+        assert_eq!(g.wait, 2);
+        assert_eq!(g.done_at, 106);
+        assert_eq!(bus.wait_cycles(), 2);
+    }
+
+    #[test]
+    fn own_occupancy_is_never_charged() {
+        let mut bus = SnoopBus::new(5);
+        bus.transact(0, 100); // occupies 100..105
+                              // The same core re-requesting (its clock advanced less than the
+                              // occupancy) is not charged for its own transaction.
+        let g = bus.transact(0, 101);
+        assert_eq!(g.wait, 0);
+    }
+
+    #[test]
+    fn non_monotonic_clocks_are_safe() {
+        let mut bus = SnoopBus::new(3);
+        bus.transact(0, 1000); // occupies 1000..1003
+                               // A core far behind in absolute time waits up to the horizon.
+        let g = bus.transact(1, 10);
+        assert_eq!(g.wait, 993);
+        assert_eq!(g.done_at, 1006);
+    }
+
+    #[test]
+    fn snoop_net_delay_grows_with_cores() {
+        let two = snoop_net(2).delay_ns();
+        let eight = snoop_net(8).delay_ns();
+        assert!(eight > two);
+        // An 8-core broadcast still fits a small number of 4 ns cycles.
+        assert!(eight < 3.0 * 4.0, "8-core snoop net {eight:.2} ns");
+    }
+}

@@ -183,6 +183,9 @@ pub struct StatsSnapshot {
     /// co-pricer's lane/replay-pass savings (process-wide totals across
     /// this daemon's jobs).
     pub memo: campaign::MemoStats,
+    /// CMP coherence activity (invalidations, cache-to-cache transfers,
+    /// snoop-bus occupancy) across this daemon's multi-core jobs.
+    pub coherence: gaas_coherence::CoherenceTotals,
 }
 
 struct JobSlot {
@@ -544,6 +547,7 @@ impl ServerCore {
             avg_job_ms,
             cache: profile_cache::snapshot(),
             memo: campaign::memo_stats(),
+            coherence: gaas_coherence::coherence_totals(),
         }
     }
 

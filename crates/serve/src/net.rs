@@ -286,6 +286,36 @@ fn stats_response(stats: &StatsSnapshot) -> Json {
             ),
         ]),
     ));
+    fields.push((
+        "coherence".into(),
+        Json::Obj(vec![
+            ("runs".into(), Json::Int(stats.coherence.runs)),
+            (
+                "invalidations".into(),
+                Json::Int(stats.coherence.invalidations),
+            ),
+            (
+                "c2c_transfers".into(),
+                Json::Int(stats.coherence.c2c_transfers),
+            ),
+            (
+                "upgrade_misses".into(),
+                Json::Int(stats.coherence.upgrade_misses),
+            ),
+            (
+                "coherence_stall_cycles".into(),
+                Json::Int(stats.coherence.coherence_stall_cycles),
+            ),
+            (
+                "snoop_transactions".into(),
+                Json::Int(stats.coherence.snoop_transactions),
+            ),
+            (
+                "snoop_wait_cycles".into(),
+                Json::Int(stats.coherence.snoop_wait_cycles),
+            ),
+        ]),
+    ));
     ok_response(fields)
 }
 

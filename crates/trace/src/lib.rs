@@ -26,7 +26,9 @@
 //! * [`stats`] — trace characterization (regenerates Table 1 columns);
 //! * [`synthetic`] — diagnostic access patterns with known cache behaviour;
 //! * [`rng`] — the vendored deterministic PRNG every stochastic component
-//!   (generators, fault injection, property tests) draws from.
+//!   (generators, fault injection, property tests) draws from;
+//! * [`sharing`] — per-core shared-segment decoration for CMP workloads
+//!   (controllable shared footprint and migration rates).
 //!
 //! ## Example
 //!
@@ -51,8 +53,10 @@ pub mod file;
 pub mod gen;
 pub mod instr;
 pub mod rng;
+pub mod sharing;
 pub mod stats;
 pub mod synthetic;
 
 pub use addr::{PhysAddr, Pid, VirtAddr, PAGE_SHIFT, PAGE_WORDS, PID_SHIFT, WORD_BYTES};
 pub use event::{AccessKind, Trace, TraceEvent, UnbatchedTrace, VecTrace};
+pub use sharing::{SharingSpec, SharingTrace, SHARED_PID};

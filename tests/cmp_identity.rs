@@ -1,0 +1,143 @@
+//! The CMP engine's correctness anchor: a 1-core CMP run is
+//! **byte-identical** to the validated single-CPU simulator.
+//!
+//! Three angles:
+//!
+//! * **identity fuzz** — seeded random configurations (L2 organization,
+//!   write policy, drain timing, multiprogramming level all vary) run
+//!   through both engines; every counter, every per-process row and the
+//!   completion order must match exactly;
+//! * **directory filtering** — a 2-core run of *disjoint* processes
+//!   generates zero coherence traffic (no invalidations, no
+//!   cache-to-cache transfers, no coherence stall): the snoop filter
+//!   works, and coherence CPI scales with sharing, not core count;
+//! * **oracle smoke** — a 2-core run with real sharing and the
+//!   coherence oracle enabled completes with zero invariant violations
+//!   while actually exercising the protocol (invalidations observed).
+
+use gaas_experiments::runner;
+use gaas_sim::config::SimConfig;
+use gaas_sim::{CmpConfig, DiffCheckConfig, L2Config, WritePolicy};
+use gaas_trace::rng::SmallRng;
+
+const SCALE: f64 = 5e-5;
+
+/// Draws a random-but-valid configuration (same envelope as the
+/// differential-oracle fuzz, minus the oracle).
+fn random_config(rng: &mut SmallRng) -> SimConfig {
+    let policies = WritePolicy::all();
+    let policy = policies[rng.gen_range(0..policies.len())];
+    let l2_total = [65_536u64, 131_072, 262_144][rng.gen_range(0..3usize)];
+    let l2 = if rng.gen_bool(0.5) {
+        L2Config::split_even(l2_total, if rng.gen_bool(0.5) { 1 } else { 2 }, 6)
+    } else {
+        let mut base = L2Config::base();
+        if let L2Config::Unified(side) = &mut base {
+            side.size_words = l2_total;
+        }
+        base
+    };
+    let mut b = SimConfig::builder();
+    b.policy(policy)
+        .l2(l2)
+        .l2_drain_access(rng.gen_range(2..=10u32))
+        .mp_level(*[1usize, 4, 8].get(rng.gen_range(0..3usize)).unwrap());
+    b.build().expect("randomized configs stay valid")
+}
+
+#[test]
+fn one_core_cmp_is_byte_identical_to_the_single_cpu_simulator() {
+    let mut rng = SmallRng::seed_from_u64(0xC0_1DE7);
+    for round in 0..8 {
+        let cfg = random_config(&mut rng);
+        let summary = format!("round {round}: {cfg}");
+        let base = runner::run_standard_raw(cfg.clone(), SCALE).expect("base engine");
+        let cmp = runner::run_standard_cmp(cfg, SCALE, None).expect("cmp engine");
+        assert_eq!(
+            cmp.result.counters, base.counters,
+            "counter drift in {summary}"
+        );
+        assert_eq!(
+            cmp.result.per_process, base.per_process,
+            "per-process drift in {summary}"
+        );
+        assert_eq!(
+            cmp.result.completed, base.completed,
+            "completion-order drift in {summary}"
+        );
+        assert_eq!(cmp.per_core.len(), 1, "{summary}");
+        assert_eq!(cmp.per_core[0], base.counters, "{summary}");
+    }
+}
+
+#[test]
+fn one_core_cmp_reports_no_coherence_activity() {
+    let base = runner::run_standard_cmp(SimConfig::baseline(), SCALE, None).expect("runs");
+    let c = base.result.counters;
+    assert_eq!(c.invalidations, 0);
+    assert_eq!(c.c2c_transfers, 0);
+    assert_eq!(c.upgrade_misses, 0);
+    assert_eq!(c.coherence_stall_cycles, 0);
+    assert_eq!(c.mesi_to_m + c.mesi_to_e + c.mesi_to_s + c.mesi_to_i, 0);
+}
+
+#[test]
+fn disjoint_two_core_run_is_filtered_to_zero_coherence_traffic() {
+    let mut cfg = SimConfig::baseline();
+    cfg.cmp = CmpConfig::with_cores(2);
+    let r = runner::run_standard_cmp(cfg, SCALE, None).expect("runs");
+    let c = r.result.counters;
+    // Distinct processes touch distinct physical pages: the directory
+    // must answer every miss locally.
+    assert_eq!(c.invalidations, 0, "no remote copies to invalidate");
+    assert_eq!(c.c2c_transfers, 0);
+    assert_eq!(c.upgrade_misses, 0);
+    assert_eq!(c.coherence_stall_cycles, 0, "no bus traffic at all");
+    assert!(c.mesi_to_e > 0, "fills still tracked Exclusive");
+    assert_eq!(r.per_core.len(), 2);
+    assert!(r.per_core.iter().all(|p| p.instructions > 0));
+}
+
+#[test]
+fn sharing_two_core_run_exercises_the_protocol_with_zero_violations() {
+    let mut cfg = SimConfig::baseline();
+    cfg.cmp = CmpConfig {
+        cores: 2,
+        shared_frac: 0.2,
+        shared_words: 4096,
+        migration_interval: 1000,
+        ..CmpConfig::default()
+    };
+    cfg.diffcheck = DiffCheckConfig {
+        enabled: true,
+        ..DiffCheckConfig::default()
+    };
+    let r = runner::run_standard_cmp(cfg, SCALE, None)
+        .expect("coherence invariants hold under real sharing");
+    let c = r.result.counters;
+    assert!(c.invalidations > 0, "sharing must produce invalidations");
+    assert!(c.coherence_stall_cycles > 0, "coherence time is charged");
+    assert!(
+        c.mesi_to_i >= c.invalidations,
+        "every invalidation demotes a line to I"
+    );
+}
+
+#[test]
+fn coherence_counters_accumulate_into_process_totals() {
+    let mut cfg = SimConfig::baseline();
+    cfg.cmp = CmpConfig {
+        cores: 2,
+        shared_frac: 0.3,
+        shared_words: 2048,
+        ..CmpConfig::default()
+    };
+    let before = gaas_coherence::coherence_totals();
+    let r = runner::run_standard_cmp(cfg, SCALE, None).expect("runs");
+    let after = gaas_coherence::coherence_totals();
+    assert!(after.runs > before.runs);
+    assert!(
+        after.invalidations - before.invalidations >= r.result.counters.invalidations,
+        "run's invalidations folded into the process totals"
+    );
+}
